@@ -1,0 +1,104 @@
+// ABL-CACHE — ablation: spend the memory budget on an LRU block cache
+// (the "obvious" systems answer) versus on the Theorem-2 insert buffer.
+//
+// The cache experiment drives the standard table's primary-block access
+// pattern (uniform over d blocks, exactly what chaining inserts generate)
+// through a write-back LRU cache of varying capacity. Uniform accesses
+// give hit rate ≈ cache/d, so the effective insert cost is ≈ 1 - cache/d:
+// caching only ever shaves the fraction of the table that fits in memory,
+// while the same memory spent as a Theorem-2 buffer yields tu = O(b^(c-1))
+// regardless of n — the quantitative content of "the memory buffer is
+// essentially useless [for tq near 1], but decisive when tq is relaxed".
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/buffered_hash_table.h"
+#include "extmem/block_cache.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace exthash;
+  ArgParser args("bench_ablation_cache", "LRU cache vs insert buffer");
+  args.addUintFlag("n", 1 << 16, "insertions");
+  args.addUintFlag("b", 64, "records per block");
+  args.addUintFlag("seed", 1, "root seed");
+  if (!args.parse(argc, argv)) return 0;
+  const std::size_t n = args.getUint("n");
+  const std::size_t b = args.getUint("b");
+  const std::uint64_t seed = args.getUint("seed");
+  const std::uint64_t d = 2 * n / b;  // standard table at load 1/2
+
+  bench::printHeader(
+      "ABL-CACHE: memory as LRU cache vs memory as insert buffer",
+      "Same memory budget two ways. Cache rows: chaining-table insert "
+      "pattern through a write-back LRU (hit = free). Buffer rows: the "
+      "Theorem-2 table given the equivalent H0 capacity.");
+
+  TablePrinter out({"memory (blocks)", "mem fraction of table",
+                    "cache: eff. insert I/O", "cache hit rate",
+                    "buffer: tu (β=16)", "buffer: tq"});
+
+  for (const double frac : {0.005, 0.02, 0.08, 0.25}) {
+    const auto cache_blocks = std::max<std::size_t>(
+        1, static_cast<std::size_t>(frac * static_cast<double>(d)));
+
+    // --- Cache arm: uniform primary-block rmw stream through the LRU.
+    double eff_cost = 0.0, hit_rate = 0.0;
+    {
+      bench::Rig rig(b, 0, deriveSeed(seed, cache_blocks));
+      const auto base = rig.device->allocateExtent(d);
+      extmem::BlockCache cache(*rig.device, *rig.memory, cache_blocks,
+                               extmem::BlockCache::WritePolicy::kWriteBack);
+      workload::DistinctKeyStream keys(deriveSeed(seed, 2));
+      const extmem::IoProbe probe(*rig.device);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t bucket =
+            hashfn::rangeBucket((*rig.hash)(keys.next()), d);
+        cache.withWrite(base + bucket, [&](std::span<extmem::Word> page) {
+          page[0] += 1;  // stand-in for the record append
+        });
+      }
+      cache.flush();
+      eff_cost = static_cast<double>(probe.cost()) / static_cast<double>(n);
+      hit_rate = cache.hitRate();
+    }
+
+    // --- Buffer arm: the same memory as H0 of the Theorem-2 table.
+    const std::size_t h0_items =
+        cache_blocks * b / 2;  // same words: blocks·(2b+2) ≈ items·2·2
+    double tu = 0.0, tq = 0.0;
+    {
+      bench::Rig rig(b, 0, deriveSeed(seed, 3 * cache_blocks + 7));
+      core::BufferedHashTable table(
+          rig.context(), {16, 2, std::max<std::size_t>(8, h0_items)});
+      workload::DistinctKeyStream keys(deriveSeed(seed, 5));
+      workload::MeasurementConfig mc;
+      mc.n = n;
+      mc.queries_per_checkpoint = 256;
+      mc.checkpoints = 4;
+      mc.seed = deriveSeed(seed, 6);
+      const auto m = workload::runMeasurement(table, keys, mc);
+      tu = m.tu;
+      tq = m.tq_mean;
+    }
+
+    out.addRow({TablePrinter::num(std::uint64_t{cache_blocks}),
+                TablePrinter::percent(frac),
+                TablePrinter::num(eff_cost, 4),
+                TablePrinter::percent(hit_rate),
+                TablePrinter::num(tu, 4), TablePrinter::num(tq, 4)});
+  }
+
+  out.print(std::cout);
+  bench::saveCsv(out, "ablation_cache");
+  std::cout << "\nReading the table: the cache's effective insert cost is "
+               "≈ 2·(1 - hit rate)\n(each miss pays a read now and a dirty "
+               "write-back later, which the seek-\ncoalescing of footnote 2 "
+               "cannot merge) — linear in the memory fraction, and\nuseless "
+               "unless the whole table fits in RAM. The buffer column stays "
+               "at o(1)\nI/Os independent of the memory fraction. Caching "
+               "IS a form of buffering, so\nTheorem 1 bounds it too: with "
+               "tq pinned near 1 no memory policy can beat\n1 - "
+               "O(1/b^((c-1)/4)) per insert.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared scaffolding for the experiment binaries: rig construction, the
+// standard measurement protocol, and result folders.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "extmem/block_device.h"
+#include "extmem/bucket_page.h"
+#include "extmem/memory_budget.h"
+#include "hashfn/hash_family.h"
+#include "tables/factory.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "workload/keygen.h"
+#include "workload/runner.h"
+
+namespace exthash::bench {
+
+struct Rig {
+  std::unique_ptr<extmem::BlockDevice> device;
+  std::unique_ptr<extmem::MemoryBudget> memory;
+  hashfn::HashPtr hash;
+
+  Rig(std::size_t b, std::size_t memory_words, std::uint64_t seed)
+      : device(std::make_unique<extmem::BlockDevice>(
+            extmem::wordsForRecordCapacity(b))),
+        memory(std::make_unique<extmem::MemoryBudget>(memory_words)),
+        hash(hashfn::makeHash(hashfn::HashKind::kMix, seed)) {}
+
+  tables::TableContext context() const {
+    return tables::TableContext{device.get(), memory.get(), hash};
+  }
+};
+
+/// Run the standard protocol for one (kind, b, n) point.
+inline workload::TradeoffMeasurement measurePoint(
+    tables::TableKind kind, std::size_t b, std::size_t n,
+    std::size_t buffer_items, std::size_t beta, std::uint64_t seed,
+    std::size_t queries = 256) {
+  Rig rig(b, /*memory_words=*/0, deriveSeed(seed, 1));
+  tables::GeneralConfig cfg;
+  cfg.expected_n = n;
+  cfg.target_load = 0.5;
+  cfg.buffer_items = buffer_items;
+  cfg.beta = beta;
+  cfg.gamma = 2;
+  auto table = makeTable(kind, rig.context(), cfg);
+  workload::DistinctKeyStream keys(deriveSeed(seed, 2));
+  workload::MeasurementConfig mc;
+  mc.n = n;
+  mc.queries_per_checkpoint = queries;
+  mc.checkpoints = 6;
+  mc.seed = deriveSeed(seed, 3);
+  return workload::runMeasurement(*table, keys, mc);
+}
+
+/// Write a CSV copy of the table under bench_results/ (best effort).
+inline void saveCsv(const TablePrinter& table, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) table.writeCsv("bench_results/" + name + ".csv");
+}
+
+inline void printHeader(const std::string& title, const std::string& paper) {
+  std::cout << "\n=== " << title << " ===\n" << paper << "\n\n";
+}
+
+}  // namespace exthash::bench

@@ -1,0 +1,129 @@
+// FIG1 — reproduces Figure 1 of the paper: the query-insertion tradeoff.
+//
+// For each query budget tq = 1 + Θ(1/b^c) we run the best construction the
+// paper gives (standard chaining table for c >= 1's near-perfect side, the
+// Theorem-2 buffered table for c <= 1) and print measured (tu, tq) next to
+// the Theorem 1 lower bound and the analytic upper bound. The success
+// criterion is shape: tu hugs 1 for c > 1, drops to ε at c = 1, and scales
+// like b^(c-1) for c < 1 — with the measured points sandwiched between the
+// bounds.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/buffered_hash_table.h"
+#include "core/tradeoff.h"
+#include "util/cli.h"
+
+namespace exthash {
+namespace {
+
+using bench::Rig;
+
+struct PointResult {
+  double tu, tq_mean, tq_final;
+};
+
+PointResult runChaining(std::size_t b, std::size_t n, std::uint64_t seed) {
+  Rig rig(b, 0, deriveSeed(seed, 10));
+  tables::ChainingHashTable table(
+      rig.context(),
+      {std::max<std::uint64_t>(1, 2 * n / b), tables::BucketIndexer{}});
+  workload::DistinctKeyStream keys(deriveSeed(seed, 11));
+  workload::MeasurementConfig mc;
+  mc.n = n;
+  mc.queries_per_checkpoint = 512;
+  mc.checkpoints = 6;
+  mc.seed = deriveSeed(seed, 12);
+  const auto m = workload::runMeasurement(table, keys, mc);
+  return {m.tu, m.tq_mean, m.tq_final};
+}
+
+PointResult runBuffered(std::size_t b, std::size_t n, std::size_t h0_items,
+                        const core::BufferedConfig& cfg, std::uint64_t seed) {
+  (void)h0_items;
+  Rig rig(b, 0, deriveSeed(seed, 20));
+  core::BufferedHashTable table(rig.context(), cfg);
+  workload::DistinctKeyStream keys(deriveSeed(seed, 21));
+  workload::MeasurementConfig mc;
+  mc.n = n;
+  mc.queries_per_checkpoint = 512;
+  mc.checkpoints = 6;
+  mc.seed = deriveSeed(seed, 22);
+  const auto m = workload::runMeasurement(table, keys, mc);
+  return {m.tu, m.tq_mean, m.tq_final};
+}
+
+}  // namespace
+}  // namespace exthash
+
+int main(int argc, char** argv) {
+  using namespace exthash;
+  ArgParser args("bench_fig1_tradeoff",
+                 "Reproduces Figure 1: the query-insertion tradeoff");
+  args.addUintFlag("n", 1 << 17, "items inserted per point");
+  args.addUintFlag("h0", 256, "memory buffer capacity (items)");
+  args.addUintFlag("seed", 1, "root seed");
+  if (!args.parse(argc, argv)) return 0;
+  const std::size_t n = args.getUint("n");
+  const std::size_t h0 = args.getUint("h0");
+  const std::uint64_t seed = args.getUint("seed");
+
+  bench::printHeader(
+      "FIG1: query-insertion tradeoff",
+      "Paper: Figure 1 — tq = 1+Θ(1/b^c). Regimes: c>1 ⇒ tu >= "
+      "1-O(1/b^((c-1)/4)) (buffering useless); c=1 ⇒ tu = Θ(1); c<1 ⇒ tu "
+      "= Θ(b^(c-1)) = o(1). Expected shape: measured tu pinned at ~1 for "
+      "c>1, then falling as c decreases, always above the lower bound.");
+
+  TablePrinter out({"b", "c", "construction", "tq target", "tq measured",
+                    "tu lower bound", "tu measured", "tu upper pred",
+                    "regime"});
+
+  for (const std::size_t b : {64u, 256u}) {
+    // Regime c > 1 and the boundary's "query side": the standard table.
+    for (const double c : {2.0, 1.5}) {
+      const auto r = runChaining(b, n, seed);
+      out.addRow({TablePrinter::num(std::uint64_t{b}), TablePrinter::num(c, 2),
+                  "chaining (std)",
+                  TablePrinter::num(1.0 + std::pow((double)b, -c), 6),
+                  TablePrinter::num(r.tq_mean, 6),
+                  TablePrinter::num(core::theorem1LowerBound(c, b), 4),
+                  TablePrinter::num(r.tu, 4), TablePrinter::num(1.0, 4),
+                  std::string(core::regimeName(core::classifyRegime(c)))});
+    }
+    // Boundary c = 1: the ε-insertion variant.
+    {
+      const auto cfg = core::BufferedConfig::forInsertBudget(0.5, b, h0);
+      const auto r = runBuffered(b, n, h0, cfg, seed);
+      out.addRow({TablePrinter::num(std::uint64_t{b}), TablePrinter::num(1.0, 2),
+                  "buffered β=" + std::to_string(cfg.beta),
+                  TablePrinter::num(1.0 + 1.0 / (double)b, 6),
+                  TablePrinter::num(r.tq_mean, 6),
+                  TablePrinter::num(core::theorem1LowerBound(1.0, b), 4),
+                  TablePrinter::num(r.tu, 4), TablePrinter::num(0.5, 4),
+                  std::string(core::regimeName(core::Regime::kBoundary))});
+    }
+    // Regime c < 1: Theorem 2 with β = b^c.
+    for (const double c : {0.75, 0.5, 0.25}) {
+      const auto cfg = core::BufferedConfig::forQueryExponent(c, b, h0);
+      const auto pred = core::theorem2Upper(c, b, n, h0, 2);
+      const auto r = runBuffered(b, n, h0, cfg, seed);
+      out.addRow({TablePrinter::num(std::uint64_t{b}), TablePrinter::num(c, 2),
+                  "buffered β=" + std::to_string(cfg.beta),
+                  TablePrinter::num(1.0 + std::pow((double)b, -c), 6),
+                  TablePrinter::num(r.tq_mean, 6),
+                  TablePrinter::num(core::theorem1LowerBound(c, b), 4),
+                  TablePrinter::num(r.tu, 4), TablePrinter::num(pred.tu, 4),
+                  std::string(core::regimeName(core::Regime::kRelaxed))});
+    }
+  }
+
+  out.print(std::cout);
+  bench::saveCsv(out, "fig1_tradeoff");
+  std::cout << "\nReading the table: 'tu measured' must stay above 'tu lower "
+               "bound' everywhere,\nhug 1.0 in the c>1 rows, and fall "
+               "with c (and with b) in the c<1 rows —\nthe crossover at tq "
+               "= 1 + Θ(1/b) separating useless from effective buffering.\n";
+  return 0;
+}

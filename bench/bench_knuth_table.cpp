@@ -1,0 +1,109 @@
+// KNUTH — reproduces the query-cost table the paper cites from Knuth
+// [13, §6.4]: expected lookup cost of the standard external hash table as
+// a function of load factor α and block size b, for chaining and blocked
+// linear probing. The paper's claim "1 + 1/2^Ω(b)" is the b-direction of
+// this table. Model = Poisson occupancy (what Knuth tabulates for large
+// tables); measured = the real structures on the simulated device.
+#include <iostream>
+
+#include "analysis/knuth.h"
+#include "bench_common.h"
+#include "tables/chaining_table.h"
+#include "tables/linear_probing_table.h"
+#include "util/cli.h"
+
+namespace exthash {
+namespace {
+
+struct Measured {
+  double success;
+  double miss;
+};
+
+template <class Table>
+Measured measure(Table& table, const std::vector<std::uint64_t>& keys,
+                 extmem::BlockDevice& device, std::uint64_t seed) {
+  Measured m{};
+  {
+    const extmem::IoProbe probe(device);
+    for (const auto k : keys) (void)table.lookup(k);
+    m.success = static_cast<double>(probe.cost()) /
+                static_cast<double>(keys.size());
+  }
+  {
+    FeistelPermutation miss_perm(deriveSeed(seed, 99));
+    const extmem::IoProbe probe(device);
+    const std::size_t misses = 4096;
+    for (std::size_t i = 0; i < misses; ++i) {
+      (void)table.lookup(miss_perm(i) | (1ULL << 63));
+    }
+    m.miss = static_cast<double>(probe.cost()) / 4096.0;
+  }
+  return m;
+}
+
+}  // namespace
+}  // namespace exthash
+
+int main(int argc, char** argv) {
+  using namespace exthash;
+  ArgParser args("bench_knuth_table",
+                 "Knuth query-cost table (TAOCP §6.4, cited by the paper)");
+  args.addUintFlag("buckets", 512, "primary buckets per configuration");
+  args.addUintFlag("seed", 1, "root seed");
+  if (!args.parse(argc, argv)) return 0;
+  const std::uint64_t buckets = args.getUint("buckets");
+  const std::uint64_t seed = args.getUint("seed");
+
+  bench::printHeader(
+      "KNUTH: standard hash table query costs vs (α, b)",
+      "Paper: Section 1 cites Knuth's exact numbers for tq = 1 + 1/2^Ω(b). "
+      "Columns: model (Poisson) vs measured for chaining and blocked "
+      "linear probing; success and unsuccessful (miss) lookups.");
+
+  TablePrinter out({"alpha", "b", "chain succ model", "chain succ meas",
+                    "chain miss model", "chain miss meas", "lp succ model",
+                    "lp succ meas"});
+
+  for (const double alpha : {0.5, 0.7, 0.8, 0.9}) {
+    for (const std::size_t b : {8u, 16u, 64u, 128u}) {
+      const auto n = static_cast<std::size_t>(
+          alpha * static_cast<double>(b) * static_cast<double>(buckets));
+
+      bench::Rig chain_rig(b, 0, deriveSeed(seed, b * 131 + 1));
+      tables::ChainingHashTable chain(chain_rig.context(),
+                                      {buckets, tables::BucketIndexer{}});
+      bench::Rig lp_rig(b, 0, deriveSeed(seed, b * 131 + 2));
+      tables::LinearProbingHashTable lp(lp_rig.context(),
+                                        {buckets, tables::BucketIndexer{}});
+
+      std::vector<std::uint64_t> keys;
+      keys.reserve(n);
+      FeistelPermutation perm(deriveSeed(seed, b * 131 + 3));
+      for (std::size_t i = 0; i < n; ++i) keys.push_back(perm(i));
+      for (const auto k : keys) {
+        chain.insert(k, 1);
+        lp.insert(k, 1);
+      }
+
+      const auto chain_m = measure(chain, keys, *chain_rig.device, seed);
+      const auto lp_m = measure(lp, keys, *lp_rig.device, seed);
+
+      out.addRow({TablePrinter::num(alpha, 2),
+                  TablePrinter::num(std::uint64_t{b}),
+                  TablePrinter::num(analysis::chainingSuccessfulCost(alpha, b), 5),
+                  TablePrinter::num(chain_m.success, 5),
+                  TablePrinter::num(analysis::chainingUnsuccessfulCost(alpha, b), 5),
+                  TablePrinter::num(chain_m.miss, 5),
+                  TablePrinter::num(analysis::linearProbingSuccessfulCost(alpha, b), 5),
+                  TablePrinter::num(lp_m.success, 5)});
+    }
+  }
+
+  out.print(std::cout);
+  bench::saveCsv(out, "knuth_table");
+  std::cout << "\nReading the table: costs collapse toward 1 as b grows at "
+               "any fixed α < 1\n(the 1 + 1/2^Ω(b) phenomenon); model and "
+               "measured agree to a few percent\nbelow α ≈ 0.9.\n";
+  return 0;
+}

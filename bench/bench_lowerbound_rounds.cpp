@@ -1,0 +1,140 @@
+// LB-ROUNDS — the proof machinery of Theorem 1, run on a real table:
+//  (a) the round experiment: Z (distinct fast-zone blocks per round of s
+//      inserts) obeys Z >= (1-O(φ))s - t, pinning amortized tu near 1;
+//  (b) inequality (1): |S| <= m + δk at every snapshot;
+//  (c) Lemma 2: a BAD address function (skewed characteristic vector)
+//      floods the slow zone by the predicted amount.
+#include <iostream>
+
+#include "analysis/bounds.h"
+#include "bench_common.h"
+#include "core/tradeoff.h"
+#include "lowerbound/characteristic.h"
+#include "lowerbound/round_experiment.h"
+#include "lowerbound/zones.h"
+#include "tables/chaining_table.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace exthash;
+  ArgParser args("bench_lowerbound_rounds",
+                 "Theorem 1 proof machinery on real tables");
+  args.addUintFlag("n", 1 << 15, "total insertions");
+  args.addUintFlag("b", 16, "records per block");
+  args.addUintFlag("rounds", 8, "rounds to run");
+  args.addUintFlag("seed", 1, "root seed");
+  if (!args.parse(argc, argv)) return 0;
+  const std::size_t n = args.getUint("n");
+  const std::size_t b = args.getUint("b");
+  const std::size_t rounds = args.getUint("rounds");
+  const std::uint64_t seed = args.getUint("seed");
+
+  bench::printHeader(
+      "LB-ROUNDS (a): rounds of s inserts on the standard table, regime 1",
+      "Paper: proof of Theorem 1 — Z = #distinct fast-zone primary blocks "
+      "per round lower-bounds the round's I/O; Z >= (1-O(φ))s - t forces "
+      "tu -> 1. Parameters (δ, φ, ρ, s) are the paper's choices.");
+
+  for (const double c : {2.0, 1.5}) {
+    bench::Rig rig(b, 0, deriveSeed(seed, static_cast<std::uint64_t>(c * 8)));
+    tables::ChainingHashTable table(
+        rig.context(),
+        {std::max<std::uint64_t>(1, 2 * n / b), tables::BucketIndexer{}});
+    workload::DistinctKeyStream keys(deriveSeed(seed, 3));
+    lowerbound::RoundExperimentConfig cfg;
+    cfg.n = n;
+    cfg.c = c;
+    cfg.rounds = rounds;
+    const auto result = runRoundExperiment(table, keys, cfg);
+
+    std::cout << "c = " << c << ": φ = " << result.phi
+              << ", δ = " << result.delta << ", s = " << result.s
+              << ", amortized tu over rounds = " << result.amortized_tu
+              << "\n";
+    TablePrinter out({"round", "Z", "Z/s", "floor (1-φ)s - t", "round I/O",
+                      "|S|", "|M|"});
+    for (const auto& r : result.rounds) {
+      out.addRow({TablePrinter::num(r.round),
+                  TablePrinter::num(r.distinct_fast_blocks),
+                  TablePrinter::num(r.z_over_s, 4),
+                  TablePrinter::num(r.lower_bound, 1),
+                  TablePrinter::num(r.io_cost, 1),
+                  TablePrinter::num(r.slow_items),
+                  TablePrinter::num(r.memory_items)});
+    }
+    out.print(std::cout);
+    bench::saveCsv(out, "lb_rounds_c" + std::to_string(c));
+  }
+
+  bench::printHeader(
+      "LB-ROUNDS (b): inequality (1) — |S| <= m + δk at snapshots",
+      "Paper: equation (1). The standard table at load 1/2 keeps the slow "
+      "zone at its 1/2^Ω(b) overflow level, far under budget.");
+  {
+    bench::Rig rig(b, 0, deriveSeed(seed, 77));
+    tables::ChainingHashTable table(
+        rig.context(),
+        {std::max<std::uint64_t>(1, 2 * n / b), tables::BucketIndexer{}});
+    workload::DistinctKeyStream keys(deriveSeed(seed, 78));
+    TablePrinter out({"k (inserted)", "|S| measured", "budget m + δk",
+                      "implied tq"});
+    const double delta = analysis::deltaFor(2.0, b);
+    for (std::size_t k = 0; k < n; ++k) {
+      table.insert(keys.next(), k);
+      if ((k + 1) % (n / 8) == 0) {
+        const auto zones = lowerbound::analyzeZones(table);
+        out.addRow({TablePrinter::num(std::uint64_t{k + 1}),
+                    TablePrinter::num(zones.slow_items),
+                    TablePrinter::num(lowerbound::ZoneStats::slowZoneBudget(
+                                          0, delta, k + 1),
+                                      1),
+                    TablePrinter::num(zones.impliedQueryCost(), 5)});
+      }
+    }
+    out.print(std::cout);
+    bench::saveCsv(out, "lb_inequality1");
+  }
+
+  bench::printHeader(
+      "LB-ROUNDS (c): Lemma 2 — a bad address function floods the slow zone",
+      "Paper: Lemma 2. A skewed f (λ_f > φ) must push ~(2/3)λ_f·k - bλ_f/ρ "
+      "- m items out of the fast zone; a good f keeps |S| negligible.");
+  {
+    TablePrinter out({"indexer", "lambda_f", "bad indices", "|S| measured",
+                      "Lemma 2 flood floor", "implied tq"});
+    const std::size_t k = n / 2;
+    const std::uint64_t d = std::max<std::uint64_t>(1, 2 * k / b);
+    const double rho = 4.0 / static_cast<double>(d);
+    for (const double power : {1.0, 2.0, 4.0, 8.0}) {
+      const tables::BucketIndexer indexer{
+          power == 1.0 ? tables::IndexKind::kRange
+                       : tables::IndexKind::kSkewPower,
+          power};
+      bench::Rig rig(b, 0, deriveSeed(seed, 200 + (std::uint64_t)power));
+      tables::ChainingHashTable table(rig.context(), {d, indexer});
+      workload::DistinctKeyStream keys(deriveSeed(seed, 201));
+      for (std::size_t i = 0; i < k; ++i) table.insert(keys.next(), i);
+      const auto zones = lowerbound::analyzeZones(table);
+      const auto ch = lowerbound::analyzeIndexer(indexer, d, rho);
+      const double flood =
+          lowerbound::lemma2SlowZoneFlood(ch.lambda, rho, k, b, 0);
+      out.addRow({power == 1.0 ? "range (good)"
+                               : "skew^" + TablePrinter::num(power, 0),
+                  TablePrinter::num(ch.lambda, 4),
+                  TablePrinter::num(ch.bad_indices),
+                  TablePrinter::num(zones.slow_items),
+                  TablePrinter::num(flood, 1),
+                  TablePrinter::num(zones.impliedQueryCost(), 4)});
+    }
+    out.print(std::cout);
+    bench::saveCsv(out, "lb_lemma2_skew");
+  }
+
+  std::cout << "\nReading the tables: (a) Z/s ≈ 1 and round I/O >= Z — the "
+               "buffer cannot\ncoalesce distinct-block work; (b) |S| sits "
+               "far below its budget; (c) measured\n|S| exceeds Lemma 2's "
+               "flood floor exactly when λ_f is large, and the implied\n"
+               "query cost degrades past 1 + δ — a bad f loses the query "
+               "bound, as proven.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Archival log store — the paper's motivating workload ("there tend to be
+// a lot more insertions than deletions in many practical situations like
+// managing archival data").
+//
+// Scenario: a write-heavy audit-log index. Records arrive continuously;
+// occasionally an auditor looks one up. Compares the four relevant designs
+// on the same stream: standard chaining (ingest-limited), B-tree (slow at
+// both), LSM (fast ingest, slow queries), and the paper's buffered table
+// (fast ingest AND ~1-I/O queries).
+//
+//   $ ./archival_store [--events=200000] [--lookup_permille=50]
+#include <iostream>
+
+#include "core/buffered_hash_table.h"
+#include "extmem/bucket_page.h"
+#include "hashfn/hash_family.h"
+#include "tables/factory.h"
+#include "util/cli.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "workload/keygen.h"
+
+int main(int argc, char** argv) {
+  using namespace exthash;
+  using tables::TableKind;
+  ArgParser args("archival_store", "write-heavy archival index comparison");
+  args.addUintFlag("events", 200000, "log events to ingest");
+  args.addUintFlag("lookup_permille", 50,
+                   "auditor lookups per 1000 events (write-heavy: small)");
+  args.addUintFlag("b", 128, "records per block");
+  args.addUintFlag("seed", 9, "workload seed");
+  if (!args.parse(argc, argv)) return 0;
+  const std::size_t events = args.getUint("events");
+  const std::size_t lookup_permille = args.getUint("lookup_permille");
+  const std::size_t b = args.getUint("b");
+  const std::uint64_t seed = args.getUint("seed");
+
+  std::cout << "Archival store: " << events << " ingested events, "
+            << lookup_permille << " lookups per 1000 events, b=" << b
+            << "\n\n";
+
+  TablePrinter out({"index structure", "total I/Os", "I/O per event",
+                    "ingest I/O per insert", "audit I/O per lookup"});
+
+  for (const TableKind kind :
+       {TableKind::kChaining, TableKind::kBTree, TableKind::kLsm,
+        TableKind::kBuffered}) {
+    extmem::BlockDevice device(extmem::wordsForRecordCapacity(b));
+    extmem::MemoryBudget memory(0);
+    auto hash = hashfn::makeHash(hashfn::HashKind::kMix, deriveSeed(seed, 1));
+    tables::GeneralConfig cfg;
+    cfg.expected_n = events;
+    cfg.target_load = 0.5;
+    cfg.buffer_items = 1024;
+    cfg.beta = 16;
+    cfg.gamma = 2;
+    auto table = makeTable(
+        kind, tables::TableContext{&device, &memory, hash}, cfg);
+
+    workload::DistinctKeyStream event_ids(deriveSeed(seed, 2));
+    Xoshiro256StarStar rng(deriveSeed(seed, 3));
+    std::vector<std::uint64_t> archived;
+    archived.reserve(events);
+
+    std::uint64_t insert_io = 0, lookup_io = 0, lookups = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      {
+        const extmem::IoProbe probe(device);
+        const std::uint64_t id = event_ids.next();
+        table->insert(id, /*offset into the log file=*/i);
+        archived.push_back(id);
+        insert_io += probe.cost();
+      }
+      if (rng.below(1000) < lookup_permille) {
+        const extmem::IoProbe probe(device);
+        const std::uint64_t id = archived[rng.below(archived.size())];
+        if (!table->lookup(id).has_value()) {
+          std::cerr << "index lost event " << id << "!\n";
+          return 1;
+        }
+        lookup_io += probe.cost();
+        ++lookups;
+      }
+    }
+
+    const double total = static_cast<double>(insert_io + lookup_io);
+    out.addRow({std::string(tables::tableKindName(kind)),
+                TablePrinter::num(std::uint64_t{insert_io + lookup_io}),
+                TablePrinter::num(total / static_cast<double>(events), 4),
+                TablePrinter::num(static_cast<double>(insert_io) /
+                                      static_cast<double>(events),
+                                  4),
+                TablePrinter::num(lookups ? static_cast<double>(lookup_io) /
+                                                static_cast<double>(lookups)
+                                          : 0.0,
+                                  4)});
+  }
+
+  out.print(std::cout);
+  std::cout
+      << "\nThe buffered (Theorem 2) index dominates this workload: ingest "
+         "costs o(1) I/Os\nlike an LSM, but audits still cost ~1 I/O like a "
+         "hash table — the regime the\npaper proves is achievable exactly "
+         "when the query budget is 1 + Θ(1/b^c), c < 1.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Stream deduplication — an external hash table as a "seen set".
+//
+// Scenario: a skewed event stream (Zipf-distributed IDs) must be
+// deduplicated on a machine whose memory is far smaller than the ID
+// universe. Every event costs one membership lookup plus, for fresh IDs,
+// one insert. Duplicate-heavy streams make the *query* cost dominate —
+// which is why the paper's near-1-I/O lookup bound matters here and an
+// LSM-style seen-set underperforms.
+//
+//   $ ./dedup_stream [--events=300000] [--theta=1.1] [--table=buffered]
+#include <iostream>
+
+#include "extmem/bucket_page.h"
+#include "hashfn/hash_family.h"
+#include "tables/factory.h"
+#include "util/cli.h"
+#include "util/table_printer.h"
+#include "workload/keygen.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace exthash;
+  ArgParser args("dedup_stream", "dedup a skewed stream with a seen-set");
+  args.addUintFlag("events", 300000, "stream length");
+  args.addUintFlag("universe", 100000, "distinct IDs in the universe");
+  args.addDoubleFlag("theta", 1.1, "Zipf skew (0 = uniform)");
+  args.addUintFlag("b", 128, "records per block");
+  args.addStringFlag("table", "", "single structure to run (default: all)");
+  args.addStringFlag("trace_out", "", "optionally record the op trace here");
+  args.addUintFlag("seed", 11, "workload seed");
+  if (!args.parse(argc, argv)) return 0;
+  const std::size_t events = args.getUint("events");
+  const std::size_t universe = args.getUint("universe");
+  const double theta = args.getDouble("theta");
+  const std::size_t b = args.getUint("b");
+  const std::uint64_t seed = args.getUint("seed");
+
+  std::vector<tables::TableKind> kinds;
+  if (args.getString("table").empty()) {
+    kinds = {tables::TableKind::kChaining, tables::TableKind::kBuffered,
+             tables::TableKind::kLsm};
+  } else {
+    kinds = {tables::parseTableKind(args.getString("table"))};
+  }
+
+  std::cout << "Dedup: " << events << " events over " << universe
+            << " IDs, Zipf θ=" << theta << ", b=" << b << "\n\n";
+
+  TablePrinter out({"seen-set structure", "uniques", "dup rate",
+                    "I/O per event", "lookup share of I/O"});
+  std::vector<workload::Operation> trace;
+
+  for (const auto kind : kinds) {
+    extmem::BlockDevice device(extmem::wordsForRecordCapacity(b));
+    extmem::MemoryBudget memory(0);
+    auto hash = hashfn::makeHash(hashfn::HashKind::kMix, deriveSeed(seed, 1));
+    tables::GeneralConfig cfg;
+    cfg.expected_n = universe;
+    cfg.target_load = 0.5;
+    cfg.buffer_items = 1024;
+    cfg.beta = 16;
+    cfg.gamma = 2;
+    auto table = makeTable(
+        kind, tables::TableContext{&device, &memory, hash}, cfg);
+
+    workload::ZipfKeyStream stream(deriveSeed(seed, 2), universe, theta);
+    const bool record = kind == kinds.front() &&
+                        !args.getString("trace_out").empty();
+    std::uint64_t uniques = 0, lookup_io = 0, total_io = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      const std::uint64_t id = stream.next();
+      const extmem::IoProbe lookup_probe(device);
+      const bool fresh = !table->lookup(id).has_value();
+      lookup_io += lookup_probe.cost();
+      if (record) trace.push_back({workload::OpType::kLookup, id, 0});
+      if (fresh) {
+        const extmem::IoProbe insert_probe(device);
+        table->insert(id, i);
+        total_io += insert_probe.cost();
+        ++uniques;
+        if (record) trace.push_back({workload::OpType::kInsert, id, i});
+      }
+    }
+    total_io += lookup_io;
+
+    out.addRow({std::string(tables::tableKindName(kind)),
+                TablePrinter::num(std::uint64_t{uniques}),
+                TablePrinter::percent(
+                    1.0 - static_cast<double>(uniques) /
+                              static_cast<double>(events)),
+                TablePrinter::num(static_cast<double>(total_io) /
+                                      static_cast<double>(events),
+                                  4),
+                TablePrinter::percent(static_cast<double>(lookup_io) /
+                                      static_cast<double>(total_io))});
+  }
+
+  out.print(std::cout);
+  if (!args.getString("trace_out").empty()) {
+    workload::writeTrace(args.getString("trace_out"), trace);
+    std::cout << "\nrecorded " << trace.size() << " ops to "
+              << args.getString("trace_out") << "\n";
+  }
+  std::cout << "\nLookups dominate a dedup workload, so the structures "
+               "separate by query cost:\nhash-based seen-sets run at ~1 I/O "
+               "per event while the LSM pays a read per run.\nThe buffered "
+               "table additionally makes the insert share nearly free.\n";
+  return 0;
+}

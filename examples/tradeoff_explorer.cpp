@@ -1,0 +1,90 @@
+// Tradeoff explorer — an interactive view of Figure 1.
+//
+// Prints the paper's bound curves for your chosen block size, then
+// measures an actual configuration of the Theorem-2 table against them:
+// where does YOUR (β, b, n) land on the query-insertion tradeoff?
+//
+//   $ ./tradeoff_explorer --b=256 --beta=16 --n=500000
+#include <cmath>
+#include <iostream>
+
+#include "analysis/bounds.h"
+#include "core/buffered_hash_table.h"
+#include "core/tradeoff.h"
+#include "extmem/bucket_page.h"
+#include "hashfn/hash_family.h"
+#include "util/cli.h"
+#include "util/table_printer.h"
+#include "workload/keygen.h"
+#include "workload/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace exthash;
+  ArgParser args("tradeoff_explorer", "place your config on Figure 1");
+  args.addUintFlag("b", 256, "records per block");
+  args.addUintFlag("n", 1 << 18, "items to insert");
+  args.addUintFlag("beta", 16, "merge ratio β of the buffered table");
+  args.addUintFlag("h0", 1024, "memory buffer capacity (items)");
+  args.addUintFlag("seed", 1, "seed");
+  if (!args.parse(argc, argv)) return 0;
+  const std::size_t b = args.getUint("b");
+  const std::size_t n = args.getUint("n");
+  const std::size_t beta = args.getUint("beta");
+  const std::size_t h0 = args.getUint("h0");
+
+  // 1. The bound curves (Figure 1) for this b.
+  std::cout << "Figure 1 bounds at b = " << b << ", n = " << n
+            << ", m = " << h0 << " items:\n\n";
+  TablePrinter curve({"c (tq = 1+1/b^c)", "regime", "tq target",
+                      "tu lower bound", "tu upper bound"});
+  for (const auto& pt : core::figure1Curve(
+           b, n, h0, {3.0, 2.0, 1.5, 1.0, 0.75, 0.5, 0.25})) {
+    curve.addRow({TablePrinter::num(pt.c, 2),
+                  std::string(core::regimeName(pt.regime)),
+                  TablePrinter::num(pt.tq_target, 6),
+                  TablePrinter::num(pt.tu_lower, 5),
+                  TablePrinter::num(pt.tu_upper, 5)});
+  }
+  curve.print(std::cout);
+
+  // 2. Check the standing model assumptions for these parameters.
+  analysis::ModelParameters params{b, h0, n};
+  const std::string diag = analysis::checkModelAssumptions(params, 1.0);
+  if (!diag.empty()) {
+    std::cout << "\n[note] outside theorem-grade parameters: " << diag
+              << "\n(the structure still works; the asymptotic constants "
+                 "just aren't sharp here)\n";
+  }
+
+  // 3. Measure the chosen configuration.
+  const double implied_c =
+      std::log(static_cast<double>(beta)) / std::log(static_cast<double>(b));
+  std::cout << "\nYour configuration: β = " << beta << " ⇒ c = log_b β = "
+            << implied_c << " (query budget tq ≈ 1 + " << 2.0 / beta
+            << ")\n";
+
+  extmem::BlockDevice device(extmem::wordsForRecordCapacity(b));
+  extmem::MemoryBudget memory(0);
+  auto hash = hashfn::makeHash(hashfn::HashKind::kMix, args.getUint("seed"));
+  core::BufferedHashTable table(
+      tables::TableContext{&device, &memory, hash},
+      core::BufferedConfig{beta, 2, h0});
+  workload::DistinctKeyStream keys(deriveSeed(args.getUint("seed"), 2));
+  workload::MeasurementConfig mc;
+  mc.n = n;
+  mc.queries_per_checkpoint = 512;
+  mc.checkpoints = 6;
+  mc.seed = deriveSeed(args.getUint("seed"), 3);
+  const auto m = workload::runMeasurement(table, keys, mc);
+
+  const double lower = core::theorem1LowerBound(std::min(implied_c, 0.999), b);
+  std::cout << "measured:  tu = " << m.tu << " I/Os per insert, tq = "
+            << m.tq_mean << " I/Os per successful lookup (worst checkpoint "
+            << m.tq_worst << ")\n"
+            << "sandwich:  Theorem 1 floor " << lower << "  <=  " << m.tu
+            << "  <=  Theorem 2 ceiling "
+            << core::theorem2Upper(std::min(implied_c, 0.999), b, n, h0, 2).tu
+            << "\n"
+            << table.debugString() << "\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "analysis/bounds.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace exthash::analysis {
+
+std::string checkModelAssumptions(const ModelParameters& params, double c) {
+  std::ostringstream diag;
+  const double bd = static_cast<double>(params.b);
+  const double ratio = static_cast<double>(params.n) /
+                       std::max<double>(1.0, params.m_items);
+  const double lower = std::pow(bd, 1.0 + 2.0 * c);
+  // "2^o(b)" is asymptotic; at laptop scale we flag n/m above 2^(b/4),
+  // far beyond any configuration the benches use.
+  const double upper = std::pow(2.0, bd / 4.0);
+  if (ratio <= lower) {
+    diag << "n/m = " << ratio << " <= b^(1+2c) = " << lower
+         << " (lower-bound theorems need more insertions or less memory)";
+  } else if (ratio >= upper) {
+    diag << "n/m = " << ratio << " >= 2^(b/4) (block size too small)";
+  }
+  if (params.b <= 64) {
+    // b > log u with u = 2^64.
+    if (!diag.str().empty()) diag << "; ";
+    diag << "b = " << params.b << " <= log u = 64 (use larger blocks for "
+         << "theorem-grade parameters)";
+  }
+  return diag.str();
+}
+
+double deltaFor(double c, std::size_t b) {
+  return std::pow(static_cast<double>(b), -c);
+}
+
+}  // namespace exthash::analysis

@@ -1,0 +1,26 @@
+// Convenience wrappers binding the Theorem 1 / Theorem 2 curves of
+// core/tradeoff.h to concrete experiment configurations, plus the
+// parameter-validity checks the paper states (n/m range, b > log u).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/tradeoff.h"
+
+namespace exthash::analysis {
+
+struct ModelParameters {
+  std::size_t b = 0;        // records per block
+  std::size_t m_items = 0;  // memory budget in items
+  std::size_t n = 0;        // total insertions
+};
+
+/// The paper's standing assumptions: Ω(b^(1+2c)) < n/m < 2^o(b) and
+/// b > log u. Returns an empty string when satisfied, else a diagnostic.
+std::string checkModelAssumptions(const ModelParameters& params, double c);
+
+/// δ = 1/b^c, the query-slack parameter for the given regime exponent.
+double deltaFor(double c, std::size_t b);
+
+}  // namespace exthash::analysis

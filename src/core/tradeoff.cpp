@@ -1,0 +1,110 @@
+#include "core/tradeoff.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace exthash::core {
+
+Regime classifyRegime(double c) {
+  if (c > 1.0) return Regime::kNearPerfect;
+  if (c == 1.0) return Regime::kBoundary;
+  return Regime::kRelaxed;
+}
+
+std::string_view regimeName(Regime regime) {
+  switch (regime) {
+    case Regime::kNearPerfect: return "c>1 (buffering useless)";
+    case Regime::kBoundary: return "c=1 (boundary)";
+    case Regime::kRelaxed: return "c<1 (buffering effective)";
+  }
+  return "?";
+}
+
+double theorem1LowerBound(double c, std::size_t b) {
+  EXTHASH_CHECK(c > 0.0);
+  const double bd = static_cast<double>(b);
+  if (c > 1.0) {
+    // tu >= 1 - O(1/b^((c-1)/4)).
+    return std::max(0.0, 1.0 - std::pow(bd, -(c - 1.0) / 4.0));
+  }
+  if (c == 1.0) {
+    // tu >= Ω(1); the proof's constants give a small unit constant.
+    return 0.05;
+  }
+  // tu >= Ω(b^(c-1)): regime 3 with the paper's φ=1/8, ρ=16b/n, s=32n/b^c
+  // gives per-round cost (1-2φ)/(20ρ) over (1-φ)n/s rounds, i.e.
+  //   (0.75·n/(320·b)) · (0.875·b^c/32) / n  =  b^(c-1) · 0.75·0.875/10240.
+  return std::pow(bd, c - 1.0) * 0.75 * 0.875 / 10240.0;
+}
+
+UpperBoundPrediction theorem2Upper(double c, std::size_t b, std::size_t n,
+                                   std::size_t m_items, std::size_t gamma) {
+  EXTHASH_CHECK(c > 0.0 && c < 1.0);
+  const double bd = static_cast<double>(b);
+  const double beta = std::pow(bd, c);
+  const double log_ratio =
+      std::log2(std::max(2.0, static_cast<double>(n) /
+                                  std::max<double>(1.0, m_items)));
+  UpperBoundPrediction p;
+  // Each β-merge reads+writes Ĥ (at load 1/2: two blocks per b items) once
+  // per |Ĥ|/β inserts: ~4β/b amortized. The buffer's own logarithmic-method
+  // merges touch each item once per level it passes through before being
+  // absorbed into Ĥ, i.e. log(buffer capacity / H0) = log(n/(mβ)) levels.
+  const double buffer_levels =
+      std::max(0.0, log_ratio - std::log2(beta));
+  p.tu = (4.0 * beta +
+          2.0 * static_cast<double>(gamma) * buffer_levels) / bd;
+  // 1·(1-1/β) + (1/β)·(2·1/2 + 3·1/4 + ...) = 1 + 2/β.
+  p.tq = 1.0 + 2.0 / beta;
+  return p;
+}
+
+UpperBoundPrediction lemma5Upper(std::size_t gamma, std::size_t b,
+                                 std::size_t n, std::size_t m_items) {
+  const double log_ratio =
+      std::log(std::max(2.0, static_cast<double>(n) /
+                                 std::max<double>(1.0, m_items))) /
+      std::log(static_cast<double>(gamma));
+  UpperBoundPrediction p;
+  p.tu = 2.0 * static_cast<double>(gamma) * log_ratio /
+         static_cast<double>(b);
+  p.tq = std::max(1.0, log_ratio);  // one read per nonempty level
+  return p;
+}
+
+std::vector<TradeoffPoint> figure1Curve(
+    std::size_t b, std::size_t n, std::size_t m_items,
+    const std::vector<double>& exponents) {
+  std::vector<TradeoffPoint> curve;
+  curve.reserve(exponents.size());
+  for (const double c : exponents) {
+    TradeoffPoint pt;
+    pt.c = c;
+    pt.regime = classifyRegime(c);
+    pt.tq_target = 1.0 + std::pow(static_cast<double>(b), -c);
+    pt.tu_lower = theorem1LowerBound(c, b);
+    if (c >= 1.0) {
+      pt.tu_upper = 1.0;  // the standard hash table (or ε for c = 1)
+      if (c == 1.0) pt.tu_upper = 0.5;
+    } else {
+      pt.tu_upper = theorem2Upper(c, b, n, m_items, 2).tu;
+    }
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+Regime1Parameters regime1Parameters(double c, std::size_t b, std::size_t n) {
+  EXTHASH_CHECK(c > 1.0);
+  const double bd = static_cast<double>(b);
+  const double nd = static_cast<double>(n);
+  Regime1Parameters p;
+  p.delta = std::pow(bd, -c);
+  p.phi = std::pow(bd, -(c - 1.0) / 4.0);
+  p.rho = 2.0 * std::pow(bd, (c + 3.0) / 4.0) / nd;
+  p.s = nd / std::pow(bd, (c + 1.0) / 2.0);
+  return p;
+}
+
+}  // namespace exthash::core

@@ -1,0 +1,64 @@
+// The query-insertion tradeoff of Figure 1 as executable math: regime
+// classification, the paper's lower-bound and upper-bound curves, and the
+// parameter choices its proofs make. Benchmarks print these next to the
+// measured numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exthash::core {
+
+enum class Regime {
+  kNearPerfect,  // tq = 1 + Θ(1/b^c), c > 1: buffering is useless
+  kBoundary,     // tq = 1 + Θ(1/b):   tu = Θ(1)
+  kRelaxed,      // tq = 1 + Θ(1/b^c), c < 1: tu = Θ(b^(c-1)) = o(1)
+};
+
+Regime classifyRegime(double c);
+std::string_view regimeName(Regime regime);
+
+/// Theorem 1 lower bounds on tu for query bound tq <= 1 + 1/b^c.
+/// Constants inside the O(·)/Ω(·) are the paper's proof choices where
+/// stated and unit constants otherwise; see analysis/bounds.cpp.
+double theorem1LowerBound(double c, std::size_t b);
+
+/// Theorem 2 / Lemma 5 upper-bound predictions for the buffered table.
+struct UpperBoundPrediction {
+  double tu;  // amortized insert I/Os
+  double tq;  // expected average successful query I/Os
+};
+UpperBoundPrediction theorem2Upper(double c, std::size_t b, std::size_t n,
+                                   std::size_t m_items, std::size_t gamma);
+
+/// Lemma 5 predictions for the plain logarithmic method.
+UpperBoundPrediction lemma5Upper(std::size_t gamma, std::size_t b,
+                                 std::size_t n, std::size_t m_items);
+
+/// One row of Figure 1: a query budget and the matching bounds.
+struct TradeoffPoint {
+  double c;            // query exponent: tq = 1 + Θ(1/b^c)
+  Regime regime;
+  double tq_target;    // 1 + 1/b^c
+  double tu_lower;     // Theorem 1
+  double tu_upper;     // best construction (std table or Theorem 2)
+};
+
+/// Sample the full tradeoff curve for block size b (the data behind
+/// Figure 1).
+std::vector<TradeoffPoint> figure1Curve(std::size_t b, std::size_t n,
+                                        std::size_t m_items,
+                                        const std::vector<double>& exponents);
+
+/// The paper's regime-1 proof parameters (Section 2) for given b, n:
+/// δ = 1/b^c, φ = 1/b^((c-1)/4), ρ = 2·b^((c+3)/4)/n, s = n/b^((c+1)/2).
+struct Regime1Parameters {
+  double delta;
+  double phi;
+  double rho;
+  double s;
+};
+Regime1Parameters regime1Parameters(double c, std::size_t b, std::size_t n);
+
+}  // namespace exthash::core

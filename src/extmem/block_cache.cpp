@@ -1,0 +1,80 @@
+#include "extmem/block_cache.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace exthash::extmem {
+
+BlockCache::BlockCache(BlockDevice& device, MemoryBudget& budget,
+                       std::size_t capacity_blocks, WritePolicy policy)
+    : device_(device),
+      charge_(budget, capacity_blocks * device.wordsPerBlock()),
+      capacity_blocks_(capacity_blocks),
+      policy_(policy) {
+  EXTHASH_CHECK(capacity_blocks >= 1);
+}
+
+BlockCache::~BlockCache() { flush(); }
+
+BlockCache::Frame& BlockCache::fetch(BlockId id, bool mark_dirty) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(id);
+    it->second.lru_pos = lru_.begin();
+    it->second.dirty = it->second.dirty || mark_dirty;
+    return it->second;
+  }
+
+  ++misses_;
+  if (frames_.size() >= capacity_blocks_) evictOne();
+
+  Frame frame;
+  frame.data.resize(device_.wordsPerBlock());
+  device_.withRead(id, [&](std::span<const Word> data) {
+    std::copy(data.begin(), data.end(), frame.data.begin());
+  });
+  frame.dirty = mark_dirty;
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+  auto [ins, ok] = frames_.emplace(id, std::move(frame));
+  EXTHASH_CHECK(ok);
+  return ins->second;
+}
+
+void BlockCache::writeBack(BlockId id, Frame& frame) {
+  if (!frame.dirty) return;
+  if (!device_.isAllocated(id)) {
+    frame.dirty = false;  // owner freed the block; drop silently
+    return;
+  }
+  device_.withOverwrite(id, [&](std::span<Word> data) {
+    std::copy(frame.data.begin(), frame.data.end(), data.begin());
+  });
+  frame.dirty = false;
+}
+
+void BlockCache::evictOne() {
+  EXTHASH_CHECK(!lru_.empty());
+  const BlockId victim = lru_.back();
+  auto it = frames_.find(victim);
+  EXTHASH_CHECK(it != frames_.end());
+  writeBack(victim, it->second);
+  lru_.pop_back();
+  frames_.erase(it);
+}
+
+void BlockCache::flush() {
+  for (auto& [id, frame] : frames_) writeBack(id, frame);
+}
+
+void BlockCache::invalidate(BlockId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  frames_.erase(it);
+}
+
+}  // namespace exthash::extmem

@@ -1,0 +1,105 @@
+#include "extmem/block_device.h"
+
+#include <algorithm>
+
+namespace exthash::extmem {
+
+BlockDevice::BlockDevice(std::size_t words_per_block)
+    : words_per_block_(words_per_block) {
+  EXTHASH_CHECK_MSG(words_per_block >= 4,
+                    "block too small: " << words_per_block << " words");
+}
+
+Word* BlockDevice::blockPtr(BlockId id) {
+  const std::size_t chunk = id / kBlocksPerChunk;
+  const std::size_t offset = id % kBlocksPerChunk;
+  return chunks_[chunk].get() + offset * words_per_block_;
+}
+
+const Word* BlockDevice::blockPtr(BlockId id) const {
+  const std::size_t chunk = id / kBlocksPerChunk;
+  const std::size_t offset = id % kBlocksPerChunk;
+  return chunks_[chunk].get() + offset * words_per_block_;
+}
+
+void BlockDevice::checkLive(BlockId id) const {
+  EXTHASH_CHECK_MSG(id < next_id_ && allocated_[id],
+                    "access to unallocated block " << id);
+}
+
+bool BlockDevice::isAllocated(BlockId id) const noexcept {
+  return id < next_id_ && allocated_[id];
+}
+
+void BlockDevice::ensureBacking(BlockId last_id) {
+  const std::size_t chunks_needed = last_id / kBlocksPerChunk + 1;
+  while (chunks_.size() < chunks_needed) {
+    chunks_.push_back(
+        std::make_unique<Word[]>(kBlocksPerChunk * words_per_block_));
+  }
+  if (allocated_.size() < (last_id + 1)) allocated_.resize(last_id + 1, 0);
+}
+
+void BlockDevice::markAllocated(BlockId first, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    allocated_[first + i] = 1;
+    Word* p = blockPtr(first + i);
+    std::fill(p, p + words_per_block_, Word{0});
+  }
+  blocks_in_use_ += count;
+  stats_.allocated_blocks += count;
+}
+
+BlockId BlockDevice::allocate() { return allocateExtent(1); }
+
+BlockId BlockDevice::allocateExtent(std::size_t count) {
+  EXTHASH_CHECK(count >= 1);
+  auto it = free_pool_.find(count);
+  if (it != free_pool_.end() && !it->second.empty()) {
+    const BlockId first = it->second.back();
+    it->second.pop_back();
+    markAllocated(first, count);
+    return first;
+  }
+  const BlockId first = next_id_;
+  next_id_ += count;
+  ensureBacking(next_id_ - 1);
+  markAllocated(first, count);
+  return first;
+}
+
+void BlockDevice::free(BlockId id) { freeExtent(id, 1); }
+
+void BlockDevice::freeExtent(BlockId first, std::size_t count) {
+  EXTHASH_CHECK(count >= 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXTHASH_CHECK_MSG(isAllocated(first + i),
+                      "double free of block " << (first + i));
+    allocated_[first + i] = 0;
+  }
+  blocks_in_use_ -= count;
+  stats_.freed_blocks += count;
+  free_pool_[count].push_back(first);
+}
+
+std::vector<Word> BlockDevice::readCopy(BlockId id) {
+  std::vector<Word> out(words_per_block_);
+  withRead(id, [&](std::span<const Word> data) {
+    std::copy(data.begin(), data.end(), out.begin());
+  });
+  return out;
+}
+
+void BlockDevice::writeCopy(BlockId id, std::span<const Word> contents) {
+  EXTHASH_CHECK(contents.size() <= words_per_block_);
+  withOverwrite(id, [&](std::span<Word> data) {
+    std::copy(contents.begin(), contents.end(), data.begin());
+  });
+}
+
+std::span<const Word> BlockDevice::inspect(BlockId id) const {
+  checkLive(id);
+  return {blockPtr(id), words_per_block_};
+}
+
+}  // namespace exthash::extmem

@@ -1,0 +1,136 @@
+// Simulated block device for the Aggarwal–Vitter external memory model.
+//
+// The disk is an unbounded array of blocks of `wordsPerBlock()` 64-bit
+// words. All counted access goes through the guarded zero-copy calls
+// withRead / withWrite / withOverwrite, which hand the caller a std::span
+// into chunk-stable storage (blocks never move once allocated, so spans
+// stay valid even if the callback allocates more blocks).
+//
+// Extent allocation (`allocateExtent`) returns *contiguous block ids*, so
+// hash tables can place bucket j at `base + j` — a computed address that
+// needs O(1) words of memory, which is what makes the paper's address
+// function f "computable within memory".
+//
+// `inspect()` reads a block WITHOUT counting an I/O. It exists solely for
+// the analysis/introspection layer (zone accounting, tests); library code
+// on the query/update path must never use it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "extmem/io_stats.h"
+#include "util/assert.h"
+
+namespace exthash::extmem {
+
+using Word = std::uint64_t;
+using BlockId = std::uint64_t;
+inline constexpr BlockId kInvalidBlock = ~static_cast<BlockId>(0);
+
+class BlockDevice {
+ public:
+  /// A block holds `words_per_block` 64-bit words (header + payload).
+  explicit BlockDevice(std::size_t words_per_block);
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  std::size_t wordsPerBlock() const noexcept { return words_per_block_; }
+
+  /// Allocate one zero-initialized block.
+  BlockId allocate();
+
+  /// Allocate `count` contiguous zero-initialized blocks; returns the first
+  /// id. Contiguity is in the id space (computed addressing).
+  BlockId allocateExtent(std::size_t count);
+
+  void free(BlockId id);
+  void freeExtent(BlockId first, std::size_t count);
+
+  /// Counted read: invokes fn(std::span<const Word>) on the block contents.
+  template <class F>
+  decltype(auto) withRead(BlockId id, F&& fn) {
+    checkLive(id);
+    ++stats_.reads;
+    return std::forward<F>(fn)(
+        std::span<const Word>(blockPtr(id), words_per_block_));
+  }
+
+  /// Counted read-modify-write (cost 1 per the paper's footnote 2):
+  /// invokes fn(std::span<Word>) on the live block contents.
+  template <class F>
+  decltype(auto) withWrite(BlockId id, F&& fn) {
+    checkLive(id);
+    ++stats_.rmws;
+    return std::forward<F>(fn)(
+        std::span<Word>(blockPtr(id), words_per_block_));
+  }
+
+  /// Counted blind write: zeroes the block, then invokes fn(span<Word>) to
+  /// fill it. Use when the previous contents are irrelevant (bulk builds).
+  template <class F>
+  decltype(auto) withOverwrite(BlockId id, F&& fn) {
+    checkLive(id);
+    ++stats_.writes;
+    Word* p = blockPtr(id);
+    std::fill(p, p + words_per_block_, Word{0});
+    return std::forward<F>(fn)(std::span<Word>(p, words_per_block_));
+  }
+
+  /// Copying variants (convenience for tests).
+  std::vector<Word> readCopy(BlockId id);
+  void writeCopy(BlockId id, std::span<const Word> contents);
+
+  /// UNCOUNTED inspection for analysis & invariant checks only.
+  std::span<const Word> inspect(BlockId id) const;
+
+  IoStats& stats() noexcept { return stats_; }
+  const IoStats& stats() const noexcept { return stats_; }
+
+  /// Number of currently allocated blocks.
+  std::size_t blocksInUse() const noexcept { return blocks_in_use_; }
+  /// High-water mark of the id space (includes freed blocks).
+  std::size_t idSpaceSize() const noexcept { return next_id_; }
+  bool isAllocated(BlockId id) const noexcept;
+
+ private:
+  static constexpr std::size_t kBlocksPerChunk = 1024;
+
+  Word* blockPtr(BlockId id);
+  const Word* blockPtr(BlockId id) const;
+  void checkLive(BlockId id) const;
+  void ensureBacking(BlockId last_id);
+  void markAllocated(BlockId first, std::size_t count);
+
+  std::size_t words_per_block_;
+  std::vector<std::unique_ptr<Word[]>> chunks_;  // chunk-stable storage
+  std::vector<std::uint8_t> allocated_;          // per-block liveness
+  // Freed extents pooled by exact size for reuse; singles use size 1.
+  std::map<std::size_t, std::vector<BlockId>> free_pool_;
+  BlockId next_id_ = 0;
+  std::size_t blocks_in_use_ = 0;
+  IoStats stats_;
+};
+
+/// RAII probe measuring the I/O cost of a scoped piece of work.
+class IoProbe {
+ public:
+  explicit IoProbe(const BlockDevice& device)
+      : device_(&device), start_(device.stats()) {}
+
+  IoStats delta() const noexcept { return device_->stats() - start_; }
+  std::uint64_t cost() const noexcept { return delta().cost(); }
+  std::uint64_t reads() const noexcept { return delta().reads; }
+  std::uint64_t writes() const noexcept { return delta().writes; }
+  std::uint64_t rmws() const noexcept { return delta().rmws; }
+
+ private:
+  const BlockDevice* device_;
+  IoStats start_;
+};
+
+}  // namespace exthash::extmem

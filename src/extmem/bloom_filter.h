@@ -1,0 +1,78 @@
+// Budget-charged Bloom filter.
+//
+// Used by the LSM baseline to skip runs that cannot contain a key — the
+// standard systems fix for LSM read amplification. The memory budget
+// charge makes the paper's point quantitative: Bloom filters spend
+// Θ(n) bits of internal memory, so they do not evade the lower bound's
+// m-word budget; they *move* the cost from I/O to memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "extmem/memory_budget.h"
+#include "util/random.h"
+
+namespace exthash::extmem {
+
+class BloomFilter {
+ public:
+  /// Sized for `expected_items` at `bits_per_key` (k = ln2 · bits_per_key
+  /// hash probes). Charges ceil(bits/64) words to the budget.
+  BloomFilter(MemoryBudget& budget, std::size_t expected_items,
+              std::size_t bits_per_key, std::uint64_t seed);
+
+  void add(std::uint64_t key) noexcept;
+
+  /// False means definitely absent; true means probably present.
+  bool mayContain(std::uint64_t key) const noexcept;
+
+  std::size_t bits() const noexcept { return bit_count_; }
+  std::size_t hashCount() const noexcept { return hash_count_; }
+  std::size_t memoryWords() const noexcept { return words_.size() + 4; }
+
+ private:
+  std::uint64_t probe(std::uint64_t key, std::size_t i) const noexcept {
+    // Double hashing: h1 + i·h2 over the bit space (Kirsch–Mitzenmacher).
+    const std::uint64_t h = splitmix64(key ^ seed_);
+    const std::uint64_t h2 = splitmix64(h) | 1;
+    return (h + i * h2) % bit_count_;
+  }
+
+  MemoryCharge charge_;
+  std::vector<std::uint64_t> words_;
+  std::size_t bit_count_;
+  std::size_t hash_count_;
+  std::uint64_t seed_;
+};
+
+inline BloomFilter::BloomFilter(MemoryBudget& budget,
+                                std::size_t expected_items,
+                                std::size_t bits_per_key, std::uint64_t seed)
+    : seed_(seed) {
+  const std::size_t bits =
+      std::max<std::size_t>(64, expected_items * bits_per_key);
+  bit_count_ = bits;
+  hash_count_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(0.693 * static_cast<double>(bits_per_key)));
+  words_.assign((bits + 63) / 64, 0);
+  charge_ = MemoryCharge(budget, words_.size() + 4);
+}
+
+inline void BloomFilter::add(std::uint64_t key) noexcept {
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = probe(key, i);
+    words_[bit / 64] |= (std::uint64_t{1} << (bit % 64));
+  }
+}
+
+inline bool BloomFilter::mayContain(std::uint64_t key) const noexcept {
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = probe(key, i);
+    if ((words_[bit / 64] & (std::uint64_t{1} << (bit % 64))) == 0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace exthash::extmem

@@ -1,0 +1,242 @@
+// Typed views over raw device blocks.
+//
+// A block of `2 + 2b` words carries a 2-word header and `b` records:
+//
+//   word 0: header A — record count (low 32 bits) | flags (high 32 bits)
+//   word 1: header B — meaning depends on the page kind:
+//             BucketPage:  overflow link, encoded as (block id + 1); 0
+//                          means "no overflow". The +1 encoding makes an
+//                          all-zero block a validly formatted empty bucket,
+//                          so freshly allocated (zeroed) buckets need no
+//                          formatting I/O — bulk builds only pay for
+//                          nonempty buckets.
+//             LinearPage:  probe-continuation flag (see linear probing)
+//             SortedRunPage: unused (0)
+//   words 2..: records, (key, value) pairs
+//
+// Views are non-owning spans handed out by BlockDevice guarded access; a
+// ConstBucketPage wraps span<const Word>, a mutable BucketPage wraps
+// span<Word>. All layout arithmetic lives here so table code never touches
+// raw word offsets.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "extmem/block_device.h"
+#include "extmem/record.h"
+#include "util/assert.h"
+
+namespace exthash::extmem {
+
+/// Records that fit in a block of `words` words.
+constexpr std::size_t recordCapacityForWords(std::size_t words) noexcept {
+  return (words - 2) / kWordsPerRecord;
+}
+
+/// Words needed for a block holding `records` records.
+constexpr std::size_t wordsForRecordCapacity(std::size_t records) noexcept {
+  return 2 + records * kWordsPerRecord;
+}
+
+namespace detail {
+
+inline std::uint32_t loadCount(std::uint64_t header_a) noexcept {
+  return static_cast<std::uint32_t>(header_a & 0xffffffffULL);
+}
+inline std::uint32_t loadFlags(std::uint64_t header_a) noexcept {
+  return static_cast<std::uint32_t>(header_a >> 32);
+}
+inline std::uint64_t packHeaderA(std::uint32_t count,
+                                 std::uint32_t flags) noexcept {
+  return (static_cast<std::uint64_t>(flags) << 32) | count;
+}
+
+}  // namespace detail
+
+/// Read-only view of a chained bucket page.
+class ConstBucketPage {
+ public:
+  explicit ConstBucketPage(std::span<const Word> data) : data_(data) {
+    EXTHASH_CHECK(data.size() >= 4);
+  }
+
+  std::size_t capacity() const noexcept {
+    return recordCapacityForWords(data_.size());
+  }
+  std::size_t count() const noexcept { return detail::loadCount(data_[0]); }
+  std::uint32_t flags() const noexcept { return detail::loadFlags(data_[0]); }
+  bool hasNext() const noexcept { return data_[1] != 0; }
+  BlockId next() const noexcept {
+    return data_[1] == 0 ? kInvalidBlock : data_[1] - 1;
+  }
+
+  Record recordAt(std::size_t i) const {
+    EXTHASH_CHECK(i < count());
+    return Record{data_[2 + 2 * i], data_[3 + 2 * i]};
+  }
+
+  /// Linear scan for `key`; returns its value if present.
+  std::optional<std::uint64_t> find(std::uint64_t key) const noexcept {
+    const std::size_t n = count();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (data_[2 + 2 * i] == key) return data_[3 + 2 * i];
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::size_t> indexOf(std::uint64_t key) const noexcept {
+    const std::size_t n = count();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (data_[2 + 2 * i] == key) return i;
+    }
+    return std::nullopt;
+  }
+
+  bool full() const noexcept { return count() >= capacity(); }
+
+ private:
+  std::span<const Word> data_;
+};
+
+/// Mutable view of a chained bucket page.
+class BucketPage {
+ public:
+  explicit BucketPage(std::span<Word> data) : data_(data) {
+    EXTHASH_CHECK(data.size() >= 4);
+  }
+
+  /// Re-initialize as an empty bucket page (fresh allocations are already
+  /// zeroed, which is equivalent).
+  void format() noexcept {
+    data_[0] = 0;
+    data_[1] = 0;
+  }
+
+  std::size_t capacity() const noexcept {
+    return recordCapacityForWords(data_.size());
+  }
+  std::size_t count() const noexcept { return detail::loadCount(data_[0]); }
+  void setCount(std::size_t n) noexcept {
+    data_[0] = detail::packHeaderA(static_cast<std::uint32_t>(n), flags());
+  }
+  std::uint32_t flags() const noexcept { return detail::loadFlags(data_[0]); }
+  void setFlags(std::uint32_t f) noexcept {
+    data_[0] = detail::packHeaderA(static_cast<std::uint32_t>(count()), f);
+  }
+  bool hasNext() const noexcept { return data_[1] != 0; }
+  BlockId next() const noexcept {
+    return data_[1] == 0 ? kInvalidBlock : data_[1] - 1;
+  }
+  void setNext(BlockId id) noexcept {
+    data_[1] = (id == kInvalidBlock) ? 0 : id + 1;
+  }
+
+  Record recordAt(std::size_t i) const {
+    EXTHASH_CHECK(i < count());
+    return Record{data_[2 + 2 * i], data_[3 + 2 * i]};
+  }
+  void setRecord(std::size_t i, Record r) {
+    EXTHASH_CHECK(i < capacity());
+    data_[2 + 2 * i] = r.key;
+    data_[3 + 2 * i] = r.value;
+  }
+  void setValueAt(std::size_t i, std::uint64_t value) {
+    EXTHASH_CHECK(i < count());
+    data_[3 + 2 * i] = value;
+  }
+
+  bool full() const noexcept { return count() >= capacity(); }
+
+  /// Append a record; returns false if the page is full.
+  bool append(Record r) noexcept {
+    const std::size_t n = count();
+    if (n >= capacity()) return false;
+    data_[2 + 2 * n] = r.key;
+    data_[3 + 2 * n] = r.value;
+    setCount(n + 1);
+    return true;
+  }
+
+  std::optional<std::uint64_t> find(std::uint64_t key) const noexcept {
+    return asConst().find(key);
+  }
+  std::optional<std::size_t> indexOf(std::uint64_t key) const noexcept {
+    return asConst().indexOf(key);
+  }
+
+  /// Remove the record at index i by swapping the last record into it.
+  void removeAt(std::size_t i) {
+    const std::size_t n = count();
+    EXTHASH_CHECK(i < n);
+    if (i + 1 != n) setRecord(i, recordAt(n - 1));
+    setCount(n - 1);
+  }
+
+  ConstBucketPage asConst() const noexcept {
+    return ConstBucketPage(std::span<const Word>(data_.data(), data_.size()));
+  }
+
+ private:
+  std::span<Word> data_;
+};
+
+/// Read-only view of a sorted-run page (LSM): records sorted by key.
+class ConstSortedRunPage {
+ public:
+  explicit ConstSortedRunPage(std::span<const Word> data) : data_(data) {}
+
+  std::size_t count() const noexcept { return detail::loadCount(data_[0]); }
+  Record recordAt(std::size_t i) const {
+    EXTHASH_CHECK(i < count());
+    return Record{data_[2 + 2 * i], data_[3 + 2 * i]};
+  }
+  std::uint64_t firstKey() const { return recordAt(0).key; }
+  std::uint64_t lastKey() const { return recordAt(count() - 1).key; }
+
+  /// Binary search within the page.
+  std::optional<std::uint64_t> find(std::uint64_t key) const noexcept {
+    std::size_t lo = 0, hi = count();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const std::uint64_t k = data_[2 + 2 * mid];
+      if (k == key) return data_[3 + 2 * mid];
+      if (k < key) lo = mid + 1;
+      else hi = mid;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::span<const Word> data_;
+};
+
+/// Mutable sorted-run page writer (records must be appended in key order).
+class SortedRunPage {
+ public:
+  explicit SortedRunPage(std::span<Word> data) : data_(data) {}
+
+  void format() noexcept {
+    data_[0] = 0;
+    data_[1] = 0;
+  }
+  std::size_t capacity() const noexcept {
+    return recordCapacityForWords(data_.size());
+  }
+  std::size_t count() const noexcept { return detail::loadCount(data_[0]); }
+
+  bool append(Record r) noexcept {
+    const std::size_t n = count();
+    if (n >= capacity()) return false;
+    data_[2 + 2 * n] = r.key;
+    data_[3 + 2 * n] = r.value;
+    data_[0] = detail::packHeaderA(static_cast<std::uint32_t>(n + 1),
+                                   detail::loadFlags(data_[0]));
+    return true;
+  }
+
+ private:
+  std::span<Word> data_;
+};
+
+}  // namespace exthash::extmem

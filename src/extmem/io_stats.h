@@ -1,0 +1,43 @@
+// I/O accounting for the simulated external memory model.
+//
+// The paper's cost convention (footnote 2): reading a block and writing it
+// back immediately is dominated by the seek and counts as ONE I/O. The
+// device therefore distinguishes three counted operations:
+//   read   — fetch a block                      (cost 1)
+//   write  — blind overwrite of a block          (cost 1)
+//   rmw    — read-modify-write of one block      (cost 1, raw accesses 2)
+// `cost()` is the paper's I/O count; `rawAccesses()` counts every block
+// transfer for hardware-oriented sanity checks.
+#pragma once
+
+#include <cstdint>
+
+namespace exthash::extmem {
+
+struct IoStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t allocated_blocks = 0;
+  std::uint64_t freed_blocks = 0;
+
+  /// Paper-convention I/O cost (footnote 2 of the paper).
+  std::uint64_t cost() const noexcept { return reads + writes + rmws; }
+
+  /// Total raw block transfers (an rmw touches the block twice).
+  std::uint64_t rawAccesses() const noexcept {
+    return reads + writes + 2 * rmws;
+  }
+
+  IoStats operator-(const IoStats& rhs) const noexcept {
+    IoStats d;
+    d.reads = reads - rhs.reads;
+    d.writes = writes - rhs.writes;
+    d.rmws = rhs.rmws <= rmws ? rmws - rhs.rmws : 0;
+    d.allocated_blocks = allocated_blocks - rhs.allocated_blocks;
+    d.freed_blocks = freed_blocks - rhs.freed_blocks;
+    return d;
+  }
+};
+
+}  // namespace exthash::extmem

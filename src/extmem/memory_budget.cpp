@@ -1,0 +1,27 @@
+#include "extmem/memory_budget.h"
+
+#include <algorithm>
+
+namespace exthash::extmem {
+
+void MemoryBudget::charge(std::size_t words) {
+  if (limit_words_ != 0 && used_words_ + words > limit_words_) {
+    throw BudgetExceeded("memory budget exceeded: used " +
+                         std::to_string(used_words_) + " + " +
+                         std::to_string(words) + " > limit " +
+                         std::to_string(limit_words_) + " words");
+  }
+  used_words_ += words;
+  peak_words_ = std::max(peak_words_, used_words_);
+}
+
+void MemoryBudget::release(std::size_t words) noexcept {
+  used_words_ = words <= used_words_ ? used_words_ - words : 0;
+}
+
+std::size_t MemoryBudget::available() const noexcept {
+  if (limit_words_ == 0) return static_cast<std::size_t>(-1);
+  return limit_words_ > used_words_ ? limit_words_ - used_words_ : 0;
+}
+
+}  // namespace exthash::extmem

@@ -1,0 +1,25 @@
+// The unit of storage: a (key, value) record of two 64-bit words.
+//
+// The paper's "item" is one machine word; storing a value alongside the key
+// scales the block capacity `b` (records per block) but changes none of the
+// formulas, which are all expressed in terms of `b`.
+#pragma once
+
+#include <cstdint>
+
+namespace exthash {
+
+struct Record {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// Reserved value marking a deletion (LSM / log-method tombstones).
+/// User values must not equal this sentinel; insert() checks.
+inline constexpr std::uint64_t kTombstoneValue = 0xdeadbeefdeadbeefULL;
+
+inline constexpr std::size_t kWordsPerRecord = 2;
+
+}  // namespace exthash

@@ -1,0 +1,45 @@
+#include "hashfn/hash_family.h"
+
+#include "hashfn/ideal_hash.h"
+#include "hashfn/mix.h"
+#include "hashfn/multiply_shift.h"
+#include "hashfn/tabulation.h"
+#include "util/assert.h"
+
+namespace exthash::hashfn {
+
+HashPtr makeHash(HashKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case HashKind::kMix:
+      return std::make_shared<MixHash>(seed);
+    case HashKind::kMultiplyShift:
+      return std::make_shared<MultiplyShiftHash>(seed);
+    case HashKind::kTabulation:
+      return std::make_shared<TabulationHash>(seed);
+    case HashKind::kIdeal:
+      return std::make_shared<IdealHash>(seed);
+  }
+  EXTHASH_CHECK_MSG(false, "unknown HashKind");
+  return nullptr;
+}
+
+HashKind parseHashKind(const std::string& name) {
+  if (name == "mix") return HashKind::kMix;
+  if (name == "multiply-shift") return HashKind::kMultiplyShift;
+  if (name == "tabulation") return HashKind::kTabulation;
+  if (name == "ideal") return HashKind::kIdeal;
+  EXTHASH_CHECK_MSG(false, "unknown hash kind '" << name << "'");
+  return HashKind::kMix;
+}
+
+std::string_view hashKindName(HashKind kind) {
+  switch (kind) {
+    case HashKind::kMix: return "mix";
+    case HashKind::kMultiplyShift: return "multiply-shift";
+    case HashKind::kTabulation: return "tabulation";
+    case HashKind::kIdeal: return "ideal";
+  }
+  return "?";
+}
+
+}  // namespace exthash::hashfn

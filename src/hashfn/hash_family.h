@@ -1,0 +1,27 @@
+// Factory over the hash function family F (the paper fixes F beforehand;
+// the seed selects a member).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hashfn/hash_function.h"
+
+namespace exthash::hashfn {
+
+enum class HashKind {
+  kMix,            // seeded murmur-style finalizer (default)
+  kMultiplyShift,  // 2-independent multiply-shift
+  kTabulation,     // simple tabulation (3-independent)
+  kIdeal,          // exact ideal model (memoized true randomness)
+};
+
+/// Create a member of the family `kind` selected by `seed`.
+HashPtr makeHash(HashKind kind, std::uint64_t seed);
+
+/// Parse "mix" | "multiply-shift" | "tabulation" | "ideal".
+HashKind parseHashKind(const std::string& name);
+
+std::string_view hashKindName(HashKind kind);
+
+}  // namespace exthash::hashfn

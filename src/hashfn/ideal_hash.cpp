@@ -1,0 +1,13 @@
+#include "hashfn/ideal_hash.h"
+
+namespace exthash::hashfn {
+
+std::uint64_t IdealHash::operator()(std::uint64_t key) const {
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  const std::uint64_t value = rng_();
+  memo_.emplace(key, value);
+  return value;
+}
+
+}  // namespace exthash::hashfn

@@ -1,0 +1,34 @@
+// Exact ideal random hash function: memoizes an independent uniform value
+// per distinct key, drawn from a seeded PRNG.
+//
+// This realizes the paper's analysis model literally ("each h(x) uniformly
+// randomly distributed", Section 1). Memoization costs real RAM per key, so
+// it is meant for experiments and tests, not production workloads; the
+// factory defaults to tabulation hashing for benches that do not need the
+// exact model. Not thread-safe (the memo mutates under const calls).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hashfn/hash_function.h"
+#include "util/random.h"
+
+namespace exthash::hashfn {
+
+class IdealHash final : public HashFunction {
+ public:
+  explicit IdealHash(std::uint64_t seed) : rng_(seed) {}
+
+  std::uint64_t operator()(std::uint64_t key) const override;
+
+  std::string_view name() const override { return "ideal"; }
+
+  std::size_t memoizedKeys() const noexcept { return memo_.size(); }
+
+ private:
+  mutable Xoshiro256StarStar rng_;
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> memo_;
+};
+
+}  // namespace exthash::hashfn

@@ -1,0 +1,39 @@
+// Dietzfelbinger-style multiply-shift hashing (2-independent).
+//
+// h(x) = high 64 bits of ((a·x + b) mod 2^128) with odd random a.
+// The textbook universal family [7]; cheapest option with a provable
+// guarantee.
+#pragma once
+
+#include <cstdint>
+
+#include "hashfn/hash_function.h"
+#include "util/random.h"
+
+namespace exthash::hashfn {
+
+class MultiplyShiftHash final : public HashFunction {
+ public:
+  explicit MultiplyShiftHash(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    a_lo_ = sm() | 1;  // odd multiplier
+    a_hi_ = sm();
+    b_lo_ = sm();
+    b_hi_ = sm();
+  }
+
+  std::uint64_t operator()(std::uint64_t key) const override {
+    // (a_hi·2^64 + a_lo) * key + (b_hi·2^64 + b_lo), take bits [64, 128).
+    const unsigned __int128 lo =
+        static_cast<unsigned __int128>(a_lo_) * key + b_lo_;
+    std::uint64_t hi = a_hi_ * key + b_hi_ + static_cast<std::uint64_t>(lo >> 64);
+    return hi;
+  }
+
+  std::string_view name() const override { return "multiply-shift"; }
+
+ private:
+  std::uint64_t a_lo_, a_hi_, b_lo_, b_hi_;
+};
+
+}  // namespace exthash::hashfn

@@ -1,0 +1,14 @@
+#include "hashfn/tabulation.h"
+
+#include "util/random.h"
+
+namespace exthash::hashfn {
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = sm();
+  }
+}
+
+}  // namespace exthash::hashfn

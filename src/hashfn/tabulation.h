@@ -1,0 +1,33 @@
+// Simple tabulation hashing (Zobrist; analyzed by Pǎtraşcu & Thorup).
+//
+// Eight 256-entry tables of random words, XORed per input byte:
+// 3-independent, but behaves like full randomness for chaining and linear
+// probing — the realistic stand-in for the paper's ideal hash function.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hashfn/hash_function.h"
+
+namespace exthash::hashfn {
+
+class TabulationHash final : public HashFunction {
+ public:
+  explicit TabulationHash(std::uint64_t seed);
+
+  std::uint64_t operator()(std::uint64_t key) const override {
+    std::uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= tables_[byte][(key >> (8 * byte)) & 0xff];
+    }
+    return h;
+  }
+
+  std::string_view name() const override { return "tabulation"; }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace exthash::hashfn

@@ -1,0 +1,59 @@
+#include "lowerbound/binball.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace exthash::lowerbound {
+
+std::uint64_t adversaryCost(std::vector<std::uint64_t> bin_loads,
+                            std::uint64_t t) {
+  // Greedy: emptying the lightest nonempty bins first maximizes the number
+  // of bins cleared per removed ball; a standard exchange argument shows
+  // no other removal set clears more bins with the same budget.
+  std::vector<std::uint64_t> nonempty;
+  nonempty.reserve(bin_loads.size());
+  for (const std::uint64_t load : bin_loads) {
+    if (load > 0) nonempty.push_back(load);
+  }
+  std::sort(nonempty.begin(), nonempty.end());
+  std::uint64_t budget = t;
+  std::uint64_t cleared = 0;
+  for (const std::uint64_t load : nonempty) {
+    if (load > budget) break;
+    budget -= load;
+    ++cleared;
+  }
+  return nonempty.size() - cleared;
+}
+
+BinBallResult playBinBallGame(const BinBallConfig& config,
+                              Xoshiro256StarStar& rng) {
+  EXTHASH_CHECK(config.p > 0.0 && config.p <= 1.0);
+  EXTHASH_CHECK(config.s > 0);
+  const auto bins = static_cast<std::uint64_t>(std::ceil(1.0 / config.p));
+  std::vector<std::uint64_t> loads(bins, 0);
+  for (std::uint64_t i = 0; i < config.s; ++i) {
+    ++loads[rng.below(bins)];
+  }
+  BinBallResult result;
+  result.bins = bins;
+  for (const std::uint64_t load : loads) {
+    if (load > 0) ++result.nonempty_before;
+  }
+  result.cost = adversaryCost(std::move(loads), config.t);
+  return result;
+}
+
+double lemma3Bound(const BinBallConfig& config, double mu) {
+  const double s = static_cast<double>(config.s);
+  const double sp = s * config.p;
+  return (1.0 - mu) * (1.0 - sp) * s - static_cast<double>(config.t);
+}
+
+double lemma4Bound(const BinBallConfig& config) {
+  return 1.0 / (20.0 * config.p);
+}
+
+}  // namespace exthash::lowerbound

@@ -1,0 +1,53 @@
+// The (s, p, t) bin-ball game of Section 2 — the combinatorial core of the
+// paper's lower bound.
+//
+// Throw s balls into r >= 1/p bins independently at random (each bin gets
+// any ball with probability <= p); an adversary then removes t balls so
+// that the survivors occupy as few bins as possible. The game's cost is
+// the number of bins still occupied — a lower bound on the I/Os a hash
+// table pays for one "round" of insertions.
+//
+//   Lemma 3 (sp <= 1/3): cost >= (1-μ)(1-sp)s - t  w.p. >= 1 - e^(-μ²s/3)
+//   Lemma 4 (s/2 >= t, s/2 >= 1/p): cost >= 1/(20p) w.p. >= 1 - 2^(-Ω(s))
+//
+// The adversary is implemented exactly (greedy emptying of the lightest
+// bins, which an exchange argument shows is optimal), so measured costs
+// are the true game values, not an upper bound on the adversary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace exthash::lowerbound {
+
+struct BinBallConfig {
+  std::uint64_t s = 0;  // balls thrown
+  double p = 0.0;       // max probability of any particular bin
+  std::uint64_t t = 0;  // balls the adversary may remove
+};
+
+struct BinBallResult {
+  std::uint64_t cost = 0;            // occupied bins after removal
+  std::uint64_t bins = 0;            // r, the number of bins used
+  std::uint64_t nonempty_before = 0; // occupied bins before removal
+};
+
+/// Play one game with uniform bins r = ceil(1/p) (so the per-bin
+/// probability is exactly 1/r <= p, the hardest instance for the bounds).
+BinBallResult playBinBallGame(const BinBallConfig& config,
+                              Xoshiro256StarStar& rng);
+
+/// Optimal adversary on explicit bin loads: remove t balls to minimize
+/// occupied bins; returns the resulting cost. Exposed for testing.
+std::uint64_t adversaryCost(std::vector<std::uint64_t> bin_loads,
+                            std::uint64_t t);
+
+/// Lemma 3's high-probability lower bound on the cost.
+double lemma3Bound(const BinBallConfig& config, double mu);
+
+/// Lemma 4's lower bound 1/(20p).
+double lemma4Bound(const BinBallConfig& config);
+
+}  // namespace exthash::lowerbound

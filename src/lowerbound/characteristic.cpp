@@ -1,0 +1,30 @@
+#include "lowerbound/characteristic.h"
+
+#include <algorithm>
+
+namespace exthash::lowerbound {
+
+CharacteristicStats analyzeIndexer(const tables::BucketIndexer& indexer,
+                                   std::uint64_t d, double rho) {
+  CharacteristicStats stats;
+  stats.d = d;
+  for (std::uint64_t j = 0; j < d; ++j) {
+    const double alpha = indexer.alpha(j, d);
+    stats.max_alpha = std::max(stats.max_alpha, alpha);
+    if (alpha > rho) {
+      ++stats.bad_indices;
+      stats.lambda += alpha;
+    }
+  }
+  return stats;
+}
+
+double lemma2SlowZoneFlood(double lambda, double rho, std::uint64_t k,
+                           std::uint64_t b, std::uint64_t m_items) {
+  const double flood = (2.0 / 3.0) * lambda * static_cast<double>(k) -
+                       static_cast<double>(b) * lambda / rho -
+                       static_cast<double>(m_items);
+  return std::max(0.0, flood);
+}
+
+}  // namespace exthash::lowerbound

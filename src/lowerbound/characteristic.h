@@ -1,0 +1,42 @@
+// Characteristic vectors and good/bad address functions (Section 2).
+//
+// For an address function f with characteristic vector (α_1, ..., α_d)
+// (α_i = fraction of the hash universe mapped to block i), the paper calls
+// D_f = {i : α_i > ρ} the bad index area, λ_f = Σ_{i∈D_f} α_i its mass,
+// and f BAD if λ_f > φ. Lemma 2: a hash table meeting the query bound must
+// be using a good f with probability 1 - 2φ - 2^(-Ω(b)), because a bad f
+// floods the slow zone: at least (2/3)λ_f·k - b·λ_f/ρ - m items cannot be
+// in the fast zone.
+//
+// This module computes (α, λ_f) for the library's indexers — including the
+// deliberately skewed kSkewPower indexer — and predicts the slow-zone
+// flood, which the LB-ROUNDS bench then measures on a real table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tables/bucket_indexer.h"
+
+namespace exthash::lowerbound {
+
+struct CharacteristicStats {
+  double lambda = 0.0;          // λ_f: mass of the bad index area
+  std::uint64_t bad_indices = 0;  // |D_f|
+  double max_alpha = 0.0;
+  std::uint64_t d = 0;
+
+  bool isGood(double phi) const noexcept { return lambda <= phi; }
+};
+
+/// Exact characteristic vector analysis of an indexer over d buckets with
+/// threshold ρ.
+CharacteristicStats analyzeIndexer(const tables::BucketIndexer& indexer,
+                                   std::uint64_t d, double rho);
+
+/// Lemma 2's guaranteed slow-zone size for a bad function after k uniform
+/// insertions: (2/3)·λ_f·k − b·λ_f/ρ − m (clamped at 0).
+double lemma2SlowZoneFlood(double lambda, double rho, std::uint64_t k,
+                           std::uint64_t b, std::uint64_t m_items);
+
+}  // namespace exthash::lowerbound

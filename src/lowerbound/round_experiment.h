@@ -1,0 +1,51 @@
+// The round structure of Theorem 1's proof, run against a real table.
+//
+// Protocol (regime 1, with the paper's parameters δ, φ, ρ, s): insert φn
+// items "for free"; then insert rounds of s items each. At the end of each
+// round, count Z = |{f(x) : x inserted this round, x in the fast zone}| —
+// the number of distinct primary blocks that must have been touched, an
+// information-theoretic floor on the round's I/O cost. The theorem shows
+// Z >= (1 - O(φ))s - t with t = |S| + |M|, so the amortized insertion cost
+// converges to 1. This experiment measures Z/s and the actual I/O cost per
+// round side by side, along with inequality (1) on |S|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tables/hash_table.h"
+#include "workload/keygen.h"
+
+namespace exthash::lowerbound {
+
+struct RoundExperimentConfig {
+  std::size_t n = 0;          // total items
+  double c = 2.0;             // query exponent (regime 1 parameterization)
+  std::size_t rounds = 0;     // 0 = run all ~(1-φ)n/s rounds
+};
+
+struct RoundResult {
+  std::uint64_t round = 0;
+  std::uint64_t items = 0;        // s
+  std::uint64_t distinct_fast_blocks = 0;  // Z
+  std::uint64_t slow_items = 0;   // |S| at round end
+  std::uint64_t memory_items = 0; // |M| at round end
+  double z_over_s = 0.0;
+  double io_cost = 0.0;           // measured I/Os during the round
+  double lower_bound = 0.0;       // (1-φ)s - t, the paper's floor on Z
+};
+
+struct RoundExperimentResult {
+  double phi = 0.0;
+  double delta = 0.0;
+  std::uint64_t s = 0;
+  std::vector<RoundResult> rounds;
+  double amortized_tu = 0.0;       // measured I/Os per insert over all rounds
+  double mean_z_over_s = 0.0;
+};
+
+RoundExperimentResult runRoundExperiment(tables::ExternalHashTable& table,
+                                         workload::KeyStream& keys,
+                                         const RoundExperimentConfig& config);
+
+}  // namespace exthash::lowerbound

@@ -1,0 +1,64 @@
+#include "lowerbound/zones.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace exthash::lowerbound {
+
+double ZoneStats::impliedQueryCost() const noexcept {
+  if (total_items == 0) return 0.0;
+  return (static_cast<double>(fast_items) +
+          2.0 * static_cast<double>(slow_items)) /
+         static_cast<double>(total_items);
+}
+
+namespace {
+
+class ZoneCollector final : public tables::LayoutVisitor {
+ public:
+  explicit ZoneCollector(const tables::ExternalHashTable& table)
+      : table_(table) {}
+
+  void memoryItem(const Record& record) override {
+    in_memory_.insert(record.key);
+  }
+
+  void diskItem(extmem::BlockId block, const Record& record) override {
+    ++disk_copies_;
+    auto [it, fresh] = disk_keys_.try_emplace(record.key, false);
+    if (!it->second) {
+      const auto primary = table_.primaryBlockOf(record.key);
+      if (primary.has_value() && *primary == block) it->second = true;
+    }
+  }
+
+  ZoneStats finish() const {
+    ZoneStats stats;
+    stats.disk_copies = disk_copies_;
+    stats.memory_items = in_memory_.size();
+    for (const auto& [key, fast] : disk_keys_) {
+      if (in_memory_.contains(key)) continue;  // memory copy wins (0 I/O)
+      if (fast) ++stats.fast_items;
+      else ++stats.slow_items;
+    }
+    stats.total_items =
+        stats.memory_items + stats.fast_items + stats.slow_items;
+    return stats;
+  }
+
+ private:
+  const tables::ExternalHashTable& table_;
+  std::unordered_set<std::uint64_t> in_memory_;
+  std::unordered_map<std::uint64_t, bool> disk_keys_;  // key -> in fast zone
+  std::uint64_t disk_copies_ = 0;
+};
+
+}  // namespace
+
+ZoneStats analyzeZones(const tables::ExternalHashTable& table) {
+  ZoneCollector collector(table);
+  table.visitLayout(collector);
+  return collector.finish();
+}
+
+}  // namespace exthash::lowerbound

@@ -1,0 +1,383 @@
+#include "tables/chaining_table.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace exthash::tables {
+
+using extmem::BlockId;
+using extmem::BucketPage;
+using extmem::ConstBucketPage;
+using extmem::kInvalidBlock;
+using extmem::Word;
+
+namespace {
+// O(1) in-memory state of the table: extent base, bucket count, size,
+// overflow counter, config. Charged against the budget so the claim
+// "f is computable with O(1) memory" is enforced, not asserted.
+constexpr std::size_t kMetaWords = 8;
+}  // namespace
+
+ChainingHashTable::ChainingHashTable(TableContext ctx, ChainingConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      meta_charge_(*ctx_.memory, kMetaWords) {
+  EXTHASH_CHECK_MSG(config_.bucket_count >= 1, "need at least one bucket");
+  extent_ = ctx_.device->allocateExtent(config_.bucket_count);
+}
+
+ChainingHashTable::~ChainingHashTable() {
+  if (!destroyed_) destroy();
+}
+
+void ChainingHashTable::destroy() {
+  if (destroyed_) return;
+  // Uncounted traversal: deallocation is metadata bookkeeping, not data
+  // transfer (the owner of a real disk would drop the whole file).
+  for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
+    BlockId id = primaryBlock(j);
+    ConstBucketPage page(ctx_.device->inspect(id));
+    BlockId overflow = page.hasNext() ? page.next() : kInvalidBlock;
+    while (overflow != kInvalidBlock) {
+      ConstBucketPage opage(ctx_.device->inspect(overflow));
+      const BlockId next = opage.hasNext() ? opage.next() : kInvalidBlock;
+      ctx_.device->free(overflow);
+      overflow = next;
+    }
+  }
+  ctx_.device->freeExtent(extent_, config_.bucket_count);
+  destroyed_ = true;
+  size_ = 0;
+  overflow_blocks_ = 0;
+}
+
+std::uint64_t ChainingHashTable::bucketOf(std::uint64_t key) const {
+  return config_.indexer(hash()(key), config_.bucket_count);
+}
+
+std::optional<extmem::BlockId> ChainingHashTable::primaryBlockOf(
+    std::uint64_t key) const {
+  return primaryBlock(bucketOf(key));
+}
+
+double ChainingHashTable::loadFactor() const noexcept {
+  return static_cast<double>(size_) /
+         (static_cast<double>(config_.bucket_count) *
+          static_cast<double>(records_per_block_));
+}
+
+bool ChainingHashTable::insert(std::uint64_t key, std::uint64_t value) {
+  EXTHASH_CHECK(!destroyed_);
+  const BlockId primary = primaryBlock(bucketOf(key));
+
+  // Fast path: single-block bucket. One rmw covers update, append, and
+  // first-overflow creation (the new block is written inside the same
+  // guarded scope; block storage is chunk-stable, so the span stays valid).
+  struct FastResult {
+    bool handled = false;
+    bool inserted_new = false;
+    bool primary_full = false;
+    BlockId next = kInvalidBlock;
+  };
+  const FastResult fast =
+      ctx_.device->withWrite(primary, [&](std::span<Word> data) {
+        BucketPage page(data);
+        FastResult r;
+        if (auto idx = page.indexOf(key)) {
+          page.setValueAt(*idx, value);
+          r.handled = true;
+          return r;
+        }
+        if (page.hasNext()) {  // long chain: general path below
+          r.primary_full = page.full();
+          r.next = page.next();
+          return r;
+        }
+        if (page.append(Record{key, value})) {
+          r.handled = r.inserted_new = true;
+          return r;
+        }
+        const BlockId fresh = ctx_.device->allocate();
+        ctx_.device->withOverwrite(fresh, [&](std::span<Word> fresh_data) {
+          BucketPage fresh_page(fresh_data);
+          fresh_page.format();
+          EXTHASH_CHECK(fresh_page.append(Record{key, value}));
+        });
+        page.setNext(fresh);
+        ++overflow_blocks_;
+        r.handled = r.inserted_new = true;
+        return r;
+      });
+  if (fast.handled) {
+    if (fast.inserted_new) ++size_;
+    return fast.inserted_new;
+  }
+
+  // General path (bucket has overflow blocks, probability 1/2^Ω(b) at
+  // load < 1/2): walk the chain past the primary block, looking for the
+  // key and remembering the first block with free space.
+  BlockId current = fast.next;
+  BlockId first_with_space = fast.primary_full ? kInvalidBlock : primary;
+  BlockId last = primary;
+  while (current != kInvalidBlock) {
+    struct ChainInfo {
+      bool found = false;
+      bool full = true;
+      BlockId next = kInvalidBlock;
+    };
+    const ChainInfo info =
+        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          ChainInfo ci;
+          ci.found = page.indexOf(key).has_value();
+          ci.full = page.full();
+          ci.next = page.next();
+          return ci;
+        });
+    if (info.found) {
+      ctx_.device->withWrite(current, [&](std::span<Word> data) {
+        BucketPage page(data);
+        const auto idx = page.indexOf(key);
+        EXTHASH_CHECK(idx.has_value());
+        page.setValueAt(*idx, value);
+      });
+      return false;
+    }
+    if (!info.full && first_with_space == kInvalidBlock)
+      first_with_space = current;
+    last = current;
+    current = info.next;
+  }
+
+  if (first_with_space != kInvalidBlock) {
+    ctx_.device->withWrite(first_with_space, [&](std::span<Word> data) {
+      EXTHASH_CHECK(BucketPage(data).append(Record{key, value}));
+    });
+  } else {
+    const BlockId fresh = ctx_.device->allocate();
+    ctx_.device->withOverwrite(fresh, [&](std::span<Word> data) {
+      BucketPage page(data);
+      page.format();
+      EXTHASH_CHECK(page.append(Record{key, value}));
+    });
+    ctx_.device->withWrite(last, [&](std::span<Word> data) {
+      BucketPage(data).setNext(fresh);
+    });
+    ++overflow_blocks_;
+  }
+  ++size_;
+  return true;
+}
+
+std::optional<std::uint64_t> ChainingHashTable::lookup(std::uint64_t key) {
+  EXTHASH_CHECK(!destroyed_);
+  BlockId current = primaryBlock(bucketOf(key));
+  while (current != kInvalidBlock) {
+    struct Result {
+      std::optional<std::uint64_t> value;
+      BlockId next = kInvalidBlock;
+    };
+    const Result r =
+        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          return Result{page.find(key), page.next()};
+        });
+    if (r.value) return r.value;
+    current = r.next;
+  }
+  return std::nullopt;
+}
+
+bool ChainingHashTable::erase(std::uint64_t key) {
+  EXTHASH_CHECK(!destroyed_);
+  const BlockId primary = primaryBlock(bucketOf(key));
+  BlockId prev = kInvalidBlock;
+  BlockId current = primary;
+  while (current != kInvalidBlock) {
+    struct Info {
+      std::optional<std::size_t> index;
+      std::size_t count = 0;
+      BlockId next = kInvalidBlock;
+    };
+    const Info info =
+        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          return Info{page.indexOf(key), page.count(), page.next()};
+        });
+    if (info.index) {
+      ctx_.device->withWrite(current, [&](std::span<Word> data) {
+        BucketPage page(data);
+        const auto idx = page.indexOf(key);
+        EXTHASH_CHECK(idx.has_value());
+        page.removeAt(*idx);
+      });
+      // Unlink a now-empty overflow block to keep chains tight.
+      if (current != primary && info.count == 1) {
+        ctx_.device->withWrite(prev, [&](std::span<Word> data) {
+          BucketPage(data).setNext(info.next);
+        });
+        ctx_.device->free(current);
+        --overflow_blocks_;
+      }
+      --size_;
+      return true;
+    }
+    prev = current;
+    current = info.next;
+  }
+  return false;
+}
+
+void ChainingHashTable::visitLayout(LayoutVisitor& visitor) const {
+  if (destroyed_) return;
+  for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
+    BlockId current = primaryBlock(j);
+    while (current != kInvalidBlock) {
+      ConstBucketPage page(ctx_.device->inspect(current));
+      const std::size_t n = page.count();
+      for (std::size_t i = 0; i < n; ++i) {
+        visitor.diskItem(current, page.recordAt(i));
+      }
+      current = page.next();
+    }
+  }
+}
+
+std::string ChainingHashTable::debugString() const {
+  return "chaining{buckets=" + std::to_string(config_.bucket_count) +
+         ", size=" + std::to_string(size_) +
+         ", overflow_blocks=" + std::to_string(overflow_blocks_) +
+         ", load=" + std::to_string(loadFactor()) + "}";
+}
+
+// ---------------------------------------------------------------------------
+// Bulk build
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ChainingHashTable> ChainingHashTable::buildFromSorted(
+    TableContext ctx, ChainingConfig config, RecordCursor& records) {
+  EXTHASH_CHECK_MSG(config.indexer.monotone(),
+                    "bulk build requires a monotone bucket indexer");
+  auto table = std::make_unique<ChainingHashTable>(ctx, config);
+  const std::size_t cap = table->records_per_block_;
+  const auto& h = *ctx.hash;
+
+  PeekableCursor in(records);
+  std::vector<Record> bucket_records;
+  // Scratch for one bucket's records, charged against the memory budget
+  // (this is the merge working set; it stays O(b) except for pathological
+  // skew).
+  extmem::MemoryCharge scratch(*ctx.memory, 0);
+
+  std::uint64_t last_bucket = 0;
+  bool first = true;
+  auto flushBucket = [&](std::uint64_t j) {
+    if (bucket_records.empty()) return;
+    // Chain blocks for bucket j: primary holds the first `cap` records,
+    // each overflow block the next `cap`. Every block is written once.
+    const std::size_t blocks =
+        (bucket_records.size() + cap - 1) / cap;
+    std::vector<BlockId> chain(blocks);
+    chain[0] = table->primaryBlock(j);
+    for (std::size_t i = 1; i < blocks; ++i) {
+      chain[i] = ctx.device->allocate();
+      ++table->overflow_blocks_;
+    }
+    for (std::size_t i = 0; i < blocks; ++i) {
+      ctx.device->withOverwrite(chain[i], [&](std::span<Word> data) {
+        BucketPage page(data);
+        page.format();
+        const std::size_t begin = i * cap;
+        const std::size_t end =
+            std::min(bucket_records.size(), begin + cap);
+        for (std::size_t r = begin; r < end; ++r) {
+          EXTHASH_CHECK(page.append(bucket_records[r]));
+        }
+        if (i + 1 < blocks) page.setNext(chain[i + 1]);
+      });
+    }
+    table->size_ += bucket_records.size();
+    bucket_records.clear();
+  };
+
+  std::uint64_t prev_hash = 0;
+  while (in.peek()) {
+    const Record r = *in.next();
+    const std::uint64_t hv = h(r.key);
+    EXTHASH_CHECK_MSG(first || hv >= prev_hash,
+                      "buildFromSorted input not in hash order");
+    prev_hash = hv;
+    const std::uint64_t j = config.indexer(hv, config.bucket_count);
+    if (!first && j != last_bucket) flushBucket(last_bucket);
+    first = false;
+    last_bucket = j;
+    bucket_records.push_back(r);
+    if (bucket_records.size() * kWordsPerRecord > scratch.words()) {
+      scratch.resize(bucket_records.size() * kWordsPerRecord);
+    }
+  }
+  if (!first) flushBucket(last_bucket);
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Hash-ordered scan
+// ---------------------------------------------------------------------------
+
+class ChainingHashTable::ScanCursor final : public RecordCursor {
+ public:
+  explicit ScanCursor(ChainingHashTable& table)
+      : table_(&table), scratch_(*table.ctx_.memory, 0) {}
+
+  std::optional<Record> next() override {
+    while (pos_ >= buffer_.size()) {
+      if (bucket_ >= table_->config_.bucket_count) return std::nullopt;
+      loadBucket(bucket_++);
+    }
+    return buffer_[pos_++];
+  }
+
+ private:
+  void loadBucket(std::uint64_t j) {
+    buffer_.clear();
+    pos_ = 0;
+    BlockId current = table_->primaryBlock(j);
+    auto& device = *table_->ctx_.device;
+    while (current != kInvalidBlock) {
+      current = device.withRead(current, [&](std::span<const Word> data) {
+        ConstBucketPage page(data);
+        const std::size_t n = page.count();
+        for (std::size_t i = 0; i < n; ++i)
+          buffer_.push_back(page.recordAt(i));
+        return page.next();
+      });
+    }
+    const auto& h = *table_->ctx_.hash;
+    std::sort(buffer_.begin(), buffer_.end(),
+              [&](const Record& a, const Record& b) {
+                const std::uint64_t ha = h(a.key), hb = h(b.key);
+                if (ha != hb) return ha < hb;
+                return a.key < b.key;
+              });
+    if (buffer_.size() * kWordsPerRecord > scratch_.words()) {
+      scratch_.resize(buffer_.size() * kWordsPerRecord);
+    }
+  }
+
+  ChainingHashTable* table_;
+  extmem::MemoryCharge scratch_;
+  std::vector<Record> buffer_;
+  std::size_t pos_ = 0;
+  std::uint64_t bucket_ = 0;
+};
+
+std::unique_ptr<RecordCursor> ChainingHashTable::scanInHashOrder() {
+  EXTHASH_CHECK(!destroyed_);
+  EXTHASH_CHECK_MSG(config_.indexer.monotone(),
+                    "hash-ordered scan requires a monotone indexer");
+  return std::make_unique<ScanCursor>(*this);
+}
+
+}  // namespace exthash::tables

@@ -1,0 +1,94 @@
+// The standard external hash table with chained overflow blocks — the
+// structure behind Knuth's 1 + 1/2^Ω(b) analysis [13] and the paper's
+// upper bound for the tq = 1 + O(1/b^c), c > 1 regime.
+//
+// Layout: `bucket_count` primary blocks in one contiguous extent, so the
+// primary block of key x is `extent_base + index(h(x))` — an address
+// computable with O(1) words of memory, as the paper's model requires of
+// the function f. Overflow blocks are allocated individually and linked
+// through page headers.
+//
+// Costs (load factor α < 1, ideal hash):
+//   successful lookup    1 + 1/2^Ω(b) reads
+//   unsuccessful lookup  1 + 1/2^Ω(b) reads (whole chain)
+//   insert               1 + 1/2^Ω(b) I/Os (one rmw on the common path)
+//
+// This class is also the building block for the composite structures: the
+// logarithmic-method levels and the Theorem-2 big table Ĥ are chaining
+// tables bulk-built from hash-ordered record streams.
+#pragma once
+
+#include <memory>
+
+#include "extmem/bucket_page.h"
+#include "tables/bucket_indexer.h"
+#include "tables/cursor.h"
+#include "tables/hash_table.h"
+
+namespace exthash::tables {
+
+struct ChainingConfig {
+  std::uint64_t bucket_count = 0;
+  BucketIndexer indexer = {};  // default: range indexing (monotone)
+};
+
+class ChainingHashTable final : public ExternalHashTable {
+ public:
+  ChainingHashTable(TableContext ctx, ChainingConfig config);
+  ~ChainingHashTable() override;
+
+  /// Stream-build a table from records in nondecreasing (h, key) order
+  /// (any hash-ordered cursor; requires a monotone indexer). Costs one
+  /// write per nonempty block. Records are stored verbatim (including
+  /// tombstones — filter with KWayMerger beforehand if needed).
+  static std::unique_ptr<ChainingHashTable> buildFromSorted(
+      TableContext ctx, ChainingConfig config, RecordCursor& records);
+
+  bool insert(std::uint64_t key, std::uint64_t value) override;
+  std::optional<std::uint64_t> lookup(std::uint64_t key) override;
+  bool erase(std::uint64_t key) override;
+  std::size_t size() const override { return size_; }
+  std::string_view name() const override { return "chaining"; }
+  void visitLayout(LayoutVisitor& visitor) const override;
+  std::optional<extmem::BlockId> primaryBlockOf(
+      std::uint64_t key) const override;
+  std::string debugString() const override;
+
+  std::uint64_t bucketCount() const noexcept { return config_.bucket_count; }
+  const BucketIndexer& indexer() const noexcept { return config_.indexer; }
+  std::size_t recordsPerBlock() const noexcept { return records_per_block_; }
+  std::uint64_t overflowBlocks() const noexcept { return overflow_blocks_; }
+
+  /// n / (bucket_count · b): the paper's load factor measured against the
+  /// primary area.
+  double loadFactor() const noexcept;
+
+  /// Counted, hash-ordered scan of all records (reads each block once;
+  /// sorts each bucket's records in scratch memory charged to the budget).
+  /// Requires a monotone indexer. The cursor must not outlive the table
+  /// and the table must not be modified while a scan is live.
+  std::unique_ptr<RecordCursor> scanInHashOrder();
+
+  /// Free every block owned by the table; the table becomes empty and
+  /// unusable. Called by composite structures when a level is merged away
+  /// (and by the destructor).
+  void destroy();
+
+ private:
+  class ScanCursor;
+
+  std::uint64_t bucketOf(std::uint64_t key) const;
+  extmem::BlockId primaryBlock(std::uint64_t bucket) const {
+    return extent_ + bucket;
+  }
+
+  ChainingConfig config_;
+  std::size_t records_per_block_;
+  extmem::BlockId extent_ = extmem::kInvalidBlock;
+  std::size_t size_ = 0;
+  std::uint64_t overflow_blocks_ = 0;
+  extmem::MemoryCharge meta_charge_;
+  bool destroyed_ = false;
+};
+
+}  // namespace exthash::tables

@@ -1,0 +1,192 @@
+#include "tables/cuckoo_table.h"
+
+#include "util/random.h"
+
+namespace exthash::tables {
+
+using extmem::BlockId;
+using extmem::BucketPage;
+using extmem::ConstBucketPage;
+using extmem::Word;
+
+CuckooHashTable::CuckooHashTable(TableContext ctx, CuckooConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      stash_(*ctx_.memory, config.stash_capacity),
+      kick_rng_state_(0x2545f4914f6cdd1dULL) {
+  EXTHASH_CHECK(config_.bucket_count >= 2);
+  extent_ = ctx_.device->allocateExtent(config_.bucket_count);
+}
+
+CuckooHashTable::~CuckooHashTable() {
+  ctx_.device->freeExtent(extent_, config_.bucket_count);
+}
+
+std::uint64_t CuckooHashTable::bucket1(std::uint64_t key) const {
+  return hashfn::rangeBucket(hash()(key), config_.bucket_count);
+}
+
+std::uint64_t CuckooHashTable::bucket2(std::uint64_t key) const {
+  // An independent second choice derived from the same hash value; ensure
+  // the two candidates differ so kickouts always make progress.
+  const std::uint64_t j =
+      hashfn::rangeBucket(splitmix64(hash()(key)), config_.bucket_count);
+  const std::uint64_t j1 = bucket1(key);
+  return j == j1 ? (j + 1) % config_.bucket_count : j;
+}
+
+std::optional<extmem::BlockId> CuckooHashTable::primaryBlockOf(
+    std::uint64_t key) const {
+  // The one-I/O address function matches the lookup's first probe.
+  return extent_ + bucket2(key);
+}
+
+double CuckooHashTable::loadFactor() const noexcept {
+  return static_cast<double>(size_) /
+         (static_cast<double>(config_.bucket_count) *
+          static_cast<double>(records_per_block_));
+}
+
+bool CuckooHashTable::tryAppend(std::uint64_t j, Record r) {
+  return ctx_.device->withWrite(extent_ + j, [&](std::span<Word> data) {
+    return BucketPage(data).append(r);
+  });
+}
+
+bool CuckooHashTable::insert(std::uint64_t key, std::uint64_t value) {
+  // An insert must verify the key is absent from both candidate buckets
+  // before placing it (insert-or-update semantics), so the common path is
+  // exactly two rmws: check-and-update j1, then check-update-or-append j2.
+  const std::uint64_t j1 = bucket1(key), j2 = bucket2(key);
+  if (stash_.contains(key)) {
+    EXTHASH_CHECK(stash_.insertOrAssign(key, value));
+    return false;
+  }
+  struct Probe1 {
+    bool updated = false;
+    bool has_space = false;
+  };
+  const Probe1 p1 =
+      ctx_.device->withWrite(extent_ + j1, [&](std::span<Word> d) {
+        BucketPage page(d);
+        if (auto idx = page.indexOf(key)) {
+          page.setValueAt(*idx, value);
+          return Probe1{true, false};
+        }
+        return Probe1{false, !page.full()};
+      });
+  if (p1.updated) return false;
+  enum class P2 { kUpdated, kAppended, kFull };
+  const P2 p2 = ctx_.device->withWrite(extent_ + j2, [&](std::span<Word> d) {
+    BucketPage page(d);
+    if (auto idx = page.indexOf(key)) {
+      page.setValueAt(*idx, value);
+      return P2::kUpdated;
+    }
+    // No duplicate anywhere: place here if possible (lookups probe this
+    // bucket first, so the common case stays a one-read lookup).
+    if (page.append(Record{key, value})) return P2::kAppended;
+    return P2::kFull;
+  });
+  if (p2 == P2::kUpdated) return false;
+  if (p2 == P2::kAppended) {
+    ++size_;
+    return true;
+  }
+  if (p1.has_space && tryAppend(j1, Record{key, value})) {
+    ++size_;
+    return true;
+  }
+
+  // Both candidates full: random-walk kickouts. Install the wandering
+  // record by evicting a random victim, then push the victim toward its
+  // alternate bucket, cascading until something fits or the budget ends.
+  Record current{key, value};
+  std::uint64_t target = j2;
+  for (std::size_t kick = 0; kick < config_.max_kicks; ++kick) {
+    kick_rng_state_ = splitmix64(kick_rng_state_ + kick);
+    const std::size_t victim_slot =
+        static_cast<std::size_t>(kick_rng_state_ % records_per_block_);
+    Record victim{};
+    ctx_.device->withWrite(extent_ + target, [&](std::span<Word> data) {
+      BucketPage page(data);
+      victim = page.recordAt(victim_slot);
+      page.setRecord(victim_slot, current);
+    });
+    ++kicks_;
+    const std::uint64_t alt = bucket1(victim.key) == target
+                                  ? bucket2(victim.key)
+                                  : bucket1(victim.key);
+    if (tryAppend(alt, victim)) {
+      ++size_;
+      return true;
+    }
+    current = victim;
+    target = alt;
+  }
+
+  // Kick budget exhausted: stash the wandering record in memory.
+  EXTHASH_CHECK_MSG(stash_.insertOrAssign(current.key, current.value),
+                    "cuckoo stash overflow — table too loaded");
+  ++size_;
+  return true;
+}
+
+std::optional<std::uint64_t> CuckooHashTable::lookup(std::uint64_t key) {
+  // Worst case two reads; stash is memory (free). Bucket 2 is probed
+  // first because inserts prefer it (see insert), keeping the common case
+  // at one read.
+  if (auto v = stash_.find(key)) return v;
+  const auto first = ctx_.device->withRead(
+      extent_ + bucket2(key),
+      [&](std::span<const Word> d) { return ConstBucketPage(d).find(key); });
+  if (first) return first;
+  return ctx_.device->withRead(
+      extent_ + bucket1(key),
+      [&](std::span<const Word> d) { return ConstBucketPage(d).find(key); });
+}
+
+bool CuckooHashTable::erase(std::uint64_t key) {
+  if (stash_.erase(key)) {
+    --size_;
+    return true;
+  }
+  for (const std::uint64_t j : {bucket1(key), bucket2(key)}) {
+    const bool removed =
+        ctx_.device->withWrite(extent_ + j, [&](std::span<Word> data) {
+          BucketPage page(data);
+          if (auto idx = page.indexOf(key)) {
+            page.removeAt(*idx);
+            return true;
+          }
+          return false;
+        });
+    if (removed) {
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CuckooHashTable::visitLayout(LayoutVisitor& visitor) const {
+  stash_.forEach([&](const Record& r) { visitor.memoryItem(r); });
+  for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
+    ConstBucketPage page(ctx_.device->inspect(extent_ + j));
+    const std::size_t n = page.count();
+    for (std::size_t i = 0; i < n; ++i)
+      visitor.diskItem(extent_ + j, page.recordAt(i));
+  }
+}
+
+std::string CuckooHashTable::debugString() const {
+  return "cuckoo{buckets=" + std::to_string(config_.bucket_count) +
+         ", size=" + std::to_string(size_) +
+         ", load=" + std::to_string(loadFactor()) +
+         ", kicks=" + std::to_string(kicks_) +
+         ", stash=" + std::to_string(stash_.size()) + "}";
+}
+
+}  // namespace exthash::tables

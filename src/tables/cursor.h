@@ -1,0 +1,129 @@
+// Pull-based record streams in global hash order, and the k-way merger
+// that powers every rebuild in the library (logarithmic-method level
+// migration, Theorem-2 buffer-into-Ĥ merges, LSM compaction analogue).
+//
+// All cursors yield records in nondecreasing (h(key), key) order. Because
+// the range indexer is monotone in h, such a stream is also in bucket
+// order for *any* bucket count — which is what makes merges between tables
+// of different sizes single-pass (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "extmem/record.h"
+#include "hashfn/hash_function.h"
+#include "util/assert.h"
+
+namespace exthash::tables {
+
+class RecordCursor {
+ public:
+  virtual ~RecordCursor() = default;
+  /// Next record in nondecreasing (h(key), key) order; nullopt at the end.
+  virtual std::optional<Record> next() = 0;
+};
+
+/// Cursor over a pre-sorted in-memory vector (e.g. a drained memtable).
+class VectorCursor final : public RecordCursor {
+ public:
+  explicit VectorCursor(std::vector<Record> records)
+      : records_(std::move(records)) {}
+
+  std::optional<Record> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  std::vector<Record> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Merges k hash-ordered sources into one hash-ordered stream.
+///
+/// Sources must be given NEWEST FIRST. When the same key appears in several
+/// sources, only the newest version is emitted (last-writer-wins). If
+/// `drop_tombstones` is set, records whose value is kTombstoneValue are
+/// suppressed after duplicate resolution — set it only when merging into
+/// the oldest structure, where no shadowed data remains below.
+class KWayMerger final : public RecordCursor {
+ public:
+  KWayMerger(std::vector<std::unique_ptr<RecordCursor>> sources,
+             hashfn::HashPtr hash, bool drop_tombstones)
+      : sources_(std::move(sources)),
+        hash_(std::move(hash)),
+        drop_tombstones_(drop_tombstones) {
+    EXTHASH_CHECK(hash_ != nullptr);
+    for (std::size_t i = 0; i < sources_.size(); ++i) advance(i);
+  }
+
+  std::optional<Record> next() override {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      heap_.pop();
+      advance(top.source);
+      // Discard older versions of the same key (heap order puts the newest
+      // source first among equal keys).
+      while (!heap_.empty() && heap_.top().record.key == top.record.key &&
+             heap_.top().hash == top.hash) {
+        const Entry dup = heap_.top();
+        heap_.pop();
+        advance(dup.source);
+      }
+      if (drop_tombstones_ && top.record.value == kTombstoneValue) continue;
+      return top.record;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    Record record;
+    std::size_t source;  // lower = newer
+
+    bool operator>(const Entry& rhs) const noexcept {
+      if (hash != rhs.hash) return hash > rhs.hash;
+      if (record.key != rhs.record.key) return record.key > rhs.record.key;
+      return source > rhs.source;
+    }
+  };
+
+  void advance(std::size_t i) {
+    if (auto r = sources_[i]->next()) {
+      heap_.push(Entry{(*hash_)(r->key), *r, i});
+    }
+  }
+
+  std::vector<std::unique_ptr<RecordCursor>> sources_;
+  hashfn::HashPtr hash_;
+  bool drop_tombstones_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+};
+
+/// Single-record lookahead wrapper used by bulk builders.
+class PeekableCursor {
+ public:
+  explicit PeekableCursor(RecordCursor& inner) : inner_(&inner) {
+    buffered_ = inner_->next();
+  }
+
+  const std::optional<Record>& peek() const noexcept { return buffered_; }
+
+  std::optional<Record> next() {
+    std::optional<Record> out = std::move(buffered_);
+    buffered_ = inner_->next();
+    return out;
+  }
+
+ private:
+  RecordCursor* inner_;
+  std::optional<Record> buffered_;
+};
+
+}  // namespace exthash::tables

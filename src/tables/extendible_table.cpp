@@ -1,0 +1,194 @@
+#include "tables/extendible_table.h"
+
+#include <vector>
+
+namespace exthash::tables {
+
+using extmem::BlockId;
+using extmem::BucketPage;
+using extmem::ConstBucketPage;
+using extmem::Word;
+
+ExtendibleHashTable::ExtendibleHashTable(TableContext ctx,
+                                         ExtendibleConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      global_depth_(config.initial_global_depth),
+      dir_charge_(*ctx_.memory, 0) {
+  EXTHASH_CHECK(config.initial_global_depth <= config.max_global_depth);
+  directory_.resize(std::size_t{1} << global_depth_);
+  dir_charge_.resize(directory_.size() + 8);
+  // All directory entries initially share one depth-0 bucket.
+  const BlockId first = ctx_.device->allocate();
+  ++bucket_blocks_;
+  for (auto& entry : directory_) entry = first;
+}
+
+ExtendibleHashTable::~ExtendibleHashTable() {
+  // Free each distinct bucket once (entries alias).
+  BlockId last_freed = extmem::kInvalidBlock;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    const BlockId id = directory_[i];
+    if (id != last_freed) {
+      ctx_.device->free(id);
+      last_freed = id;
+    }
+  }
+}
+
+std::size_t ExtendibleHashTable::dirIndex(std::uint64_t key) const {
+  if (global_depth_ == 0) return 0;
+  return static_cast<std::size_t>(hash()(key) >> (64 - global_depth_));
+}
+
+std::optional<extmem::BlockId> ExtendibleHashTable::primaryBlockOf(
+    std::uint64_t key) const {
+  return directory_[dirIndex(key)];
+}
+
+double ExtendibleHashTable::loadFactor() const noexcept {
+  const double capacity = static_cast<double>(bucket_blocks_) *
+                          static_cast<double>(records_per_block_);
+  return capacity > 0 ? static_cast<double>(size_) / capacity : 0.0;
+}
+
+void ExtendibleHashTable::doubleDirectory() {
+  EXTHASH_CHECK_MSG(global_depth_ < config_.max_global_depth,
+                    "extendible directory exceeded max depth "
+                        << config_.max_global_depth);
+  std::vector<BlockId> bigger(directory_.size() * 2);
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    bigger[2 * i] = directory_[i];
+    bigger[2 * i + 1] = directory_[i];
+  }
+  directory_ = std::move(bigger);
+  ++global_depth_;
+  dir_charge_.resize(directory_.size() + 8);
+}
+
+bool ExtendibleHashTable::splitBucket(std::size_t idx) {
+  const BlockId old_block = directory_[idx];
+  std::uint32_t local_depth = 0;
+  std::vector<Record> records;
+  ctx_.device->withRead(old_block, [&](std::span<const Word> data) {
+    ConstBucketPage page(data);
+    local_depth = page.flags();
+    const std::size_t n = page.count();
+    records.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) records.push_back(page.recordAt(i));
+  });
+  if (local_depth >= global_depth_) {
+    if (global_depth_ >= config_.max_global_depth) return false;
+    doubleDirectory();
+    idx *= 2;  // same bucket, re-anchored in the doubled directory
+  }
+
+  // Partition by the (local_depth)-th bit below the top of the hash.
+  const std::uint32_t new_depth = local_depth + 1;
+  const int bit_shift = 64 - static_cast<int>(new_depth);
+  std::vector<Record> zeros, ones;
+  for (const Record& r : records) {
+    if ((hash()(r.key) >> bit_shift) & 1) ones.push_back(r);
+    else zeros.push_back(r);
+  }
+
+  const BlockId one_block = ctx_.device->allocate();
+  ++bucket_blocks_;
+  ctx_.device->withOverwrite(old_block, [&](std::span<Word> data) {
+    BucketPage page(data);
+    page.format();
+    page.setFlags(new_depth);
+    for (const Record& r : zeros) EXTHASH_CHECK(page.append(r));
+  });
+  ctx_.device->withOverwrite(one_block, [&](std::span<Word> data) {
+    BucketPage page(data);
+    page.format();
+    page.setFlags(new_depth);
+    for (const Record& r : ones) EXTHASH_CHECK(page.append(r));
+  });
+
+  // Re-point the directory range that the old bucket served: the upper
+  // half (bit = 1) now maps to the new block.
+  const std::size_t range = std::size_t{1} << (global_depth_ - new_depth);
+  const std::size_t base = (idx >> (global_depth_ - local_depth))
+                           << (global_depth_ - local_depth);
+  for (std::size_t i = 0; i < range; ++i) {
+    directory_[base + range + i] = one_block;
+  }
+  return true;
+}
+
+bool ExtendibleHashTable::insert(std::uint64_t key, std::uint64_t value) {
+  for (int attempt = 0; attempt < 72; ++attempt) {
+    const std::size_t idx = dirIndex(key);
+    struct Outcome {
+      bool done = false;
+      bool inserted_new = false;
+    };
+    const Outcome o = ctx_.device->withWrite(
+        directory_[idx], [&](std::span<Word> data) {
+          BucketPage page(data);
+          if (auto at = page.indexOf(key)) {
+            page.setValueAt(*at, value);
+            return Outcome{true, false};
+          }
+          if (page.append(Record{key, value}))
+            return Outcome{true, true};
+          return Outcome{false, false};
+        });
+    if (o.done) {
+      if (o.inserted_new) ++size_;
+      return o.inserted_new;
+    }
+    EXTHASH_CHECK_MSG(splitBucket(idx),
+                      "extendible bucket cannot split further (hash "
+                      "collisions beyond max depth)");
+  }
+  EXTHASH_CHECK_MSG(false, "extendible insert did not converge");
+  return false;
+}
+
+std::optional<std::uint64_t> ExtendibleHashTable::lookup(std::uint64_t key) {
+  return ctx_.device->withRead(
+      directory_[dirIndex(key)], [&](std::span<const Word> data) {
+        return ConstBucketPage(data).find(key);
+      });
+}
+
+bool ExtendibleHashTable::erase(std::uint64_t key) {
+  const bool removed = ctx_.device->withWrite(
+      directory_[dirIndex(key)], [&](std::span<Word> data) {
+        BucketPage page(data);
+        if (auto idx = page.indexOf(key)) {
+          page.removeAt(*idx);
+          return true;
+        }
+        return false;
+      });
+  if (removed) --size_;
+  return removed;
+}
+
+void ExtendibleHashTable::visitLayout(LayoutVisitor& visitor) const {
+  BlockId last_seen = extmem::kInvalidBlock;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    const BlockId id = directory_[i];
+    if (id == last_seen) continue;  // depth-< g buckets alias entries
+    last_seen = id;
+    ConstBucketPage page(ctx_.device->inspect(id));
+    const std::size_t n = page.count();
+    for (std::size_t r = 0; r < n; ++r) visitor.diskItem(id, page.recordAt(r));
+  }
+}
+
+std::string ExtendibleHashTable::debugString() const {
+  return "extendible{depth=" + std::to_string(global_depth_) +
+         ", dir=" + std::to_string(directory_.size()) +
+         ", buckets=" + std::to_string(bucket_blocks_) +
+         ", size=" + std::to_string(size_) +
+         ", load=" + std::to_string(loadFactor()) + "}";
+}
+
+}  // namespace exthash::tables

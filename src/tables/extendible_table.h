@@ -1,0 +1,64 @@
+// Extendible hashing (Fagin, Nievergelt, Pippenger, Strong 1979 [10]).
+//
+// A directory of 2^g block pointers, indexed by the top g bits of h(x),
+// lives in internal memory (and charges the budget — the directory is the
+// classic memory cost of this scheme). Buckets carry a local depth ℓ <= g;
+// a bucket at depth ℓ serves 2^(g-ℓ) consecutive directory entries.
+// Overflowing buckets split (doubling the directory when ℓ = g), so load
+// factor is maintained without overflow chains and without global
+// rebuilds — the paper cites this (and linear hashing) as the standard
+// O(1/b)-amortized way to keep the load factor of the regime-1 table.
+//
+// Lookup is exactly one I/O, unconditionally. Insert is one rmw plus
+// amortized O(1/b) split work.
+#pragma once
+
+#include <vector>
+
+#include "extmem/bucket_page.h"
+#include "tables/hash_table.h"
+
+namespace exthash::tables {
+
+struct ExtendibleConfig {
+  std::uint32_t initial_global_depth = 0;  // directory starts at 2^depth
+  std::uint32_t max_global_depth = 32;     // safety rail for skewed hashes
+};
+
+class ExtendibleHashTable final : public ExternalHashTable {
+ public:
+  ExtendibleHashTable(TableContext ctx, ExtendibleConfig config);
+  ~ExtendibleHashTable() override;
+
+  bool insert(std::uint64_t key, std::uint64_t value) override;
+  std::optional<std::uint64_t> lookup(std::uint64_t key) override;
+  bool erase(std::uint64_t key) override;
+  std::size_t size() const override { return size_; }
+  std::string_view name() const override { return "extendible"; }
+  void visitLayout(LayoutVisitor& visitor) const override;
+  std::optional<extmem::BlockId> primaryBlockOf(
+      std::uint64_t key) const override;
+  std::string debugString() const override;
+
+  std::uint32_t globalDepth() const noexcept { return global_depth_; }
+  std::size_t directorySize() const noexcept { return directory_.size(); }
+  std::size_t bucketBlocks() const noexcept { return bucket_blocks_; }
+  double loadFactor() const noexcept;
+
+ private:
+  std::size_t dirIndex(std::uint64_t key) const;
+  void doubleDirectory();
+  /// Split the bucket serving directory index `idx`; returns false if the
+  /// bucket cannot split further (all records share g bits of hash).
+  bool splitBucket(std::size_t idx);
+
+  ExtendibleConfig config_;
+  std::size_t records_per_block_;
+  std::uint32_t global_depth_;
+  std::vector<extmem::BlockId> directory_;
+  std::size_t bucket_blocks_ = 0;
+  std::size_t size_ = 0;
+  extmem::MemoryCharge dir_charge_;
+};
+
+}  // namespace exthash::tables

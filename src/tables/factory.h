@@ -1,0 +1,60 @@
+// Uniform construction of every dictionary in the library, used by the
+// benchmark harness, the examples, and the cross-structure property tests.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tables/hash_table.h"
+
+namespace exthash::tables {
+
+enum class TableKind {
+  kChaining,
+  kLinearProbing,
+  kExtendible,
+  kLinearHashing,
+  kLogMethod,
+  kBuffered,    // the paper's Theorem-2 structure (src/core)
+  kJensenPagh,
+  kBTree,
+  kLsm,
+  kCuckoo,
+  kBufferBTree,
+};
+
+struct GeneralConfig {
+  /// Expected number of records; fixed-capacity structures (chaining,
+  /// linear probing, Jensen–Pagh) size their bucket arrays from this.
+  std::size_t expected_n = 0;
+  /// Target load factor for fixed-capacity hash structures.
+  double target_load = 0.5;
+  /// Memory-buffer capacity in items for buffered structures (log-method
+  /// H0, LSM memtable, Theorem-2 H0).
+  std::size_t buffer_items = 0;
+  /// β for the Theorem-2 table (ignored elsewhere).
+  std::size_t beta = 8;
+  /// γ for logarithmic-method structures; LSM fanout.
+  std::size_t gamma = 2;
+};
+
+std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,
+                                             const GeneralConfig& config);
+
+/// Parse "chaining" | "linear-probing" | "extendible" | "linear-hashing" |
+/// "log-method" | "buffered" | "jensen-pagh" | "btree" | "lsm" |
+/// "cuckoo" | "buffer-btree".
+TableKind parseTableKind(const std::string& name);
+std::string_view tableKindName(TableKind kind);
+
+/// All kinds, for parameterized test sweeps.
+inline constexpr TableKind kAllTableKinds[] = {
+    TableKind::kChaining,      TableKind::kLinearProbing,
+    TableKind::kExtendible,    TableKind::kLinearHashing,
+    TableKind::kLogMethod,     TableKind::kBuffered,
+    TableKind::kJensenPagh,    TableKind::kBTree,
+    TableKind::kLsm,           TableKind::kCuckoo,
+    TableKind::kBufferBTree,
+};
+
+}  // namespace exthash::tables

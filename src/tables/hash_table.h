@@ -1,0 +1,119 @@
+// Public interface implemented by every external dictionary in the library
+// (hash tables, the B-tree and LSM baselines, and the paper's Theorem-2
+// structure).
+//
+// The interface mirrors the paper's abstraction:
+//  * insert / lookup / erase are the dictionary operations whose I/O cost
+//    the device counts;
+//  * visitLayout exposes the *layout of items* — which records live in
+//    memory and which live in which disk block — uncounted, for the
+//    lower-bound analysis (memory / fast / slow zone accounting);
+//  * primaryBlockOf is the table's memory-computable address function f:
+//    the one block a query algorithm can locate with a single I/O.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+#include "extmem/record.h"
+#include "hashfn/hash_function.h"
+#include "util/assert.h"
+
+namespace exthash::tables {
+
+/// Non-owning bundle of the resources a table operates on. The device and
+/// budget must outlive the table; the hash function is shared because
+/// composite structures (logarithmic method, Theorem 2) need all of their
+/// component tables to agree on h.
+struct TableContext {
+  extmem::BlockDevice* device = nullptr;
+  extmem::MemoryBudget* memory = nullptr;
+  hashfn::HashPtr hash;
+
+  void check() const {
+    EXTHASH_CHECK(device != nullptr);
+    EXTHASH_CHECK(memory != nullptr);
+    EXTHASH_CHECK(hash != nullptr);
+  }
+};
+
+/// Receives the full item layout of a table (uncounted introspection).
+class LayoutVisitor {
+ public:
+  virtual ~LayoutVisitor() = default;
+  /// A record held in internal memory (the paper's memory zone M).
+  virtual void memoryItem(const Record& record) { (void)record; }
+  /// A record (or copy) held in disk block `block`.
+  virtual void diskItem(extmem::BlockId block, const Record& record) {
+    (void)block;
+    (void)record;
+  }
+};
+
+/// Thrown by operations a particular structure does not support.
+class UnsupportedOperation : public std::logic_error {
+ public:
+  explicit UnsupportedOperation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+class ExternalHashTable {
+ public:
+  explicit ExternalHashTable(TableContext ctx) : ctx_(std::move(ctx)) {
+    ctx_.check();
+  }
+  virtual ~ExternalHashTable() = default;
+
+  ExternalHashTable(const ExternalHashTable&) = delete;
+  ExternalHashTable& operator=(const ExternalHashTable&) = delete;
+
+  /// Insert `key` → `value`, updating in place if the key exists (see each
+  /// structure's documentation for duplicate-key contracts). Returns true
+  /// if the key was new.
+  virtual bool insert(std::uint64_t key, std::uint64_t value) = 0;
+
+  /// Point lookup; nullopt if absent.
+  virtual std::optional<std::uint64_t> lookup(std::uint64_t key) = 0;
+
+  /// Remove `key`; returns true if it was present. Structures following
+  /// the paper's insert-only model throw UnsupportedOperation.
+  virtual bool erase(std::uint64_t key) {
+    (void)key;
+    throw UnsupportedOperation(std::string(name()) +
+                               " does not support erase");
+  }
+
+  /// Number of live records.
+  virtual std::size_t size() const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// Enumerate the complete item layout (uncounted; analysis only).
+  virtual void visitLayout(LayoutVisitor& visitor) const = 0;
+
+  /// The address function f: the block where a one-I/O query for `key`
+  /// looks first. nullopt when the structure has no such single block
+  /// (e.g. a B-tree, where queries are inherently multi-I/O).
+  virtual std::optional<extmem::BlockId> primaryBlockOf(
+      std::uint64_t key) const {
+    (void)key;
+    return std::nullopt;
+  }
+
+  /// One-line structure-specific statistics for logs.
+  virtual std::string debugString() const { return std::string(name()); }
+
+  const TableContext& context() const noexcept { return ctx_; }
+  extmem::BlockDevice& device() const noexcept { return *ctx_.device; }
+  extmem::MemoryBudget& memory() const noexcept { return *ctx_.memory; }
+  const hashfn::HashFunction& hash() const noexcept { return *ctx_.hash; }
+
+ protected:
+  TableContext ctx_;
+};
+
+}  // namespace exthash::tables

@@ -1,0 +1,264 @@
+#include "tables/jensen_pagh_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exthash::tables {
+
+using extmem::BlockId;
+using extmem::BucketPage;
+using extmem::ConstBucketPage;
+using extmem::Word;
+
+namespace {
+/// Primary bucket count for `capacity` items at per-bucket load 1 - 1/√b.
+std::uint64_t bucketsFor(std::size_t capacity, std::size_t b) {
+  const double per_bucket =
+      static_cast<double>(b) * (1.0 - 1.0 / std::sqrt(static_cast<double>(b)));
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(static_cast<double>(capacity) / per_bucket)));
+}
+}  // namespace
+
+JensenPaghTable::JensenPaghTable(TableContext ctx, JensenPaghConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      meta_charge_(*ctx_.memory, 12) {
+  EXTHASH_CHECK(config_.initial_capacity >= 1);
+  initArrays(config_.initial_capacity);
+}
+
+JensenPaghTable::~JensenPaghTable() {
+  if (extent_ != extmem::kInvalidBlock)
+    ctx_.device->freeExtent(extent_, bucket_count_);
+}
+
+void JensenPaghTable::initArrays(std::size_t capacity) {
+  capacity_target_ = capacity;
+  bucket_count_ = bucketsFor(capacity, records_per_block_);
+  extent_ = ctx_.device->allocateExtent(bucket_count_);
+  // Overflow expects a Θ(1/√b) fraction of items; size its bucket array
+  // tightly (chains absorb the tail) so the overall load factor stays at
+  // the promised 1 - O(1/√b).
+  const double expected_overflow =
+      static_cast<double>(capacity) /
+      std::sqrt(static_cast<double>(records_per_block_));
+  const std::uint64_t ov_buckets = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(
+             expected_overflow / static_cast<double>(records_per_block_))));
+  overflow_ = std::make_unique<ChainingHashTable>(
+      ctx_, ChainingConfig{ov_buckets, BucketIndexer{}});
+}
+
+std::uint64_t JensenPaghTable::bucketOf(std::uint64_t key) const {
+  return hashfn::rangeBucket(hash()(key), bucket_count_);
+}
+
+std::optional<extmem::BlockId> JensenPaghTable::primaryBlockOf(
+    std::uint64_t key) const {
+  return extent_ + bucketOf(key);
+}
+
+double JensenPaghTable::loadFactor() const {
+  const std::uint64_t blocks_used =
+      bucket_count_ + overflow_->bucketCount() + overflow_->overflowBlocks();
+  return static_cast<double>(size_) /
+         (static_cast<double>(blocks_used) *
+          static_cast<double>(records_per_block_));
+}
+
+bool JensenPaghTable::insert(std::uint64_t key, std::uint64_t value) {
+  struct Outcome {
+    bool done = false;
+    bool inserted_new = false;
+    bool check_overflow = false;
+  };
+  const BlockId block = extent_ + bucketOf(key);
+  const Outcome o = ctx_.device->withWrite(block, [&](std::span<Word> data) {
+    BucketPage page(data);
+    if (auto idx = page.indexOf(key)) {
+      page.setValueAt(*idx, value);
+      return Outcome{true, false, false};
+    }
+    if ((page.flags() & kHasOverflowFlag) != 0) {
+      // The key might live in the overflow table; fall through.
+      return Outcome{false, false, true};
+    }
+    if (page.append(Record{key, value})) return Outcome{true, true, false};
+    page.setFlags(page.flags() | kHasOverflowFlag);
+    return Outcome{false, false, false};
+  });
+
+  bool inserted_new;
+  if (o.done) {
+    inserted_new = o.inserted_new;
+  } else {
+    // Goes to (or updates in) the shared overflow table.
+    inserted_new = overflow_->insert(key, value);
+  }
+  if (inserted_new) {
+    ++size_;
+    if (size_ > capacity_target_) rebuild(capacity_target_ * 2);
+  }
+  return inserted_new;
+}
+
+std::optional<std::uint64_t> JensenPaghTable::lookup(std::uint64_t key) {
+  struct Probe {
+    std::optional<std::uint64_t> value;
+    bool overflowed = false;
+  };
+  const Probe p = ctx_.device->withRead(
+      extent_ + bucketOf(key), [&](std::span<const Word> data) {
+        ConstBucketPage page(data);
+        return Probe{page.find(key), (page.flags() & kHasOverflowFlag) != 0};
+      });
+  if (p.value) return p.value;
+  if (!p.overflowed) return std::nullopt;
+  return overflow_->lookup(key);
+}
+
+bool JensenPaghTable::erase(std::uint64_t key) {
+  struct Probe {
+    bool removed = false;
+    bool overflowed = false;
+  };
+  const Probe p = ctx_.device->withWrite(
+      extent_ + bucketOf(key), [&](std::span<Word> data) {
+        BucketPage page(data);
+        if (auto idx = page.indexOf(key)) {
+          page.removeAt(*idx);
+          return Probe{true, false};
+        }
+        return Probe{false, (page.flags() & kHasOverflowFlag) != 0};
+      });
+  if (p.removed) {
+    --size_;
+    return true;
+  }
+  if (!p.overflowed) return false;
+  if (overflow_->erase(key)) {
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+void JensenPaghTable::rebuild(std::size_t new_capacity) {
+  // Stream every record in hash order (primary buckets are range-indexed,
+  // so ascending buckets = ascending hash; the overflow table scans in
+  // hash order natively) and redistribute into the doubled layout.
+  // The cursor snapshots the OLD extent geometry by value: initArrays()
+  // below re-points extent_/bucket_count_ at the new layout while this
+  // cursor is still draining the old one.
+  struct PrimaryCursor final : public RecordCursor {
+    extmem::BlockDevice* device;
+    const hashfn::HashFunction* h;
+    BlockId extent;
+    std::uint64_t bucket_count;
+    std::uint64_t bucket = 0;
+    std::vector<Record> buf;
+    std::size_t pos = 0;
+    PrimaryCursor(extmem::BlockDevice* d, const hashfn::HashFunction* hash,
+                  BlockId e, std::uint64_t buckets)
+        : device(d), h(hash), extent(e), bucket_count(buckets) {}
+    std::optional<Record> next() override {
+      while (pos >= buf.size()) {
+        if (bucket >= bucket_count) return std::nullopt;
+        buf.clear();
+        pos = 0;
+        device->withRead(extent + bucket, [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          const std::size_t n = page.count();
+          for (std::size_t i = 0; i < n; ++i)
+            buf.push_back(page.recordAt(i));
+        });
+        std::sort(buf.begin(), buf.end(),
+                  [&](const Record& a, const Record& b) {
+                    const auto ha = (*h)(a.key), hb = (*h)(b.key);
+                    if (ha != hb) return ha < hb;
+                    return a.key < b.key;
+                  });
+        ++bucket;
+      }
+      return buf[pos++];
+    }
+  };
+
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(std::make_unique<PrimaryCursor>(
+      ctx_.device, ctx_.hash.get(), extent_, bucket_count_));
+  sources.push_back(overflow_->scanInHashOrder());
+  KWayMerger merged(std::move(sources), ctx_.hash, /*drop_tombstones=*/false);
+
+  // Stash old layout for freeing after the stream completes.
+  const BlockId old_extent = extent_;
+  const std::uint64_t old_buckets = bucket_count_;
+  std::unique_ptr<ChainingHashTable> old_overflow = std::move(overflow_);
+  const std::size_t old_size = size_;
+
+  initArrays(new_capacity);
+  size_ = 0;
+
+  // Write new primary buckets sequentially; spill per-bucket excess into
+  // the new overflow table (an O(1/√b) fraction, one rmw each).
+  std::vector<Record> bucket_buf;
+  std::uint64_t current_bucket = 0;
+  auto flushBucket = [&]() {
+    if (bucket_buf.empty()) return;
+    ctx_.device->withOverwrite(
+        extent_ + current_bucket, [&](std::span<Word> data) {
+          BucketPage page(data);
+          page.format();
+          std::size_t i = 0;
+          for (; i < bucket_buf.size() && i < records_per_block_; ++i)
+            EXTHASH_CHECK(page.append(bucket_buf[i]));
+          if (i < bucket_buf.size())
+            page.setFlags(page.flags() | kHasOverflowFlag);
+        });
+    for (std::size_t i = records_per_block_; i < bucket_buf.size(); ++i)
+      overflow_->insert(bucket_buf[i].key, bucket_buf[i].value);
+    size_ += bucket_buf.size();
+    bucket_buf.clear();
+  };
+
+  while (auto r = merged.next()) {
+    const std::uint64_t j = hashfn::rangeBucket(hash()(r->key), bucket_count_);
+    if (j != current_bucket) {
+      flushBucket();
+      current_bucket = j;
+    }
+    bucket_buf.push_back(*r);
+  }
+  flushBucket();
+  EXTHASH_CHECK_MSG(size_ == old_size,
+                    "rebuild dropped records: " << size_ << " != " << old_size);
+
+  old_overflow->destroy();
+  old_overflow.reset();
+  ctx_.device->freeExtent(old_extent, old_buckets);
+  ++rebuilds_;
+}
+
+void JensenPaghTable::visitLayout(LayoutVisitor& visitor) const {
+  for (std::uint64_t j = 0; j < bucket_count_; ++j) {
+    ConstBucketPage page(ctx_.device->inspect(extent_ + j));
+    const std::size_t n = page.count();
+    for (std::size_t i = 0; i < n; ++i)
+      visitor.diskItem(extent_ + j, page.recordAt(i));
+  }
+  overflow_->visitLayout(visitor);
+}
+
+std::string JensenPaghTable::debugString() const {
+  return "jensen-pagh{buckets=" + std::to_string(bucket_count_) +
+         ", size=" + std::to_string(size_) +
+         ", overflow=" + std::to_string(overflowItems()) +
+         ", load=" + std::to_string(loadFactor()) +
+         ", rebuilds=" + std::to_string(rebuilds_) + "}";
+}
+
+}  // namespace exthash::tables

@@ -1,0 +1,343 @@
+#include "tables/linear_hash_table.h"
+
+#include <bit>
+
+namespace exthash::tables {
+
+using extmem::BlockId;
+using extmem::BucketPage;
+using extmem::ConstBucketPage;
+using extmem::kInvalidBlock;
+using extmem::Word;
+
+LinearHashTable::LinearHashTable(TableContext ctx, LinearHashConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      meta_charge_(*ctx_.memory, 48) {  // segment bases + scalars
+  EXTHASH_CHECK(config_.initial_buckets >= 1);
+  EXTHASH_CHECK(config_.max_load > 0.0 && config_.max_load <= 1.0);
+  segments_.push_back(
+      ctx_.device->allocateExtent(config_.initial_buckets));
+}
+
+LinearHashTable::~LinearHashTable() {
+  // Free overflow chains, then the segment extents.
+  const std::uint64_t live = bucketCountLive();
+  for (std::uint64_t j = 0; j < live; ++j) {
+    ConstBucketPage page(ctx_.device->inspect(blockOfBucket(j)));
+    BlockId overflow = page.next();
+    while (overflow != kInvalidBlock) {
+      ConstBucketPage opage(ctx_.device->inspect(overflow));
+      const BlockId next = opage.next();
+      ctx_.device->free(overflow);
+      overflow = next;
+    }
+  }
+  const std::uint64_t n0 = config_.initial_buckets;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const std::uint64_t span = s == 0 ? n0 : n0 << (s - 1);
+    ctx_.device->freeExtent(segments_[s], span);
+  }
+}
+
+std::uint64_t LinearHashTable::bucketOf(std::uint64_t key) const {
+  const std::uint64_t hv = hash()(key);
+  const std::uint64_t round_buckets = config_.initial_buckets << level_;
+  std::uint64_t j = hv % round_buckets;
+  if (j < split_pointer_) j = hv % (round_buckets << 1);
+  return j;
+}
+
+BlockId LinearHashTable::blockOfBucket(std::uint64_t bucket) const {
+  const std::uint64_t n0 = config_.initial_buckets;
+  if (bucket < n0) return segments_[0] + bucket;
+  // bucket is in segment s >= 1 covering [n0·2^(s-1), n0·2^s).
+  const std::uint64_t q = bucket / n0;  // >= 1
+  const std::uint32_t s = std::bit_width(q);  // floor(log2(q)) + 1
+  const std::uint64_t seg_base = n0 << (s - 1);
+  EXTHASH_CHECK_MSG(s < segments_.size(),
+                    "bucket " << bucket << " beyond allocated segments");
+  return segments_[s] + (bucket - seg_base);
+}
+
+void LinearHashTable::ensureSegmentFor(std::uint64_t bucket) {
+  const std::uint64_t n0 = config_.initial_buckets;
+  while (true) {
+    // Highest bucket currently addressable.
+    const std::uint64_t covered =
+        segments_.size() == 1 ? n0 : n0 << (segments_.size() - 1);
+    if (bucket < covered) return;
+    const std::uint64_t span = n0 << (segments_.size() - 1);
+    segments_.push_back(ctx_.device->allocateExtent(span));
+    meta_charge_.resize(40 + segments_.size());
+  }
+}
+
+std::optional<extmem::BlockId> LinearHashTable::primaryBlockOf(
+    std::uint64_t key) const {
+  return blockOfBucket(bucketOf(key));
+}
+
+double LinearHashTable::loadFactor() const noexcept {
+  return static_cast<double>(size_) /
+         (static_cast<double>(bucketCountLive()) *
+          static_cast<double>(records_per_block_));
+}
+
+std::vector<Record> LinearHashTable::drainBucket(std::uint64_t bucket) {
+  std::vector<Record> records;
+  const BlockId primary = blockOfBucket(bucket);
+  BlockId current = primary;
+  while (current != kInvalidBlock) {
+    const BlockId next =
+        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          const std::size_t n = page.count();
+          for (std::size_t i = 0; i < n; ++i)
+            records.push_back(page.recordAt(i));
+          return page.next();
+        });
+    if (current != primary) {
+      ctx_.device->free(current);
+      --overflow_blocks_;
+    }
+    current = next;
+  }
+  return records;
+}
+
+void LinearHashTable::writeBucket(std::uint64_t bucket,
+                                  const std::vector<Record>& records) {
+  const std::size_t cap = records_per_block_;
+  const std::size_t blocks =
+      records.empty() ? 1 : (records.size() + cap - 1) / cap;
+  std::vector<BlockId> chain(blocks);
+  chain[0] = blockOfBucket(bucket);
+  for (std::size_t i = 1; i < blocks; ++i) {
+    chain[i] = ctx_.device->allocate();
+    ++overflow_blocks_;
+  }
+  for (std::size_t i = 0; i < blocks; ++i) {
+    ctx_.device->withOverwrite(chain[i], [&](std::span<Word> data) {
+      BucketPage page(data);
+      page.format();
+      const std::size_t begin = i * cap;
+      const std::size_t end = std::min(records.size(), begin + cap);
+      for (std::size_t r = begin; r < end; ++r)
+        EXTHASH_CHECK(page.append(records[r]));
+      if (i + 1 < blocks) page.setNext(chain[i + 1]);
+    });
+  }
+}
+
+void LinearHashTable::splitOne() {
+  const std::uint64_t round_buckets = config_.initial_buckets << level_;
+  const std::uint64_t source = split_pointer_;
+  const std::uint64_t target = round_buckets + split_pointer_;
+  ensureSegmentFor(target);
+
+  std::vector<Record> records = drainBucket(source);
+  std::vector<Record> stay, move;
+  const std::uint64_t mod = round_buckets << 1;
+  for (const Record& r : records) {
+    if (hash()(r.key) % mod == source) stay.push_back(r);
+    else move.push_back(r);
+  }
+  writeBucket(source, stay);
+  writeBucket(target, move);
+
+  ++split_pointer_;
+  ++splits_;
+  if (split_pointer_ == round_buckets) {
+    split_pointer_ = 0;
+    ++level_;
+  }
+}
+
+void LinearHashTable::maybeSplit() {
+  while (loadFactor() > config_.max_load) splitOne();
+}
+
+bool LinearHashTable::insert(std::uint64_t key, std::uint64_t value) {
+  const std::uint64_t bucket = bucketOf(key);
+  const BlockId primary = blockOfBucket(bucket);
+
+  // Same chained-bucket insert as ChainingHashTable, inlined against the
+  // split-aware addressing.
+  struct FastResult {
+    bool handled = false;
+    bool inserted_new = false;
+    bool primary_full = false;
+    BlockId next = kInvalidBlock;
+  };
+  const FastResult fast =
+      ctx_.device->withWrite(primary, [&](std::span<Word> data) {
+        BucketPage page(data);
+        FastResult r;
+        if (auto idx = page.indexOf(key)) {
+          page.setValueAt(*idx, value);
+          r.handled = true;
+          return r;
+        }
+        if (page.hasNext()) {
+          r.primary_full = page.full();
+          r.next = page.next();
+          return r;
+        }
+        if (page.append(Record{key, value})) {
+          r.handled = r.inserted_new = true;
+          return r;
+        }
+        const BlockId fresh = ctx_.device->allocate();
+        ctx_.device->withOverwrite(fresh, [&](std::span<Word> fd) {
+          BucketPage fp(fd);
+          fp.format();
+          EXTHASH_CHECK(fp.append(Record{key, value}));
+        });
+        page.setNext(fresh);
+        ++overflow_blocks_;
+        r.handled = r.inserted_new = true;
+        return r;
+      });
+  bool inserted_new = fast.inserted_new;
+  if (!fast.handled) {
+    BlockId current = fast.next;
+    BlockId first_with_space = fast.primary_full ? kInvalidBlock : primary;
+    BlockId last = primary;
+    bool updated = false;
+    while (current != kInvalidBlock) {
+      struct Info {
+        bool found = false;
+        bool full = true;
+        BlockId next = kInvalidBlock;
+      };
+      const Info info =
+          ctx_.device->withRead(current, [&](std::span<const Word> data) {
+            ConstBucketPage page(data);
+            return Info{page.indexOf(key).has_value(), page.full(),
+                        page.next()};
+          });
+      if (info.found) {
+        ctx_.device->withWrite(current, [&](std::span<Word> data) {
+          BucketPage page(data);
+          const auto idx = page.indexOf(key);
+          EXTHASH_CHECK(idx.has_value());
+          page.setValueAt(*idx, value);
+        });
+        updated = true;
+        break;
+      }
+      if (!info.full && first_with_space == kInvalidBlock)
+        first_with_space = current;
+      last = current;
+      current = info.next;
+    }
+    if (!updated) {
+      if (first_with_space != kInvalidBlock) {
+        ctx_.device->withWrite(first_with_space, [&](std::span<Word> data) {
+          EXTHASH_CHECK(BucketPage(data).append(Record{key, value}));
+        });
+      } else {
+        const BlockId fresh = ctx_.device->allocate();
+        ctx_.device->withOverwrite(fresh, [&](std::span<Word> data) {
+          BucketPage page(data);
+          page.format();
+          EXTHASH_CHECK(page.append(Record{key, value}));
+        });
+        ctx_.device->withWrite(last, [&](std::span<Word> data) {
+          BucketPage(data).setNext(fresh);
+        });
+        ++overflow_blocks_;
+      }
+      inserted_new = true;
+    }
+  }
+
+  if (inserted_new) {
+    ++size_;
+    maybeSplit();
+  }
+  return inserted_new;
+}
+
+std::optional<std::uint64_t> LinearHashTable::lookup(std::uint64_t key) {
+  BlockId current = blockOfBucket(bucketOf(key));
+  while (current != kInvalidBlock) {
+    struct Result {
+      std::optional<std::uint64_t> value;
+      BlockId next = kInvalidBlock;
+    };
+    const Result r =
+        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          return Result{page.find(key), page.next()};
+        });
+    if (r.value) return r.value;
+    current = r.next;
+  }
+  return std::nullopt;
+}
+
+bool LinearHashTable::erase(std::uint64_t key) {
+  const BlockId primary = blockOfBucket(bucketOf(key));
+  BlockId prev = kInvalidBlock;
+  BlockId current = primary;
+  while (current != kInvalidBlock) {
+    struct Info {
+      std::optional<std::size_t> index;
+      std::size_t count = 0;
+      BlockId next = kInvalidBlock;
+    };
+    const Info info =
+        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          return Info{page.indexOf(key), page.count(), page.next()};
+        });
+    if (info.index) {
+      ctx_.device->withWrite(current, [&](std::span<Word> data) {
+        BucketPage page(data);
+        const auto idx = page.indexOf(key);
+        EXTHASH_CHECK(idx.has_value());
+        page.removeAt(*idx);
+      });
+      if (current != primary && info.count == 1) {
+        ctx_.device->withWrite(prev, [&](std::span<Word> data) {
+          BucketPage(data).setNext(info.next);
+        });
+        ctx_.device->free(current);
+        --overflow_blocks_;
+      }
+      --size_;
+      return true;
+    }
+    prev = current;
+    current = info.next;
+  }
+  return false;
+}
+
+void LinearHashTable::visitLayout(LayoutVisitor& visitor) const {
+  const std::uint64_t live = bucketCountLive();
+  for (std::uint64_t j = 0; j < live; ++j) {
+    BlockId current = blockOfBucket(j);
+    while (current != kInvalidBlock) {
+      ConstBucketPage page(ctx_.device->inspect(current));
+      const std::size_t n = page.count();
+      for (std::size_t i = 0; i < n; ++i)
+        visitor.diskItem(current, page.recordAt(i));
+      current = page.next();
+    }
+  }
+}
+
+std::string LinearHashTable::debugString() const {
+  return "linear-hashing{level=" + std::to_string(level_) +
+         ", split_ptr=" + std::to_string(split_pointer_) +
+         ", buckets=" + std::to_string(bucketCountLive()) +
+         ", size=" + std::to_string(size_) +
+         ", load=" + std::to_string(loadFactor()) + "}";
+}
+
+}  // namespace exthash::tables

@@ -1,0 +1,195 @@
+#include "tables/linear_probing_table.h"
+
+#include <vector>
+
+namespace exthash::tables {
+
+using extmem::BlockId;
+using extmem::BucketPage;
+using extmem::ConstBucketPage;
+using extmem::Word;
+
+LinearProbingHashTable::LinearProbingHashTable(TableContext ctx,
+                                               LinearProbingConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      meta_charge_(*ctx_.memory, 8) {
+  EXTHASH_CHECK(config_.bucket_count >= 1);
+  extent_ = ctx_.device->allocateExtent(config_.bucket_count);
+}
+
+LinearProbingHashTable::~LinearProbingHashTable() {
+  ctx_.device->freeExtent(extent_, config_.bucket_count);
+}
+
+std::uint64_t LinearProbingHashTable::homeBucket(std::uint64_t key) const {
+  return config_.indexer(hash()(key), config_.bucket_count);
+}
+
+std::optional<extmem::BlockId> LinearProbingHashTable::primaryBlockOf(
+    std::uint64_t key) const {
+  return blockOf(homeBucket(key));
+}
+
+double LinearProbingHashTable::loadFactor() const noexcept {
+  return static_cast<double>(size_) /
+         (static_cast<double>(config_.bucket_count) *
+          static_cast<double>(records_per_block_));
+}
+
+bool LinearProbingHashTable::insert(std::uint64_t key, std::uint64_t value) {
+  const std::uint64_t home = homeBucket(key);
+  const std::uint64_t d = config_.bucket_count;
+
+  // Fast path: the home block terminates its own probe run (it never
+  // overflowed), so a single rmw decides everything.
+  struct FastResult {
+    bool handled = false;
+    bool inserted_new = false;
+    bool home_has_space = false;
+  };
+  const FastResult fast =
+      ctx_.device->withWrite(blockOf(home), [&](std::span<Word> data) {
+        BucketPage page(data);
+        FastResult r;
+        if (auto idx = page.indexOf(key)) {
+          page.setValueAt(*idx, value);
+          r.handled = true;
+          return r;
+        }
+        if (page.flags() & kOverflowedFlag) {
+          // Must scan the whole probe run for a duplicate first, but the
+          // home block remains a valid placement target if it has holes.
+          r.home_has_space = !page.full();
+          return r;
+        }
+        if (page.append(Record{key, value})) {
+          r.handled = r.inserted_new = true;
+          return r;
+        }
+        // Full, never overflowed: it overflows now; fall to the slow path.
+        page.setFlags(page.flags() | kOverflowedFlag);
+        return r;
+      });
+  if (fast.handled) {
+    if (fast.inserted_new) ++size_;
+    return fast.inserted_new;
+  }
+
+  // Slow path. The probe range of `key` is home..T where T is the first
+  // block with the overflow flag clear. The key may live anywhere in that
+  // range, so we must scan it all before appending; we remember the first
+  // block with free space and which full blocks need their flag set.
+  std::uint64_t place = fast.home_has_space ? home : d;
+  std::vector<std::uint64_t> flag_me;  // full blocks probed past
+  for (std::uint64_t step = 1; step < d; ++step) {
+    const std::uint64_t j = (home + step) % d;
+    struct Probe {
+      bool found = false;
+      bool full = false;
+      bool overflowed = false;
+    };
+    const Probe p =
+        ctx_.device->withRead(blockOf(j), [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          return Probe{page.indexOf(key).has_value(), page.full(),
+                       (page.flags() & kOverflowedFlag) != 0};
+        });
+    if (p.found) {
+      ctx_.device->withWrite(blockOf(j), [&](std::span<Word> data) {
+        BucketPage page(data);
+        const auto idx = page.indexOf(key);
+        EXTHASH_CHECK(idx.has_value());
+        page.setValueAt(*idx, value);
+      });
+      return false;
+    }
+    if (!p.full && place == d) place = j;
+    if (!p.overflowed) {
+      if (p.full && place == d) flag_me.push_back(j);  // we probe past it
+      if (!p.full) break;  // terminal block with space: probe range ends
+      if (p.full && place != d) break;  // range ends; we place earlier
+    }
+  }
+  EXTHASH_CHECK_MSG(place != d, "linear probing table is full");
+  ctx_.device->withWrite(blockOf(place), [&](std::span<Word> data) {
+    EXTHASH_CHECK(BucketPage(data).append(Record{key, value}));
+  });
+  for (const std::uint64_t j : flag_me) {
+    ctx_.device->withWrite(blockOf(j), [&](std::span<Word> data) {
+      BucketPage page(data);
+      page.setFlags(page.flags() | kOverflowedFlag);
+    });
+  }
+  ++size_;
+  return true;
+}
+
+std::optional<std::uint64_t> LinearProbingHashTable::lookup(
+    std::uint64_t key) {
+  const std::uint64_t home = homeBucket(key);
+  const std::uint64_t d = config_.bucket_count;
+  for (std::uint64_t step = 0; step < d; ++step) {
+    const std::uint64_t j = (home + step) % d;
+    struct Probe {
+      std::optional<std::uint64_t> value;
+      bool overflowed = false;
+    };
+    const Probe p =
+        ctx_.device->withRead(blockOf(j), [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          return Probe{page.find(key),
+                       (page.flags() & kOverflowedFlag) != 0};
+        });
+    if (p.value) return p.value;
+    if (!p.overflowed) return std::nullopt;  // probe run ends here
+  }
+  return std::nullopt;
+}
+
+bool LinearProbingHashTable::erase(std::uint64_t key) {
+  const std::uint64_t home = homeBucket(key);
+  const std::uint64_t d = config_.bucket_count;
+  for (std::uint64_t step = 0; step < d; ++step) {
+    const std::uint64_t j = (home + step) % d;
+    struct Probe {
+      bool found = false;
+      bool overflowed = false;
+    };
+    const Probe p =
+        ctx_.device->withWrite(blockOf(j), [&](std::span<Word> data) {
+          BucketPage page(data);
+          if (auto idx = page.indexOf(key)) {
+            page.removeAt(*idx);
+            return Probe{true, false};
+          }
+          return Probe{false, (page.flags() & kOverflowedFlag) != 0};
+        });
+    if (p.found) {
+      --size_;
+      return true;
+    }
+    if (!p.overflowed) return false;
+  }
+  return false;
+}
+
+void LinearProbingHashTable::visitLayout(LayoutVisitor& visitor) const {
+  for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
+    ConstBucketPage page(ctx_.device->inspect(blockOf(j)));
+    const std::size_t n = page.count();
+    for (std::size_t i = 0; i < n; ++i) {
+      visitor.diskItem(blockOf(j), page.recordAt(i));
+    }
+  }
+}
+
+std::string LinearProbingHashTable::debugString() const {
+  return "linear-probing{buckets=" + std::to_string(config_.bucket_count) +
+         ", size=" + std::to_string(size_) +
+         ", load=" + std::to_string(loadFactor()) + "}";
+}
+
+}  // namespace exthash::tables

@@ -1,0 +1,224 @@
+#include "tables/log_method_table.h"
+
+#include <algorithm>
+
+namespace exthash::tables {
+
+LogMethodTable::LogMethodTable(TableContext ctx, LogMethodConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      h0_(*ctx_.memory, config.h0_capacity_items) {
+  EXTHASH_CHECK_MSG(config_.gamma >= 2, "logarithmic method needs γ >= 2");
+  EXTHASH_CHECK_MSG(config_.h0_capacity_items >= 1,
+                    "H0 needs capacity >= 1 item");
+}
+
+std::size_t LogMethodTable::levelCapacity(std::size_t k) const {
+  std::size_t cap = config_.h0_capacity_items;
+  for (std::size_t i = 0; i < k; ++i) cap *= config_.gamma;
+  return cap;
+}
+
+ChainingConfig LogMethodTable::levelConfig(std::size_t k) const {
+  // Level k holds up to levelCapacity(k) items at load <= 1/2.
+  const std::size_t buckets = std::max<std::size_t>(
+      1, (2 * levelCapacity(k) + records_per_block_ - 1) / records_per_block_);
+  return ChainingConfig{buckets, BucketIndexer{IndexKind::kRange, 1.0}};
+}
+
+ChainingConfig LogMethodTable::levelConfigForSize(std::size_t items) const {
+  // Every migration rebuilds the level from scratch, so the bucket array
+  // can be sized for the records actually present (at load 1/2) instead of
+  // the level's worst-case capacity. This keeps the build cost at
+  // O(items/b) writes even when the level is far below capacity — without
+  // it, sparse rebuilds pay one write per nearly-empty bucket and the
+  // Lemma 5 constant doubles for large γ.
+  const std::size_t buckets = std::max<std::size_t>(
+      1, (2 * items + records_per_block_ - 1) / records_per_block_);
+  return ChainingConfig{buckets, BucketIndexer{IndexKind::kRange, 1.0}};
+}
+
+std::size_t LogMethodTable::nonemptyLevels() const noexcept {
+  std::size_t n = 0;
+  for (const auto& level : levels_)
+    if (level) ++n;
+  return n;
+}
+
+std::size_t LogMethodTable::bufferedRecords() const noexcept {
+  std::size_t n = h0_.size();
+  for (const auto& level : levels_)
+    if (level) n += level->size();
+  return n;
+}
+
+bool LogMethodTable::insert(std::uint64_t key, std::uint64_t value) {
+  EXTHASH_CHECK_MSG(value != kTombstoneValue,
+                    "value collides with the tombstone sentinel");
+  if (h0_.full()) flush();
+  const bool new_in_h0 = !h0_.contains(key);
+  EXTHASH_CHECK(h0_.insertOrAssign(key, value));
+  if (new_in_h0) ++live_size_;  // exact under distinct-key workloads
+  return new_in_h0;
+}
+
+void LogMethodTable::flush() {
+  // Find the shallowest level k whose capacity can absorb H0 plus every
+  // shallower level; merge them all into k with one streaming pass.
+  std::size_t carried = h0_.size();
+  std::size_t k = 1;
+  std::size_t incoming = carried;
+  while (true) {
+    const std::size_t existing =
+        (k <= levels_.size() && levels_[k - 1]) ? levels_[k - 1]->size() : 0;
+    if (carried + existing <= levelCapacity(k)) {
+      incoming = carried + existing;
+      break;
+    }
+    carried += existing;
+    ++k;
+  }
+
+  // Sources newest-first: H0, then H1, ..., up to (and including) level k.
+  const auto hash_order = [this](std::uint64_t key) {
+    return (*ctx_.hash)(key);
+  };
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(
+      std::make_unique<VectorCursor>(h0_.drainSorted(hash_order)));
+  std::vector<std::unique_ptr<ChainingHashTable>> consumed;
+  const std::size_t deepest = std::min(k, levels_.size());
+  for (std::size_t j = 1; j <= deepest; ++j) {
+    if (!levels_[j - 1]) continue;
+    sources.push_back(levels_[j - 1]->scanInHashOrder());
+    consumed.push_back(std::move(levels_[j - 1]));
+  }
+
+  // Tombstones may be dropped only when nothing older remains below k.
+  bool older_below = false;
+  for (std::size_t j = k + 1; j <= levels_.size(); ++j) {
+    if (levels_[j - 1]) older_below = true;
+  }
+
+  KWayMerger merged(std::move(sources), ctx_.hash,
+                    /*drop_tombstones=*/!older_below);
+  auto rebuilt = ChainingHashTable::buildFromSorted(
+      ctx_, levelConfigForSize(incoming), merged);
+
+  // Release the merged-away levels' blocks, then install the new level.
+  for (auto& table : consumed) table->destroy();
+  consumed.clear();
+  if (levels_.size() < k) levels_.resize(k);
+  levels_[k - 1] = std::move(rebuilt);
+  ++merges_;
+}
+
+std::optional<std::uint64_t> LogMethodTable::lookup(std::uint64_t key) {
+  if (auto v = h0_.find(key)) {
+    if (*v == kTombstoneValue) return std::nullopt;
+    return v;
+  }
+  for (const auto& level : levels_) {
+    if (!level) continue;
+    if (auto v = level->lookup(key)) {
+      if (*v == kTombstoneValue) return std::nullopt;
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+bool LogMethodTable::erase(std::uint64_t key) {
+  // The lookup is needed to report presence; it also keeps live_size_
+  // exact. Costs one query's worth of reads, as documented.
+  if (!lookup(key).has_value()) return false;
+  if (h0_.full()) flush();
+  EXTHASH_CHECK(h0_.insertOrAssign(key, kTombstoneValue));
+  --live_size_;
+  return true;
+}
+
+void LogMethodTable::visitLayout(LayoutVisitor& visitor) const {
+  h0_.forEach([&](const Record& r) {
+    if (r.value != kTombstoneValue) visitor.memoryItem(r);
+  });
+  for (const auto& level : levels_) {
+    if (level) level->visitLayout(visitor);
+  }
+}
+
+std::optional<extmem::BlockId> LogMethodTable::primaryBlockOf(
+    std::uint64_t key) const {
+  // The best memory-computable address function points into the largest
+  // level (the majority of buffered items); items elsewhere are slow-zone.
+  const ChainingHashTable* largest = nullptr;
+  for (const auto& level : levels_) {
+    if (level && (!largest || level->size() > largest->size()))
+      largest = level.get();
+  }
+  if (!largest) return std::nullopt;
+  return largest->primaryBlockOf(key);
+}
+
+std::string LogMethodTable::debugString() const {
+  std::string s = "log-method{γ=" + std::to_string(config_.gamma) +
+                  ", h0=" + std::to_string(h0_.size()) + "/" +
+                  std::to_string(h0_.capacityItems()) + ", levels=[";
+  for (std::size_t k = 1; k <= levels_.size(); ++k) {
+    if (k > 1) s += ",";
+    s += levels_[k - 1] ? std::to_string(levels_[k - 1]->size()) : "-";
+  }
+  s += "], merges=" + std::to_string(merges_) + "}";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// drainAll — hand the full buffered contents to a caller-side merge.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Owns the drained level tables for the lifetime of the merge, destroying
+/// (freeing) them when the cursor is dropped.
+class DrainCursor final : public RecordCursor {
+ public:
+  DrainCursor(std::unique_ptr<KWayMerger> merger,
+              std::vector<std::unique_ptr<ChainingHashTable>> owned)
+      : merger_(std::move(merger)), owned_(std::move(owned)) {}
+
+  ~DrainCursor() override {
+    for (auto& table : owned_) table->destroy();
+  }
+
+  std::optional<Record> next() override { return merger_->next(); }
+
+ private:
+  std::unique_ptr<KWayMerger> merger_;
+  std::vector<std::unique_ptr<ChainingHashTable>> owned_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecordCursor> LogMethodTable::drainAll() {
+  const auto hash_order = [this](std::uint64_t key) {
+    return (*ctx_.hash)(key);
+  };
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(
+      std::make_unique<VectorCursor>(h0_.drainSorted(hash_order)));
+  std::vector<std::unique_ptr<ChainingHashTable>> owned;
+  for (auto& level : levels_) {
+    if (!level) continue;
+    sources.push_back(level->scanInHashOrder());
+    owned.push_back(std::move(level));
+  }
+  levels_.clear();
+  live_size_ = 0;
+  auto merger = std::make_unique<KWayMerger>(std::move(sources), ctx_.hash,
+                                             /*drop_tombstones=*/false);
+  return std::make_unique<DrainCursor>(std::move(merger), std::move(owned));
+}
+
+}  // namespace exthash::tables

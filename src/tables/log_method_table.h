@@ -1,0 +1,82 @@
+// The folklore logarithmic-method hash table of Lemma 5 (Bentley's
+// logarithmic method [5] applied to hashing).
+//
+// A memory-resident table H0 of capacity ~m/2 items absorbs insertions for
+// free; disk levels H1, H2, ... are chaining hash tables where level k has
+// capacity γ^k · |H0| items at load factor <= 1/2 (bucket count γ^k · m/b,
+// exactly the paper's construction). When H0 fills, levels are migrated
+// downward; we use the classic optimization of merging H0 and levels
+// 1..k-1 into the first level k where the union fits, via one k-way
+// hash-ordered streaming merge (see DESIGN.md §2).
+//
+// Costs (Lemma 5): insert amortized O((γ/b) · log_γ(n/m)) I/Os; lookup
+// O(log_γ(n/m)) reads — one per nonempty level, newest first.
+//
+// Deletions are tombstones (value = kTombstoneValue) that annihilate older
+// versions at merge time; lookups resolve newest-first so the tombstone
+// shadows correctly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "extmem/memtable.h"
+#include "tables/chaining_table.h"
+#include "tables/hash_table.h"
+
+namespace exthash::tables {
+
+struct LogMethodConfig {
+  std::size_t gamma = 2;              // level size ratio (the paper's γ >= 2)
+  std::size_t h0_capacity_items = 0;  // memory buffer capacity (~m/4 words·2)
+};
+
+class LogMethodTable final : public ExternalHashTable {
+ public:
+  LogMethodTable(TableContext ctx, LogMethodConfig config);
+
+  bool insert(std::uint64_t key, std::uint64_t value) override;
+  std::optional<std::uint64_t> lookup(std::uint64_t key) override;
+  bool erase(std::uint64_t key) override;
+  /// Logical size: inserts minus erases of present keys. Exact under the
+  /// distinct-key workloads of the paper; see class comment.
+  std::size_t size() const override { return live_size_; }
+  std::string_view name() const override { return "log-method"; }
+  void visitLayout(LayoutVisitor& visitor) const override;
+  std::optional<extmem::BlockId> primaryBlockOf(
+      std::uint64_t key) const override;
+  std::string debugString() const override;
+
+  std::size_t levelCount() const noexcept { return levels_.size(); }
+  std::size_t nonemptyLevels() const noexcept;
+  std::uint64_t merges() const noexcept { return merges_; }
+  const extmem::MemTable& memoryTable() const noexcept { return h0_; }
+
+  /// Capacity (items) of disk level k (1-based).
+  std::size_t levelCapacity(std::size_t k) const;
+
+  /// Records currently buffered (H0 + all levels), including tombstones.
+  std::size_t bufferedRecords() const noexcept;
+
+  /// Drain every record (newest-first deduplicated, tombstones INCLUDED)
+  /// as one hash-ordered cursor, leaving the structure empty. Used by the
+  /// Theorem-2 table when merging the buffer into Ĥ. The returned cursor
+  /// owns the level tables and frees their blocks when destroyed.
+  std::unique_ptr<RecordCursor> drainAll();
+
+ private:
+  /// Migrate H0 (and any levels that must cascade) downward.
+  void flush();
+  ChainingConfig levelConfig(std::size_t k) const;
+  ChainingConfig levelConfigForSize(std::size_t items) const;
+
+  LogMethodConfig config_;
+  std::size_t records_per_block_;
+  extmem::MemTable h0_;
+  // levels_[k-1] = H_k; null when empty.
+  std::vector<std::unique_ptr<ChainingHashTable>> levels_;
+  std::size_t live_size_ = 0;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace exthash::tables

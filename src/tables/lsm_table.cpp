@@ -1,0 +1,273 @@
+#include "tables/lsm_table.h"
+
+#include <algorithm>
+
+namespace exthash::tables {
+
+using extmem::BlockId;
+using extmem::ConstSortedRunPage;
+using extmem::SortedRunPage;
+using extmem::Word;
+
+namespace {
+
+/// Hash stand-in that orders records by their key: lets KWayMerger (which
+/// merges by "hash order") drive key-ordered LSM compaction unchanged.
+class KeyOrder final : public hashfn::HashFunction {
+ public:
+  std::uint64_t operator()(std::uint64_t key) const override { return key; }
+  std::string_view name() const override { return "identity"; }
+};
+
+}  // namespace
+
+/// Streams one run's records in key order (counted reads, one per block).
+class LsmTable::RunCursor final : public RecordCursor {
+ public:
+  RunCursor(extmem::BlockDevice& device, const Run& run)
+      : device_(&device), run_(&run) {}
+
+  std::optional<Record> next() override {
+    while (pos_ >= buffer_.size()) {
+      if (block_ >= run_->blocks) return std::nullopt;
+      buffer_.clear();
+      pos_ = 0;
+      device_->withRead(run_->extent + block_,
+                        [&](std::span<const Word> data) {
+                          ConstSortedRunPage page(data);
+                          const std::size_t n = page.count();
+                          for (std::size_t i = 0; i < n; ++i)
+                            buffer_.push_back(page.recordAt(i));
+                        });
+      ++block_;
+    }
+    return buffer_[pos_++];
+  }
+
+ private:
+  extmem::BlockDevice* device_;
+  const Run* run_;
+  std::size_t block_ = 0;
+  std::vector<Record> buffer_;
+  std::size_t pos_ = 0;
+};
+
+LsmTable::LsmTable(TableContext ctx, LsmConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      memtable_(*ctx_.memory, config.memtable_capacity_items) {
+  EXTHASH_CHECK(config_.memtable_capacity_items >= 1);
+  EXTHASH_CHECK(config_.fanout >= 2);
+  EXTHASH_CHECK(config_.fence_stride >= 1);
+}
+
+LsmTable::~LsmTable() {
+  for (auto& level : levels_) {
+    for (auto& run : level) freeRun(run);
+  }
+}
+
+void LsmTable::freeRun(Run& run) {
+  if (run.extent != extmem::kInvalidBlock && run.blocks > 0) {
+    ctx_.device->freeExtent(run.extent, run.blocks);
+    run.extent = extmem::kInvalidBlock;
+  }
+}
+
+LsmTable::Run LsmTable::writeRun(RecordCursor& records,
+                                 std::size_t record_estimate) {
+  Run run;
+  const std::size_t max_blocks = std::max<std::size_t>(
+      1, (record_estimate + records_per_block_ - 1) / records_per_block_);
+  run.extent = ctx_.device->allocateExtent(max_blocks);
+  if (config_.bloom_bits_per_key > 0) {
+    run.bloom = std::make_unique<extmem::BloomFilter>(
+        *ctx_.memory, std::max<std::size_t>(1, record_estimate),
+        config_.bloom_bits_per_key, 0x5eed + record_estimate);
+  }
+
+  std::size_t block = 0;
+  std::vector<Record> page_buf;
+  bool first_record = true;
+  auto flushPage = [&]() {
+    if (page_buf.empty()) return;
+    EXTHASH_CHECK_MSG(block < max_blocks, "run estimate too small");
+    ctx_.device->withOverwrite(run.extent + block,
+                               [&](std::span<Word> data) {
+                                 SortedRunPage page(data);
+                                 page.format();
+                                 for (const Record& r : page_buf)
+                                   EXTHASH_CHECK(page.append(r));
+                               });
+    if (block % config_.fence_stride == 0)
+      run.fences.push_back(page_buf.front().key);
+    run.max_key = page_buf.back().key;
+    run.records += page_buf.size();
+    page_buf.clear();
+    ++block;
+  };
+
+  while (auto r = records.next()) {
+    if (first_record) {
+      run.min_key = r->key;
+      first_record = false;
+    }
+    if (run.bloom) run.bloom->add(r->key);
+    page_buf.push_back(*r);
+    if (page_buf.size() == records_per_block_) flushPage();
+  }
+  flushPage();
+  run.blocks = block;
+  // Return unused tail blocks of the (over)estimated extent.
+  if (run.blocks == 0) {
+    ctx_.device->freeExtent(run.extent, max_blocks);
+    run.extent = extmem::kInvalidBlock;
+  } else if (run.blocks < max_blocks) {
+    ctx_.device->freeExtent(run.extent + run.blocks, max_blocks - run.blocks);
+  }
+  run.fence_charge = extmem::MemoryCharge(*ctx_.memory, run.fences.size() + 6);
+  return run;
+}
+
+void LsmTable::flushMemtable() {
+  if (memtable_.size() == 0) return;
+  auto drained = memtable_.drainSorted(
+      [](std::uint64_t key) { return key; });  // key order
+  const std::size_t estimate = drained.size();
+  VectorCursor cursor(std::move(drained));
+  Run run = writeRun(cursor, estimate);
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].insert(levels_[0].begin(), std::move(run));
+  if (levels_[0].size() > config_.fanout) compactLevel(0);
+}
+
+void LsmTable::compactLevel(std::size_t level) {
+  // Tiering: merge all runs of this level into one run one level deeper.
+  auto& runs = levels_[level];
+  if (runs.size() <= 1) return;
+
+  const bool deeper_data = [&] {
+    for (std::size_t l = level + 1; l < levels_.size(); ++l)
+      if (!levels_[l].empty()) return true;
+    return false;
+  }();
+
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  std::size_t estimate = 0;
+  for (auto& run : runs) {  // newest first already
+    sources.push_back(std::make_unique<RunCursor>(*ctx_.device, run));
+    estimate += run.records;
+  }
+  KWayMerger merged(std::move(sources), std::make_shared<KeyOrder>(),
+                    /*drop_tombstones=*/!deeper_data);
+  Run big = writeRun(merged, estimate);
+  for (auto& run : runs) freeRun(run);
+  runs.clear();
+  if (levels_.size() <= level + 1) levels_.resize(level + 2);
+  if (big.blocks > 0)
+    levels_[level + 1].insert(levels_[level + 1].begin(), std::move(big));
+  ++compactions_;
+  if (levels_[level + 1].size() > config_.fanout) compactLevel(level + 1);
+}
+
+bool LsmTable::insert(std::uint64_t key, std::uint64_t value) {
+  EXTHASH_CHECK_MSG(value != kTombstoneValue,
+                    "value collides with the tombstone sentinel");
+  if (memtable_.full()) flushMemtable();
+  const bool new_in_memtable = !memtable_.contains(key);
+  EXTHASH_CHECK(memtable_.insertOrAssign(key, value));
+  if (new_in_memtable) ++live_size_;
+  return new_in_memtable;
+}
+
+std::optional<std::uint64_t> LsmTable::probeRun(Run& run, std::uint64_t key) {
+  if (run.records == 0 || key < run.min_key || key > run.max_key)
+    return std::nullopt;
+  if (run.bloom && !run.bloom->mayContain(key)) return std::nullopt;
+  // Fence pointers: find the last fenced group whose first key is <= key.
+  const auto it =
+      std::upper_bound(run.fences.begin(), run.fences.end(), key);
+  if (it == run.fences.begin()) return std::nullopt;
+  const std::size_t group =
+      static_cast<std::size_t>(it - run.fences.begin()) - 1;
+  const std::size_t first_block = group * config_.fence_stride;
+  const std::size_t last_block =
+      std::min(run.blocks, first_block + config_.fence_stride);
+  for (std::size_t blk = first_block; blk < last_block; ++blk) {
+    struct Probe {
+      std::optional<std::uint64_t> value;
+      bool past = false;
+    };
+    const Probe p = ctx_.device->withRead(
+        run.extent + blk, [&](std::span<const Word> data) {
+          ConstSortedRunPage page(data);
+          if (page.count() == 0) return Probe{std::nullopt, true};
+          if (key < page.firstKey()) return Probe{std::nullopt, true};
+          return Probe{page.find(key), key <= page.lastKey()};
+        });
+    if (p.value) return p.value;
+    if (p.past) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> LsmTable::lookup(std::uint64_t key) {
+  if (auto v = memtable_.find(key)) {
+    if (*v == kTombstoneValue) return std::nullopt;
+    return v;
+  }
+  for (auto& level : levels_) {
+    for (auto& run : level) {  // newest first
+      if (auto v = probeRun(run, key)) {
+        if (*v == kTombstoneValue) return std::nullopt;
+        return v;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool LsmTable::erase(std::uint64_t key) {
+  if (!lookup(key).has_value()) return false;
+  if (memtable_.full()) flushMemtable();
+  EXTHASH_CHECK(memtable_.insertOrAssign(key, kTombstoneValue));
+  --live_size_;
+  return true;
+}
+
+std::size_t LsmTable::runCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+void LsmTable::visitLayout(LayoutVisitor& visitor) const {
+  memtable_.forEach([&](const Record& r) {
+    if (r.value != kTombstoneValue) visitor.memoryItem(r);
+  });
+  for (const auto& level : levels_) {
+    for (const auto& run : level) {
+      for (std::size_t blk = 0; blk < run.blocks; ++blk) {
+        ConstSortedRunPage page(ctx_.device->inspect(run.extent + blk));
+        const std::size_t n = page.count();
+        for (std::size_t i = 0; i < n; ++i)
+          visitor.diskItem(run.extent + blk, page.recordAt(i));
+      }
+    }
+  }
+}
+
+std::string LsmTable::debugString() const {
+  std::string s = "lsm{memtable=" + std::to_string(memtable_.size()) +
+                  ", levels=[";
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(levels_[i].size());
+  }
+  s += "], compactions=" + std::to_string(compactions_) + "}";
+  return s;
+}
+
+}  // namespace exthash::tables

@@ -1,0 +1,86 @@
+// Tiered log-structured merge (LSM) table — the buffered dictionary that
+// dominates practice (RocksDB-style tiering, simplified).
+//
+// This is the other side of the paper's tradeoff: inserts cost o(1) I/Os
+// amortized (memtable + sorted-run merges), but point lookups must probe
+// up to one block in *every* run — Θ(#runs) = Θ(log n/m) reads — so
+// tq = ω(1). Per Theorem 1 regime 3, paying tq = O(log) buys tu as low as
+// Õ(1/b); no hash table can beat 1 + O(1/b^c) queries with o(1) inserts,
+// which is precisely why LSMs (not buffered hash tables) took over.
+//
+// Runs are sorted by key; each run keeps in-memory fence pointers (first
+// key per `fence_stride` blocks, charged against the budget) so a run
+// probe costs `fence_stride` reads in the worst case (1 by default).
+// Deletions are tombstones, dropped when a merge reaches the bottom level.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "extmem/bloom_filter.h"
+#include "extmem/bucket_page.h"
+#include "extmem/memtable.h"
+#include "tables/cursor.h"
+#include "tables/hash_table.h"
+
+namespace exthash::tables {
+
+struct LsmConfig {
+  std::size_t memtable_capacity_items = 0;
+  std::size_t fanout = 4;        // runs per level before compaction
+  std::size_t fence_stride = 1;  // blocks per fence pointer
+  // Per-run Bloom filters (0 = disabled). Skips runs on lookups at the
+  // price of Θ(n · bits_per_key) bits of *memory* — the budget-charged
+  // demonstration that Bloom filters trade the paper's m for I/O rather
+  // than evading the lower bound.
+  std::size_t bloom_bits_per_key = 0;
+};
+
+class LsmTable final : public ExternalHashTable {
+ public:
+  LsmTable(TableContext ctx, LsmConfig config);
+  ~LsmTable() override;
+
+  bool insert(std::uint64_t key, std::uint64_t value) override;
+  std::optional<std::uint64_t> lookup(std::uint64_t key) override;
+  bool erase(std::uint64_t key) override;
+  /// Logical size (inserts minus erases); exact for distinct-key workloads.
+  std::size_t size() const override { return live_size_; }
+  std::string_view name() const override { return "lsm"; }
+  void visitLayout(LayoutVisitor& visitor) const override;
+  std::string debugString() const override;
+
+  std::size_t runCount() const noexcept;
+  std::size_t levelCount() const noexcept { return levels_.size(); }
+  std::uint64_t compactions() const noexcept { return compactions_; }
+
+ private:
+  struct Run {
+    extmem::BlockId extent = extmem::kInvalidBlock;
+    std::size_t blocks = 0;
+    std::size_t records = 0;
+    std::uint64_t min_key = 0;
+    std::uint64_t max_key = 0;
+    std::vector<std::uint64_t> fences;  // first key of each fenced group
+    extmem::MemoryCharge fence_charge;
+    std::unique_ptr<extmem::BloomFilter> bloom;  // optional per-run filter
+  };
+
+  class RunCursor;
+
+  void flushMemtable();
+  void compactLevel(std::size_t level);
+  Run writeRun(RecordCursor& records, std::size_t record_estimate);
+  void freeRun(Run& run);
+  std::optional<std::uint64_t> probeRun(Run& run, std::uint64_t key);
+
+  LsmConfig config_;
+  std::size_t records_per_block_;
+  extmem::MemTable memtable_;
+  // levels_[i] = runs at level i, newest first.
+  std::vector<std::vector<Run>> levels_;
+  std::size_t live_size_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace exthash::tables

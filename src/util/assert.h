@@ -1,0 +1,48 @@
+// Lightweight runtime checking for invariants and preconditions.
+//
+// EXTHASH_CHECK throws exthash::CheckFailure (a std::logic_error) so that
+// tests can assert on violations and long-running experiments fail loudly
+// instead of silently corrupting I/O accounting.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace exthash {
+
+/// Thrown when an EXTHASH_CHECK condition is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "EXTHASH_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace exthash
+
+/// Check `cond`; on failure throw CheckFailure mentioning file:line.
+#define EXTHASH_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::exthash::detail::checkFailed(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+/// Check with an extra streamed message: EXTHASH_CHECK_MSG(x>0, "x="<<x).
+#define EXTHASH_CHECK_MSG(cond, stream_expr)                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream exthash_check_os_;                              \
+      exthash_check_os_ << stream_expr;                                  \
+      ::exthash::detail::checkFailed(#cond, __FILE__, __LINE__,          \
+                                     exthash_check_os_.str());           \
+    }                                                                    \
+  } while (0)

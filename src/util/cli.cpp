@@ -1,0 +1,116 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/assert.h"
+
+namespace exthash {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::addUintFlag(const std::string& name,
+                            std::uint64_t default_value,
+                            const std::string& help) {
+  const std::string v = std::to_string(default_value);
+  flags_[name] = Flag{Flag::Type::kUint, v, v, help};
+}
+
+void ArgParser::addDoubleFlag(const std::string& name, double default_value,
+                              const std::string& help) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", default_value);
+  flags_[name] = Flag{Flag::Type::kDouble, buf, buf, help};
+}
+
+void ArgParser::addStringFlag(const std::string& name,
+                              std::string default_value,
+                              const std::string& help) {
+  flags_[name] = Flag{Flag::Type::kString, default_value, default_value, help};
+}
+
+void ArgParser::addBoolFlag(const std::string& name, bool default_value,
+                            const std::string& help) {
+  const std::string v = default_value ? "true" : "false";
+  flags_[name] = Flag{Flag::Type::kBool, v, v, help};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printHelp();
+      return false;
+    }
+    EXTHASH_CHECK_MSG(arg.rfind("--", 0) == 0,
+                      "expected --flag=value, got '" << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    std::string name = arg.substr(0, eq);
+    auto it = flags_.find(name);
+    EXTHASH_CHECK_MSG(it != flags_.end(), "unknown flag --" << name);
+    if (eq == std::string::npos) {
+      // Bare --flag is shorthand for --flag=true on booleans only.
+      EXTHASH_CHECK_MSG(it->second.type == Flag::Type::kBool,
+                        "flag --" << name << " needs a value");
+      it->second.value = "true";
+    } else {
+      it->second.value = arg.substr(eq + 1);
+    }
+  }
+  return true;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name,
+                                       Flag::Type type) const {
+  auto it = flags_.find(name);
+  EXTHASH_CHECK_MSG(it != flags_.end(), "flag --" << name << " not registered");
+  EXTHASH_CHECK_MSG(it->second.type == type,
+                    "flag --" << name << " accessed with wrong type");
+  return it->second;
+}
+
+std::uint64_t ArgParser::getUint(const std::string& name) const {
+  const Flag& f = find(name, Flag::Type::kUint);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(f.value.c_str(), &end, 10);
+  EXTHASH_CHECK_MSG(end && *end == '\0',
+                    "flag --" << name << " value '" << f.value
+                              << "' is not an unsigned integer");
+  return v;
+}
+
+double ArgParser::getDouble(const std::string& name) const {
+  const Flag& f = find(name, Flag::Type::kDouble);
+  char* end = nullptr;
+  const double v = std::strtod(f.value.c_str(), &end);
+  EXTHASH_CHECK_MSG(end && *end == '\0',
+                    "flag --" << name << " value '" << f.value
+                              << "' is not a number");
+  return v;
+}
+
+const std::string& ArgParser::getString(const std::string& name) const {
+  return find(name, Flag::Type::kString).value;
+}
+
+bool ArgParser::getBool(const std::string& name) const {
+  const Flag& f = find(name, Flag::Type::kBool);
+  if (f.value == "true" || f.value == "1") return true;
+  if (f.value == "false" || f.value == "0") return false;
+  EXTHASH_CHECK_MSG(false, "flag --" << name << " value '" << f.value
+                                     << "' is not a boolean");
+  return false;
+}
+
+void ArgParser::printHelp() const {
+  std::cout << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    std::cout << "  --" << name << " (default: " << flag.default_value
+              << ")\n      " << flag.help << "\n";
+  }
+}
+
+}  // namespace exthash

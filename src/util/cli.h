@@ -1,0 +1,52 @@
+// Minimal --flag=value command-line parser for benches and examples.
+//
+// Unknown flags are rejected (typos should fail fast in an experiment
+// harness); every registered flag appears in --help output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace exthash {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Register flags with defaults before calling parse().
+  void addUintFlag(const std::string& name, std::uint64_t default_value,
+                   const std::string& help);
+  void addDoubleFlag(const std::string& name, double default_value,
+                     const std::string& help);
+  void addStringFlag(const std::string& name, std::string default_value,
+                     const std::string& help);
+  void addBoolFlag(const std::string& name, bool default_value,
+                   const std::string& help);
+
+  /// Parse argv. Returns false (after printing help) if --help was given.
+  /// Throws CheckFailure on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  std::uint64_t getUint(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  const std::string& getString(const std::string& name) const;
+  bool getBool(const std::string& name) const;
+
+  void printHelp() const;
+
+ private:
+  struct Flag {
+    enum class Type { kUint, kDouble, kString, kBool } type;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  const Flag& find(const std::string& name, Flag::Type type) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace exthash

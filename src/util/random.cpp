@@ -1,0 +1,10 @@
+#include "util/random.h"
+
+namespace exthash {
+
+std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t stream) {
+  // Two mixing rounds decorrelate nearby (root, stream) pairs.
+  return splitmix64(splitmix64(root ^ 0xd1b54a32d192ed03ULL) + stream);
+}
+
+}  // namespace exthash

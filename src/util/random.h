@@ -1,0 +1,138 @@
+// Deterministic pseudo-random utilities used across the library.
+//
+// - SplitMix64: seed expander / 64-bit mixer (Steele, Lea, Flood 2014).
+// - Xoshiro256StarStar: fast general-purpose engine (Blackman & Vigna),
+//   satisfies UniformRandomBitGenerator so it plugs into <random>.
+// - FeistelPermutation: a keyed bijection on 64-bit values, used to turn
+//   a counter into a stream of *distinct* uniform-looking keys — exactly
+//   the "n independent items, all h(x) different" input of the paper's
+//   lower-bound construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace exthash {
+
+/// One SplitMix64 mixing step: bijective 64-bit finalizer.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// SplitMix64 stream: used for seeding larger generators deterministically.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality engine for simulations.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 128-bit multiply rejection sampling.
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Keyed 4-round Feistel network over 64-bit values (two 32-bit halves).
+///
+/// This is a bijection on [0, 2^64), so feeding it 0, 1, 2, ... yields
+/// distinct pseudo-random keys — the distinct uniform input stream the
+/// paper's lower bound assumes (all hash values different, u > n^3).
+class FeistelPermutation {
+ public:
+  explicit FeistelPermutation(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& k : round_keys_) k = sm();
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    auto left = static_cast<std::uint32_t>(x >> 32);
+    auto right = static_cast<std::uint32_t>(x);
+    for (const std::uint64_t k : round_keys_) {
+      const std::uint32_t f = round(right, k);
+      const std::uint32_t new_left = right;
+      right = left ^ f;
+      left = new_left;
+    }
+    return (static_cast<std::uint64_t>(left) << 32) | right;
+  }
+
+ private:
+  static std::uint32_t round(std::uint32_t v, std::uint64_t key) noexcept {
+    return static_cast<std::uint32_t>(
+        splitmix64(v ^ key) >> 32);
+  }
+  std::array<std::uint64_t, 4> round_keys_{};
+};
+
+/// Derive an independent child seed from (root seed, stream index).
+std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t stream);
+
+}  // namespace exthash

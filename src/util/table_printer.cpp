@@ -1,0 +1,90 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace exthash {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  EXTHASH_CHECK(!headers_.empty());
+}
+
+void TablePrinter::addRow(std::vector<std::string> cells) {
+  EXTHASH_CHECK_MSG(cells.size() == headers_.size(),
+                    "row has " << cells.size() << " cells, expected "
+                               << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::num(std::uint64_t v) { return std::to_string(v); }
+std::string TablePrinter::num(std::int64_t v) { return std::to_string(v); }
+
+std::string TablePrinter::percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << '\n';
+  };
+  auto printSep = [&]() {
+    os << "+";
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+
+  printSep();
+  printRow(headers_);
+  printSep();
+  for (const auto& row : rows_) printRow(row);
+  printSep();
+}
+
+void TablePrinter::printCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool TablePrinter::writeCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  printCsv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace exthash

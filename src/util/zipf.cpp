@@ -1,0 +1,43 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace exthash {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  EXTHASH_CHECK_MSG(n >= 1, "Zipf needs n >= 1, got n=" << n);
+  EXTHASH_CHECK_MSG(theta >= 0.0, "Zipf needs theta >= 0, got " << theta);
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - hInverse(h(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfDistribution::h(double x) const {
+  if (theta_ == 1.0) return std::log(x);
+  return std::pow(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double ZipfDistribution::hInverse(double x) const {
+  if (theta_ == 1.0) return std::exp(x);
+  return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
+}
+
+std::uint64_t ZipfDistribution::operator()(Xoshiro256StarStar& rng) const {
+  if (theta_ == 0.0) return 1 + rng.below(n_);  // uniform special case
+  while (true) {
+    const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
+    const double x = hInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h(kd + 0.5) - std::pow(kd, -theta_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace exthash

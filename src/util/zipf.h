@@ -1,0 +1,36 @@
+// Zipf-distributed integer sampler (rank 1..n, exponent theta).
+//
+// Uses the rejection-inversion method of Hörmann & Derflinger, which needs
+// no O(n) precomputed table, so skewed workloads over huge key spaces are
+// cheap. Used by the dedup example and skew-robustness tests; the paper's
+// core experiments use uniform inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace exthash {
+
+class ZipfDistribution {
+ public:
+  /// Sample ranks in [1, n] with P(rank = k) ∝ 1 / k^theta, theta >= 0.
+  ZipfDistribution(std::uint64_t n, double theta);
+
+  std::uint64_t operator()(Xoshiro256StarStar& rng) const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  double h(double x) const;     // integral of 1/x^theta
+  double hInverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace exthash

@@ -1,0 +1,23 @@
+#include "workload/keygen.h"
+
+#include <cstdlib>
+
+#include "util/assert.h"
+
+namespace exthash::workload {
+
+std::unique_ptr<KeyStream> makeKeyStream(const std::string& spec,
+                                         std::uint64_t seed,
+                                         std::uint64_t universe) {
+  if (spec == "distinct") return std::make_unique<DistinctKeyStream>(seed);
+  if (spec == "uniform") return std::make_unique<UniformKeyStream>(seed);
+  if (spec == "sequential") return std::make_unique<SequentialKeyStream>();
+  if (spec.rfind("zipf:", 0) == 0) {
+    const double theta = std::strtod(spec.c_str() + 5, nullptr);
+    return std::make_unique<ZipfKeyStream>(seed, universe, theta);
+  }
+  EXTHASH_CHECK_MSG(false, "unknown key stream spec '" << spec << "'");
+  return nullptr;
+}
+
+}  // namespace exthash::workload

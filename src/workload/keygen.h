@@ -1,0 +1,85 @@
+// Key stream generators.
+//
+// The paper's lower-bound input is "n independent items such that h(x) is
+// uniformly random, all distinct (u > n^3)". DistinctKeyStream realizes
+// exactly that: a keyed Feistel permutation applied to 0,1,2,... gives
+// distinct keys that are uniform to any hash family in this library.
+// Other generators exercise robustness (skew, adversarial order).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace exthash::workload {
+
+class KeyStream {
+ public:
+  virtual ~KeyStream() = default;
+  virtual std::uint64_t next() = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Distinct pseudo-random keys (bijection of a counter).
+class DistinctKeyStream final : public KeyStream {
+ public:
+  explicit DistinctKeyStream(std::uint64_t seed)
+      : perm_(seed), counter_(0) {}
+  std::uint64_t next() override { return perm_(counter_++); }
+  std::string_view name() const override { return "distinct-random"; }
+
+ private:
+  FeistelPermutation perm_;
+  std::uint64_t counter_;
+};
+
+/// Independent uniform keys (may repeat; repeats are updates).
+class UniformKeyStream final : public KeyStream {
+ public:
+  explicit UniformKeyStream(std::uint64_t seed) : rng_(seed) {}
+  std::uint64_t next() override { return rng_(); }
+  std::string_view name() const override { return "uniform"; }
+
+ private:
+  Xoshiro256StarStar rng_;
+};
+
+/// Consecutive keys 0, 1, 2, ... (hash-order stress for the indexers,
+/// best case for the B-tree baseline).
+class SequentialKeyStream final : public KeyStream {
+ public:
+  explicit SequentialKeyStream(std::uint64_t start = 0) : counter_(start) {}
+  std::uint64_t next() override { return counter_++; }
+  std::string_view name() const override { return "sequential"; }
+
+ private:
+  std::uint64_t counter_;
+};
+
+/// Zipf-skewed keys over a universe of `universe` distinct values; rank r
+/// is scrambled through a Feistel permutation so popular keys are spread
+/// over the hash space (heavy repeats = heavy updates).
+class ZipfKeyStream final : public KeyStream {
+ public:
+  ZipfKeyStream(std::uint64_t seed, std::uint64_t universe, double theta)
+      : rng_(deriveSeed(seed, 1)),
+        perm_(deriveSeed(seed, 2)),
+        zipf_(universe, theta) {}
+  std::uint64_t next() override { return perm_(zipf_(rng_)); }
+  std::string_view name() const override { return "zipf"; }
+
+ private:
+  Xoshiro256StarStar rng_;
+  FeistelPermutation perm_;
+  ZipfDistribution zipf_;
+};
+
+/// Construct by name: "distinct" | "uniform" | "sequential" | "zipf:THETA".
+std::unique_ptr<KeyStream> makeKeyStream(const std::string& spec,
+                                         std::uint64_t seed,
+                                         std::uint64_t universe);
+
+}  // namespace exthash::workload

@@ -1,0 +1,119 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace exthash::workload {
+
+double sampleQueryCost(tables::ExternalHashTable& table,
+                       const std::vector<std::uint64_t>& inserted,
+                       std::size_t samples, Xoshiro256StarStar& rng) {
+  EXTHASH_CHECK(!inserted.empty());
+  auto& device = table.device();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::uint64_t key = inserted[rng.below(inserted.size())];
+    const extmem::IoProbe probe(device);
+    const auto hit = table.lookup(key);
+    EXTHASH_CHECK_MSG(hit.has_value(), "inserted key missing during query "
+                                       "sampling — table is corrupt");
+    total += probe.cost();
+  }
+  return static_cast<double>(total) / static_cast<double>(samples);
+}
+
+namespace {
+
+double sampleMissCost(tables::ExternalHashTable& table, std::size_t samples,
+                      Xoshiro256StarStar& rng) {
+  auto& device = table.device();
+  std::uint64_t total = 0;
+  std::size_t done = 0;
+  while (done < samples) {
+    const std::uint64_t key = rng();
+    const extmem::IoProbe probe(device);
+    if (table.lookup(key).has_value()) continue;  // accidental hit: reroll
+    total += probe.cost();
+    ++done;
+  }
+  return static_cast<double>(total) / static_cast<double>(samples);
+}
+
+}  // namespace
+
+TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
+                                   KeyStream& keys,
+                                   const MeasurementConfig& config) {
+  EXTHASH_CHECK(config.n > 0);
+  EXTHASH_CHECK(config.checkpoints >= 1);
+
+  // Geometrically spaced checkpoints ending at n.
+  std::vector<std::size_t> checkpoints;
+  {
+    double point = static_cast<double>(config.n);
+    for (std::size_t i = 0; i < config.checkpoints; ++i) {
+      checkpoints.push_back(
+          std::max<std::size_t>(1, static_cast<std::size_t>(point)));
+      point /= 2.0;
+    }
+    std::sort(checkpoints.begin(), checkpoints.end());
+    checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()),
+                      checkpoints.end());
+  }
+
+  Xoshiro256StarStar rng(deriveSeed(config.seed, 0xC0FFEE));
+  std::vector<std::uint64_t> inserted;
+  inserted.reserve(config.n);
+
+  TradeoffMeasurement out;
+  out.n = config.n;
+  auto& device = table.device();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Inserts are timed as one probe; query sampling I/O is excluded from tu
+  // by probing around the checkpoint work.
+  std::uint64_t insert_cost = 0;
+  extmem::IoStats insert_io_total;
+  std::size_t next_checkpoint = 0;
+  RunningStat miss_costs;
+
+  for (std::size_t i = 0; i < config.n; ++i) {
+    const std::uint64_t key = keys.next();
+    const extmem::IoProbe probe(device);
+    table.insert(key, key ^ 0x5bd1e995);
+    const extmem::IoStats delta = probe.delta();
+    insert_cost += delta.cost();
+    insert_io_total.reads += delta.reads;
+    insert_io_total.writes += delta.writes;
+    insert_io_total.rmws += delta.rmws;
+    inserted.push_back(key);
+
+    if (next_checkpoint < checkpoints.size() &&
+        i + 1 == checkpoints[next_checkpoint]) {
+      const double cost = sampleQueryCost(
+          table, inserted, config.queries_per_checkpoint, rng);
+      out.checkpoint_costs.push(cost);
+      if (config.measure_unsuccessful) {
+        miss_costs.push(
+            sampleMissCost(table, config.queries_per_checkpoint, rng));
+      }
+      ++next_checkpoint;
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.tu = static_cast<double>(insert_cost) / static_cast<double>(config.n);
+  out.insert_io = insert_io_total;
+  out.tq_mean = out.checkpoint_costs.mean();
+  out.tq_worst = out.checkpoint_costs.max();
+  out.tq_final = sampleQueryCost(table, inserted,
+                                 config.queries_per_checkpoint, rng);
+  out.tq_unsuccessful = miss_costs.mean();
+  return out;
+}
+
+}  // namespace exthash::workload

@@ -1,0 +1,84 @@
+#include "workload/trace.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/assert.h"
+
+namespace exthash::workload {
+
+namespace {
+constexpr char kMagic[8] = {'E', 'X', 'T', 'H', 'T', 'R', 'C', '1'};
+
+struct PackedOp {
+  std::uint8_t op;
+  std::uint8_t pad[7];
+  std::uint64_t key;
+  std::uint64_t value;
+};
+static_assert(sizeof(PackedOp) == 24);
+}  // namespace
+
+void writeTrace(const std::string& path, const std::vector<Operation>& ops) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  EXTHASH_CHECK_MSG(out.good(), "cannot open trace file '" << path << "'");
+  out.write(kMagic, sizeof kMagic);
+  const std::uint64_t count = ops.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const Operation& op : ops) {
+    PackedOp p{};
+    p.op = static_cast<std::uint8_t>(op.op);
+    p.key = op.key;
+    p.value = op.value;
+    out.write(reinterpret_cast<const char*>(&p), sizeof p);
+  }
+  EXTHASH_CHECK_MSG(out.good(), "short write to trace file '" << path << "'");
+}
+
+std::vector<Operation> readTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXTHASH_CHECK_MSG(in.good(), "cannot open trace file '" << path << "'");
+  char magic[8];
+  in.read(magic, sizeof magic);
+  EXTHASH_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 8) == 0,
+                    "'" << path << "' is not an exthash trace");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  EXTHASH_CHECK(in.good());
+  std::vector<Operation> ops;
+  ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedOp p{};
+    in.read(reinterpret_cast<char*>(&p), sizeof p);
+    EXTHASH_CHECK_MSG(in.good(), "trace '" << path << "' truncated at op "
+                                           << i << "/" << count);
+    EXTHASH_CHECK_MSG(p.op <= 2, "trace contains invalid op code "
+                                     << static_cast<int>(p.op));
+    ops.push_back(Operation{static_cast<OpType>(p.op), p.key, p.value});
+  }
+  return ops;
+}
+
+ReplayResult replayTrace(tables::ExternalHashTable& table,
+                         const std::vector<Operation>& ops) {
+  ReplayResult result;
+  for (const Operation& op : ops) {
+    switch (op.op) {
+      case OpType::kInsert:
+        table.insert(op.key, op.value);
+        ++result.inserts;
+        break;
+      case OpType::kLookup:
+        ++result.lookups;
+        if (table.lookup(op.key)) ++result.lookup_hits;
+        break;
+      case OpType::kErase:
+        ++result.erases;
+        if (table.erase(op.key)) ++result.erase_hits;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace exthash::workload

@@ -1,0 +1,46 @@
+// Operation traces: record, persist, and replay dictionary workloads, so
+// experiments are exactly reproducible across machines and the examples
+// can run against captured workloads.
+//
+// Binary format: 16-byte header ("EXTHTRC1", count) followed by packed
+// little-endian {op: u8, pad: u8[7], key: u64, value: u64} entries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tables/hash_table.h"
+
+namespace exthash::workload {
+
+enum class OpType : std::uint8_t { kInsert = 0, kLookup = 1, kErase = 2 };
+
+struct Operation {
+  OpType op = OpType::kInsert;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// Serialize a trace; throws CheckFailure on I/O errors.
+void writeTrace(const std::string& path, const std::vector<Operation>& ops);
+
+/// Read a trace written by writeTrace.
+std::vector<Operation> readTrace(const std::string& path);
+
+/// Replay statistics.
+struct ReplayResult {
+  std::uint64_t inserts = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t lookup_hits = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t erase_hits = 0;
+};
+
+/// Apply a trace to a table.
+ReplayResult replayTrace(tables::ExternalHashTable& table,
+                         const std::vector<Operation>& ops);
+
+}  // namespace exthash::workload

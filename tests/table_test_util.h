@@ -1,0 +1,63 @@
+// Shared fixtures for table tests: a device + budget + hash bundle with
+// paper-style parameters (b records per block, m words of memory).
+#pragma once
+
+#include <memory>
+
+#include "extmem/block_device.h"
+#include "extmem/bucket_page.h"
+#include "extmem/memory_budget.h"
+#include "hashfn/hash_family.h"
+#include "tables/hash_table.h"
+#include "util/random.h"
+
+namespace exthash::testing {
+
+struct TestRig {
+  std::unique_ptr<extmem::BlockDevice> device;
+  std::unique_ptr<extmem::MemoryBudget> memory;
+  hashfn::HashPtr hash;
+
+  /// b = records per block; memory limit in words (0 = unlimited).
+  TestRig(std::size_t b, std::size_t memory_words = 0,
+          std::uint64_t seed = 42,
+          hashfn::HashKind kind = hashfn::HashKind::kMix)
+      : device(std::make_unique<extmem::BlockDevice>(
+            extmem::wordsForRecordCapacity(b))),
+        memory(std::make_unique<extmem::MemoryBudget>(memory_words)),
+        hash(hashfn::makeHash(kind, seed)) {}
+
+  tables::TableContext context() const {
+    return tables::TableContext{device.get(), memory.get(), hash};
+  }
+
+  std::uint64_t cost() const { return device->stats().cost(); }
+};
+
+/// Distinct keys for test workloads.
+inline std::vector<std::uint64_t> distinctKeys(std::size_t n,
+                                               std::uint64_t seed = 7) {
+  FeistelPermutation perm(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(perm(i));
+  return keys;
+}
+
+/// Layout visitor that counts items and collects keys.
+class CountingVisitor : public tables::LayoutVisitor {
+ public:
+  void memoryItem(const Record& r) override {
+    ++memory_items;
+    keys.push_back(r.key);
+  }
+  void diskItem(extmem::BlockId, const Record& r) override {
+    ++disk_items;
+    keys.push_back(r.key);
+  }
+  std::size_t memory_items = 0;
+  std::size_t disk_items = 0;
+  std::vector<std::uint64_t> keys;
+};
+
+}  // namespace exthash::testing

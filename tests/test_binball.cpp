@@ -1,0 +1,112 @@
+#include "lowerbound/binball.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace exthash::lowerbound {
+namespace {
+
+TEST(Adversary, EmptiesLightestBinsFirst) {
+  // Loads {1, 2, 3, 10}: with t=3 the adversary clears the 1- and 2-ball
+  // bins (cost 2 removals... 1+2=3), leaving 2 occupied bins.
+  EXPECT_EQ(adversaryCost({1, 2, 3, 10}, 3), 2u);
+  EXPECT_EQ(adversaryCost({1, 2, 3, 10}, 0), 4u);
+  EXPECT_EQ(adversaryCost({1, 2, 3, 10}, 16), 0u);
+  EXPECT_EQ(adversaryCost({1, 2, 3, 10}, 5), 2u);  // 1+2=3 used, 3 needs 3more
+  EXPECT_EQ(adversaryCost({1, 2, 3, 10}, 6), 1u);
+}
+
+TEST(Adversary, IgnoresEmptyBins) {
+  EXPECT_EQ(adversaryCost({0, 0, 5, 0}, 0), 1u);
+  EXPECT_EQ(adversaryCost({0, 0, 0}, 10), 0u);
+  EXPECT_EQ(adversaryCost({}, 3), 0u);
+}
+
+TEST(BinBall, GameRespectsConfiguration) {
+  Xoshiro256StarStar rng(1);
+  BinBallConfig cfg{1000, 0.001, 0};
+  const auto result = playBinBallGame(cfg, rng);
+  EXPECT_EQ(result.bins, 1000u);
+  EXPECT_LE(result.cost, result.nonempty_before);
+  EXPECT_LE(result.nonempty_before, 1000u);
+  EXPECT_GE(result.cost, 1u);
+}
+
+TEST(BinBall, Lemma3BoundHoldsWithHighProbability) {
+  // sp = 0.2 <= 1/3; μ = 0.2 gives failure probability e^(-μ²s/3) ≈ 0 for
+  // s = 2000. Run several independent games: the bound must never break.
+  Xoshiro256StarStar rng(7);
+  BinBallConfig cfg;
+  cfg.s = 2000;
+  cfg.p = 1.0 / 10000.0;  // sp = 0.2
+  cfg.t = 100;
+  const double bound = lemma3Bound(cfg, 0.2);
+  ASSERT_GT(bound, 0.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto result = playBinBallGame(cfg, rng);
+    EXPECT_GE(static_cast<double>(result.cost), bound)
+        << "Lemma 3 violated at trial " << trial;
+  }
+}
+
+TEST(BinBall, Lemma3IsReasonablyTight) {
+  // The measured cost should not exceed the bound by more than the slack
+  // the Chernoff argument gives away (a (1-μ)(1-sp) factor plus t).
+  Xoshiro256StarStar rng(13);
+  BinBallConfig cfg;
+  cfg.s = 5000;
+  cfg.p = 1.0 / 50000.0;  // sp = 0.1
+  cfg.t = 0;
+  const double bound = lemma3Bound(cfg, 0.1);
+  double total = 0.0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(playBinBallGame(cfg, rng).cost);
+  }
+  const double mean = total / trials;
+  EXPECT_GE(mean, bound);
+  EXPECT_LE(mean, bound * 1.35);  // bound within ~25-35% of the truth
+}
+
+TEST(BinBall, Lemma4BoundHoldsUnderHeavyRemoval) {
+  // Regime 3 shape: sp >> 1 so Lemma 3 is vacuous, but even removing half
+  // the balls the adversary cannot empty 1/(20p) bins.
+  Xoshiro256StarStar rng(23);
+  BinBallConfig cfg;
+  cfg.s = 4000;
+  cfg.p = 1.0 / 200.0;  // 200 bins, sp = 20
+  cfg.t = 2000;         // t = s/2, s/2 = 2000 >= 1/p = 200  ✓
+  const double bound = lemma4Bound(cfg);
+  EXPECT_DOUBLE_EQ(bound, 10.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto result = playBinBallGame(cfg, rng);
+    EXPECT_GE(static_cast<double>(result.cost), bound)
+        << "Lemma 4 violated at trial " << trial;
+  }
+}
+
+TEST(BinBall, AdversaryPowerGrowsWithBudget) {
+  Xoshiro256StarStar rng(31);
+  BinBallConfig small{1000, 0.002, 50};
+  BinBallConfig big{1000, 0.002, 500};
+  double cost_small = 0.0, cost_big = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    cost_small += static_cast<double>(playBinBallGame(small, rng).cost);
+    cost_big += static_cast<double>(playBinBallGame(big, rng).cost);
+  }
+  EXPECT_GT(cost_small, cost_big);
+}
+
+TEST(BinBall, CostNeverExceedsBallsOrBins) {
+  Xoshiro256StarStar rng(41);
+  for (const std::uint64_t s : {10u, 100u, 1000u}) {
+    BinBallConfig cfg{s, 0.01, s / 4};
+    const auto result = playBinBallGame(cfg, rng);
+    EXPECT_LE(result.cost, s);
+    EXPECT_LE(result.cost, result.bins);
+  }
+}
+
+}  // namespace
+}  // namespace exthash::lowerbound

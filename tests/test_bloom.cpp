@@ -1,0 +1,63 @@
+#include "extmem/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace exthash::extmem {
+namespace {
+
+TEST(Bloom, NoFalseNegatives) {
+  MemoryBudget budget(0);
+  BloomFilter bloom(budget, 1000, 10, 1);
+  FeistelPermutation perm(2);
+  for (std::uint64_t i = 0; i < 1000; ++i) bloom.add(perm(i));
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(bloom.mayContain(perm(i)));
+  }
+}
+
+TEST(Bloom, FalsePositiveRateNearTheory) {
+  MemoryBudget budget(0);
+  const std::size_t n = 5000;
+  BloomFilter bloom(budget, n, 10, 3);
+  FeistelPermutation perm(4);
+  for (std::uint64_t i = 0; i < n; ++i) bloom.add(perm(i));
+  std::size_t false_positives = 0;
+  const std::size_t probes = 20000;
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    if (bloom.mayContain(perm(n + i))) ++false_positives;
+  }
+  const double rate =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  // 10 bits/key with k = 7: theoretical fp ≈ 0.0082; allow generous slack.
+  EXPECT_LT(rate, 0.03);
+}
+
+TEST(Bloom, EmptyFilterRejectsEverything) {
+  MemoryBudget budget(0);
+  BloomFilter bloom(budget, 100, 8, 5);
+  FeistelPermutation perm(6);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_FALSE(bloom.mayContain(perm(i)));
+  }
+}
+
+TEST(Bloom, ChargesBudgetProportionalToItems) {
+  MemoryBudget budget(0);
+  {
+    BloomFilter small(budget, 1000, 10, 7);
+    const std::size_t small_words = budget.used();
+    BloomFilter big(budget, 10000, 10, 7);
+    EXPECT_GT(budget.used() - small_words, 8 * small_words);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(Bloom, BudgetLimitEnforced) {
+  MemoryBudget budget(64);
+  EXPECT_THROW(BloomFilter(budget, 1 << 20, 10, 9), BudgetExceeded);
+}
+
+}  // namespace
+}  // namespace exthash::extmem

@@ -1,0 +1,41 @@
+#include "analysis/bounds.h"
+
+#include <gtest/gtest.h>
+
+namespace exthash::analysis {
+namespace {
+
+TEST(Bounds, DeltaFor) {
+  EXPECT_DOUBLE_EQ(deltaFor(1.0, 256), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(deltaFor(2.0, 16), 1.0 / 256.0);
+  EXPECT_NEAR(deltaFor(0.5, 256), 1.0 / 16.0, 1e-12);
+}
+
+TEST(Bounds, AcceptsTheoremGradeParameters) {
+  ModelParameters p;
+  p.b = 128;
+  p.m_items = 4;
+  p.n = 1 << 30;  // n/m = 2^28 > 128^3 = 2^21 for c = 1
+  EXPECT_EQ(checkModelAssumptions(p, 1.0), "");
+}
+
+TEST(Bounds, FlagsTooFewInsertions) {
+  ModelParameters p;
+  p.b = 128;
+  p.m_items = 1 << 20;
+  p.n = 1 << 21;  // n/m = 2: hopeless
+  const auto diag = checkModelAssumptions(p, 1.0);
+  EXPECT_NE(diag.find("n/m"), std::string::npos);
+}
+
+TEST(Bounds, FlagsSmallBlocks) {
+  ModelParameters p;
+  p.b = 32;  // <= log u = 64
+  p.m_items = 2;
+  p.n = 1 << 30;
+  const auto diag = checkModelAssumptions(p, 0.5);
+  EXPECT_NE(diag.find("log u"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exthash::analysis

@@ -1,0 +1,156 @@
+#include "tables/btree_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "table_test_util.h"
+
+namespace exthash::tables {
+namespace {
+
+using exthash::testing::CountingVisitor;
+using exthash::testing::TestRig;
+using exthash::testing::distinctKeys;
+
+TEST(BTree, InsertLookupRoundTrip) {
+  TestRig rig(8);
+  BTreeTable table(rig.context());
+  const auto keys = distinctKeys(1000);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(table.insert(keys[i], i));
+  }
+  EXPECT_EQ(table.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(table.lookup(keys[i]).value(), i) << "key index " << i;
+  }
+  EXPECT_FALSE(table.lookup(0x7777ULL << 40).has_value());
+}
+
+TEST(BTree, SequentialAndReverseInsertion) {
+  for (const bool reverse : {false, true}) {
+    TestRig rig(4);
+    BTreeTable table(rig.context(), {4});
+    std::vector<std::uint64_t> keys(500);
+    for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i * 3;
+    if (reverse) std::reverse(keys.begin(), keys.end());
+    for (const auto k : keys) table.insert(k, k + 1);
+    for (const auto k : keys) {
+      ASSERT_EQ(table.lookup(k).value(), k + 1) << "reverse=" << reverse;
+    }
+  }
+}
+
+TEST(BTree, UpdateInPlace) {
+  TestRig rig(8);
+  BTreeTable table(rig.context());
+  EXPECT_TRUE(table.insert(10, 1));
+  EXPECT_FALSE(table.insert(10, 2));
+  EXPECT_EQ(table.lookup(10).value(), 2u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(BTree, HeightIsLogarithmic) {
+  TestRig rig(16);
+  BTreeTable table(rig.context());
+  const auto keys = distinctKeys(10000);
+  for (const auto k : keys) table.insert(k, 1);
+  // Fanout ~16: height should be ~log_16(10000/16) ≈ 2-3 disk levels
+  // (plus the memory root).
+  EXPECT_LE(table.height(), 5u);
+}
+
+TEST(BTree, LookupCostsHeightMinusOneReads) {
+  TestRig rig(16);
+  BTreeTable table(rig.context());
+  const auto keys = distinctKeys(5000);
+  for (const auto k : keys) table.insert(k, 1);
+  const std::size_t h = table.height();
+  const extmem::IoProbe probe(*rig.device);
+  const std::size_t samples = 500;
+  for (std::size_t i = 0; i < samples; ++i) {
+    ASSERT_TRUE(table.lookup(keys[i]).has_value());
+  }
+  const double per_lookup =
+      static_cast<double>(probe.cost()) / static_cast<double>(samples);
+  EXPECT_NEAR(per_lookup, static_cast<double>(h - 1), 0.01);
+  EXPECT_GT(per_lookup, 1.5);  // strictly worse than any hash table here
+}
+
+TEST(BTree, EraseLazy) {
+  TestRig rig(8);
+  BTreeTable table(rig.context());
+  const auto keys = distinctKeys(500);
+  for (const auto k : keys) table.insert(k, 4);
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(table.erase(keys[i]));
+    EXPECT_FALSE(table.erase(keys[i]));
+  }
+  EXPECT_EQ(table.size(), keys.size() / 2);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(table.lookup(keys[i]).has_value(), i % 2 == 1);
+  }
+}
+
+TEST(BTree, ScanRangeInOrder) {
+  TestRig rig(4);
+  BTreeTable table(rig.context(), {4});
+  for (std::uint64_t k = 0; k < 300; ++k) table.insert(k * 2, k);
+  std::vector<std::uint64_t> seen;
+  table.scanRange(100, 200, [&](const Record& r) { seen.push_back(r.key); });
+  ASSERT_FALSE(seen.empty());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 200u);
+  EXPECT_EQ(seen.size(), 51u);  // 100, 102, ..., 200
+}
+
+TEST(BTree, ScanRangeEmptyAndFullSpans) {
+  TestRig rig(4);
+  BTreeTable table(rig.context(), {4});
+  for (std::uint64_t k = 10; k < 50; ++k) table.insert(k, k);
+  std::size_t count = 0;
+  table.scanRange(0, 5, [&](const Record&) { ++count; });
+  EXPECT_EQ(count, 0u);
+  table.scanRange(0, ~std::uint64_t{0}, [&](const Record&) { ++count; });
+  EXPECT_EQ(count, 40u);
+}
+
+TEST(BTree, VisitLayoutConservation) {
+  TestRig rig(4);
+  BTreeTable table(rig.context(), {4});
+  const auto keys = distinctKeys(400);
+  for (const auto k : keys) table.insert(k, 1);
+  CountingVisitor visitor;
+  table.visitLayout(visitor);
+  EXPECT_EQ(visitor.memory_items + visitor.disk_items, keys.size());
+}
+
+TEST(BTree, SmallTreeLivesInMemory) {
+  TestRig rig(16);
+  BTreeTable table(rig.context());
+  const extmem::IoProbe probe(*rig.device);
+  for (std::uint64_t k = 0; k < 10; ++k) table.insert(k, k);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    ASSERT_EQ(table.lookup(k).value(), k);
+  }
+  EXPECT_EQ(probe.cost(), 0u);  // root-resident: zero I/O
+}
+
+TEST(BTree, TinyFanoutStressesSplits) {
+  TestRig rig(64);
+  BTreeTable table(rig.context(), {2});  // fanout 2: maximal split churn
+  const auto keys = distinctKeys(300);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    table.insert(keys[i], i);
+    if (i % 50 == 0) {
+      for (std::size_t j = 0; j <= i; j += 17) {
+        ASSERT_EQ(table.lookup(keys[j]).value(), j);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exthash::tables

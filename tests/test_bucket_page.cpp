@@ -1,0 +1,98 @@
+#include "extmem/bucket_page.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace exthash::extmem {
+namespace {
+
+std::vector<Word> freshBlock(std::size_t records) {
+  return std::vector<Word>(wordsForRecordCapacity(records), 0);
+}
+
+TEST(BucketPage, ZeroedBlockIsValidEmptyPage) {
+  auto block = freshBlock(4);
+  ConstBucketPage page{std::span<const Word>(block)};
+  EXPECT_EQ(page.count(), 0u);
+  EXPECT_FALSE(page.hasNext());
+  EXPECT_EQ(page.next(), kInvalidBlock);
+  EXPECT_EQ(page.capacity(), 4u);
+}
+
+TEST(BucketPage, AppendFindRemove) {
+  auto block = freshBlock(3);
+  BucketPage page{std::span<Word>(block)};
+  EXPECT_TRUE(page.append({10, 100}));
+  EXPECT_TRUE(page.append({20, 200}));
+  EXPECT_TRUE(page.append({30, 300}));
+  EXPECT_FALSE(page.append({40, 400}));  // full
+  EXPECT_TRUE(page.full());
+
+  EXPECT_EQ(page.find(20).value(), 200u);
+  EXPECT_FALSE(page.find(99).has_value());
+
+  page.removeAt(page.indexOf(10).value());
+  EXPECT_EQ(page.count(), 2u);
+  EXPECT_FALSE(page.find(10).has_value());
+  EXPECT_TRUE(page.find(30).has_value());  // swap-remove kept it
+}
+
+TEST(BucketPage, NextPointerEncoding) {
+  auto block = freshBlock(2);
+  BucketPage page{std::span<Word>(block)};
+  // Block id 0 must be representable (the +1 encoding exists for this).
+  page.setNext(0);
+  EXPECT_TRUE(page.hasNext());
+  EXPECT_EQ(page.next(), 0u);
+  page.setNext(kInvalidBlock);
+  EXPECT_FALSE(page.hasNext());
+}
+
+TEST(BucketPage, FlagsIndependentOfCount) {
+  auto block = freshBlock(2);
+  BucketPage page{std::span<Word>(block)};
+  page.append({1, 1});
+  page.setFlags(0x7);
+  EXPECT_EQ(page.flags(), 0x7u);
+  EXPECT_EQ(page.count(), 1u);
+  page.append({2, 2});
+  EXPECT_EQ(page.flags(), 0x7u);
+  EXPECT_EQ(page.count(), 2u);
+}
+
+TEST(BucketPage, SetValueInPlace) {
+  auto block = freshBlock(2);
+  BucketPage page{std::span<Word>(block)};
+  page.append({5, 50});
+  page.setValueAt(page.indexOf(5).value(), 55);
+  EXPECT_EQ(page.find(5).value(), 55u);
+}
+
+TEST(SortedRunPage, AppendAndBinarySearch) {
+  auto block = freshBlock(8);
+  SortedRunPage writer{std::span<Word>(block)};
+  writer.format();
+  for (std::uint64_t k = 0; k < 8; ++k)
+    EXPECT_TRUE(writer.append({k * 10, k}));
+  EXPECT_FALSE(writer.append({99, 99}));
+
+  ConstSortedRunPage reader{std::span<const Word>(block)};
+  EXPECT_EQ(reader.count(), 8u);
+  EXPECT_EQ(reader.firstKey(), 0u);
+  EXPECT_EQ(reader.lastKey(), 70u);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(reader.find(k * 10).value(), k);
+  }
+  EXPECT_FALSE(reader.find(15).has_value());
+  EXPECT_FALSE(reader.find(1000).has_value());
+}
+
+TEST(PageGeometry, CapacityArithmetic) {
+  EXPECT_EQ(recordCapacityForWords(wordsForRecordCapacity(17)), 17u);
+  EXPECT_EQ(recordCapacityForWords(10), 4u);
+  EXPECT_EQ(wordsForRecordCapacity(4), 10u);
+}
+
+}  // namespace
+}  // namespace exthash::extmem

@@ -1,0 +1,77 @@
+#include "lowerbound/characteristic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace exthash::lowerbound {
+namespace {
+
+using tables::BucketIndexer;
+using tables::IndexKind;
+
+TEST(Characteristic, UniformIndexersAreGood) {
+  const BucketIndexer range{IndexKind::kRange, 1.0};
+  const BucketIndexer mod{IndexKind::kMod, 1.0};
+  const std::uint64_t d = 1000;
+  const double rho = 2.0 / static_cast<double>(d);  // α_i = 1/d < ρ
+  for (const auto& idx : {range, mod}) {
+    const auto stats = analyzeIndexer(idx, d, rho);
+    EXPECT_EQ(stats.bad_indices, 0u);
+    EXPECT_DOUBLE_EQ(stats.lambda, 0.0);
+    EXPECT_TRUE(stats.isGood(0.01));
+    EXPECT_NEAR(stats.max_alpha, 1.0 / static_cast<double>(d), 1e-12);
+  }
+}
+
+TEST(Characteristic, AlphasSumToOne) {
+  for (const double power : {1.0, 2.0, 4.0}) {
+    const BucketIndexer idx{IndexKind::kSkewPower, power};
+    const std::uint64_t d = 256;
+    double total = 0.0;
+    for (std::uint64_t j = 0; j < d; ++j) total += idx.alpha(j, d);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "power " << power;
+  }
+}
+
+TEST(Characteristic, SkewedIndexerIsBad) {
+  const BucketIndexer skew{IndexKind::kSkewPower, 4.0};
+  const std::uint64_t d = 1024;
+  const double rho = 4.0 / static_cast<double>(d);
+  const auto stats = analyzeIndexer(skew, d, rho);
+  EXPECT_GT(stats.bad_indices, 0u);
+  EXPECT_GT(stats.lambda, 0.3);  // heavy head mass
+  EXPECT_FALSE(stats.isGood(0.1));
+  // Bucket 0's preimage under x^4 is [0, (1/d)^(1/4)): enormous.
+  EXPECT_NEAR(stats.max_alpha, std::pow(1.0 / 1024.0, 0.25), 1e-6);
+}
+
+TEST(Characteristic, SteeperSkewIsWorse) {
+  const std::uint64_t d = 512;
+  const double rho = 4.0 / static_cast<double>(d);
+  const auto mild =
+      analyzeIndexer(BucketIndexer{IndexKind::kSkewPower, 2.0}, d, rho);
+  const auto steep =
+      analyzeIndexer(BucketIndexer{IndexKind::kSkewPower, 8.0}, d, rho);
+  EXPECT_GT(steep.lambda, mild.lambda);
+}
+
+TEST(Characteristic, Lemma2FloodFormula) {
+  // λ=0.5, ρ=0.01, k=10000, b=8, m=100:
+  // (2/3)·0.5·10000 − 8·0.5/0.01 − 100 = 3333.3 − 400 − 100 = 2833.3.
+  EXPECT_NEAR(lemma2SlowZoneFlood(0.5, 0.01, 10000, 8, 100), 2833.33, 0.5);
+  // Clamps at zero when the bad area is too small to matter.
+  EXPECT_DOUBLE_EQ(lemma2SlowZoneFlood(0.001, 0.01, 100, 8, 1000), 0.0);
+}
+
+TEST(Characteristic, BadIndexAreaBoundedByLambdaOverRho) {
+  // The paper notes |D_f| <= λ_f / ρ.
+  const BucketIndexer skew{IndexKind::kSkewPower, 4.0};
+  const std::uint64_t d = 2048;
+  const double rho = 2.0 / static_cast<double>(d);
+  const auto stats = analyzeIndexer(skew, d, rho);
+  EXPECT_LE(static_cast<double>(stats.bad_indices), stats.lambda / rho + 1.0);
+}
+
+}  // namespace
+}  // namespace exthash::lowerbound

@@ -1,0 +1,80 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace exthash {
+namespace {
+
+ArgParser makeParser() {
+  ArgParser p("prog", "test parser");
+  p.addUintFlag("n", 100, "item count");
+  p.addDoubleFlag("load", 0.5, "load factor");
+  p.addStringFlag("table", "chaining", "table kind");
+  p.addBoolFlag("verbose", false, "chatty output");
+  return p;
+}
+
+TEST(ArgParser, Defaults) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.getUint("n"), 100u);
+  EXPECT_DOUBLE_EQ(p.getDouble("load"), 0.5);
+  EXPECT_EQ(p.getString("table"), "chaining");
+  EXPECT_FALSE(p.getBool("verbose"));
+}
+
+TEST(ArgParser, ParsesValues) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"prog", "--n=42", "--load=0.75", "--table=lsm",
+                        "--verbose=true"};
+  EXPECT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.getUint("n"), 42u);
+  EXPECT_DOUBLE_EQ(p.getDouble("load"), 0.75);
+  EXPECT_EQ(p.getString("table"), "lsm");
+  EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(ArgParser, BareBoolFlag) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"prog", "--verbose"};
+  EXPECT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(ArgParser, RejectsUnknownFlag) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(p.parse(2, argv), CheckFailure);
+}
+
+TEST(ArgParser, RejectsMalformedNumbers) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"prog", "--n=12x"};
+  EXPECT_TRUE(p.parse(2, argv));
+  EXPECT_THROW(p.getUint("n"), CheckFailure);
+}
+
+TEST(ArgParser, RejectsBareValueFlag) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(p.parse(2, argv), CheckFailure);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, WrongTypeAccessThrows) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(p.parse(1, argv));
+  EXPECT_THROW(p.getUint("table"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace exthash

@@ -1,0 +1,114 @@
+#include "tables/cuckoo_table.h"
+
+#include <gtest/gtest.h>
+
+#include "table_test_util.h"
+
+namespace exthash::tables {
+namespace {
+
+using exthash::testing::CountingVisitor;
+using exthash::testing::TestRig;
+using exthash::testing::distinctKeys;
+
+TEST(Cuckoo, InsertLookupRoundTrip) {
+  TestRig rig(8);
+  CuckooHashTable table(rig.context(), {32, 64, 64});
+  const auto keys = distinctKeys(128);  // load 1/2
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(table.insert(keys[i], i));
+  }
+  EXPECT_EQ(table.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(table.lookup(keys[i]).value(), i);
+  }
+  EXPECT_FALSE(table.lookup(0xdeadULL << 32).has_value());
+}
+
+TEST(Cuckoo, LookupIsAtMostTwoReads) {
+  TestRig rig(16);
+  CuckooHashTable table(rig.context(), {64, 64, 64});
+  const auto keys = distinctKeys(700);  // load ~0.68
+  for (const auto k : keys) table.insert(k, 1);
+  for (const auto k : keys) {
+    const extmem::IoProbe probe(*rig.device);
+    ASSERT_TRUE(table.lookup(k).has_value());
+    ASSERT_LE(probe.cost(), 2u);  // the worst-case guarantee of [17]
+  }
+  // Misses too.
+  for (const auto k : distinctKeys(100, /*seed=*/321)) {
+    const extmem::IoProbe probe(*rig.device);
+    table.lookup(k);
+    ASSERT_LE(probe.cost(), 2u);
+  }
+}
+
+TEST(Cuckoo, HighLoadViaKickouts) {
+  TestRig rig(8);
+  CuckooHashTable table(rig.context(), {32, 128, 64});
+  const auto keys = distinctKeys(217);  // load ~0.85
+  for (std::size_t i = 0; i < keys.size(); ++i) table.insert(keys[i], i);
+  EXPECT_GT(table.kicks(), 0u);  // kickouts actually happened
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(table.lookup(keys[i]).value(), i) << i;
+  }
+  EXPECT_GT(table.loadFactor(), 0.8);
+}
+
+TEST(Cuckoo, UpdateInPlaceEverywhere) {
+  TestRig rig(4);
+  CuckooHashTable table(rig.context(), {8, 32, 16});
+  const auto keys = distinctKeys(24);
+  for (const auto k : keys) table.insert(k, 1);
+  for (const auto k : keys) EXPECT_FALSE(table.insert(k, 2));
+  EXPECT_EQ(table.size(), keys.size());
+  for (const auto k : keys) ASSERT_EQ(table.lookup(k).value(), 2u);
+}
+
+TEST(Cuckoo, EraseFromBothBucketsAndStash) {
+  TestRig rig(4);
+  CuckooHashTable table(rig.context(), {8, 16, 32});
+  const auto keys = distinctKeys(28);  // load ~0.875: stash likely used
+  for (const auto k : keys) table.insert(k, 3);
+  for (const auto k : keys) {
+    EXPECT_TRUE(table.erase(k));
+    EXPECT_FALSE(table.erase(k));
+  }
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.stashSize(), 0u);
+}
+
+TEST(Cuckoo, StashChargesMemory) {
+  TestRig rig(8, /*memory_words=*/4096);
+  const std::size_t before = rig.memory->used();
+  CuckooHashTable table(rig.context(), {16, 32, 64});
+  EXPECT_GT(rig.memory->used(), before);  // stash memtable is charged
+}
+
+TEST(Cuckoo, VisitLayoutConservation) {
+  TestRig rig(8);
+  CuckooHashTable table(rig.context(), {32, 64, 64});
+  const auto keys = distinctKeys(150);
+  for (const auto k : keys) table.insert(k, 1);
+  CountingVisitor visitor;
+  table.visitLayout(visitor);
+  EXPECT_EQ(visitor.memory_items + visitor.disk_items, keys.size());
+}
+
+TEST(Cuckoo, AverageSuccessfulLookupBelowWorstCase) {
+  // Most items sit in their first bucket, so the average is well below 2:
+  // cuckoo lives at the tq = 1 + Θ(1) point of the paper's tradeoff.
+  TestRig rig(16);
+  CuckooHashTable table(rig.context(), {64, 64, 64});
+  const auto keys = distinctKeys(512);  // load 1/2
+  for (const auto k : keys) table.insert(k, 1);
+  const extmem::IoProbe probe(*rig.device);
+  for (const auto k : keys) ASSERT_TRUE(table.lookup(k).has_value());
+  const double avg = static_cast<double>(probe.cost()) /
+                     static_cast<double>(keys.size());
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, 1.7);
+}
+
+}  // namespace
+}  // namespace exthash::tables

@@ -1,0 +1,142 @@
+#include "tables/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hashfn/hash_family.h"
+#include "util/random.h"
+
+namespace exthash::tables {
+namespace {
+
+hashfn::HashPtr identityHash() {
+  class Identity final : public hashfn::HashFunction {
+   public:
+    std::uint64_t operator()(std::uint64_t key) const override { return key; }
+    std::string_view name() const override { return "identity"; }
+  };
+  return std::make_shared<Identity>();
+}
+
+std::vector<Record> sortedRecords(std::initializer_list<Record> rs) {
+  std::vector<Record> v(rs);
+  std::sort(v.begin(), v.end(),
+            [](const Record& a, const Record& b) { return a.key < b.key; });
+  return v;
+}
+
+TEST(VectorCursor, YieldsAllThenEmpty) {
+  VectorCursor c({{1, 10}, {2, 20}});
+  EXPECT_EQ(c.next()->key, 1u);
+  EXPECT_EQ(c.next()->key, 2u);
+  EXPECT_FALSE(c.next().has_value());
+  EXPECT_FALSE(c.next().has_value());
+}
+
+TEST(KWayMerger, MergesInOrder) {
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{1, 1}, {5, 5}, {9, 9}})));
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{2, 2}, {6, 6}})));
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{3, 3}, {4, 4}, {8, 8}})));
+  KWayMerger merger(std::move(sources), identityHash(), false);
+  std::vector<std::uint64_t> keys;
+  while (auto r = merger.next()) keys.push_back(r->key);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 8, 9}));
+}
+
+TEST(KWayMerger, NewestSourceWinsDuplicates) {
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{5, 500}})));  // source 0 = newest
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{5, 50}, {7, 70}})));
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{5, 5}, {7, 7}, {8, 8}})));
+  KWayMerger merger(std::move(sources), identityHash(), false);
+  std::vector<Record> out;
+  while (auto r = merger.next()) out.push_back(*r);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Record{5, 500}));
+  EXPECT_EQ(out[1], (Record{7, 70}));
+  EXPECT_EQ(out[2], (Record{8, 8}));
+}
+
+TEST(KWayMerger, DropsTombstonesWhenAsked) {
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{5, kTombstoneValue}})));
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{5, 50}, {6, 60}})));
+  KWayMerger merger(std::move(sources), identityHash(), true);
+  std::vector<Record> out;
+  while (auto r = merger.next()) out.push_back(*r);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Record{6, 60}));
+}
+
+TEST(KWayMerger, KeepsTombstonesWhenNotAsked) {
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{5, kTombstoneValue}})));
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{5, 50}})));
+  KWayMerger merger(std::move(sources), identityHash(), false);
+  const auto r = merger.next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, kTombstoneValue);  // shadow survives for deeper merges
+  EXPECT_FALSE(merger.next().has_value());
+}
+
+TEST(KWayMerger, HandlesEmptySources) {
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(std::make_unique<VectorCursor>(std::vector<Record>{}));
+  sources.push_back(std::make_unique<VectorCursor>(
+      sortedRecords({{1, 1}})));
+  sources.push_back(std::make_unique<VectorCursor>(std::vector<Record>{}));
+  KWayMerger merger(std::move(sources), identityHash(), false);
+  EXPECT_EQ(merger.next()->key, 1u);
+  EXPECT_FALSE(merger.next().has_value());
+}
+
+TEST(KWayMerger, OrdersByHashNotByKey) {
+  // With a real hash, output order follows h(key), not key.
+  auto hash = hashfn::makeHash(hashfn::HashKind::kMix, 5);
+  std::vector<Record> recs;
+  for (std::uint64_t k = 0; k < 50; ++k) recs.push_back({k, k});
+  std::sort(recs.begin(), recs.end(),
+            [&](const Record& a, const Record& b) {
+              return (*hash)(a.key) < (*hash)(b.key);
+            });
+  std::vector<std::unique_ptr<RecordCursor>> sources;
+  sources.push_back(std::make_unique<VectorCursor>(recs));
+  KWayMerger merger(std::move(sources), hash, false);
+  std::uint64_t prev = 0;
+  std::size_t n = 0;
+  while (auto r = merger.next()) {
+    const auto hv = (*hash)(r->key);
+    EXPECT_GE(hv, prev);
+    prev = hv;
+    ++n;
+  }
+  EXPECT_EQ(n, 50u);
+}
+
+TEST(PeekableCursor, PeekDoesNotConsume) {
+  VectorCursor inner({{1, 1}, {2, 2}});
+  PeekableCursor peek(inner);
+  ASSERT_TRUE(peek.peek().has_value());
+  EXPECT_EQ(peek.peek()->key, 1u);
+  EXPECT_EQ(peek.peek()->key, 1u);  // still there
+  EXPECT_EQ(peek.next()->key, 1u);
+  EXPECT_EQ(peek.peek()->key, 2u);
+  EXPECT_EQ(peek.next()->key, 2u);
+  EXPECT_FALSE(peek.peek().has_value());
+  EXPECT_FALSE(peek.next().has_value());
+}
+
+}  // namespace
+}  // namespace exthash::tables

@@ -1,0 +1,209 @@
+// Integration tests across the whole library: every structure must agree
+// with every other on the same operation trace; runs must be bit-level
+// deterministic under a fixed seed; and structures must honor an explicit
+// memory budget m end to end.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "table_test_util.h"
+#include "tables/factory.h"
+#include "workload/keygen.h"
+#include "workload/trace.h"
+
+namespace exthash {
+namespace {
+
+using exthash::testing::TestRig;
+using tables::GeneralConfig;
+using tables::TableKind;
+using workload::Operation;
+using workload::OpType;
+
+GeneralConfig smallConfig(std::size_t n) {
+  GeneralConfig cfg;
+  cfg.expected_n = n;
+  cfg.target_load = 0.5;
+  cfg.buffer_items = 32;
+  cfg.beta = 4;
+  cfg.gamma = 2;
+  return cfg;
+}
+
+/// A random mixed trace over a bounded keyspace (inserts/lookups/erases).
+std::vector<Operation> makeTrace(std::size_t ops, std::uint64_t seed,
+                                 bool with_erase) {
+  Xoshiro256StarStar rng(seed);
+  const auto keyspace = exthash::testing::distinctKeys(128, seed + 1);
+  std::vector<Operation> trace;
+  trace.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t key = keyspace[rng.below(keyspace.size())];
+    switch (rng.below(with_erase ? 3 : 2)) {
+      case 0:
+        trace.push_back({OpType::kInsert, key, rng.below(1 << 20) + 1});
+        break;
+      case 1:
+        trace.push_back({OpType::kLookup, key, 0});
+        break;
+      case 2:
+        trace.push_back({OpType::kErase, key, 0});
+        break;
+    }
+  }
+  return trace;
+}
+
+/// Replay a trace, recording every lookup outcome.
+std::vector<std::optional<std::uint64_t>> lookupOutcomes(
+    tables::ExternalHashTable& table, const std::vector<Operation>& trace) {
+  std::vector<std::optional<std::uint64_t>> outcomes;
+  for (const Operation& op : trace) {
+    switch (op.op) {
+      case OpType::kInsert:
+        table.insert(op.key, op.value);
+        break;
+      case OpType::kLookup:
+        outcomes.push_back(table.lookup(op.key));
+        break;
+      case OpType::kErase:
+        table.erase(op.key);
+        break;
+    }
+  }
+  return outcomes;
+}
+
+TEST(Integration, AllStructuresAgreeOnUpdateTraces) {
+  // Structures with full update+erase support must return identical
+  // lookup outcomes on the same mixed trace (the buffered table is
+  // excluded: its contract is insert-only distinct keys).
+  const auto trace = makeTrace(3000, 99, /*with_erase=*/true);
+  const std::vector<TableKind> kinds = {
+      TableKind::kChaining,      TableKind::kLinearProbing,
+      TableKind::kExtendible,    TableKind::kLinearHashing,
+      TableKind::kLogMethod,     TableKind::kJensenPagh,
+      TableKind::kBTree,         TableKind::kLsm,
+      TableKind::kCuckoo,        TableKind::kBufferBTree,
+  };
+  std::vector<std::optional<std::uint64_t>> reference;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    TestRig rig(8, 0, /*seed=*/5);
+    auto table = makeTable(kinds[i], rig.context(), smallConfig(256));
+    const auto outcomes = lookupOutcomes(*table, trace);
+    if (i == 0) {
+      reference = outcomes;
+      continue;
+    }
+    ASSERT_EQ(outcomes.size(), reference.size());
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+      ASSERT_EQ(outcomes[j], reference[j])
+          << tables::tableKindName(kinds[i]) << " diverges from "
+          << tables::tableKindName(kinds[0]) << " at lookup " << j;
+    }
+  }
+}
+
+TEST(Integration, BufferedTableAgreesOnInsertOnlyTraces) {
+  const auto trace = makeTrace(2000, 7, /*with_erase=*/false);
+  // Reduce to insert-only + lookups with distinct final values: the
+  // buffered table's lookup() may serve stale values for re-inserted keys
+  // (documented), so compare via strict semantics: key-presence only.
+  TestRig chain_rig(8, 0, 5);
+  auto chain =
+      makeTable(TableKind::kChaining, chain_rig.context(), smallConfig(256));
+  TestRig buf_rig(8, 0, 5);
+  auto buffered =
+      makeTable(TableKind::kBuffered, buf_rig.context(), smallConfig(256));
+  for (const Operation& op : trace) {
+    if (op.op == OpType::kInsert) {
+      chain->insert(op.key, op.value);
+      buffered->insert(op.key, op.value);
+    } else if (op.op == OpType::kLookup) {
+      ASSERT_EQ(chain->lookup(op.key).has_value(),
+                buffered->lookup(op.key).has_value())
+          << "presence divergence on key " << op.key;
+    }
+  }
+}
+
+TEST(Integration, ReplayIsDeterministic) {
+  // Same seed, same trace, same structure: identical I/O counts and
+  // layout. Guards against hidden nondeterminism (iteration order, etc.).
+  const auto trace = makeTrace(2000, 21, /*with_erase=*/true);
+  std::uint64_t first_cost = 0;
+  std::size_t first_blocks = 0;
+  for (int run = 0; run < 2; ++run) {
+    TestRig rig(8, 0, /*seed=*/13);
+    auto table =
+        makeTable(TableKind::kLsm, rig.context(), smallConfig(256));
+    workload::replayTrace(*table, trace);
+    if (run == 0) {
+      first_cost = rig.device->stats().cost();
+      first_blocks = rig.device->blocksInUse();
+    } else {
+      EXPECT_EQ(rig.device->stats().cost(), first_cost);
+      EXPECT_EQ(rig.device->blocksInUse(), first_blocks);
+    }
+  }
+}
+
+TEST(Integration, TraceFileRoundTripDrivesAnyTable) {
+  const auto trace = makeTrace(500, 33, /*with_erase=*/true);
+  const std::string path = ::testing::TempDir() + "/integration_trace.bin";
+  workload::writeTrace(path, trace);
+  const auto loaded = workload::readTrace(path);
+  ASSERT_EQ(loaded, trace);
+  TestRig rig(8);
+  auto table =
+      makeTable(TableKind::kExtendible, rig.context(), smallConfig(256));
+  const auto result = workload::replayTrace(*table, loaded);
+  EXPECT_EQ(result.inserts + result.lookups + result.erases, trace.size());
+  std::remove(path.c_str());
+}
+
+TEST(Integration, StructuresHonorExplicitMemoryBudget) {
+  // Give each structure a firm m (words). Construction + a workload must
+  // either fit or throw BudgetExceeded — never silently exceed.
+  const std::size_t m_words = 1 << 12;
+  const auto keys = exthash::testing::distinctKeys(2000);
+  for (const TableKind kind : tables::kAllTableKinds) {
+    TestRig rig(8, m_words, /*seed=*/3);
+    try {
+      auto table = makeTable(kind, rig.context(), smallConfig(2000));
+      for (const auto k : keys) table->insert(k, 1);
+      EXPECT_LE(rig.memory->peak(), m_words)
+          << tables::tableKindName(kind);
+    } catch (const extmem::BudgetExceeded&) {
+      // Legitimate: the structure declared it cannot fit (e.g. a dense
+      // extendible directory); the budget did its job.
+    }
+  }
+}
+
+TEST(Integration, LongRunBufferedStress) {
+  // 50k inserts through many merge rounds; spot-check correctness and the
+  // structural invariants at the end.
+  TestRig rig(32, 0, /*seed=*/17);
+  GeneralConfig cfg = smallConfig(50000);
+  cfg.buffer_items = 128;
+  cfg.beta = 8;
+  auto table = makeTable(TableKind::kBuffered, rig.context(), cfg);
+  workload::DistinctKeyStream keys(71);
+  std::vector<std::uint64_t> inserted;
+  inserted.reserve(50000);
+  for (std::size_t i = 0; i < 50000; ++i) {
+    const std::uint64_t k = keys.next();
+    table->insert(k, i);
+    inserted.push_back(k);
+  }
+  EXPECT_EQ(table->size(), inserted.size());
+  for (std::size_t i = 0; i < inserted.size(); i += 97) {
+    ASSERT_EQ(table->lookup(inserted[i]).value(), i);
+  }
+  // Disk usage is O(n/b), not O(merges · n/b).
+  EXPECT_LT(rig.device->blocksInUse(), 3u * 50000 / 32 + 128);
+}
+
+}  // namespace
+}  // namespace exthash

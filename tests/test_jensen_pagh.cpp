@@ -1,0 +1,130 @@
+#include "tables/jensen_pagh_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "table_test_util.h"
+
+namespace exthash::tables {
+namespace {
+
+using exthash::testing::CountingVisitor;
+using exthash::testing::TestRig;
+using exthash::testing::distinctKeys;
+
+TEST(JensenPagh, InsertLookupRoundTrip) {
+  TestRig rig(16);
+  JensenPaghTable table(rig.context(), {256});
+  const auto keys = distinctKeys(250);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(table.insert(keys[i], i));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(table.lookup(keys[i]).value(), i);
+  }
+  EXPECT_FALSE(table.lookup(0xcafeULL << 32).has_value());
+}
+
+TEST(JensenPagh, MaintainsHighLoadFactor) {
+  TestRig rig(64);
+  JensenPaghTable table(rig.context(), {4096});
+  const auto keys = distinctKeys(4096);
+  for (const auto k : keys) table.insert(k, 1);
+  // Load factor 1 - O(1/√b): with b=64 that is >= ~0.8 even counting the
+  // overflow region's slack.
+  EXPECT_GT(table.loadFactor(), 0.75);
+}
+
+TEST(JensenPagh, OverflowFractionScalesAsOneOverSqrtB) {
+  const std::size_t n = 16384;
+  const auto keys = distinctKeys(n);
+  double fraction[2];
+  const std::size_t bs[2] = {16, 256};
+  for (int i = 0; i < 2; ++i) {
+    TestRig rig(bs[i]);
+    JensenPaghTable table(rig.context(), {n});
+    for (const auto k : keys) table.insert(k, 1);
+    fraction[i] = static_cast<double>(table.overflowItems()) /
+                  static_cast<double>(n);
+  }
+  // Θ(1/√b): quadrupling... b grows 16x, so the fraction should shrink by
+  // roughly 4x; require at least 2x to keep the test robust.
+  EXPECT_GT(fraction[0], fraction[1] * 2.0);
+}
+
+TEST(JensenPagh, QueryCostIsOnePlusOneOverSqrtB) {
+  TestRig rig(64);
+  const std::size_t n = 8192;
+  JensenPaghTable table(rig.context(), {n});
+  const auto keys = distinctKeys(n);
+  for (const auto k : keys) table.insert(k, 1);
+  const extmem::IoProbe probe(*rig.device);
+  for (const auto k : keys) ASSERT_TRUE(table.lookup(k).has_value());
+  const double per_lookup = static_cast<double>(probe.cost()) /
+                            static_cast<double>(n);
+  const double bound = 1.0 + 4.0 / std::sqrt(64.0);
+  EXPECT_LT(per_lookup, bound);
+}
+
+TEST(JensenPagh, UpdateInPrimaryAndOverflow) {
+  TestRig rig(4);
+  JensenPaghTable table(rig.context(), {64});
+  const auto keys = distinctKeys(60);
+  for (const auto k : keys) table.insert(k, 1);
+  for (const auto k : keys) EXPECT_FALSE(table.insert(k, 2));
+  EXPECT_EQ(table.size(), keys.size());
+  for (const auto k : keys) ASSERT_EQ(table.lookup(k).value(), 2u);
+}
+
+TEST(JensenPagh, RebuildDoublesAndPreservesContents) {
+  TestRig rig(8);
+  JensenPaghTable table(rig.context(), {64});
+  const auto keys = distinctKeys(300);  // forces several rebuilds
+  for (std::size_t i = 0; i < keys.size(); ++i) table.insert(keys[i], i);
+  EXPECT_GT(table.rebuilds(), 0u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(table.lookup(keys[i]).value(), i);
+  }
+}
+
+TEST(JensenPagh, EraseFromBothRegions) {
+  TestRig rig(4);
+  JensenPaghTable table(rig.context(), {128});
+  const auto keys = distinctKeys(120);
+  for (const auto k : keys) table.insert(k, 3);
+  std::size_t erased = 0;
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(table.erase(keys[i]));
+    ++erased;
+  }
+  EXPECT_EQ(table.size(), keys.size() - erased);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(table.lookup(keys[i]).has_value(), i % 2 == 1);
+  }
+}
+
+TEST(JensenPagh, VisitLayoutConservation) {
+  TestRig rig(8);
+  JensenPaghTable table(rig.context(), {256});
+  const auto keys = distinctKeys(256);
+  for (const auto k : keys) table.insert(k, 1);
+  CountingVisitor visitor;
+  table.visitLayout(visitor);
+  EXPECT_EQ(visitor.disk_items, keys.size());
+}
+
+TEST(JensenPagh, AmortizedInsertNearOne) {
+  TestRig rig(64);
+  JensenPaghTable table(rig.context(), {1024});
+  const auto keys = distinctKeys(8192);
+  const extmem::IoProbe probe(*rig.device);
+  for (const auto k : keys) table.insert(k, 1);
+  const double per_insert = static_cast<double>(probe.cost()) /
+                            static_cast<double>(keys.size());
+  // 1 rmw + O(1/√b) overflow + amortized rebuild scans.
+  EXPECT_LT(per_insert, 1.0 + 6.0 / std::sqrt(64.0));
+}
+
+}  // namespace
+}  // namespace exthash::tables

@@ -1,0 +1,140 @@
+#include "tables/linear_probing_table.h"
+
+#include <gtest/gtest.h>
+
+#include "table_test_util.h"
+
+namespace exthash::tables {
+namespace {
+
+using exthash::testing::CountingVisitor;
+using exthash::testing::TestRig;
+using exthash::testing::distinctKeys;
+
+TEST(LinearProbing, InsertLookupRoundTrip) {
+  TestRig rig(8);
+  LinearProbingHashTable table(rig.context(), {16, BucketIndexer{}});
+  const auto keys = distinctKeys(64);  // load 1/2
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(table.insert(keys[i], i));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(table.lookup(keys[i]).value(), i);
+  }
+  EXPECT_FALSE(table.lookup(0xabcdefULL << 20).has_value());
+}
+
+TEST(LinearProbing, UpdateInPlace) {
+  TestRig rig(8);
+  LinearProbingHashTable table(rig.context(), {4, BucketIndexer{}});
+  EXPECT_TRUE(table.insert(9, 90));
+  EXPECT_FALSE(table.insert(9, 91));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(9).value(), 91u);
+}
+
+TEST(LinearProbing, HandlesOverflowRuns) {
+  TestRig rig(4);
+  LinearProbingHashTable table(rig.context(), {4, BucketIndexer{}});
+  // 12 items in 4 buckets of 4: some buckets must overflow into runs.
+  const auto keys = distinctKeys(12);
+  for (std::size_t i = 0; i < keys.size(); ++i) table.insert(keys[i], i);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(table.lookup(keys[i]).value(), i) << "key index " << i;
+  }
+}
+
+TEST(LinearProbing, FillCompletely) {
+  TestRig rig(4);
+  LinearProbingHashTable table(rig.context(), {4, BucketIndexer{}});
+  const auto keys = distinctKeys(16);  // exactly full
+  for (const auto k : keys) table.insert(k, 1);
+  EXPECT_DOUBLE_EQ(table.loadFactor(), 1.0);
+  for (const auto k : keys) ASSERT_TRUE(table.lookup(k).has_value());
+  // One more insert must fail loudly, not loop forever.
+  EXPECT_THROW(table.insert(0xffffULL << 32, 1), CheckFailure);
+}
+
+TEST(LinearProbing, EraseKeepsProbeRunsSearchable) {
+  TestRig rig(4);
+  LinearProbingHashTable table(rig.context(), {4, BucketIndexer{}});
+  const auto keys = distinctKeys(14);
+  for (std::size_t i = 0; i < keys.size(); ++i) table.insert(keys[i], i);
+  // Erase half — including items in the middle of probe runs.
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(table.erase(keys[i]));
+  }
+  // Every remaining key must still be findable past the holes (the sticky
+  // overflow flags keep lookup correct after deletions).
+  for (std::size_t i = 1; i < keys.size(); i += 2) {
+    ASSERT_EQ(table.lookup(keys[i]).value(), i);
+  }
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_FALSE(table.lookup(keys[i]).has_value());
+  }
+}
+
+TEST(LinearProbing, ReinsertAfterEraseReusesHoles) {
+  TestRig rig(4);
+  LinearProbingHashTable table(rig.context(), {4, BucketIndexer{}});
+  const auto keys = distinctKeys(14);
+  for (const auto k : keys) table.insert(k, 1);
+  for (const auto k : keys) table.erase(k);
+  EXPECT_EQ(table.size(), 0u);
+  for (const auto k : keys) EXPECT_TRUE(table.insert(k, 2));
+  for (const auto k : keys) ASSERT_EQ(table.lookup(k).value(), 2u);
+}
+
+TEST(LinearProbing, LowLoadLookupIsOneIo) {
+  TestRig rig(64);
+  LinearProbingHashTable table(rig.context(), {32, BucketIndexer{}});
+  const auto keys = distinctKeys(1024);  // load 1/2
+  for (const auto k : keys) table.insert(k, 1);
+  const extmem::IoProbe probe(*rig.device);
+  for (const auto k : keys) ASSERT_TRUE(table.lookup(k).has_value());
+  const double per_lookup = static_cast<double>(probe.cost()) /
+                            static_cast<double>(keys.size());
+  EXPECT_LT(per_lookup, 1.02);
+}
+
+TEST(LinearProbing, UnsuccessfulLookupStopsAtTerminalBlock) {
+  TestRig rig(64);
+  LinearProbingHashTable table(rig.context(), {32, BucketIndexer{}});
+  const auto keys = distinctKeys(512);  // load 1/4: no overflow whatsoever
+  for (const auto k : keys) table.insert(k, 1);
+  const extmem::IoProbe probe(*rig.device);
+  const auto miss_keys = distinctKeys(128, /*seed=*/999);
+  for (const auto k : miss_keys) table.lookup(k);
+  const double per_miss = static_cast<double>(probe.cost()) / 128.0;
+  EXPECT_LT(per_miss, 1.05);
+}
+
+TEST(LinearProbing, VisitLayoutComplete) {
+  TestRig rig(8);
+  LinearProbingHashTable table(rig.context(), {8, BucketIndexer{}});
+  const auto keys = distinctKeys(50);
+  for (const auto k : keys) table.insert(k, 1);
+  CountingVisitor visitor;
+  table.visitLayout(visitor);
+  EXPECT_EQ(visitor.disk_items, 50u);
+}
+
+TEST(LinearProbing, WrapAroundProbing) {
+  // Force keys into the last bucket so runs wrap around to bucket 0.
+  TestRig rig(2);
+  LinearProbingHashTable table(rig.context(), {3, BucketIndexer{}});
+  // Find keys hashing to the last bucket.
+  std::vector<std::uint64_t> tail_keys;
+  for (std::uint64_t k = 0; tail_keys.size() < 5; ++k) {
+    if (hashfn::rangeBucket((*rig.hash)(k), 3) == 2) tail_keys.push_back(k);
+  }
+  for (std::size_t i = 0; i < tail_keys.size(); ++i) {
+    table.insert(tail_keys[i], i);
+  }
+  for (std::size_t i = 0; i < tail_keys.size(); ++i) {
+    ASSERT_EQ(table.lookup(tail_keys[i]).value(), i);
+  }
+}
+
+}  // namespace
+}  // namespace exthash::tables

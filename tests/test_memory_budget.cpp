@@ -1,0 +1,79 @@
+#include "extmem/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace exthash::extmem {
+namespace {
+
+TEST(MemoryBudget, ChargesAndReleases) {
+  MemoryBudget budget(100);
+  budget.charge(60);
+  EXPECT_EQ(budget.used(), 60u);
+  EXPECT_EQ(budget.available(), 40u);
+  budget.release(20);
+  EXPECT_EQ(budget.used(), 40u);
+  EXPECT_EQ(budget.peak(), 60u);
+}
+
+TEST(MemoryBudget, ThrowsWhenExceeded) {
+  MemoryBudget budget(100);
+  budget.charge(90);
+  EXPECT_THROW(budget.charge(11), BudgetExceeded);
+  EXPECT_EQ(budget.used(), 90u);  // failed charge leaves state intact
+  budget.charge(10);              // exact fit is fine
+}
+
+TEST(MemoryBudget, UnlimitedNeverThrows) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.unlimited());
+  budget.charge(1u << 30);
+  EXPECT_EQ(budget.used(), 1u << 30);
+}
+
+TEST(MemoryBudget, ReleaseClampsAtZero) {
+  MemoryBudget budget(10);
+  budget.charge(5);
+  budget.release(50);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryCharge, RaiiReleasesOnDestruction) {
+  MemoryBudget budget(100);
+  {
+    MemoryCharge charge(budget, 30);
+    EXPECT_EQ(budget.used(), 30u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryCharge, ResizeUpAndDown) {
+  MemoryBudget budget(100);
+  MemoryCharge charge(budget, 10);
+  charge.resize(50);
+  EXPECT_EQ(budget.used(), 50u);
+  charge.resize(5);
+  EXPECT_EQ(budget.used(), 5u);
+  EXPECT_EQ(charge.words(), 5u);
+}
+
+TEST(MemoryCharge, ResizeBeyondLimitThrowsAndKeepsOldCharge) {
+  MemoryBudget budget(40);
+  MemoryCharge charge(budget, 10);
+  EXPECT_THROW(charge.resize(100), BudgetExceeded);
+  EXPECT_EQ(budget.used(), 10u);
+}
+
+TEST(MemoryCharge, MoveTransfersOwnership) {
+  MemoryBudget budget(100);
+  MemoryCharge a(budget, 25);
+  MemoryCharge b(std::move(a));
+  EXPECT_EQ(budget.used(), 25u);
+  EXPECT_EQ(a.words(), 0u);
+  a.reset();  // no-op on moved-from
+  EXPECT_EQ(budget.used(), 25u);
+  b.reset();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+}  // namespace
+}  // namespace exthash::extmem

@@ -1,0 +1,90 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace exthash {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, BelowIsInRangeAndCoversRange) {
+  Xoshiro256StarStar rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, Uniform01Bounds) {
+  Xoshiro256StarStar rng(11);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Feistel, IsABijectionOnASample) {
+  FeistelPermutation perm(99);
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 100000; ++i) outputs.insert(perm(i));
+  EXPECT_EQ(outputs.size(), 100000u);  // injective on the sample
+}
+
+TEST(Feistel, IsDeterministicPerSeed) {
+  FeistelPermutation a(5), b(5), c(6);
+  EXPECT_EQ(a(12345), b(12345));
+  EXPECT_NE(a(12345), c(12345));
+}
+
+TEST(Feistel, OutputLooksUniformAcrossBuckets) {
+  FeistelPermutation perm(123);
+  // Chi-squared over 64 buckets of the top bits.
+  std::vector<std::uint64_t> counts(64, 0);
+  const std::uint64_t n = 1 << 16;
+  for (std::uint64_t i = 0; i < n; ++i) ++counts[perm(i) >> 58];
+  const double expected = static_cast<double>(n) / 64.0;
+  double chi2 = 0.0;
+  for (const auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 degrees of freedom: p=0.001 critical value ~ 103.4.
+  EXPECT_LT(chi2, 110.0);
+}
+
+TEST(DeriveSeed, DistinctStreams) {
+  EXPECT_NE(deriveSeed(1, 0), deriveSeed(1, 1));
+  EXPECT_NE(deriveSeed(1, 0), deriveSeed(2, 0));
+  EXPECT_EQ(deriveSeed(1, 3), deriveSeed(1, 3));
+}
+
+}  // namespace
+}  // namespace exthash

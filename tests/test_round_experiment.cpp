@@ -1,0 +1,78 @@
+#include "lowerbound/round_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "table_test_util.h"
+#include "tables/chaining_table.h"
+
+namespace exthash::lowerbound {
+namespace {
+
+using exthash::testing::TestRig;
+using tables::BucketIndexer;
+using tables::ChainingHashTable;
+
+TEST(RoundExperiment, ChainingTableExhibitsRegime1Behavior) {
+  // The regime-1 mechanism on the standard hash table: nearly every item
+  // of a round lands in its own distinct primary block (Z/s -> 1), so the
+  // amortized insertion cost is pinned near 1 despite the memory buffer.
+  const std::size_t b = 16;
+  const std::size_t n = 1 << 14;
+  TestRig rig(b);
+  ChainingHashTable table(rig.context(),
+                          {2 * n / b, BucketIndexer{}});  // load <= 1/2
+  workload::DistinctKeyStream keys(31);
+  RoundExperimentConfig cfg;
+  cfg.n = n;
+  cfg.c = 2.0;
+  cfg.rounds = 6;
+  const auto result = runRoundExperiment(table, keys, cfg);
+
+  ASSERT_EQ(result.rounds.size(), 6u);
+  EXPECT_GT(result.s, 16u);
+  // Z/s must be close to 1 (most round items in distinct fast blocks).
+  EXPECT_GT(result.mean_z_over_s, 0.85);
+  // Measured amortized insertion cost respects the floor Z/s and sits
+  // near 1 — the lower bound in action.
+  EXPECT_GT(result.amortized_tu, 0.9);
+  for (const auto& round : result.rounds) {
+    EXPECT_GE(round.io_cost + 1e-9,
+              static_cast<double>(round.distinct_fast_blocks))
+        << "I/O cost cannot undercut the distinct-block floor";
+    EXPECT_GE(static_cast<double>(round.distinct_fast_blocks),
+              round.lower_bound * 0.9)
+        << "round " << round.round << " violates the (1-O(φ))s - t floor";
+  }
+}
+
+TEST(RoundExperiment, SlowZoneStaysWithinInequalityOne) {
+  const std::size_t b = 16;
+  const std::size_t n = 1 << 13;
+  TestRig rig(b);
+  ChainingHashTable table(rig.context(), {2 * n / b, BucketIndexer{}});
+  workload::DistinctKeyStream keys(37);
+  RoundExperimentConfig cfg;
+  cfg.n = n;
+  cfg.c = 1.5;
+  cfg.rounds = 4;
+  const auto result = runRoundExperiment(table, keys, cfg);
+  for (const auto& round : result.rounds) {
+    // |S| <= m + (δ/φ)k with k <= n; the chaining table at load 1/2 keeps
+    // the slow zone at the 1/2^Ω(b) overflow level, far below budget.
+    EXPECT_LT(static_cast<double>(round.slow_items),
+              0.05 * static_cast<double>(n));
+  }
+}
+
+TEST(RoundExperiment, RequiresRegime1Exponent) {
+  TestRig rig(8);
+  ChainingHashTable table(rig.context(), {64, BucketIndexer{}});
+  workload::DistinctKeyStream keys(1);
+  RoundExperimentConfig cfg;
+  cfg.n = 1024;
+  cfg.c = 0.5;  // not a regime-1 exponent
+  EXPECT_THROW(runRoundExperiment(table, keys, cfg), CheckFailure);
+}
+
+}  // namespace
+}  // namespace exthash::lowerbound

@@ -1,0 +1,84 @@
+#include "core/tradeoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace exthash::core {
+namespace {
+
+TEST(Tradeoff, RegimeClassification) {
+  EXPECT_EQ(classifyRegime(2.0), Regime::kNearPerfect);
+  EXPECT_EQ(classifyRegime(1.0001), Regime::kNearPerfect);
+  EXPECT_EQ(classifyRegime(1.0), Regime::kBoundary);
+  EXPECT_EQ(classifyRegime(0.5), Regime::kRelaxed);
+}
+
+TEST(Tradeoff, Regime1LowerBoundApproachesOne) {
+  // tu >= 1 - O(1/b^((c-1)/4)): larger b and larger c push it to 1.
+  EXPECT_LT(theorem1LowerBound(2.0, 64), 1.0);
+  EXPECT_GT(theorem1LowerBound(2.0, 4096), theorem1LowerBound(2.0, 64));
+  EXPECT_GT(theorem1LowerBound(3.0, 256), theorem1LowerBound(1.5, 256));
+  EXPECT_GT(theorem1LowerBound(2.0, 1 << 20), 0.95);
+}
+
+TEST(Tradeoff, Regime3LowerBoundScalesAsBToTheCMinus1) {
+  const double r1 = theorem1LowerBound(0.5, 64);
+  const double r2 = theorem1LowerBound(0.5, 256);
+  // b^(c-1) with c=0.5: growing b by 4x shrinks the bound by 2x.
+  EXPECT_NEAR(r1 / r2, 2.0, 0.01);
+}
+
+TEST(Tradeoff, Theorem2PredictionsScaleCorrectly) {
+  const auto p1 = theorem2Upper(0.5, 64, 1 << 20, 1 << 10, 2);
+  const auto p2 = theorem2Upper(0.5, 256, 1 << 20, 1 << 10, 2);
+  EXPECT_GT(p1.tu, p2.tu);        // bigger blocks: cheaper inserts
+  EXPECT_GT(p1.tq - 1.0, p2.tq - 1.0);  // and better queries
+  EXPECT_LT(p1.tu, 1.0);          // o(1) insertions in this regime
+  EXPECT_LT(p1.tq, 2.0);
+
+  // tq - 1 = 2/β = 2/b^c.
+  EXPECT_NEAR(p1.tq - 1.0, 2.0 / std::pow(64.0, 0.5), 1e-9);
+}
+
+TEST(Tradeoff, Lemma5Predictions) {
+  const auto p = lemma5Upper(2, 256, 1 << 20, 1 << 10);
+  EXPECT_NEAR(p.tq, 10.0, 1e-9);  // log2(2^10) levels
+  EXPECT_LT(p.tu, 0.2);
+  const auto p4 = lemma5Upper(4, 256, 1 << 20, 1 << 10);
+  EXPECT_LT(p4.tq, p.tq);  // larger γ: fewer levels
+  EXPECT_GT(p4.tu, 0.0);
+}
+
+TEST(Tradeoff, Figure1CurveIsMonotone) {
+  // As c decreases (weaker query guarantee), the insertion lower bound
+  // must weaken monotonically — the shape of Figure 1.
+  const std::vector<double> cs = {2.0, 1.5, 1.0, 0.75, 0.5, 0.25};
+  const auto curve = figure1Curve(256, 1 << 22, 1 << 12, cs);
+  ASSERT_EQ(curve.size(), cs.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].tu_lower, curve[i - 1].tu_lower + 1e-12)
+        << "tu lower bound must weaken as c decreases (i=" << i << ")";
+    EXPECT_GE(curve[i].tq_target, curve[i - 1].tq_target);
+  }
+  // Upper bounds dominate lower bounds everywhere (sanity of constants).
+  for (const auto& pt : curve) {
+    EXPECT_GE(pt.tu_upper, pt.tu_lower * 0.99)
+        << "upper bound below lower bound at c=" << pt.c;
+  }
+}
+
+TEST(Tradeoff, Regime1ParametersMatchPaper) {
+  // δ = 1/b^c, φ = 1/b^((c-1)/4), ρ = 2b^((c+3)/4)/n, s = n/b^((c+1)/2).
+  const auto p = regime1Parameters(2.0, 256, 1 << 20);
+  EXPECT_NEAR(p.delta, 1.0 / (256.0 * 256.0), 1e-12);
+  EXPECT_NEAR(p.phi, 1.0 / std::pow(256.0, 0.25), 1e-12);
+  EXPECT_NEAR(p.rho, 2.0 * std::pow(256.0, 1.25) / std::pow(2.0, 20), 1e-12);
+  EXPECT_NEAR(p.s, std::pow(2.0, 20) / std::pow(256.0, 1.5), 1e-9);
+  EXPECT_THROW(regime1Parameters(0.5, 256, 1 << 20), exthash::CheckFailure);
+}
+
+}  // namespace
+}  // namespace exthash::core

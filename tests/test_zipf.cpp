@@ -1,0 +1,62 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/assert.h"
+
+namespace exthash {
+namespace {
+
+TEST(Zipf, SamplesInRange) {
+  ZipfDistribution zipf(100, 1.0);
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = zipf(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+  }
+}
+
+TEST(Zipf, HeadIsHeavy) {
+  ZipfDistribution zipf(1000, 1.0);
+  Xoshiro256StarStar rng(5);
+  std::map<std::uint64_t, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  // With theta=1 over 1000 ranks, rank 1 carries ~1/H_1000 ≈ 13% of mass.
+  EXPECT_GT(counts[1], n / 20);
+  EXPECT_GT(counts[1], counts[100]);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Xoshiro256StarStar rng(7);
+  std::map<std::uint64_t, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (std::uint64_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(counts[r], n / 10, n / 25);
+  }
+}
+
+TEST(Zipf, SteeperThetaConcentratesMore) {
+  Xoshiro256StarStar rng(11);
+  ZipfDistribution mild(1000, 0.8), steep(1000, 1.4);
+  int mild_head = 0, steep_head = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (mild(rng) <= 10) ++mild_head;
+    if (steep(rng) <= 10) ++steep_head;
+  }
+  EXPECT_GT(steep_head, mild_head);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), CheckFailure);
+  EXPECT_THROW(ZipfDistribution(10, -0.5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace exthash

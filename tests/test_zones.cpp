@@ -1,0 +1,109 @@
+#include "lowerbound/zones.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.h"
+#include "core/buffered_hash_table.h"
+#include "table_test_util.h"
+#include "tables/chaining_table.h"
+#include "tables/log_method_table.h"
+
+namespace exthash::lowerbound {
+namespace {
+
+using exthash::testing::TestRig;
+using exthash::testing::distinctKeys;
+using tables::BucketIndexer;
+using tables::ChainingHashTable;
+using tables::IndexKind;
+
+TEST(Zones, ChainingAtLowLoadIsAllFast) {
+  TestRig rig(16);
+  ChainingHashTable table(rig.context(), {64, BucketIndexer{}});
+  const auto keys = distinctKeys(256);  // load 1/4: no chains expected
+  for (const auto k : keys) table.insert(k, 1);
+  const ZoneStats zones = analyzeZones(table);
+  EXPECT_EQ(zones.total_items, keys.size());
+  EXPECT_EQ(zones.memory_items, 0u);
+  // 1/2^Ω(b) slack: allow a handful of chained items.
+  EXPECT_GE(zones.fast_items, keys.size() - 5);
+  EXPECT_LE(zones.impliedQueryCost(), 1.05);
+}
+
+TEST(Zones, OverflowItemsAreSlow) {
+  TestRig rig(4);
+  ChainingHashTable table(rig.context(), {1, BucketIndexer{}});
+  const auto keys = distinctKeys(16);  // 1 primary block + 3 overflow
+  for (const auto k : keys) table.insert(k, 1);
+  const ZoneStats zones = analyzeZones(table);
+  EXPECT_EQ(zones.fast_items, 4u);   // the primary block's items
+  EXPECT_EQ(zones.slow_items, 12u);  // chained items need >= 2 I/Os
+  EXPECT_DOUBLE_EQ(zones.impliedQueryCost(), (4.0 + 2.0 * 12.0) / 16.0);
+}
+
+TEST(Zones, BufferedTableObeysInequalityOne) {
+  // Inequality (1): |S| <= m + δk for a table with tq = 1 + δ.
+  TestRig rig(32);
+  const std::size_t h0_cap = 64;
+  core::BufferedHashTable table(rig.context(), {/*beta=*/8, 2, h0_cap});
+  const auto keys = distinctKeys(4096);
+  for (const auto k : keys) table.insert(k, 1);
+  const ZoneStats zones = analyzeZones(table);
+  EXPECT_EQ(zones.total_items, keys.size());
+  // δ for the buffered table is Θ(1/β); use the measured slow fraction to
+  // confirm it is within the budget m + (c/β)·k for a small constant c.
+  const double budget = ZoneStats::slowZoneBudget(
+      /*m_items=*/4 * h0_cap, /*delta=*/3.0 / 8.0, zones.total_items);
+  EXPECT_LE(static_cast<double>(zones.slow_items), budget);
+  // And the implied query cost matches the 1 + O(1/β) promise.
+  EXPECT_LE(zones.impliedQueryCost(), 1.0 + 4.0 / 8.0);
+}
+
+TEST(Zones, LogMethodIsMostlySlow) {
+  // The plain logarithmic method sacrifices queries: only the largest
+  // level can be fast; the rest of the disk items are slow. This is why
+  // Lemma 5 alone cannot beat the tradeoff.
+  TestRig rig(8);
+  tables::LogMethodTable table(rig.context(), {2, 16});
+  const auto keys = distinctKeys(1000);
+  for (const auto k : keys) table.insert(k, 1);
+  const ZoneStats zones = analyzeZones(table);
+  EXPECT_EQ(zones.total_items, keys.size());
+  EXPECT_GT(zones.slow_items, 0u);
+  EXPECT_GT(zones.impliedQueryCost(), 1.0);
+}
+
+TEST(Zones, MemoryItemsAreNeitherFastNorSlow) {
+  TestRig rig(8);
+  tables::LogMethodTable table(rig.context(), {2, 32});
+  const auto keys = distinctKeys(20);  // fits entirely in H0
+  for (const auto k : keys) table.insert(k, 1);
+  const ZoneStats zones = analyzeZones(table);
+  EXPECT_EQ(zones.memory_items, keys.size());
+  EXPECT_EQ(zones.fast_items, 0u);
+  EXPECT_EQ(zones.slow_items, 0u);
+  EXPECT_DOUBLE_EQ(zones.impliedQueryCost(), 0.0);
+}
+
+TEST(Zones, SkewedAddressFunctionFloodsSlowZone) {
+  // Lemma 2's bad-function scenario: a skewed indexer concentrates items
+  // in few blocks; the overflow must land in the slow zone.
+  TestRig uniform_rig(8), skewed_rig(8);
+  ChainingHashTable uniform(uniform_rig.context(),
+                            {128, BucketIndexer{IndexKind::kRange, 1.0}});
+  ChainingHashTable skewed(skewed_rig.context(),
+                           {128, BucketIndexer{IndexKind::kSkewPower, 4.0}});
+  const auto keys = distinctKeys(512);
+  for (const auto k : keys) {
+    uniform.insert(k, 1);
+    skewed.insert(k, 1);
+  }
+  const ZoneStats uz = analyzeZones(uniform);
+  const ZoneStats sz = analyzeZones(skewed);
+  EXPECT_LT(uz.slow_items, keys.size() / 50);       // uniform: nearly none
+  EXPECT_GT(sz.slow_items, 10 * (uz.slow_items + 1));  // skew: flooded
+  EXPECT_GT(sz.impliedQueryCost(), uz.impliedQueryCost());
+}
+
+}  // namespace
+}  // namespace exthash::lowerbound
