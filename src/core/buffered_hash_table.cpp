@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 namespace exthash::core {
 
@@ -67,15 +68,22 @@ bool BufferedHashTable::insert(std::uint64_t key, std::uint64_t value) {
   return fresh;
 }
 
-void BufferedHashTable::mergeIntoHhat() {
-  // One hash-ordered streaming pass over (buffer newest, Ĥ oldest)
-  // rebuilds Ĥ at load <= 1/2. Both inputs are read once; the new Ĥ is
-  // written once — the paper's O(|Ĥ|/b) scan per merge.
+void BufferedHashTable::mergeIntoHhat() { mergeIntoHhatWith({}); }
+
+void BufferedHashTable::mergeIntoHhatWith(std::vector<Record> newest) {
+  // One hash-ordered streaming pass over (batch newest, buffer next,
+  // Ĥ oldest) rebuilds Ĥ at load <= 1/2. Every input is read once; the
+  // new Ĥ is written once — the paper's O(|Ĥ|/b) scan per merge.
   // Size the bucket array for the incoming total at load 1/2 (estimated
   // before draining; tombstones make this a slight overestimate).
-  const std::size_t total_estimate =
-      buffer_.bufferedRecords() + (hhat_ ? hhat_->size() : 0);
+  const std::size_t total_estimate = newest.size() +
+                                     buffer_.bufferedRecords() +
+                                     (hhat_ ? hhat_->size() : 0);
   std::vector<std::unique_ptr<tables::RecordCursor>> sources;
+  if (!newest.empty()) {
+    sources.push_back(
+        std::make_unique<tables::VectorCursor>(std::move(newest)));
+  }
   sources.push_back(buffer_.drainAll());
   std::unique_ptr<ChainingHashTable> old = std::move(hhat_);
   if (old) sources.push_back(old->scanInHashOrder());
@@ -101,6 +109,95 @@ std::optional<std::uint64_t> BufferedHashTable::lookup(std::uint64_t key) {
     }
   }
   return buffer_.lookup(key);
+}
+
+void BufferedHashTable::applyBatch(std::span<const tables::Op> ops) {
+  for (const tables::Op& op : ops) {
+    if (op.kind == tables::OpKind::kErase) {
+      throw tables::UnsupportedOperation(
+          "buffered does not support erase (insert-only model)");
+    }
+    EXTHASH_CHECK_MSG(op.value != kTombstoneValue,
+                      "value collides with the tombstone sentinel");
+  }
+  // Updates to keys already in H0 stay free (the buffer absorbs them);
+  // the genuinely fresh keys decide the strategy. When they push the
+  // buffer past the merge threshold — i.e. exactly when the serial loop
+  // would merge mid-batch — the fresh prefix up to the crossing joins the
+  // Ĥ merge directly, sparing those records the round-trip through the
+  // buffer's disk levels, and the tail refills the emptied buffer.
+  const auto& h0 = buffer_.memoryTable();
+  std::vector<Record> fresh;  // arrival order, newest value per key
+  std::unordered_map<std::uint64_t, std::size_t> fresh_pos;
+  std::vector<tables::Op> updates;
+  for (const tables::Op& op : ops) {
+    if (h0.contains(op.key)) {
+      updates.push_back(op);
+      continue;
+    }
+    const auto [it, inserted] = fresh_pos.try_emplace(op.key, fresh.size());
+    if (inserted) fresh.push_back(Record{op.key, op.value});
+    else fresh[it->second].value = op.value;
+  }
+  const std::size_t threshold = mergeThreshold();
+  const std::size_t buffered = buffer_.bufferedRecords();
+  if (ops.size() >= 2 && !fresh.empty() &&
+      buffered + fresh.size() >= threshold) {
+    if (!updates.empty()) buffer_.applyBatch(updates);  // free: all in H0
+    const std::size_t need =
+        threshold > buffered ? threshold - buffered : 1;
+    std::vector<Record> head(
+        fresh.begin(),
+        fresh.begin() + static_cast<std::ptrdiff_t>(
+                            std::min(need, fresh.size())));
+    std::vector<tables::Op> tail;
+    for (std::size_t i = head.size(); i < fresh.size(); ++i) {
+      tail.push_back(tables::Op::insertOp(fresh[i].key, fresh[i].value));
+    }
+    const auto& h = *ctx_.hash;
+    std::sort(head.begin(), head.end(),
+              [&](const Record& a, const Record& b) {
+                const std::uint64_t ha = h(a.key), hb = h(b.key);
+                if (ha != hb) return ha < hb;
+                return a.key < b.key;
+              });
+    extmem::MemoryCharge scratch(*ctx_.memory,
+                                 fresh.size() * kWordsPerRecord);
+    mergeIntoHhatWith(std::move(head));
+    if (!tail.empty()) applyBatch(tail);  // buffer is empty now
+    return;
+  }
+  buffer_.applyBatch(ops);
+  if (buffer_.bufferedRecords() >= mergeThreshold()) mergeIntoHhat();
+}
+
+void BufferedHashTable::lookupBatch(std::span<const std::uint64_t> keys,
+                                    std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  // Mirror lookup(): Ĥ first (tombstone hits resolve to absent without
+  // consulting the buffer), buffer for the misses.
+  std::vector<std::size_t> pending;
+  if (hhat_) {
+    std::vector<std::optional<std::uint64_t>> hhat_out(keys.size());
+    hhat_->lookupBatch(keys, hhat_out);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (hhat_out[i].has_value()) {
+        out[i] = (*hhat_out[i] == kTombstoneValue) ? std::nullopt
+                                                   : hhat_out[i];
+      } else {
+        pending.push_back(i);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < keys.size(); ++i) pending.push_back(i);
+  }
+  if (pending.empty()) return;
+  std::vector<std::uint64_t> sub_keys;
+  sub_keys.reserve(pending.size());
+  for (const std::size_t idx : pending) sub_keys.push_back(keys[idx]);
+  std::vector<std::optional<std::uint64_t>> sub_out(sub_keys.size());
+  buffer_.lookupBatch(sub_keys, sub_out);
+  for (std::size_t s = 0; s < pending.size(); ++s) out[pending[s]] = sub_out[s];
 }
 
 std::optional<std::uint64_t> BufferedHashTable::strictLookup(

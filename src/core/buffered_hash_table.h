@@ -59,6 +59,16 @@ class BufferedHashTable final : public tables::ExternalHashTable {
 
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
+  /// Batch fast path: the whole batch enters the buffer through the
+  /// logarithmic method's one-pass bulk merge, and the buffer-into-Ĥ
+  /// merge threshold is checked once at the end — so k inserts cost one
+  /// streaming pass instead of k/h0 cascading flushes. Erase batches
+  /// throw (insert-only model), as erase() does.
+  void applyBatch(std::span<const tables::Op> ops) override;
+  /// Batched lookups: Ĥ answers the (1 - 1/β) majority with one
+  /// bucket-grouped pass; only the misses walk the buffer levels.
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   std::size_t size() const override;
   std::string_view name() const override { return "buffered"; }
   void visitLayout(tables::LayoutVisitor& visitor) const override;
@@ -80,6 +90,11 @@ class BufferedHashTable final : public tables::ExternalHashTable {
 
  private:
   void mergeIntoHhat();
+  /// The merge pass behind mergeIntoHhat(), with an optional batch of
+  /// records newer than the whole buffer (hash-ordered, deduplicated)
+  /// joining the merge directly — the applyBatch path, which spares those
+  /// records a round-trip through the buffer's disk levels.
+  void mergeIntoHhatWith(std::vector<Record> newest);
   std::size_t mergeThreshold() const;
 
   BufferedConfig config_;

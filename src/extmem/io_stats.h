@@ -29,6 +29,23 @@ struct IoStats {
     return reads + writes + 2 * rmws;
   }
 
+  /// Aggregation across devices (the sharded front-end sums its shards'
+  /// counters; benchmark harnesses sum per-phase deltas).
+  IoStats& operator+=(const IoStats& rhs) noexcept {
+    reads += rhs.reads;
+    writes += rhs.writes;
+    rmws += rhs.rmws;
+    allocated_blocks += rhs.allocated_blocks;
+    freed_blocks += rhs.freed_blocks;
+    return *this;
+  }
+
+  IoStats operator+(const IoStats& rhs) const noexcept {
+    IoStats s = *this;
+    s += rhs;
+    return s;
+  }
+
   IoStats operator-(const IoStats& rhs) const noexcept {
     IoStats d;
     d.reads = reads - rhs.reads;

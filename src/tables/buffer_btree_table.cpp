@@ -226,6 +226,132 @@ std::optional<std::uint64_t> BufferBTreeTable::lookup(std::uint64_t key) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batch API
+// ---------------------------------------------------------------------------
+
+void BufferBTreeTable::applyBatch(std::span<const Op> ops) {
+  // The whole batch accumulates in the root buffer and cascades down in
+  // one flush, so each touched node pays its rmw once per batch. While
+  // the root is still a memory leaf we keep the serial flush cadence —
+  // graduation sizes its two disk leaves for <= buffer_cap pending
+  // messages, so the buffer must not outgrow that bound beforehand.
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * ops.size());
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kInsert) {
+      EXTHASH_CHECK_MSG(op.value != kTombstoneValue,
+                        "value collides with the tombstone sentinel");
+      const bool fresh = !findInBuffer(root_buffer_, op.key).has_value();
+      root_buffer_.push_back(Record{op.key, op.value});
+      if (fresh) ++live_size_;  // exact under distinct-key workloads
+    } else if (lookup(op.key).has_value()) {
+      root_buffer_.push_back(Record{op.key, kTombstoneValue});
+      --live_size_;
+    }
+    if (root_is_leaf_ && root_buffer_.size() >= buffer_cap_) {
+      flushRootBuffer();
+    }
+  }
+  if (root_buffer_.size() >= buffer_cap_) flushRootBuffer();
+}
+
+void BufferBTreeTable::lookupGroup(
+    BlockId node, std::span<const std::uint64_t> keys,
+    const std::vector<std::size_t>& group,
+    std::span<std::optional<std::uint64_t>> out) const {
+  const Geometry g{fanout_, buffer_cap_, leaf_cap_};
+  const NodeImage img = ctx_.device->withRead(
+      node, [&](std::span<const Word> w) { return readNode(w, g); });
+
+  std::vector<std::size_t> remaining;
+  for (const std::size_t idx : group) {
+    if (auto v = findInBuffer(img.buffer, keys[idx])) {
+      out[idx] = (*v == kTombstoneValue) ? std::nullopt : std::optional(*v);
+    } else {
+      remaining.push_back(idx);
+    }
+  }
+  if (remaining.empty()) return;
+
+  if (img.is_leaf) {
+    for (const std::size_t idx : remaining) {
+      const auto it = std::lower_bound(
+          img.records.begin(), img.records.end(), keys[idx],
+          [](const Record& r, std::uint64_t k) { return r.key < k; });
+      out[idx] = (it != img.records.end() && it->key == keys[idx])
+                     ? std::optional(it->value)
+                     : std::nullopt;
+    }
+    return;
+  }
+
+  // Partition by pivot and recurse: one read per node per group.
+  std::vector<std::pair<std::size_t, std::size_t>> by_child;
+  by_child.reserve(remaining.size());
+  for (const std::size_t idx : remaining) {
+    const auto child = static_cast<std::size_t>(
+        std::upper_bound(img.pivots.begin(), img.pivots.end(), keys[idx]) -
+        img.pivots.begin());
+    by_child.emplace_back(child, idx);
+  }
+  std::sort(by_child.begin(), by_child.end());
+  std::vector<std::size_t> sub;
+  std::size_t i = 0;
+  while (i < by_child.size()) {
+    const std::size_t child = by_child[i].first;
+    std::size_t j = i;
+    while (j < by_child.size() && by_child[j].first == child) ++j;
+    sub.clear();
+    for (std::size_t k = i; k < j; ++k) sub.push_back(by_child[k].second);
+    lookupGroup(img.children[child], keys, sub, out);
+    i = j;
+  }
+}
+
+void BufferBTreeTable::lookupBatch(std::span<const std::uint64_t> keys,
+                                   std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (auto v = findInBuffer(root_buffer_, keys[i])) {
+      out[i] = (*v == kTombstoneValue) ? std::nullopt : std::optional(*v);
+    } else {
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty()) return;
+
+  if (root_is_leaf_) {
+    for (const std::size_t idx : pending) {
+      const auto it = std::lower_bound(
+          root_records_.begin(), root_records_.end(), keys[idx],
+          [](const Record& r, std::uint64_t k) { return r.key < k; });
+      out[idx] = (it != root_records_.end() && it->key == keys[idx])
+                     ? std::optional(it->value)
+                     : std::nullopt;
+    }
+    return;
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> by_child;
+  by_child.reserve(pending.size());
+  for (const std::size_t idx : pending) {
+    by_child.emplace_back(rootChildIndex(keys[idx]), idx);
+  }
+  std::sort(by_child.begin(), by_child.end());
+  std::vector<std::size_t> sub;
+  std::size_t i = 0;
+  while (i < by_child.size()) {
+    const std::size_t child = by_child[i].first;
+    std::size_t j = i;
+    while (j < by_child.size() && by_child[j].first == child) ++j;
+    sub.clear();
+    for (std::size_t k = i; k < j; ++k) sub.push_back(by_child[k].second);
+    lookupGroup(root_children_[child], keys, sub, out);
+    i = j;
+  }
+}
+
 BufferBTreeTable::SplitResult BufferBTreeTable::applyToLeaf(
     BlockId leaf, const std::vector<Record>& messages) {
   const Geometry g{fanout_, buffer_cap_, leaf_cap_};
@@ -388,33 +514,38 @@ BufferBTreeTable::SplitResult BufferBTreeTable::deliver(
 void BufferBTreeTable::splitMemRoot() {
   const Geometry g{fanout_, buffer_cap_, leaf_cap_};
   EXTHASH_CHECK(!root_is_leaf_);
-  const std::size_t mid = root_keys_.size() / 2;
-  const BlockId left = ctx_.device->allocate();
-  const BlockId right = ctx_.device->allocate();
-  node_blocks_ += 2;
-  NodeImage left_img, right_img;
-  left_img.is_leaf = right_img.is_leaf = false;
-  left_img.pivots.assign(root_keys_.begin(),
-                         root_keys_.begin() + static_cast<std::ptrdiff_t>(mid));
-  left_img.children.assign(
-      root_children_.begin(),
-      root_children_.begin() + static_cast<std::ptrdiff_t>(mid) + 1);
-  right_img.pivots.assign(
-      root_keys_.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
-      root_keys_.end());
-  right_img.children.assign(
-      root_children_.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
-      root_children_.end());
-  const std::uint64_t up_key = root_keys_[mid];
-  ctx_.device->withOverwrite(left, [&](std::span<Word> w) {
-    writeNode(w, g, left_img);
-  });
-  ctx_.device->withOverwrite(right, [&](std::span<Word> w) {
-    writeNode(w, g, right_img);
-  });
-  root_keys_ = {up_key};
-  root_children_ = {left, right};
+  // A batched flush can install many pivots at once, so the memory root is
+  // carved into as many disk nodes as needed — each holding at most
+  // max(1, F/2) pivots, comfortably within the node layout — with the
+  // separators promoted. Recurse if the promoted level still overflows.
+  const std::size_t keep = std::max<std::size_t>(1, fanout_ / 2);
+  std::vector<std::uint64_t> new_keys;
+  std::vector<BlockId> new_children;
+  std::size_t begin = 0;  // index into root_children_
+  while (begin < root_children_.size()) {
+    const std::size_t end =
+        std::min(root_children_.size(), begin + keep + 1);
+    NodeImage img;
+    img.is_leaf = false;
+    img.pivots.assign(
+        root_keys_.begin() + static_cast<std::ptrdiff_t>(begin),
+        root_keys_.begin() + static_cast<std::ptrdiff_t>(end - 1));
+    img.children.assign(
+        root_children_.begin() + static_cast<std::ptrdiff_t>(begin),
+        root_children_.begin() + static_cast<std::ptrdiff_t>(end));
+    const BlockId id = ctx_.device->allocate();
+    ++node_blocks_;
+    ctx_.device->withOverwrite(id, [&](std::span<Word> w) {
+      writeNode(w, g, img);
+    });
+    new_children.push_back(id);
+    if (end - 1 < root_keys_.size()) new_keys.push_back(root_keys_[end - 1]);
+    begin = end;
+  }
+  root_keys_ = std::move(new_keys);
+  root_children_ = std::move(new_children);
   ++height_;
+  if (root_keys_.size() > fanout_) splitMemRoot();
 }
 
 void BufferBTreeTable::flushRootBuffer() {

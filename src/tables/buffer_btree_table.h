@@ -36,6 +36,14 @@ class BufferBTreeTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Batch fast path: the whole batch accumulates in the root buffer and
+  /// cascades down in ONE flush, so every touched node pays its rmw once
+  /// per batch instead of once per buffer_cap messages.
+  void applyBatch(std::span<const Op> ops) override;
+  /// Batched lookups descend the tree in key-grouped fashion: each node on
+  /// a shared root-to-leaf path is read once for the whole group.
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   /// Logical size (inserts of fresh keys minus erases); exact for
   /// distinct-key workloads — same deferred-structure contract as LSM.
   std::size_t size() const override { return live_size_; }
@@ -64,6 +72,12 @@ class BufferBTreeTable final : public ExternalHashTable {
                           const std::vector<Record>& messages);
   void flushRootBuffer();
   void splitMemRoot();
+  /// Grouped point lookups within the subtree rooted at `node`: reads the
+  /// node once, resolves buffer/leaf hits, recurses per child group.
+  void lookupGroup(extmem::BlockId node,
+                   std::span<const std::uint64_t> keys,
+                   const std::vector<std::size_t>& group,
+                   std::span<std::optional<std::uint64_t>> out) const;
   std::size_t rootChildIndex(std::uint64_t key) const;
   void freeSubtree(extmem::BlockId node);
   void visitSubtree(extmem::BlockId node, LayoutVisitor& visitor) const;

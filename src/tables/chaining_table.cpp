@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "tables/batch_util.h"
+
 namespace exthash::tables {
 
 using extmem::BlockId;
@@ -228,6 +230,59 @@ bool ChainingHashTable::erase(std::uint64_t key) {
     current = info.next;
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Batch API
+// ---------------------------------------------------------------------------
+
+void ChainingHashTable::applyOpsToBucket(std::uint64_t bucket,
+                                         std::span<const Op> ops) {
+  const std::ptrdiff_t delta = batch::applyOpsToChain(
+      *ctx_.device, primaryBlock(bucket), ops, overflow_blocks_);
+  size_ = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(size_) + delta);
+}
+
+void ChainingHashTable::applyBatch(std::span<const Op> ops) {
+  EXTHASH_CHECK(!destroyed_);
+  const auto order = batch::orderByBucket(
+      ops.size(), [&](std::size_t i) { return bucketOf(ops[i].key); });
+  // The grouping index is merge scratch, charged like every other
+  // in-memory working set.
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * ops.size());
+
+  std::vector<Op> group;
+  batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                 std::size_t j) {
+    if (j - i == 1) {
+      // Lone op: the serial path is already optimal (one rmw).
+      const Op& op = ops[order[i].second];
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+      return;
+    }
+    group.clear();
+    for (std::size_t k = i; k < j; ++k) group.push_back(ops[order[k].second]);
+    applyOpsToBucket(bucket, group);
+  });
+}
+
+void ChainingHashTable::lookupBatch(std::span<const std::uint64_t> keys,
+                                    std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(!destroyed_);
+  EXTHASH_CHECK(keys.size() == out.size());
+  const auto order = batch::orderByBucket(
+      keys.size(), [&](std::size_t i) { return bucketOf(keys[i]); });
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * keys.size());
+
+  std::vector<std::size_t> pending;
+  batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                 std::size_t j) {
+    pending.clear();
+    for (std::size_t k = i; k < j; ++k) pending.push_back(order[k].second);
+    batch::lookupInChain(*ctx_.device, primaryBlock(bucket), keys, out,
+                         pending);
+  });
 }
 
 void ChainingHashTable::visitLayout(LayoutVisitor& visitor) const {

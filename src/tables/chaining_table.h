@@ -47,6 +47,13 @@ class ChainingHashTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Batch fast path: ops grouped by bucket, one chain pass per bucket —
+  /// k ops against a single-block bucket cost one rmw instead of k.
+  void applyBatch(std::span<const Op> ops) override;
+  /// Batched lookups grouped by bucket: one chain pass answers every key
+  /// that hashes to the same bucket.
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   std::size_t size() const override { return size_; }
   std::string_view name() const override { return "chaining"; }
   void visitLayout(LayoutVisitor& visitor) const override;
@@ -76,6 +83,9 @@ class ChainingHashTable final : public ExternalHashTable {
 
  private:
   class ScanCursor;
+
+  /// Apply >= 2 ops destined for bucket j with one pass over its chain.
+  void applyOpsToBucket(std::uint64_t bucket, std::span<const Op> ops);
 
   std::uint64_t bucketOf(std::uint64_t key) const;
   extmem::BlockId primaryBlock(std::uint64_t bucket) const {

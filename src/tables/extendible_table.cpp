@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "tables/batch_util.h"
+
 namespace exthash::tables {
 
 using extmem::BlockId;
@@ -169,6 +171,91 @@ bool ExtendibleHashTable::erase(std::uint64_t key) {
       });
   if (removed) --size_;
   return removed;
+}
+
+// ---------------------------------------------------------------------------
+// Batch API
+// ---------------------------------------------------------------------------
+
+void ExtendibleHashTable::applyBatch(std::span<const Op> ops) {
+  // Group by the bucket block serving each key right now. Groups are
+  // independent: splitting one bucket never re-routes keys of another, so
+  // the grouping stays valid even when a group's overflow falls back to
+  // the splitting serial path.
+  const auto order = batch::orderByBucket(ops.size(), [&](std::size_t i) {
+    return static_cast<std::uint64_t>(directory_[dirIndex(ops[i].key)]);
+  });
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * ops.size());
+
+  std::vector<Op> deferred;
+  batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                 std::size_t j) {
+    const auto block = static_cast<extmem::BlockId>(bucket);
+    if (j - i == 1) {
+      const Op& op = ops[order[i].second];
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+      return;
+    }
+
+    // One rmw replays the group. Appends that would overflow the page are
+    // deferred — and once one op is deferred, every later op of the group
+    // follows it, so per-key operation order survives the fallback.
+    deferred.clear();
+    std::ptrdiff_t delta = 0;
+    ctx_.device->withWrite(block, [&](std::span<Word> data) {
+      BucketPage page(data);
+      bool deferring = false;
+      for (std::size_t k = i; k < j; ++k) {
+        const Op& op = ops[order[k].second];
+        if (deferring) {
+          deferred.push_back(op);
+          continue;
+        }
+        if (op.kind == OpKind::kInsert) {
+          if (auto at = page.indexOf(op.key)) {
+            page.setValueAt(*at, op.value);
+          } else if (page.append(Record{op.key, op.value})) {
+            ++delta;
+          } else {
+            deferring = true;
+            deferred.push_back(op);
+          }
+        } else if (auto at = page.indexOf(op.key)) {
+          page.removeAt(*at);
+          --delta;
+        }
+      }
+    });
+    size_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(size_) + delta);
+    for (const Op& op : deferred) {
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+    }
+  });
+}
+
+void ExtendibleHashTable::lookupBatch(
+    std::span<const std::uint64_t> keys,
+    std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  const auto order = batch::orderByBucket(keys.size(), [&](std::size_t i) {
+    return static_cast<std::uint64_t>(directory_[dirIndex(keys[i])]);
+  });
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * keys.size());
+
+  batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                 std::size_t j) {
+    ctx_.device->withRead(
+        static_cast<extmem::BlockId>(bucket),
+        [&](std::span<const Word> data) {
+          ConstBucketPage page(data);
+          for (std::size_t k = i; k < j; ++k) {
+            out[order[k].second] = page.find(keys[order[k].second]);
+          }
+        });
+  });
 }
 
 void ExtendibleHashTable::visitLayout(LayoutVisitor& visitor) const {

@@ -33,6 +33,13 @@ class ExtendibleHashTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Batch fast path: ops grouped by target bucket block; each group is
+  /// replayed with one rmw, and only ops that overflow the page fall back
+  /// to the splitting serial path.
+  void applyBatch(std::span<const Op> ops) override;
+  /// Batched lookups: one read answers every key sharing a bucket block.
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   std::size_t size() const override { return size_; }
   std::string_view name() const override { return "extendible"; }
   void visitLayout(LayoutVisitor& visitor) const override;

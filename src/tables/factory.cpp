@@ -14,6 +14,7 @@
 #include "tables/linear_probing_table.h"
 #include "tables/log_method_table.h"
 #include "tables/lsm_table.h"
+#include "tables/sharded_table.h"
 #include "util/assert.h"
 
 namespace exthash::tables {
@@ -84,6 +85,14 @@ std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,
     }
     case TableKind::kBufferBTree:
       return std::make_unique<BufferBTreeTable>(ctx, BufferBTreeConfig{});
+    case TableKind::kSharded: {
+      ShardedTableConfig cfg;
+      cfg.shards = std::max<std::size_t>(1, config.shards);
+      cfg.inner = config.sharded_inner;
+      cfg.inner_config = config;
+      cfg.threads = config.shard_threads;
+      return std::make_unique<ShardedTable>(ctx, cfg);
+    }
   }
   EXTHASH_CHECK_MSG(false, "unknown TableKind");
   return nullptr;
@@ -101,6 +110,7 @@ TableKind parseTableKind(const std::string& name) {
   if (name == "lsm") return TableKind::kLsm;
   if (name == "cuckoo") return TableKind::kCuckoo;
   if (name == "buffer-btree") return TableKind::kBufferBTree;
+  if (name == "sharded") return TableKind::kSharded;
   EXTHASH_CHECK_MSG(false, "unknown table kind '" << name << "'");
   return TableKind::kChaining;
 }
@@ -118,6 +128,7 @@ std::string_view tableKindName(TableKind kind) {
     case TableKind::kLsm: return "lsm";
     case TableKind::kCuckoo: return "cuckoo";
     case TableKind::kBufferBTree: return "buffer-btree";
+    case TableKind::kSharded: return "sharded";
   }
   return "?";
 }

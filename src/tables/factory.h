@@ -21,6 +21,7 @@ enum class TableKind {
   kLsm,
   kCuckoo,
   kBufferBTree,
+  kSharded,  // hash-partitioned façade over N inner tables (src/tables)
 };
 
 struct GeneralConfig {
@@ -36,6 +37,12 @@ struct GeneralConfig {
   std::size_t beta = 8;
   /// γ for logarithmic-method structures; LSM fanout.
   std::size_t gamma = 2;
+  /// kSharded only: shard count, inner table kind, and dispatch threads
+  /// (0 = hardware concurrency). expected_n / buffer_items / the memory
+  /// budget are divided across shards.
+  std::size_t shards = 4;
+  TableKind sharded_inner = TableKind::kBuffered;
+  std::size_t shard_threads = 0;
 };
 
 std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,
@@ -43,11 +50,13 @@ std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,
 
 /// Parse "chaining" | "linear-probing" | "extendible" | "linear-hashing" |
 /// "log-method" | "buffered" | "jensen-pagh" | "btree" | "lsm" |
-/// "cuckoo" | "buffer-btree".
+/// "cuckoo" | "buffer-btree" | "sharded".
 TableKind parseTableKind(const std::string& name);
 std::string_view tableKindName(TableKind kind);
 
-/// All kinds, for parameterized test sweeps.
+/// All standalone kinds, for parameterized test sweeps. The sharded façade
+/// is listed separately: it owns private per-shard devices, so sweeps that
+/// count I/O on the context device would silently measure zero.
 inline constexpr TableKind kAllTableKinds[] = {
     TableKind::kChaining,      TableKind::kLinearProbing,
     TableKind::kExtendible,    TableKind::kLinearHashing,
@@ -55,6 +64,17 @@ inline constexpr TableKind kAllTableKinds[] = {
     TableKind::kJensenPagh,    TableKind::kBTree,
     TableKind::kLsm,           TableKind::kCuckoo,
     TableKind::kBufferBTree,
+};
+
+/// Every kind including the sharded façade (batch-equivalence sweeps use
+/// ExternalHashTable::ioStats(), which is shard-correct).
+inline constexpr TableKind kAllTableKindsWithSharded[] = {
+    TableKind::kChaining,      TableKind::kLinearProbing,
+    TableKind::kExtendible,    TableKind::kLinearHashing,
+    TableKind::kLogMethod,     TableKind::kBuffered,
+    TableKind::kJensenPagh,    TableKind::kBTree,
+    TableKind::kLsm,           TableKind::kCuckoo,
+    TableKind::kBufferBTree,   TableKind::kSharded,
 };
 
 }  // namespace exthash::tables

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -24,6 +25,27 @@
 #include "util/assert.h"
 
 namespace exthash::tables {
+
+/// A deferred dictionary operation. Batches of Ops are the unit the
+/// buffering tradeoff is about: handing a table k operations at once lets
+/// it group work by target block / level / shard and pay amortized I/O,
+/// which single-op insert/erase calls can never expose.
+enum class OpKind : std::uint8_t { kInsert, kErase };
+
+struct Op {
+  OpKind kind = OpKind::kInsert;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;  // ignored for kErase
+
+  static Op insertOp(std::uint64_t key, std::uint64_t value) noexcept {
+    return Op{OpKind::kInsert, key, value};
+  }
+  static Op eraseOp(std::uint64_t key) noexcept {
+    return Op{OpKind::kErase, key, 0};
+  }
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
 
 /// Non-owning bundle of the resources a table operates on. The device and
 /// budget must outlive the table; the hash function is shared because
@@ -87,6 +109,30 @@ class ExternalHashTable {
                                " does not support erase");
   }
 
+  /// Apply a batch of operations in order. Logically equivalent to calling
+  /// insert/erase one at a time (and the default does exactly that); tables
+  /// where buffering pays override this to group operations by target
+  /// bucket / level / shard so that k operations against one block cost one
+  /// read-modify-write instead of k. Per-key operation order is always
+  /// preserved; operations on distinct keys may be physically reordered.
+  /// Batches containing kErase throw UnsupportedOperation on insert-only
+  /// structures, like erase() itself.
+  virtual void applyBatch(std::span<const Op> ops) {
+    for (const Op& op : ops) {
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+    }
+  }
+
+  /// Batched point lookups: out[i] receives the result for keys[i]. The
+  /// default is the serial loop; bucketed tables override it to answer all
+  /// keys that share a block extent with one read.
+  virtual void lookupBatch(std::span<const std::uint64_t> keys,
+                           std::span<std::optional<std::uint64_t>> out) {
+    EXTHASH_CHECK(keys.size() == out.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) out[i] = lookup(keys[i]);
+  }
+
   /// Number of live records.
   virtual std::size_t size() const = 0;
 
@@ -106,6 +152,12 @@ class ExternalHashTable {
 
   /// One-line structure-specific statistics for logs.
   virtual std::string debugString() const { return std::string(name()); }
+
+  /// Counted I/O this table has caused. For ordinary tables this is the
+  /// context device's counters; composite façades that own private devices
+  /// (the sharded front-end) override it to aggregate. Measurement code
+  /// must diff this, not the raw device, to stay shard-correct.
+  virtual extmem::IoStats ioStats() const { return ctx_.device->stats(); }
 
   const TableContext& context() const noexcept { return ctx_; }
   extmem::BlockDevice& device() const noexcept { return *ctx_.device; }

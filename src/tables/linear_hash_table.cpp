@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "tables/batch_util.h"
+
 namespace exthash::tables {
 
 using extmem::BlockId;
@@ -161,6 +163,12 @@ void LinearHashTable::maybeSplit() {
 }
 
 bool LinearHashTable::insert(std::uint64_t key, std::uint64_t value) {
+  const bool inserted_new = insertNoSplit(key, value);
+  if (inserted_new) maybeSplit();
+  return inserted_new;
+}
+
+bool LinearHashTable::insertNoSplit(std::uint64_t key, std::uint64_t value) {
   const std::uint64_t bucket = bucketOf(key);
   const BlockId primary = blockOfBucket(bucket);
 
@@ -255,10 +263,7 @@ bool LinearHashTable::insert(std::uint64_t key, std::uint64_t value) {
     }
   }
 
-  if (inserted_new) {
-    ++size_;
-    maybeSplit();
-  }
+  if (inserted_new) ++size_;
   return inserted_new;
 }
 
@@ -316,6 +321,54 @@ bool LinearHashTable::erase(std::uint64_t key) {
     current = info.next;
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Batch API
+// ---------------------------------------------------------------------------
+
+void LinearHashTable::applyBatch(std::span<const Op> ops) {
+  // Group under the addressing in force now; splits are deferred to the
+  // end of the batch so the precomputed buckets stay valid throughout.
+  const auto order = batch::orderByBucket(
+      ops.size(), [&](std::size_t i) { return bucketOf(ops[i].key); });
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * ops.size());
+
+  std::vector<Op> group;
+  batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                 std::size_t j) {
+    if (j - i == 1) {
+      // Lone op: the serial path is already optimal (one rmw).
+      const Op& op = ops[order[i].second];
+      if (op.kind == OpKind::kInsert) insertNoSplit(op.key, op.value);
+      else erase(op.key);
+      return;
+    }
+    group.clear();
+    for (std::size_t k = i; k < j; ++k) group.push_back(ops[order[k].second]);
+    const std::ptrdiff_t delta = batch::applyOpsToChain(
+        *ctx_.device, blockOfBucket(bucket), group, overflow_blocks_);
+    size_ =
+        static_cast<std::size_t>(static_cast<std::ptrdiff_t>(size_) + delta);
+  });
+  maybeSplit();
+}
+
+void LinearHashTable::lookupBatch(std::span<const std::uint64_t> keys,
+                                  std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  const auto order = batch::orderByBucket(
+      keys.size(), [&](std::size_t i) { return bucketOf(keys[i]); });
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * keys.size());
+
+  std::vector<std::size_t> pending;
+  batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                 std::size_t j) {
+    pending.clear();
+    for (std::size_t k = i; k < j; ++k) pending.push_back(order[k].second);
+    batch::lookupInChain(*ctx_.device, blockOfBucket(bucket), keys, out,
+                         pending);
+  });
 }
 
 void LinearHashTable::visitLayout(LayoutVisitor& visitor) const {

@@ -31,6 +31,13 @@ class LinearHashTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Batch fast path: ops grouped by bucket under the current split state,
+  /// one chain pass per bucket; splits are deferred to the end of the
+  /// batch so the grouping stays valid.
+  void applyBatch(std::span<const Op> ops) override;
+  /// Batched lookups grouped by bucket (one chain pass per bucket).
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   std::size_t size() const override { return size_; }
   std::string_view name() const override { return "linear-hashing"; }
   void visitLayout(LayoutVisitor& visitor) const override;
@@ -47,6 +54,10 @@ class LinearHashTable final : public ExternalHashTable {
   std::uint64_t splits() const noexcept { return splits_; }
 
  private:
+  /// insert() minus the load-triggered split, so applyBatch can defer all
+  /// splits past the bucket-grouped work.
+  bool insertNoSplit(std::uint64_t key, std::uint64_t value);
+
   std::uint64_t bucketOf(std::uint64_t key) const;
   extmem::BlockId blockOfBucket(std::uint64_t bucket) const;
   void ensureSegmentFor(std::uint64_t bucket);

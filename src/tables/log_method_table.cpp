@@ -1,6 +1,8 @@
 #include "tables/log_method_table.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace exthash::tables {
 
@@ -65,9 +67,17 @@ bool LogMethodTable::insert(std::uint64_t key, std::uint64_t value) {
 }
 
 void LogMethodTable::flush() {
-  // Find the shallowest level k whose capacity can absorb H0 plus every
-  // shallower level; merge them all into k with one streaming pass.
-  std::size_t carried = h0_.size();
+  const auto hash_order = [this](std::uint64_t key) {
+    return (*ctx_.hash)(key);
+  };
+  mergeDown(h0_.drainSorted(hash_order));
+}
+
+void LogMethodTable::mergeDown(std::vector<Record> newest) {
+  // Find the shallowest level k whose capacity can absorb the incoming
+  // records plus every shallower level; merge them all into k with one
+  // streaming pass.
+  std::size_t carried = newest.size();
   std::size_t k = 1;
   std::size_t incoming = carried;
   while (true) {
@@ -81,13 +91,9 @@ void LogMethodTable::flush() {
     ++k;
   }
 
-  // Sources newest-first: H0, then H1, ..., up to (and including) level k.
-  const auto hash_order = [this](std::uint64_t key) {
-    return (*ctx_.hash)(key);
-  };
+  // Sources newest-first: the incoming records, then H1, ..., level k.
   std::vector<std::unique_ptr<RecordCursor>> sources;
-  sources.push_back(
-      std::make_unique<VectorCursor>(h0_.drainSorted(hash_order)));
+  sources.push_back(std::make_unique<VectorCursor>(std::move(newest)));
   std::vector<std::unique_ptr<ChainingHashTable>> consumed;
   const std::size_t deepest = std::min(k, levels_.size());
   for (std::size_t j = 1; j <= deepest; ++j) {
@@ -138,6 +144,136 @@ bool LogMethodTable::erase(std::uint64_t key) {
   EXTHASH_CHECK(h0_.insertOrAssign(key, kTombstoneValue));
   --live_size_;
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Batch API
+// ---------------------------------------------------------------------------
+
+void LogMethodTable::applyBatch(std::span<const Op> ops) {
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kErase) {
+      // Erase needs a per-key presence probe to keep live_size_ exact;
+      // the serial path already pays exactly that.
+      ExternalHashTable::applyBatch(ops);
+      return;
+    }
+  }
+  // Small batches fit into H0 without any flush (the serial loop is
+  // free), and a singleton batch IS the serial protocol.
+  if (ops.size() < 2 || h0_.size() + ops.size() <= h0_.capacityItems()) {
+    ExternalHashTable::applyBatch(ops);
+    return;
+  }
+
+  // live_size_ mirrors the serial loop exactly: an insert is "fresh" iff
+  // its key is absent from H0 at that moment, and H0 empties on overflow.
+  // The simulation is memory-only — no I/O, charged as scratch. (This
+  // whole method parallels LsmTable::applyBatch with H0 in place of the
+  // memtable; keep the two in step.)
+  extmem::MemoryCharge scratch(*ctx_.memory, 3 * (h0_.size() + ops.size()));
+  {
+    std::unordered_set<std::uint64_t> sim;
+    sim.reserve(h0_.capacityItems());
+    h0_.forEach([&](const Record& r) { sim.insert(r.key); });
+    for (const Op& op : ops) {
+      EXTHASH_CHECK_MSG(op.value != kTombstoneValue,
+                        "value collides with the tombstone sentinel");
+      if (sim.size() >= h0_.capacityItems()) sim.clear();
+      if (sim.insert(op.key).second) ++live_size_;
+    }
+  }
+
+  // Physical path: updates to keys already in H0 are free, exactly as in
+  // the serial loop; only genuinely fresh keys (newest-wins within the
+  // batch) need disk work — one sort, one streaming merge down, instead
+  // of one cascade per H0 fill. H0 stays resident: fresh keys are
+  // disjoint from it, so version order is unaffected.
+  std::unordered_map<std::uint64_t, std::uint64_t> fresh;
+  fresh.reserve(ops.size());
+  for (const Op& op : ops) {
+    if (h0_.contains(op.key)) {
+      EXTHASH_CHECK(h0_.insertOrAssign(op.key, op.value));
+    } else {
+      fresh[op.key] = op.value;
+    }
+  }
+  // Fill H0's free space first, so a hot set stays memory-resident across
+  // batches and keeps absorbing repeats for free; only the spill needs
+  // disk work.
+  std::vector<Record> spill;
+  for (const auto& [key, value] : fresh) {
+    if (!h0_.full()) {
+      EXTHASH_CHECK(h0_.insertOrAssign(key, value));
+    } else {
+      spill.push_back(Record{key, value});
+    }
+  }
+  if (spill.empty()) return;
+
+  if (spill.size() <= h0_.capacityItems()) {
+    // Small spill: keep the serial granularity (fill H0, flush on
+    // overflow — at most one cascade). live_size_ was settled above.
+    for (const Record& r : spill) {
+      if (h0_.full()) flush();
+      EXTHASH_CHECK(h0_.insertOrAssign(r.key, r.value));
+    }
+    return;
+  }
+
+  // Large spill: one bulk merge of H0 + spill replaces the
+  // ceil(spill/h0) cascading flushes the serial loop would pay. H0
+  // empties here and refills from the next batch's fresh keys.
+  std::vector<Record> newest;
+  newest.reserve(h0_.size() + spill.size());
+  h0_.forEach([&](const Record& r) { newest.push_back(r); });
+  h0_.clear();
+  newest.insert(newest.end(), spill.begin(), spill.end());
+  const auto& h = *ctx_.hash;
+  std::sort(newest.begin(), newest.end(),
+            [&](const Record& a, const Record& b) {
+              const std::uint64_t ha = h(a.key), hb = h(b.key);
+              if (ha != hb) return ha < hb;
+              return a.key < b.key;
+            });
+  mergeDown(std::move(newest));
+}
+
+void LogMethodTable::lookupBatch(std::span<const std::uint64_t> keys,
+                                 std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  // H0 answers for free; each disk level then resolves its whole subgroup
+  // with one bucket-grouped pass, newest level first.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (auto v = h0_.find(keys[i])) {
+      out[i] = (*v == kTombstoneValue) ? std::nullopt : std::optional(*v);
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  std::vector<std::uint64_t> sub_keys;
+  std::vector<std::optional<std::uint64_t>> sub_out;
+  for (const auto& level : levels_) {
+    if (!level || pending.empty()) continue;
+    sub_keys.clear();
+    for (const std::size_t idx : pending) sub_keys.push_back(keys[idx]);
+    sub_out.assign(sub_keys.size(), std::nullopt);
+    level->lookupBatch(sub_keys, sub_out);
+    std::vector<std::size_t> still;
+    for (std::size_t s = 0; s < pending.size(); ++s) {
+      if (sub_out[s].has_value()) {
+        out[pending[s]] = (*sub_out[s] == kTombstoneValue)
+                              ? std::nullopt
+                              : sub_out[s];
+      } else {
+        still.push_back(pending[s]);
+      }
+    }
+    pending = std::move(still);
+  }
+  for (const std::size_t idx : pending) out[idx] = std::nullopt;
 }
 
 void LogMethodTable::visitLayout(LayoutVisitor& visitor) const {

@@ -38,6 +38,15 @@ class LogMethodTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Batch fast path for insert-only batches: H0 and the batch are merged
+  /// once and pushed down in a single streaming pass, instead of cascading
+  /// one H0-flush per h0_capacity items. Batches containing erases use the
+  /// serial path (erase needs a per-key presence probe).
+  void applyBatch(std::span<const Op> ops) override;
+  /// Batched lookups: H0 is free; each disk level answers its whole
+  /// subgroup with one bucket-grouped pass (newest level wins).
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   /// Logical size: inserts minus erases of present keys. Exact under the
   /// distinct-key workloads of the paper; see class comment.
   std::size_t size() const override { return live_size_; }
@@ -67,6 +76,10 @@ class LogMethodTable final : public ExternalHashTable {
  private:
   /// Migrate H0 (and any levels that must cascade) downward.
   void flush();
+  /// Merge `newest` (hash-ordered, deduplicated, newer than every level)
+  /// plus any levels that must cascade into the shallowest level that
+  /// fits. The single streaming pass behind both flush() and applyBatch().
+  void mergeDown(std::vector<Record> newest);
   ChainingConfig levelConfig(std::size_t k) const;
   ChainingConfig levelConfigForSize(std::size_t items) const;
 

@@ -1,6 +1,8 @@
 #include "tables/lsm_table.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace exthash::tables {
 
@@ -235,6 +237,192 @@ bool LsmTable::erase(std::uint64_t key) {
   EXTHASH_CHECK(memtable_.insertOrAssign(key, kTombstoneValue));
   --live_size_;
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Batch API
+// ---------------------------------------------------------------------------
+
+void LsmTable::applyBatch(std::span<const Op> ops) {
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kErase) {
+      // Erase needs a per-key presence probe to keep live_size_ exact;
+      // the serial path already pays exactly that.
+      ExternalHashTable::applyBatch(ops);
+      return;
+    }
+  }
+  // Batches the memtable can absorb are free either way, and a singleton
+  // batch IS the serial protocol.
+  if (ops.size() < 2 ||
+      memtable_.size() + ops.size() <= memtable_.capacityItems()) {
+    ExternalHashTable::applyBatch(ops);
+    return;
+  }
+
+  // live_size_ mirrors the serial loop exactly: an insert is fresh iff its
+  // key is absent from the memtable at that moment, and the memtable
+  // empties on overflow. Memory-only simulation, charged as scratch.
+  // (This whole method parallels LogMethodTable::applyBatch with the
+  // memtable in place of H0; keep the two in step.)
+  extmem::MemoryCharge scratch(
+      *ctx_.memory, 3 * (memtable_.size() + ops.size()));
+  {
+    std::unordered_set<std::uint64_t> sim;
+    sim.reserve(memtable_.capacityItems());
+    memtable_.forEach([&](const Record& r) { sim.insert(r.key); });
+    for (const Op& op : ops) {
+      EXTHASH_CHECK_MSG(op.value != kTombstoneValue,
+                        "value collides with the tombstone sentinel");
+      if (sim.size() >= memtable_.capacityItems()) sim.clear();
+      if (sim.insert(op.key).second) ++live_size_;
+    }
+  }
+
+  // Physical path: updates to keys already in the memtable are free,
+  // exactly as in the serial loop; the genuinely fresh keys (newest-wins
+  // within the batch) become ONE sorted run. The memtable stays resident —
+  // fresh keys are disjoint from it, so version order is unaffected.
+  std::unordered_map<std::uint64_t, std::uint64_t> fresh;
+  fresh.reserve(ops.size());
+  for (const Op& op : ops) {
+    if (memtable_.contains(op.key)) {
+      EXTHASH_CHECK(memtable_.insertOrAssign(op.key, op.value));
+    } else {
+      fresh[op.key] = op.value;
+    }
+  }
+  // Fill the memtable's free space first, so a hot set stays
+  // memory-resident across batches and keeps absorbing repeats for free;
+  // only the spill needs disk work.
+  std::vector<Record> spill;
+  for (const auto& [key, value] : fresh) {
+    if (!memtable_.full()) {
+      EXTHASH_CHECK(memtable_.insertOrAssign(key, value));
+    } else {
+      spill.push_back(Record{key, value});
+    }
+  }
+  if (spill.empty()) return;
+
+  if (spill.size() <= memtable_.capacityItems()) {
+    // Small spill: keep the serial granularity (fill, flush on overflow —
+    // at most one flush). live_size_ was settled above.
+    for (const Record& r : spill) {
+      if (memtable_.full()) flushMemtable();
+      EXTHASH_CHECK(memtable_.insertOrAssign(r.key, r.value));
+    }
+    return;
+  }
+
+  // Large spill: memtable + spill become ONE sorted run instead of
+  // ceil(spill/memtable) runs with their compaction cascades. The
+  // memtable empties here and refills from the next batch's fresh keys.
+  auto drained = memtable_.drainSorted([](std::uint64_t key) { return key; });
+  std::vector<Record> records;
+  records.reserve(drained.size() + spill.size());
+  records.insert(records.end(), drained.begin(), drained.end());
+  records.insert(records.end(), spill.begin(), spill.end());
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) { return a.key < b.key; });
+
+  const std::size_t estimate = records.size();
+  VectorCursor cursor(std::move(records));
+  Run run = writeRun(cursor, estimate);
+  if (levels_.empty()) levels_.emplace_back();
+  if (run.blocks > 0) levels_[0].insert(levels_[0].begin(), std::move(run));
+  if (levels_[0].size() > config_.fanout) compactLevel(0);
+}
+
+void LsmTable::probeRunBatch(Run& run, std::span<const std::uint64_t> keys,
+                             std::vector<std::size_t>& pending,
+                             std::span<std::optional<std::uint64_t>> out) {
+  if (run.records == 0 || pending.empty()) return;
+
+  // Per-key prefilter (key range, Bloom, fence group), then group by
+  // fenced block range so each touched block is read once.
+  std::vector<std::pair<std::size_t, std::size_t>> cands;  // (group, idx)
+  for (const std::size_t idx : pending) {
+    const std::uint64_t key = keys[idx];
+    if (key < run.min_key || key > run.max_key) continue;
+    if (run.bloom && !run.bloom->mayContain(key)) continue;
+    const auto it =
+        std::upper_bound(run.fences.begin(), run.fences.end(), key);
+    if (it == run.fences.begin()) continue;
+    const auto group =
+        static_cast<std::size_t>(it - run.fences.begin()) - 1;
+    cands.emplace_back(group, idx);
+  }
+  std::sort(cands.begin(), cands.end());
+
+  std::unordered_set<std::size_t> resolved;
+  std::size_t i = 0;
+  std::vector<std::size_t> active;
+  while (i < cands.size()) {
+    const std::size_t group = cands[i].first;
+    std::size_t j = i;
+    while (j < cands.size() && cands[j].first == group) ++j;
+    active.clear();
+    for (std::size_t k = i; k < j; ++k) active.push_back(cands[k].second);
+    i = j;
+
+    const std::size_t first_block = group * config_.fence_stride;
+    const std::size_t last_block =
+        std::min(run.blocks, first_block + config_.fence_stride);
+    for (std::size_t blk = first_block;
+         blk < last_block && !active.empty(); ++blk) {
+      ctx_.device->withRead(
+          run.extent + blk, [&](std::span<const Word> data) {
+            ConstSortedRunPage page(data);
+            for (auto it = active.begin(); it != active.end();) {
+              const std::uint64_t key = keys[*it];
+              if (page.count() == 0 || key < page.firstKey()) {
+                it = active.erase(it);  // past its slot: absent in this run
+                continue;
+              }
+              if (auto v = page.find(key)) {
+                out[*it] =
+                    (*v == kTombstoneValue) ? std::nullopt : std::optional(*v);
+                resolved.insert(*it);
+                it = active.erase(it);
+                continue;
+              }
+              if (key <= page.lastKey()) {
+                it = active.erase(it);  // would be in this block: absent
+                continue;
+              }
+              ++it;  // beyond this block: consult the next one in the group
+            }
+          });
+    }
+  }
+  if (!resolved.empty()) {
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](std::size_t idx) {
+                                   return resolved.contains(idx);
+                                 }),
+                  pending.end());
+  }
+}
+
+void LsmTable::lookupBatch(std::span<const std::uint64_t> keys,
+                           std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (auto v = memtable_.find(keys[i])) {
+      out[i] = (*v == kTombstoneValue) ? std::nullopt : std::optional(*v);
+    } else {
+      pending.push_back(i);
+    }
+  }
+  for (auto& level : levels_) {
+    for (auto& run : level) {  // newest first
+      if (pending.empty()) break;
+      probeRunBatch(run, keys, pending, out);
+    }
+  }
+  for (const std::size_t idx : pending) out[idx] = std::nullopt;
 }
 
 std::size_t LsmTable::runCount() const noexcept {

@@ -44,6 +44,15 @@ class LsmTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Batch fast path for insert-only batches: memtable + batch become ONE
+  /// sorted run (one write per block) instead of ceil(k/memtable) runs
+  /// with their compaction cascades. Batches containing erases use the
+  /// serial path (erase needs a per-key presence probe).
+  void applyBatch(std::span<const Op> ops) override;
+  /// Batched lookups: memtable is free; each run answers its whole
+  /// subgroup with one read per touched block (newest run wins).
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   /// Logical size (inserts minus erases); exact for distinct-key workloads.
   std::size_t size() const override { return live_size_; }
   std::string_view name() const override { return "lsm"; }
@@ -73,6 +82,11 @@ class LsmTable final : public ExternalHashTable {
   Run writeRun(RecordCursor& records, std::size_t record_estimate);
   void freeRun(Run& run);
   std::optional<std::uint64_t> probeRun(Run& run, std::uint64_t key);
+  /// Resolve every pending key against one run, reading each touched
+  /// block once; resolved indices are removed from `pending`.
+  void probeRunBatch(Run& run, std::span<const std::uint64_t> keys,
+                     std::vector<std::size_t>& pending,
+                     std::span<std::optional<std::uint64_t>> out);
 
   LsmConfig config_;
   std::size_t records_per_block_;

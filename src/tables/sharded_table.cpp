@@ -1,0 +1,143 @@
+#include "tables/sharded_table.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/random.h"
+
+namespace exthash::tables {
+
+namespace {
+
+/// Shard router: a fixed splitmix64 scramble, independent of the seeded
+/// hash family members the inner tables use, so conditioning on the shard
+/// leaves h(key) uniform.
+inline std::uint64_t shardScramble(std::uint64_t key) noexcept {
+  return splitmix64(key ^ 0x5111A9DE55555555ULL);
+}
+
+}  // namespace
+
+ShardedTable::ShardedTable(TableContext ctx, ShardedTableConfig config)
+    : ExternalHashTable(ctx),
+      config_(config),
+      pool_(config.threads != 0
+                ? config.threads
+                : std::min<std::size_t>(
+                      config.shards,
+                      std::max(1u, std::thread::hardware_concurrency()))) {
+  EXTHASH_CHECK_MSG(config_.shards >= 1, "need at least one shard");
+  EXTHASH_CHECK_MSG(config_.inner != TableKind::kSharded,
+                    "sharded façades do not nest");
+  const std::size_t n = config_.shards;
+  const std::size_t words = ctx_.device->wordsPerBlock();
+  const std::size_t mem_limit =
+      ctx_.memory->unlimited()
+          ? 0
+          : std::max<std::size_t>(1, ctx_.memory->limit() / n);
+
+  GeneralConfig inner = config_.inner_config;
+  inner.expected_n =
+      std::max<std::size_t>(1, (inner.expected_n + n - 1) / n);
+  if (inner.buffer_items > 0) {
+    inner.buffer_items =
+        std::max<std::size_t>(1, (inner.buffer_items + n - 1) / n);
+  }
+
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    Shard shard;
+    shard.device = std::make_unique<extmem::BlockDevice>(words);
+    shard.memory = std::make_unique<extmem::MemoryBudget>(mem_limit);
+    shard.table = makeTable(
+        config_.inner,
+        TableContext{shard.device.get(), shard.memory.get(), ctx_.hash},
+        inner);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t ShardedTable::shardOf(std::uint64_t key) const noexcept {
+  return static_cast<std::size_t>(
+      hashfn::rangeBucket(shardScramble(key), shards_.size()));
+}
+
+bool ShardedTable::insert(std::uint64_t key, std::uint64_t value) {
+  return shards_[shardOf(key)].table->insert(key, value);
+}
+
+std::optional<std::uint64_t> ShardedTable::lookup(std::uint64_t key) {
+  return shards_[shardOf(key)].table->lookup(key);
+}
+
+bool ShardedTable::erase(std::uint64_t key) {
+  return shards_[shardOf(key)].table->erase(key);
+}
+
+void ShardedTable::applyBatch(std::span<const Op> ops) {
+  if (shards_.size() == 1) {
+    shards_[0].table->applyBatch(ops);
+    return;
+  }
+  // Partition preserving arrival order: every op for one key routes to one
+  // shard, so per-key order survives the shard-parallel dispatch.
+  std::vector<std::vector<Op>> per_shard(shards_.size());
+  for (const Op& op : ops) per_shard[shardOf(op.key)].push_back(op);
+  pool_.parallelFor(0, shards_.size(), [&](std::size_t s) {
+    if (!per_shard[s].empty()) shards_[s].table->applyBatch(per_shard[s]);
+  });
+}
+
+void ShardedTable::lookupBatch(std::span<const std::uint64_t> keys,
+                               std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  if (shards_.size() == 1) {
+    shards_[0].table->lookupBatch(keys, out);
+    return;
+  }
+  std::vector<std::vector<std::size_t>> per_shard(shards_.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    per_shard[shardOf(keys[i])].push_back(i);
+  }
+  pool_.parallelFor(0, shards_.size(), [&](std::size_t s) {
+    const auto& indices = per_shard[s];
+    if (indices.empty()) return;
+    std::vector<std::uint64_t> sub_keys;
+    sub_keys.reserve(indices.size());
+    for (const std::size_t idx : indices) sub_keys.push_back(keys[idx]);
+    std::vector<std::optional<std::uint64_t>> sub_out(sub_keys.size());
+    shards_[s].table->lookupBatch(sub_keys, sub_out);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      out[indices[k]] = sub_out[k];
+    }
+  });
+}
+
+std::size_t ShardedTable::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.table->size();
+  return total;
+}
+
+void ShardedTable::visitLayout(LayoutVisitor& visitor) const {
+  for (const Shard& shard : shards_) shard.table->visitLayout(visitor);
+}
+
+extmem::IoStats ShardedTable::ioStats() const {
+  extmem::IoStats total;
+  for (const Shard& shard : shards_) total += shard.device->stats();
+  return total;
+}
+
+std::string ShardedTable::debugString() const {
+  std::string s = "sharded{n=" + std::to_string(shards_.size()) + ", inner=" +
+                  std::string(tableKindName(config_.inner)) + ", sizes=[";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(shards_[i].table->size());
+  }
+  s += "], io=" + std::to_string(ioStats().cost()) + "}";
+  return s;
+}
+
+}  // namespace exthash::tables

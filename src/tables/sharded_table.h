@@ -1,0 +1,83 @@
+// Sharded front-end: hash-partitions the key space across N inner tables,
+// each owning a private BlockDevice and MemoryBudget, and dispatches
+// batches shard-parallel on a thread pool.
+//
+// This is the system-building move the ROADMAP's "heavy traffic" goal
+// asks for: the paper's structures are single-spindle, so throughput
+// scales by running one per spindle (device) and routing operations by an
+// independent hash of the key. Shard choice uses a fixed scramble that is
+// independent of the tables' shared hash function h, so each shard still
+// sees h-uniform keys and every per-shard analysis (load factor, Theorem-2
+// merge schedule) applies unchanged.
+//
+// I/O accounting: the façade's shards count I/Os on their own devices;
+// ioStats() aggregates them. Measurement code must diff ioStats(), not the
+// context device passed at construction (which the façade never touches).
+// visitLayout forwards to every shard — block ids are per-shard-device and
+// may collide numerically across shards. primaryBlockOf is nullopt for the
+// same reason.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tables/factory.h"
+#include "tables/hash_table.h"
+#include "util/thread_pool.h"
+
+namespace exthash::tables {
+
+struct ShardedTableConfig {
+  /// Number of inner tables (>= 1). Each gets 1/N of expected_n,
+  /// buffer_items, and the memory budget.
+  std::size_t shards = 4;
+  /// What to build inside each shard (any kind except kSharded).
+  TableKind inner = TableKind::kBuffered;
+  /// Config template for the inner tables; per-shard sizes are derived.
+  GeneralConfig inner_config;
+  /// Dispatch threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+class ShardedTable final : public ExternalHashTable {
+ public:
+  /// `ctx` supplies the shared hash and the block geometry (via its
+  /// device); the façade allocates a private device + budget per shard.
+  ShardedTable(TableContext ctx, ShardedTableConfig config);
+
+  bool insert(std::uint64_t key, std::uint64_t value) override;
+  std::optional<std::uint64_t> lookup(std::uint64_t key) override;
+  bool erase(std::uint64_t key) override;
+  /// Splits the batch per shard (op order preserved within a shard — and
+  /// all ops of one key land in one shard) and applies shard-parallel.
+  void applyBatch(std::span<const Op> ops) override;
+  /// Shard-parallel batched lookups.
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
+  std::size_t size() const override;
+  std::string_view name() const override { return "sharded"; }
+  void visitLayout(LayoutVisitor& visitor) const override;
+  std::string debugString() const override;
+  extmem::IoStats ioStats() const override;
+
+  std::size_t shardCount() const noexcept { return shards_.size(); }
+  ExternalHashTable& shard(std::size_t i) { return *shards_[i].table; }
+  const extmem::BlockDevice& shardDevice(std::size_t i) const {
+    return *shards_[i].device;
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<extmem::BlockDevice> device;
+    std::unique_ptr<extmem::MemoryBudget> memory;
+    std::unique_ptr<ExternalHashTable> table;
+  };
+
+  std::size_t shardOf(std::uint64_t key) const noexcept;
+
+  ShardedTableConfig config_;
+  std::vector<Shard> shards_;
+  ThreadPool pool_;
+};
+
+}  // namespace exthash::tables

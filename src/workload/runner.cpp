@@ -10,17 +10,36 @@ namespace exthash::workload {
 
 double sampleQueryCost(tables::ExternalHashTable& table,
                        const std::vector<std::uint64_t>& inserted,
-                       std::size_t samples, Xoshiro256StarStar& rng) {
+                       std::size_t samples, Xoshiro256StarStar& rng,
+                       bool batched) {
   EXTHASH_CHECK(!inserted.empty());
-  auto& device = table.device();
+  // Costs diff table.ioStats(), not the raw device: the sharded façade
+  // counts I/O on its private per-shard devices.
+  if (batched) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      keys.push_back(inserted[rng.below(inserted.size())]);
+    }
+    std::vector<std::optional<std::uint64_t>> out(keys.size());
+    const extmem::IoStats before = table.ioStats();
+    table.lookupBatch(keys, out);
+    const std::uint64_t cost = (table.ioStats() - before).cost();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXTHASH_CHECK_MSG(out[i].has_value(),
+                        "inserted key missing during query sampling — "
+                        "table is corrupt");
+    }
+    return static_cast<double>(cost) / static_cast<double>(samples);
+  }
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < samples; ++i) {
     const std::uint64_t key = inserted[rng.below(inserted.size())];
-    const extmem::IoProbe probe(device);
+    const extmem::IoStats before = table.ioStats();
     const auto hit = table.lookup(key);
+    total += (table.ioStats() - before).cost();
     EXTHASH_CHECK_MSG(hit.has_value(), "inserted key missing during query "
                                        "sampling — table is corrupt");
-    total += probe.cost();
   }
   return static_cast<double>(total) / static_cast<double>(samples);
 }
@@ -29,14 +48,13 @@ namespace {
 
 double sampleMissCost(tables::ExternalHashTable& table, std::size_t samples,
                       Xoshiro256StarStar& rng) {
-  auto& device = table.device();
   std::uint64_t total = 0;
   std::size_t done = 0;
   while (done < samples) {
     const std::uint64_t key = rng();
-    const extmem::IoProbe probe(device);
+    const extmem::IoStats before = table.ioStats();
     if (table.lookup(key).has_value()) continue;  // accidental hit: reroll
-    total += probe.cost();
+    total += (table.ioStats() - before).cost();
     ++done;
   }
   return static_cast<double>(total) / static_cast<double>(samples);
@@ -49,6 +67,7 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
                                    const MeasurementConfig& config) {
   EXTHASH_CHECK(config.n > 0);
   EXTHASH_CHECK(config.checkpoints >= 1);
+  const std::size_t batch_size = std::max<std::size_t>(1, config.batch_size);
 
   // Geometrically spaced checkpoints ending at n.
   std::vector<std::size_t> checkpoints;
@@ -70,31 +89,41 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
 
   TradeoffMeasurement out;
   out.n = config.n;
-  auto& device = table.device();
   const auto t0 = std::chrono::steady_clock::now();
 
-  // Inserts are timed as one probe; query sampling I/O is excluded from tu
-  // by probing around the checkpoint work.
+  // Inserts are costed around each applyBatch call (a singleton batch is
+  // the classic per-op protocol); query sampling I/O is excluded from tu.
   std::uint64_t insert_cost = 0;
   extmem::IoStats insert_io_total;
   std::size_t next_checkpoint = 0;
   RunningStat miss_costs;
 
+  std::vector<tables::Op> batch;
+  batch.reserve(batch_size);
+  auto flushBatch = [&]() {
+    if (batch.empty()) return;
+    const extmem::IoStats before = table.ioStats();
+    table.applyBatch(batch);
+    const extmem::IoStats delta = table.ioStats() - before;
+    insert_cost += delta.cost();
+    insert_io_total += delta;
+    batch.clear();
+  };
+
   for (std::size_t i = 0; i < config.n; ++i) {
     const std::uint64_t key = keys.next();
-    const extmem::IoProbe probe(device);
-    table.insert(key, key ^ 0x5bd1e995);
-    const extmem::IoStats delta = probe.delta();
-    insert_cost += delta.cost();
-    insert_io_total.reads += delta.reads;
-    insert_io_total.writes += delta.writes;
-    insert_io_total.rmws += delta.rmws;
+    batch.push_back(tables::Op::insertOp(key, key ^ 0x5bd1e995));
     inserted.push_back(key);
 
-    if (next_checkpoint < checkpoints.size() &&
-        i + 1 == checkpoints[next_checkpoint]) {
-      const double cost = sampleQueryCost(
-          table, inserted, config.queries_per_checkpoint, rng);
+    const bool at_checkpoint = next_checkpoint < checkpoints.size() &&
+                               i + 1 == checkpoints[next_checkpoint];
+    if (batch.size() >= batch_size || at_checkpoint || i + 1 == config.n) {
+      flushBatch();
+    }
+    if (at_checkpoint) {
+      const double cost =
+          sampleQueryCost(table, inserted, config.queries_per_checkpoint,
+                          rng, config.batched_queries);
       out.checkpoint_costs.push(cost);
       if (config.measure_unsuccessful) {
         miss_costs.push(
@@ -111,7 +140,8 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
   out.tq_mean = out.checkpoint_costs.mean();
   out.tq_worst = out.checkpoint_costs.max();
   out.tq_final = sampleQueryCost(table, inserted,
-                                 config.queries_per_checkpoint, rng);
+                                 config.queries_per_checkpoint, rng,
+                                 config.batched_queries);
   out.tq_unsuccessful = miss_costs.mean();
   return out;
 }

@@ -26,6 +26,12 @@ struct MeasurementConfig {
   std::size_t checkpoints = 8;       // geometrically spaced in (0, n]
   std::uint64_t seed = 1;
   bool measure_unsuccessful = false;  // also sample absent-key lookups
+  /// Updates per applyBatch call. 1 = the classic per-op protocol; larger
+  /// values hand the table bucket-groupable batches (chunks are cut early
+  /// at checkpoints so query sampling still sees every prefix).
+  std::size_t batch_size = 1;
+  /// Sample checkpoint queries through lookupBatch instead of lookup().
+  bool batched_queries = false;
 };
 
 struct TradeoffMeasurement {
@@ -49,9 +55,11 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
                                    const MeasurementConfig& config);
 
 /// Average successful-lookup cost over `samples` uniform picks from
-/// `inserted` at the current snapshot.
+/// `inserted` at the current snapshot. `batched` routes the sample through
+/// one lookupBatch call instead of per-key lookup().
 double sampleQueryCost(tables::ExternalHashTable& table,
                        const std::vector<std::uint64_t>& inserted,
-                       std::size_t samples, Xoshiro256StarStar& rng);
+                       std::size_t samples, Xoshiro256StarStar& rng,
+                       bool batched = false);
 
 }  // namespace exthash::workload

@@ -1,0 +1,333 @@
+// Batch-equivalence sweep: applyBatch / lookupBatch must be
+// observationally equivalent to the serial insert/erase/lookup loop for
+// every TableKind — including the sharded façade — under mixed
+// insert/erase batches and duplicate keys within one batch.
+//
+// Equivalence is judged on what a caller can observe: lookup results over
+// the whole op universe, size() where the structure documents it as exact,
+// and visitLayout contents (full multiset equality for in-place tables;
+// deferred structures keep shadowed versions, so their layout must contain
+// every live pair).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "table_test_util.h"
+#include "tables/factory.h"
+#include "tables/sharded_table.h"
+
+namespace exthash::tables {
+namespace {
+
+using exthash::testing::TestRig;
+using exthash::testing::distinctKeys;
+
+struct BatchCase {
+  TableKind kind;
+  bool supports_erase;
+  /// Layout multisets match the serial loop exactly (in-place tables);
+  /// deferred structures only promise the live content is present.
+  bool exact_layout;
+  /// size() stays exact under duplicate keys in one batch. Deferred
+  /// structures count freshness against flush epochs, which batching
+  /// shifts (documented contract; exact for distinct keys either way).
+  bool exact_size_on_duplicates;
+  /// Re-inserting a key reliably surfaces the newest value via lookup().
+  /// The buffered table documents shadow-visible old versions whose
+  /// choice depends on merge timing, which batching legitimately shifts.
+  bool supports_update = true;
+  /// Sharded inner kind (kSharded rows only).
+  TableKind inner = TableKind::kChaining;
+};
+
+class PairVisitor : public LayoutVisitor {
+ public:
+  void memoryItem(const Record& r) override { items.emplace_back(r.key, r.value); }
+  void diskItem(extmem::BlockId, const Record& r) override {
+    items.emplace_back(r.key, r.value);
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted() const {
+    auto v = items;
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items;
+};
+
+class BatchApiTest : public ::testing::TestWithParam<BatchCase> {
+ protected:
+  static constexpr std::size_t kB = 8;
+
+  std::unique_ptr<ExternalHashTable> makeFor(const TestRig& rig,
+                                             std::size_t expected_n) const {
+    GeneralConfig cfg;
+    cfg.expected_n = expected_n;
+    cfg.target_load = 0.5;
+    cfg.buffer_items = 32;
+    cfg.beta = 4;
+    cfg.gamma = 2;
+    cfg.shards = 4;
+    cfg.sharded_inner = GetParam().inner;
+    cfg.shard_threads = 2;
+    return makeTable(GetParam().kind, rig.context(), cfg);
+  }
+
+  /// Apply ops serially through the single-op interface.
+  static void applySerial(ExternalHashTable& table,
+                          const std::vector<Op>& ops) {
+    for (const Op& op : ops) {
+      if (op.kind == OpKind::kInsert) table.insert(op.key, op.value);
+      else table.erase(op.key);
+    }
+  }
+
+  /// Apply ops through applyBatch in chunks.
+  static void applyChunked(ExternalHashTable& table,
+                           const std::vector<Op>& ops, std::size_t chunk) {
+    for (std::size_t i = 0; i < ops.size(); i += chunk) {
+      const std::size_t n = std::min(chunk, ops.size() - i);
+      table.applyBatch(std::span<const Op>(ops.data() + i, n));
+    }
+  }
+
+  void expectEquivalent(ExternalHashTable& serial, ExternalHashTable& batched,
+                        const std::vector<std::uint64_t>& universe,
+                        bool exact_size) {
+    if (exact_size) {
+      EXPECT_EQ(serial.size(), batched.size());
+    }
+
+    // Per-key observations agree, and lookupBatch agrees with lookup.
+    std::vector<std::optional<std::uint64_t>> batch_out(universe.size());
+    batched.lookupBatch(universe, batch_out);
+    std::map<std::uint64_t, std::uint64_t> live;
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      const auto expected = serial.lookup(universe[i]);
+      ASSERT_EQ(batched.lookup(universe[i]), expected)
+          << tableKindName(GetParam().kind) << " key " << universe[i];
+      ASSERT_EQ(batch_out[i], expected)
+          << tableKindName(GetParam().kind) << " lookupBatch key "
+          << universe[i];
+      if (expected) live.emplace(universe[i], *expected);
+    }
+
+    PairVisitor serial_layout, batched_layout;
+    serial.visitLayout(serial_layout);
+    batched.visitLayout(batched_layout);
+    if (GetParam().exact_layout) {
+      EXPECT_EQ(serial_layout.sorted(), batched_layout.sorted());
+    } else {
+      // Deferred structures: the newest version of every live pair must
+      // appear somewhere in the batched table's layout.
+      const auto pairs = batched_layout.sorted();
+      for (const auto& [key, value] : live) {
+        EXPECT_TRUE(std::binary_search(pairs.begin(), pairs.end(),
+                                       std::make_pair(key, value)))
+            << tableKindName(GetParam().kind) << " lost live pair ("
+            << key << ", " << value << ")";
+      }
+    }
+  }
+};
+
+TEST_P(BatchApiTest, InsertOnlyDistinctKeysEquivalent) {
+  TestRig serial_rig(kB), batched_rig(kB);
+  auto serial = makeFor(serial_rig, 512);
+  auto batched = makeFor(batched_rig, 512);
+
+  const auto keys = distinctKeys(512);
+  std::vector<Op> ops;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ops.push_back(Op::insertOp(keys[i], i + 1));
+  }
+  applySerial(*serial, ops);
+  applyChunked(*batched, ops, 128);
+
+  auto universe = keys;
+  const auto absent = distinctKeys(64, /*seed=*/4242);
+  universe.insert(universe.end(), absent.begin(), absent.end());
+  expectEquivalent(*serial, *batched, universe, /*exact_size=*/true);
+}
+
+TEST_P(BatchApiTest, DuplicateKeysWithinBatchEquivalent) {
+  if (!GetParam().supports_update) GTEST_SKIP();
+  TestRig serial_rig(kB), batched_rig(kB);
+  auto serial = makeFor(serial_rig, 256);
+  auto batched = makeFor(batched_rig, 256);
+
+  // Every key appears ~3 times with increasing values: the last write in
+  // arrival order must win in both protocols.
+  const auto keys = distinctKeys(200);
+  std::vector<Op> ops;
+  for (std::size_t i = 0; i < 600; ++i) {
+    ops.push_back(Op::insertOp(keys[i % keys.size()], 1000 + i));
+  }
+  applySerial(*serial, ops);
+  applyChunked(*batched, ops, 250);
+
+  expectEquivalent(*serial, *batched, keys,
+                   GetParam().exact_size_on_duplicates);
+}
+
+TEST_P(BatchApiTest, MixedInsertEraseBatchesEquivalent) {
+  if (!GetParam().supports_erase) {
+    TestRig rig(kB);
+    auto table = makeFor(rig, 64);
+    const std::vector<Op> ops = {Op::insertOp(1, 1), Op::eraseOp(1)};
+    EXPECT_THROW(table->applyBatch(ops), UnsupportedOperation);
+    return;
+  }
+
+  TestRig serial_rig(kB), batched_rig(kB);
+  auto serial = makeFor(serial_rig, 256);
+  auto batched = makeFor(batched_rig, 256);
+
+  // Mixed stream with duplicates: inserts, erases of live and missing
+  // keys, and erase-then-reinsert of the same key inside one chunk.
+  const auto keys = distinctKeys(200);
+  std::vector<Op> ops;
+  for (std::size_t i = 0; i < 700; ++i) {
+    const std::uint64_t key = keys[i % keys.size()];
+    if (i % 7 == 3) {
+      ops.push_back(Op::eraseOp(keys[(i * 3) % keys.size()]));
+    } else if (i % 11 == 5) {
+      ops.push_back(Op::eraseOp(key));
+      ops.push_back(Op::insertOp(key, 5000 + i));
+    } else {
+      ops.push_back(Op::insertOp(key, 1000 + i));
+    }
+  }
+  applySerial(*serial, ops);
+  applyChunked(*batched, ops, 200);
+
+  expectEquivalent(*serial, *batched, keys,
+                   GetParam().exact_size_on_duplicates);
+}
+
+TEST_P(BatchApiTest, EmptyAndSingletonBatches) {
+  TestRig rig(kB);
+  auto table = makeFor(rig, 64);
+  table->applyBatch({});  // no-op
+  EXPECT_EQ(table->size(), 0u);
+  const std::vector<Op> one = {Op::insertOp(77, 7)};
+  table->applyBatch(one);
+  EXPECT_EQ(table->size(), 1u);
+  EXPECT_EQ(table->lookup(77).value(), 7u);
+  std::vector<std::uint64_t> keys = {77, 78};
+  std::vector<std::optional<std::uint64_t>> out(2);
+  table->lookupBatch(keys, out);
+  EXPECT_EQ(out[0], std::optional<std::uint64_t>(7));
+  EXPECT_FALSE(out[1].has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, BatchApiTest,
+    ::testing::Values(
+        BatchCase{TableKind::kChaining, true, true, true},
+        BatchCase{TableKind::kLinearProbing, true, true, true},
+        BatchCase{TableKind::kExtendible, true, true, true},
+        BatchCase{TableKind::kLinearHashing, true, true, true},
+        BatchCase{TableKind::kLogMethod, true, false, false},
+        BatchCase{TableKind::kBuffered, false, false, false, false},
+        BatchCase{TableKind::kJensenPagh, true, true, true},
+        BatchCase{TableKind::kBTree, true, true, true},
+        BatchCase{TableKind::kLsm, true, false, false},
+        BatchCase{TableKind::kCuckoo, true, true, true},
+        BatchCase{TableKind::kBufferBTree, true, false, false},
+        BatchCase{TableKind::kSharded, true, true, true, true,
+                  TableKind::kChaining},
+        BatchCase{TableKind::kSharded, false, false, false, false,
+                  TableKind::kBuffered}),
+    [](const ::testing::TestParamInfo<BatchCase>& info) {
+      std::string name(tableKindName(info.param.kind));
+      if (info.param.kind == TableKind::kSharded) {
+        name += "_";
+        name += tableKindName(info.param.inner);
+      }
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// The point of the API: batching must be strictly cheaper where the
+// structure can group work, at batch sizes >= the block capacity b.
+// ---------------------------------------------------------------------------
+
+std::vector<Op> insertOps(std::size_t n) {
+  const auto keys = distinctKeys(n, /*seed=*/99);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops.push_back(Op::insertOp(keys[i], i + 1));
+  }
+  return ops;
+}
+
+std::uint64_t costOf(TableKind kind, std::size_t b, std::size_t n,
+                     std::size_t batch, const GeneralConfig& cfg) {
+  TestRig rig(b);
+  auto table = makeTable(kind, rig.context(), cfg);
+  const auto ops = insertOps(n);
+  const extmem::IoStats before = table->ioStats();
+  for (std::size_t i = 0; i < ops.size(); i += batch) {
+    const std::size_t len = std::min(batch, ops.size() - i);
+    table->applyBatch(std::span<const Op>(ops.data() + i, len));
+  }
+  return (table->ioStats() - before).cost();
+}
+
+TEST(BatchBeatsSerial, ChainingAtBatchSizeB) {
+  constexpr std::size_t kB = 16, kN = 4096;
+  GeneralConfig cfg;
+  cfg.expected_n = kN;
+  cfg.target_load = 0.5;
+  const std::uint64_t serial = costOf(TableKind::kChaining, kB, kN, 1, cfg);
+  const std::uint64_t batched =
+      costOf(TableKind::kChaining, kB, kN, 1024, cfg);
+  EXPECT_LT(batched, serial) << "serial=" << serial
+                             << " batched=" << batched;
+}
+
+TEST(BatchBeatsSerial, BufferedAtBatchSizeB) {
+  constexpr std::size_t kB = 16, kN = 4096;
+  GeneralConfig cfg;
+  cfg.expected_n = kN;
+  cfg.buffer_items = 64;
+  cfg.beta = 4;
+  const std::uint64_t serial = costOf(TableKind::kBuffered, kB, kN, 1, cfg);
+  const std::uint64_t batched =
+      costOf(TableKind::kBuffered, kB, kN, 1024, cfg);
+  EXPECT_LT(batched, serial) << "serial=" << serial
+                             << " batched=" << batched;
+}
+
+TEST(ShardedTableTest, AggregatesIoAcrossPrivateDevices) {
+  TestRig rig(8);
+  GeneralConfig cfg;
+  cfg.expected_n = 512;
+  cfg.buffer_items = 32;
+  cfg.shards = 4;
+  cfg.sharded_inner = TableKind::kChaining;
+  auto table = makeTable(TableKind::kSharded, rig.context(), cfg);
+  const auto ops = insertOps(512);
+  table->applyBatch(ops);
+  EXPECT_EQ(table->size(), 512u);
+  // All I/O lands on the shards' private devices, none on the context one.
+  EXPECT_GT(table->ioStats().cost(), 0u);
+  EXPECT_EQ(rig.device->stats().cost(), 0u);
+
+  auto* sharded = dynamic_cast<ShardedTable*>(table.get());
+  ASSERT_NE(sharded, nullptr);
+  extmem::IoStats sum;
+  for (std::size_t s = 0; s < sharded->shardCount(); ++s) {
+    sum += sharded->shardDevice(s).stats();
+  }
+  EXPECT_EQ(sum.cost(), table->ioStats().cost());
+  EXPECT_GE(sharded->shardCount(), 4u);
+}
+
+}  // namespace
+}  // namespace exthash::tables

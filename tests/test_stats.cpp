@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "extmem/io_stats.h"
+
 namespace exthash {
 namespace {
 
@@ -55,6 +57,61 @@ TEST(Quantile, Median) {
   EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
   EXPECT_DOUBLE_EQ(quantile({5, 1, 3}, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(quantile({5, 1, 3}, 1.0), 5.0);
+}
+
+TEST(IoStats, PlusAggregatesEveryCounter) {
+  extmem::IoStats a;
+  a.reads = 3;
+  a.writes = 5;
+  a.rmws = 7;
+  a.allocated_blocks = 11;
+  a.freed_blocks = 2;
+  extmem::IoStats b;
+  b.reads = 10;
+  b.writes = 20;
+  b.rmws = 30;
+  b.allocated_blocks = 40;
+  b.freed_blocks = 50;
+
+  const extmem::IoStats sum = a + b;
+  EXPECT_EQ(sum.reads, 13u);
+  EXPECT_EQ(sum.writes, 25u);
+  EXPECT_EQ(sum.rmws, 37u);
+  EXPECT_EQ(sum.allocated_blocks, 51u);
+  EXPECT_EQ(sum.freed_blocks, 52u);
+  EXPECT_EQ(sum.cost(), 13u + 25u + 37u);
+  EXPECT_EQ(sum.rawAccesses(), 13u + 25u + 2 * 37u);
+
+  // operator+= matches operator+, and a+b-b round-trips to a (the shard
+  // aggregation / probe-delta pair).
+  extmem::IoStats acc = a;
+  acc += b;
+  EXPECT_EQ(acc.cost(), sum.cost());
+  EXPECT_EQ(acc.reads, sum.reads);
+  const extmem::IoStats back = sum - b;
+  EXPECT_EQ(back.reads, a.reads);
+  EXPECT_EQ(back.writes, a.writes);
+  EXPECT_EQ(back.rmws, a.rmws);
+}
+
+TEST(IoStats, PlusIdentityAndAccumulation) {
+  extmem::IoStats zero;
+  extmem::IoStats a;
+  a.reads = 4;
+  a.rmws = 6;
+  const extmem::IoStats same = a + zero;
+  EXPECT_EQ(same.cost(), a.cost());
+
+  // Summing per-shard deltas equals the combined delta.
+  extmem::IoStats total;
+  for (int s = 0; s < 4; ++s) {
+    extmem::IoStats shard;
+    shard.reads = static_cast<std::uint64_t>(s);
+    shard.writes = 1;
+    total += shard;
+  }
+  EXPECT_EQ(total.reads, 0u + 1u + 2u + 3u);
+  EXPECT_EQ(total.writes, 4u);
 }
 
 TEST(Histogram, BucketsAndOverflow) {
