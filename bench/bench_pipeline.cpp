@@ -1,0 +1,253 @@
+// PIPE — serial vs batched vs pipelined ingest.
+//
+// The paper buys I/O below 1 per op by buffering; this benchmark checks
+// the system harvests it in wall-clock. Three protocols over identical key
+// streams:
+//   serial     per-op applyBatch (batch = 1), the classic protocol
+//   batched    synchronous applyBatch fan-out at batch size B (PR 1)
+//   pipelined  IngestPipeline at window B: accumulation + coalescing of
+//              window k+1 overlaps the background apply of window k
+// on sharded façades (chaining and buffered inners — two table kinds) and
+// the plain buffered table, each under uniform-distinct and Zipf keys.
+//
+// The simulated device is RAM-speed, which would hide any overlap, so a
+// per-access latency (sched-yield quanta, modeling a DMA device whose
+// transfers free the CPU) emulates a real device; counted I/O is
+// unaffected. Note the synchronous fan-out already overlaps latency
+// *across shards*; what the pipeline adds is (a) inter-phase overlap —
+// accumulation against apply, needing spare CPU, so most visible on
+// multi-core hosts — and (b) window coalescing, which cuts the op stream
+// itself and wins even on a single core for skewed keys. After each run
+// the final live contents are checksummed (grouped lookups over the key
+// universe) and compared: pipelining must not change what the table
+// answers.
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "pipeline/ingest_pipeline.h"
+#include "tables/sharded_table.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace exthash;
+
+enum class Protocol { kSerial, kBatched, kPipelined };
+
+struct RunResult {
+  double seconds = 0.0;
+  double io_per_op = 0.0;
+  std::uint64_t checksum = 0;  // over live (key, value) pairs
+  std::size_t size = 0;
+  std::uint64_t coalesced = 0;
+};
+
+/// Order-independent checksum of the table's live content: newest value
+/// per key (visitLayout may surface shadowed versions on deferred
+/// structures — lookups decide what is live, so we checksum via lookups
+/// over the submitted key universe).
+std::uint64_t contentChecksum(tables::ExternalHashTable& table,
+                              const std::vector<std::uint64_t>& universe) {
+  std::uint64_t sum = 0;
+  std::vector<std::optional<std::uint64_t>> out;
+  constexpr std::size_t kChunk = 4096;
+  for (std::size_t i = 0; i < universe.size(); i += kChunk) {
+    const std::size_t n = std::min(kChunk, universe.size() - i);
+    out.assign(n, std::nullopt);
+    table.lookupBatch(std::span(universe.data() + i, n),
+                      std::span(out.data(), n));
+    for (std::size_t k = 0; k < n; ++k) {
+      if (out[k]) {
+        sum += splitmix64(universe[i + k] * 0x9E3779B97F4A7C15ULL ^ *out[k]);
+      }
+    }
+  }
+  return sum;
+}
+
+std::unique_ptr<tables::ExternalHashTable> makeTableFor(
+    const bench::Rig& rig, const std::string& kind_name, std::size_t n,
+    std::uint32_t latency_spins) {
+  tables::GeneralConfig cfg;
+  cfg.expected_n = n;
+  cfg.target_load = 0.5;
+  cfg.buffer_items = 4096;
+  cfg.beta = 8;
+  cfg.gamma = 2;
+  cfg.shards = 4;
+  cfg.shard_threads = 4;
+  tables::TableKind kind;
+  if (kind_name == "sharded-chaining") {
+    kind = tables::TableKind::kSharded;
+    cfg.sharded_inner = tables::TableKind::kChaining;
+  } else if (kind_name == "sharded-buffered") {
+    kind = tables::TableKind::kSharded;
+    cfg.sharded_inner = tables::TableKind::kBuffered;
+  } else {
+    kind = tables::parseTableKind(kind_name);
+  }
+  auto table = makeTable(kind, rig.context(), cfg);
+  // Per-access latency on every device the table counts on.
+  rig.device->setAccessLatency(latency_spins);
+  if (auto* sharded = dynamic_cast<tables::ShardedTable*>(table.get())) {
+    for (std::size_t s = 0; s < sharded->shardCount(); ++s) {
+      sharded->shardDevice(s).setAccessLatency(latency_spins);
+    }
+  }
+  return table;
+}
+
+RunResult runProtocol(Protocol protocol, const std::string& kind_name,
+                      const std::vector<std::uint64_t>& keys,
+                      const std::vector<std::uint64_t>& universe,
+                      std::size_t batch, std::size_t depth, std::size_t b,
+                      std::uint32_t latency_spins, std::uint64_t seed) {
+  bench::Rig rig(b, /*memory_words=*/0, deriveSeed(seed, 11));
+  auto table = makeTableFor(rig, kind_name, keys.size(), latency_spins);
+
+  RunResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (protocol == Protocol::kPipelined) {
+    pipeline::PipelineConfig pc;
+    pc.batch_capacity = batch;
+    pc.max_pending_batches = depth;
+    pipeline::IngestPipeline pipe(*table, pc);
+    for (const std::uint64_t key : keys) {
+      pipe.insert(key, key ^ 0x5bd1e995);
+    }
+    pipe.drain();
+    r.coalesced = pipe.stats().ops_coalesced;
+  } else {
+    const std::size_t chunk = protocol == Protocol::kSerial ? 1 : batch;
+    std::vector<tables::Op> ops;
+    ops.reserve(chunk);
+    for (const std::uint64_t key : keys) {
+      ops.push_back(tables::Op::insertOp(key, key ^ 0x5bd1e995));
+      if (ops.size() >= chunk) {
+        table->applyBatch(ops);
+        ops.clear();
+      }
+    }
+    if (!ops.empty()) table->applyBatch(ops);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.io_per_op = static_cast<double>(table->ioStats().cost()) /
+                static_cast<double>(keys.size());
+  r.size = table->size();
+  r.checksum = contentChecksum(*table, universe);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace exthash;
+  ArgParser args("bench_pipeline",
+                 "serial vs batched vs pipelined ingest throughput");
+  args.addUintFlag("n", 1 << 16, "operations per run");
+  args.addUintFlag("b", 64, "records per block");
+  args.addUintFlag("batch", 4096, "batch size / pipeline window");
+  args.addUintFlag("depth", 2, "pipeline max pending batches");
+  args.addUintFlag("latency", 10,
+                   "per-I/O yield quanta (device latency emulation)");
+  args.addUintFlag("seed", 1, "root seed");
+  if (!args.parse(argc, argv)) return 0;
+  const std::size_t n = args.getUint("n");
+  const std::size_t b = args.getUint("b");
+  const std::size_t batch = args.getUint("batch");
+  const std::size_t depth = args.getUint("depth");
+  const auto latency = static_cast<std::uint32_t>(args.getUint("latency"));
+  const std::uint64_t seed = args.getUint("seed");
+
+  bench::printHeader(
+      "PIPE: pipelined ingest — overlapping accumulation with apply",
+      "Identical key streams through three submission protocols. ops/s is "
+      "wall-clock; I/O is the counted cost per submitted op. The device "
+      "yields per access to emulate DMA latency (counted I/O unaffected). "
+      "'ok' = final live contents identical to the serial protocol.");
+
+  TablePrinter out({"table", "keys", "protocol", "ops/s", "speedup",
+                    "I/O per op", "coalesced", "contents"});
+
+  bool all_equal = true;
+  std::map<std::string, bool> sharded_kind_wins;  // kind -> pipelined beat
+                                                  // batched on some stream
+  for (const std::string kind :
+       {"sharded-chaining", "sharded-buffered", "buffered"}) {
+    for (const std::string stream : {"uniform", "zipf"}) {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(n);
+      if (stream == "uniform") {
+        workload::DistinctKeyStream ks(deriveSeed(seed, 2));
+        for (std::size_t i = 0; i < n; ++i) keys.push_back(ks.next());
+      } else {
+        workload::ZipfKeyStream ks(deriveSeed(seed, 3), n / 2, 0.99);
+        for (std::size_t i = 0; i < n; ++i) keys.push_back(ks.next());
+      }
+      // Lookup universe: the distinct submitted keys.
+      std::vector<std::uint64_t> universe = keys;
+      std::sort(universe.begin(), universe.end());
+      universe.erase(std::unique(universe.begin(), universe.end()),
+                     universe.end());
+
+      std::map<Protocol, RunResult> results;
+      for (const Protocol p :
+           {Protocol::kSerial, Protocol::kBatched, Protocol::kPipelined}) {
+        results[p] = runProtocol(p, kind, keys, universe, batch, depth, b,
+                                 latency, seed);
+      }
+      const RunResult& serial = results[Protocol::kSerial];
+      for (const Protocol p :
+           {Protocol::kSerial, Protocol::kBatched, Protocol::kPipelined}) {
+        const RunResult& r = results[p];
+        const bool equal = r.checksum == serial.checksum;
+        all_equal = all_equal && equal;
+        const char* proto_name = p == Protocol::kSerial     ? "serial"
+                                 : p == Protocol::kBatched  ? "batched"
+                                                            : "pipelined";
+        out.addRow({kind, stream, proto_name,
+                    TablePrinter::num(static_cast<double>(n) / r.seconds, 0),
+                    TablePrinter::num(serial.seconds / r.seconds, 2),
+                    TablePrinter::num(r.io_per_op, 4),
+                    TablePrinter::num(std::uint64_t{r.coalesced}),
+                    equal ? "ok" : "MISMATCH"});
+      }
+      if (kind.rfind("sharded", 0) == 0) {
+        sharded_kind_wins[kind] =
+            sharded_kind_wins[kind] ||
+            results[Protocol::kPipelined].seconds <
+                results[Protocol::kBatched].seconds;
+      }
+    }
+  }
+  std::size_t winning_kinds = 0;
+  for (const auto& [kind, won] : sharded_kind_wins) {
+    winning_kinds += won ? 1 : 0;
+  }
+
+  out.print(std::cout);
+  bench::saveCsv(out, "pipeline");
+  std::cout << "\nReading the table: 'batched' buys counted I/O (grouped "
+               "block work); 'pipelined'\nkeeps that I/O figure and buys "
+               "wall-clock on top by overlapping window\naccumulation (and "
+               "last-write-wins coalescing on skewed streams) with the\n"
+               "background apply. On single-core hosts the fan-out already "
+               "absorbs device\nlatency across shards, so expect the "
+               "pipelined win on the coalescing (zipf)\nrows there and on "
+               "the uniform rows too once cores are available.\n"
+            << (winning_kinds >= 2
+                    ? "PASS: pipelined-sharded beat the synchronous fan-out "
+                      "at equal batch size\non "
+                    : "WARNING: pipelined-sharded beat the synchronous "
+                      "fan-out on only ")
+            << winning_kinds << " sharded table kind(s).\n";
+  if (!all_equal) {
+    std::cerr << "FAIL: final table contents diverged across protocols\n";
+    return 1;
+  }
+  return winning_kinds >= 2 ? 0 : 2;
+}

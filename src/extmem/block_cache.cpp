@@ -77,4 +77,12 @@ void BlockCache::invalidate(BlockId id) {
   frames_.erase(it);
 }
 
+void BlockCache::refreshFromDevice(BlockId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  const auto data = device_.inspect(id);
+  std::copy(data.begin(), data.end(), it->second.data.begin());
+  it->second.dirty = false;
+}
+
 }  // namespace exthash::extmem

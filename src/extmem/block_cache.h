@@ -53,11 +53,7 @@ class BlockCache {
       // Straight to the device (one rmw), then refresh any cached copy so
       // future hits observe the new contents.
       device_.withWrite(id, [&](std::span<Word> data) { fn(data); });
-      auto it = frames_.find(id);
-      if (it != frames_.end()) {
-        const auto data = device_.inspect(id);  // uncounted refresh
-        std::copy(data.begin(), data.end(), it->second.data.begin());
-      }
+      refreshFromDevice(id);
       return;
     }
     Frame& frame = fetch(id, /*mark_dirty=*/true);
@@ -69,6 +65,14 @@ class BlockCache {
 
   /// Drop a block from the cache (e.g. after the owner frees it).
   void invalidate(BlockId id);
+
+  /// Refresh the cached copy of `id` from the device (uncounted), if one
+  /// is resident. Used by write paths that hit the device directly so
+  /// later cached reads observe the new contents.
+  void refreshFromDevice(BlockId id);
+
+  WritePolicy policy() const noexcept { return policy_; }
+  BlockDevice& device() const noexcept { return device_; }
 
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "extmem/io_stats.h"
@@ -56,6 +57,7 @@ class BlockDevice {
   decltype(auto) withRead(BlockId id, F&& fn) {
     checkLive(id);
     ++stats_.reads;
+    simulateLatency();
     return std::forward<F>(fn)(
         std::span<const Word>(blockPtr(id), words_per_block_));
   }
@@ -66,6 +68,7 @@ class BlockDevice {
   decltype(auto) withWrite(BlockId id, F&& fn) {
     checkLive(id);
     ++stats_.rmws;
+    simulateLatency();
     return std::forward<F>(fn)(
         std::span<Word>(blockPtr(id), words_per_block_));
   }
@@ -76,10 +79,23 @@ class BlockDevice {
   decltype(auto) withOverwrite(BlockId id, F&& fn) {
     checkLive(id);
     ++stats_.writes;
+    simulateLatency();
     Word* p = blockPtr(id);
     std::fill(p, p + words_per_block_, Word{0});
     return std::forward<F>(fn)(std::span<Word>(p, words_per_block_));
   }
+
+  /// Emulate per-access device latency: every counted access yields the
+  /// CPU `quanta` times (~0.1–1 µs each when nothing else is runnable).
+  /// Zero (default) disables. Yielding — rather than busy-spinning —
+  /// models a DMA-style device: while the "transfer" waits, other threads
+  /// (shard workers, the ingest pipeline's producer) can use the core, so
+  /// wall-clock benchmarks can measure overlap even on small machines.
+  /// Counted I/O statistics are never affected.
+  void setAccessLatency(std::uint32_t quanta) noexcept {
+    latency_spins_ = quanta;
+  }
+  std::uint32_t accessLatency() const noexcept { return latency_spins_; }
 
   /// Copying variants (convenience for tests).
   std::vector<Word> readCopy(BlockId id);
@@ -100,6 +116,12 @@ class BlockDevice {
  private:
   static constexpr std::size_t kBlocksPerChunk = 1024;
 
+  void simulateLatency() const noexcept {
+    for (std::uint32_t i = 0; i < latency_spins_; ++i) {
+      std::this_thread::yield();
+    }
+  }
+
   Word* blockPtr(BlockId id);
   const Word* blockPtr(BlockId id) const;
   void checkLive(BlockId id) const;
@@ -113,6 +135,7 @@ class BlockDevice {
   std::map<std::size_t, std::vector<BlockId>> free_pool_;
   BlockId next_id_ = 0;
   std::size_t blocks_in_use_ = 0;
+  std::uint32_t latency_spins_ = 0;
   IoStats stats_;
 };
 

@@ -1,0 +1,102 @@
+// CachedBlockIo — a thin counted-access view over a BlockDevice with an
+// optional read-through BlockCache in front.
+//
+// The bucketed tables' grouped batch paths (chain walks, probe runs) used
+// to talk to the BlockDevice directly, bypassing any cache and re-paying a
+// read for every revisit of a hot block. Tables now route their counted
+// accesses through this view: with no cache attached it forwards verbatim
+// (zero overhead beyond a null check); with a cache attached, reads hit
+// the cache (hit = 0 counted I/O) and every mutation keeps the cache
+// coherent:
+//   withRead      cache->withRead (hit free, miss reads through)
+//   withWrite     device rmw, then refresh the resident frame
+//   withOverwrite device write, then refresh the resident frame
+//   free          device free + invalidate (ids are pooled for reuse)
+//
+// Only the write-through policy is supported here: the device stays
+// authoritative at all times, so the uncounted inspect()/visitLayout
+// introspection paths — which read the device directly — remain correct.
+#pragma once
+
+#include "extmem/block_cache.h"
+#include "extmem/block_device.h"
+#include "util/assert.h"
+
+namespace exthash::extmem {
+
+class CachedBlockIo {
+ public:
+  explicit CachedBlockIo(BlockDevice& device, BlockCache* cache = nullptr)
+      : device_(&device), cache_(cache) {
+    EXTHASH_CHECK_MSG(
+        cache == nullptr ||
+            (cache->policy() == BlockCache::WritePolicy::kWriteThrough &&
+             &cache->device() == &device),
+        "CachedBlockIo needs a write-through cache over the same device "
+        "(device-direct writes refresh frames, which would drop write-back "
+        "dirty data; a foreign-device cache would serve wrong blocks)");
+  }
+
+  BlockDevice& device() const noexcept { return *device_; }
+  BlockCache* cache() const noexcept { return cache_; }
+  std::size_t wordsPerBlock() const noexcept {
+    return device_->wordsPerBlock();
+  }
+
+  template <class F>
+  decltype(auto) withRead(BlockId id, F&& fn) {
+    if (cache_) return cache_->withRead(id, std::forward<F>(fn));
+    return device_->withRead(id, std::forward<F>(fn));
+  }
+
+  /// Counted read-modify-write on the device; a resident cached frame is
+  /// refreshed afterwards so subsequent cached reads see the new contents.
+  template <class F>
+  decltype(auto) withWrite(BlockId id, F&& fn) {
+    if (!cache_) return device_->withWrite(id, std::forward<F>(fn));
+    if constexpr (std::is_void_v<
+                      decltype(device_->withWrite(id, std::forward<F>(fn)))>) {
+      device_->withWrite(id, std::forward<F>(fn));
+      cache_->refreshFromDevice(id);
+    } else {
+      auto result = device_->withWrite(id, std::forward<F>(fn));
+      cache_->refreshFromDevice(id);
+      return result;
+    }
+  }
+
+  /// Counted blind write; refreshes a resident cached frame afterwards.
+  template <class F>
+  decltype(auto) withOverwrite(BlockId id, F&& fn) {
+    if (!cache_) return device_->withOverwrite(id, std::forward<F>(fn));
+    if constexpr (std::is_void_v<decltype(device_->withOverwrite(
+                      id, std::forward<F>(fn)))>) {
+      device_->withOverwrite(id, std::forward<F>(fn));
+      cache_->refreshFromDevice(id);
+    } else {
+      auto result = device_->withOverwrite(id, std::forward<F>(fn));
+      cache_->refreshFromDevice(id);
+      return result;
+    }
+  }
+
+  BlockId allocate() { return device_->allocate(); }
+
+  void free(BlockId id) {
+    if (cache_) cache_->invalidate(id);
+    device_->free(id);
+  }
+
+  void freeExtent(BlockId first, std::size_t count) {
+    if (cache_) {
+      for (std::size_t i = 0; i < count; ++i) cache_->invalidate(first + i);
+    }
+    device_->freeExtent(first, count);
+  }
+
+ private:
+  BlockDevice* device_;
+  BlockCache* cache_;
+};
+
+}  // namespace exthash::extmem

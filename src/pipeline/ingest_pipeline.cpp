@@ -1,0 +1,210 @@
+#include "pipeline/ingest_pipeline.h"
+
+#include <utility>
+
+namespace exthash::pipeline {
+
+using tables::Op;
+using tables::OpKind;
+
+IngestPipeline::IngestPipeline(tables::ExternalHashTable& table,
+                               PipelineConfig config)
+    : table_(table), config_(config), worker_(1) {
+  EXTHASH_CHECK_MSG(config_.batch_capacity >= 1,
+                    "pipeline needs batch_capacity >= 1");
+  EXTHASH_CHECK_MSG(config_.max_pending_batches >= 1,
+                    "pipeline needs max_pending_batches >= 1");
+  staging_.reserve(config_.batch_capacity);
+  staging_index_.reserve(config_.batch_capacity);
+}
+
+IngestPipeline::~IngestPipeline() {
+  try {
+    drain();
+  } catch (...) {
+    // Errors already surfaced to drain() callers; a destructor cannot
+    // rethrow. The worker pool joins before members are destroyed.
+  }
+}
+
+void IngestPipeline::throwIfFailedLocked() {
+  if (error_) std::rethrow_exception(error_);
+}
+
+void IngestPipeline::sealLookupsLocked() {
+  if (pending_lookups_.empty()) return;
+  auto batch = std::make_shared<std::vector<PendingLookup>>(
+      std::move(pending_lookups_));
+  pending_lookups_.clear();
+  ++pending_lookup_tasks_;
+  worker_.submit([this, batch] {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(batch->size());
+    for (const PendingLookup& p : *batch) keys.push_back(p.key);
+    std::vector<std::optional<std::uint64_t>> out(keys.size());
+    std::exception_ptr err;
+    try {
+      table_.lookupBatch(keys, out);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      if (err) (*batch)[i].promise.set_exception(err);
+      else (*batch)[i].promise.set_value(out[i]);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (err && !error_) error_ = err;
+      --pending_lookup_tasks_;
+      stats_.lookups_from_table += batch->size();
+      // Progress guarantee: dispatch lookups that accumulated meanwhile.
+      sealLookupsLocked();
+    }
+    done_cv_.notify_all();
+  });
+}
+
+void IngestPipeline::sealBatchLocked(std::unique_lock<std::mutex>& lock) {
+  // Pending table lookups were submitted before the ops in this window
+  // seal; enqueue them first so FIFO order on the single worker keeps
+  // them from observing this batch. (Their keys are disjoint from every
+  // staged key anyway — a lookup on a staged key is answered from memory.)
+  sealLookupsLocked();
+  if (staging_.empty()) return;
+
+  // Backpressure: wait for an unapplied-window slot. One episode counts
+  // once, however many wakeups it takes.
+  if (inflight_.size() >= config_.max_pending_batches) {
+    ++stats_.submit_waits;
+    do {
+      room_cv_.wait(lock);
+    } while (inflight_.size() >= config_.max_pending_batches);
+  }
+  // The wait released the lock: a concurrent producer may have sealed the
+  // staging window already.
+  if (staging_.empty()) return;
+
+  auto window = std::make_shared<BatchWindow>();
+  window->ops = std::move(staging_);
+  window->index = std::move(staging_index_);
+  staging_ = {};
+  staging_.reserve(config_.batch_capacity);
+  staging_index_ = {};
+  staging_index_.reserve(config_.batch_capacity);
+  inflight_.push_back(window);
+
+  worker_.submit([this, window] {
+    std::exception_ptr err;
+    try {
+      table_.applyBatch(window->ops);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard inner(mutex_);
+      // The worker is FIFO, so the window completing is the oldest one.
+      EXTHASH_CHECK(!inflight_.empty() && inflight_.front() == window);
+      inflight_.pop_front();
+      ++stats_.batches_applied;
+      stats_.ops_applied += window->ops.size();
+      if (err && !error_) error_ = err;
+      // Progress guarantee: dispatch lookups that accumulated while this
+      // window applied.
+      sealLookupsLocked();
+    }
+    room_cv_.notify_all();
+    done_cv_.notify_all();
+  });
+}
+
+void IngestPipeline::submit(Op op) {
+  std::unique_lock lock(mutex_);
+  throwIfFailedLocked();
+  // Pending table lookups need no action here: they stay correct as long
+  // as they dispatch before this op's window does, and sealBatchLocked
+  // enqueues them ahead of the window it seals.
+  ++stats_.ops_submitted;
+  if (config_.coalesce) {
+    const auto [it, fresh] = staging_index_.try_emplace(op.key, staging_.size());
+    if (!fresh) {
+      staging_[it->second] = op;  // last write wins inside the window
+      ++stats_.ops_coalesced;
+      return;
+    }
+  } else {
+    staging_index_[op.key] = staging_.size();  // newest op per key
+  }
+  staging_.push_back(op);
+  if (staging_.size() >= config_.batch_capacity) sealBatchLocked(lock);
+}
+
+std::future<std::optional<std::uint64_t>> IngestPipeline::submitLookup(
+    std::uint64_t key) {
+  std::unique_lock lock(mutex_);
+  throwIfFailedLocked();
+  ++stats_.lookups_submitted;
+
+  // Read-your-writes fast path: newest pending op wins — staging is newer
+  // than any sealed window, and younger windows are newer than older ones.
+  const tables::Op* pending_op = nullptr;
+  const auto staged = staging_index_.find(key);
+  if (staged != staging_index_.end()) {
+    pending_op = &staging_[staged->second];
+  } else {
+    for (auto it = inflight_.rbegin(); it != inflight_.rend(); ++it) {
+      const auto hit = (*it)->index.find(key);
+      if (hit != (*it)->index.end()) {
+        pending_op = &(*it)->ops[hit->second];
+        break;
+      }
+    }
+  }
+  if (pending_op != nullptr) {
+    ++stats_.lookups_from_memory;
+    std::promise<std::optional<std::uint64_t>> ready;
+    ready.set_value(answerFrom(*pending_op));
+    return ready.get_future();
+  }
+
+  // No pending op on this key: the table's answer is current no matter
+  // how far the worker has progressed; batch it with its neighbours.
+  // Progress is guaranteed without flush(): if the worker is idle the
+  // batch dispatches now, otherwise the task in flight dispatches it on
+  // completion (so lookups group up exactly while there is something to
+  // group behind).
+  pending_lookups_.push_back(PendingLookup{key, {}});
+  auto fut = pending_lookups_.back().promise.get_future();
+  if (pending_lookups_.size() >= config_.batch_capacity ||
+      (inflight_.empty() && pending_lookup_tasks_ == 0)) {
+    sealLookupsLocked();
+  }
+  return fut;
+}
+
+void IngestPipeline::flush() {
+  std::unique_lock lock(mutex_);
+  throwIfFailedLocked();
+  sealBatchLocked(lock);
+  sealLookupsLocked();
+}
+
+void IngestPipeline::drain() {
+  std::unique_lock lock(mutex_);
+  // Seal and wait even when a background error is pending: every queued
+  // promise must resolve (with the error, not broken_promise) and the
+  // worker must go idle before drain reports — the table is quiescent
+  // after drain() whether it throws or not.
+  sealBatchLocked(lock);
+  sealLookupsLocked();
+  done_cv_.wait(lock, [this] {
+    return inflight_.empty() && pending_lookup_tasks_ == 0;
+  });
+  throwIfFailedLocked();
+}
+
+PipelineStats IngestPipeline::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace exthash::pipeline

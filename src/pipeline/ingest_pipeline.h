@@ -1,0 +1,171 @@
+// Asynchronous ingest/query front-end: double-buffered batch accumulation
+// with future-based lookup completions.
+//
+// The paper's result is that buffering update streams is what buys I/O
+// below 1 per operation; this layer makes sure the system harvests that at
+// wall-clock level too. A synchronous applyBatch fan-out leaves the shard
+// devices idle while the *next* batch is being accumulated. IngestPipeline
+// overlaps the two phases: operations accumulate into an in-memory staging
+// batch (with last-write-wins coalescing per key, so a key overwritten k
+// times inside one window costs one table operation) while previously
+// sealed batches are applied on a background worker via applyBatch /
+// lookupBatch. This is the throughput move of the buffer-tree line of work
+// (Iacono–Pătrașcu; Conway et al.): keep the buffer-drain path busy
+// continuously.
+//
+// Consistency contract (read-your-writes): a submitLookup observes every
+// operation submitted before it on the same pipeline. Lookups whose key
+// has a not-yet-applied operation (staging or sealed-but-unapplied) are
+// answered from memory immediately; all other keys are answered by the
+// background worker through lookupBatch, ordered so no lookup can observe
+// an operation submitted after it.
+//
+// Backpressure: at most `max_pending_batches` sealed batches may be
+// unapplied at once; submit()/flush() block until the worker frees a slot.
+// The staging structures live outside the paper's I/O model (like the
+// measurement runner's key log); their size is bounded by batch_capacity ·
+// (max_pending_batches + 1) operations.
+//
+// Threading: all public methods are safe to call from one producer thread
+// (the common case) or several (the internal mutex serializes them). The
+// wrapped table is touched ONLY by the single background worker between
+// construction and drain(), so tables need no internal locking. After
+// drain() returns the table is quiescent and may be inspected directly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tables/hash_table.h"
+#include "util/thread_pool.h"
+
+namespace exthash::pipeline {
+
+struct PipelineConfig {
+  /// Operations accumulated per staging window before it seals.
+  std::size_t batch_capacity = 1024;
+  /// Bound on sealed-but-unapplied batches (>= 1). 1 is the classic
+  /// double buffer: one batch applies while the next accumulates.
+  std::size_t max_pending_batches = 1;
+  /// Last-write-wins coalescing of repeated keys inside one window. Off,
+  /// every submitted op reaches the table (the table's own applyBatch
+  /// still groups them; read-your-writes is unaffected).
+  bool coalesce = true;
+};
+
+struct PipelineStats {
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t ops_applied = 0;       // ops reaching applyBatch post-coalesce
+  std::uint64_t ops_coalesced = 0;     // overwritten in the staging window
+  std::uint64_t batches_applied = 0;
+  std::uint64_t lookups_submitted = 0;
+  std::uint64_t lookups_from_memory = 0;  // staging / in-flight answers
+  std::uint64_t lookups_from_table = 0;
+  std::uint64_t submit_waits = 0;      // backpressure blocks
+};
+
+class IngestPipeline {
+ public:
+  /// The pipeline drives `table` exclusively until drain(); the table must
+  /// outlive the pipeline.
+  explicit IngestPipeline(tables::ExternalHashTable& table,
+                          PipelineConfig config = {});
+  /// Drains remaining work; a worker error pending at destruction is
+  /// swallowed (call drain() explicitly to observe it).
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Stage one operation. Seals the window when it reaches batch_capacity;
+  /// sealing blocks while max_pending_batches batches are unapplied.
+  void submit(tables::Op op);
+  void insert(std::uint64_t key, std::uint64_t value) {
+    submit(tables::Op::insertOp(key, value));
+  }
+  void erase(std::uint64_t key) { submit(tables::Op::eraseOp(key)); }
+
+  /// Point lookup observing every previously submitted operation. Keys
+  /// with a pending operation resolve immediately from memory; the rest
+  /// resolve when the background worker answers them via lookupBatch —
+  /// dispatched at once if the worker is idle, or grouped behind the work
+  /// in flight otherwise, so every future resolves without flush().
+  std::future<std::optional<std::uint64_t>> submitLookup(std::uint64_t key);
+
+  /// Seal the staging window and pending lookups into the worker queue
+  /// without waiting for them to apply (may block on backpressure).
+  void flush();
+
+  /// flush() and wait until every queued batch and lookup has completed;
+  /// rethrows the first background error. Afterwards the wrapped table is
+  /// quiescent and safe to use directly.
+  void drain();
+
+  PipelineStats stats() const;
+  const PipelineConfig& config() const noexcept { return config_; }
+
+  /// The wrapped table. Only meaningful to touch after drain().
+  tables::ExternalHashTable& table() noexcept { return table_; }
+
+ private:
+  struct PendingLookup {
+    std::uint64_t key = 0;
+    std::promise<std::optional<std::uint64_t>> promise;
+  };
+  /// A sealed staging window awaiting (or undergoing) its background
+  /// apply. Carries the key index built during accumulation, so
+  /// read-your-writes checks need no per-op bookkeeping at seal time and
+  /// retirement is O(1) — the window just leaves the in-flight list.
+  struct BatchWindow {
+    std::vector<tables::Op> ops;
+    std::unordered_map<std::uint64_t, std::size_t> index;  // key -> newest op
+  };
+
+  /// Answer a lookup from a staged/unapplied op. kInsert -> value,
+  /// kErase -> nullopt.
+  static std::optional<std::uint64_t> answerFrom(const tables::Op& op) {
+    return op.kind == tables::OpKind::kInsert
+               ? std::optional<std::uint64_t>(op.value)
+               : std::nullopt;
+  }
+
+  // All *Locked methods require mutex_ held.
+  void sealBatchLocked(std::unique_lock<std::mutex>& lock);
+  void sealLookupsLocked();
+  void throwIfFailedLocked();
+
+  tables::ExternalHashTable& table_;
+  PipelineConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable room_cv_;   // a pending-batch slot freed
+  std::condition_variable done_cv_;   // some queued work completed
+
+  // Staging window (accumulating, not yet sealed).
+  std::vector<tables::Op> staging_;
+  std::unordered_map<std::uint64_t, std::size_t> staging_index_;
+
+  // Lookups waiting to be sealed into a worker task.
+  std::vector<PendingLookup> pending_lookups_;
+
+  // Sealed windows not yet applied, oldest first (the worker completes
+  // them in FIFO order). Bounded by max_pending_batches.
+  std::deque<std::shared_ptr<BatchWindow>> inflight_;
+
+  std::size_t pending_lookup_tasks_ = 0;
+  std::exception_ptr error_;
+
+  PipelineStats stats_;
+
+  // Single-thread FIFO executor; declared last so it stops (and finishes
+  // queued tasks referencing the state above) before anything else is
+  // destroyed.
+  ThreadPool worker_;
+};
+
+}  // namespace exthash::pipeline

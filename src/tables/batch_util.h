@@ -3,6 +3,11 @@
 // operations in memory, and the one-pass chain rewrite used by every
 // chained-bucket table (chaining, linear hashing). Header-only so the
 // tables inline them into their own addressing.
+//
+// The chain-walk helpers are templates over the block-access type: pass a
+// BlockDevice for raw counted access, or an extmem::CachedBlockIo to read
+// through an attached BlockCache (hits cost zero I/Os) while keeping the
+// cache coherent across the rewrite.
 #pragma once
 
 #include <algorithm>
@@ -84,10 +89,10 @@ inline std::ptrdiff_t applyOpsToRecords(std::vector<Record>& records,
 /// cost 1 without penalizing the chained case.) `overflow_blocks` tracks
 /// the table's overflow-block counter. Returns the net record-count
 /// change.
-inline std::ptrdiff_t applyOpsToChain(extmem::BlockDevice& device,
-                                      extmem::BlockId primary,
-                                      std::span<const Op> ops,
-                                      std::uint64_t& overflow_blocks) {
+template <class Io>
+std::ptrdiff_t applyOpsToChain(Io&& device, extmem::BlockId primary,
+                               std::span<const Op> ops,
+                               std::uint64_t& overflow_blocks) {
   using extmem::BlockId;
   using extmem::BucketPage;
   using extmem::ConstBucketPage;
@@ -185,10 +190,11 @@ inline std::ptrdiff_t applyOpsToChain(extmem::BlockDevice& device,
 /// Answer every pending key against one bucket chain with a single pass;
 /// unresolved keys are set to nullopt. `pending` holds indices into
 /// keys/out and is consumed.
-inline void lookupInChain(extmem::BlockDevice& device, extmem::BlockId primary,
-                          std::span<const std::uint64_t> keys,
-                          std::span<std::optional<std::uint64_t>> out,
-                          std::vector<std::size_t>& pending) {
+template <class Io>
+void lookupInChain(Io&& device, extmem::BlockId primary,
+                   std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out,
+                   std::vector<std::size_t>& pending) {
   using extmem::BlockId;
   using extmem::ConstBucketPage;
   using extmem::kInvalidBlock;

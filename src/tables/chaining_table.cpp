@@ -45,11 +45,11 @@ void ChainingHashTable::destroy() {
     while (overflow != kInvalidBlock) {
       ConstBucketPage opage(ctx_.device->inspect(overflow));
       const BlockId next = opage.hasNext() ? opage.next() : kInvalidBlock;
-      ctx_.device->free(overflow);
+      io().free(overflow);
       overflow = next;
     }
   }
-  ctx_.device->freeExtent(extent_, config_.bucket_count);
+  io().freeExtent(extent_, config_.bucket_count);
   destroyed_ = true;
   size_ = 0;
   overflow_blocks_ = 0;
@@ -84,7 +84,7 @@ bool ChainingHashTable::insert(std::uint64_t key, std::uint64_t value) {
     BlockId next = kInvalidBlock;
   };
   const FastResult fast =
-      ctx_.device->withWrite(primary, [&](std::span<Word> data) {
+      io().withWrite(primary, [&](std::span<Word> data) {
         BucketPage page(data);
         FastResult r;
         if (auto idx = page.indexOf(key)) {
@@ -101,8 +101,8 @@ bool ChainingHashTable::insert(std::uint64_t key, std::uint64_t value) {
           r.handled = r.inserted_new = true;
           return r;
         }
-        const BlockId fresh = ctx_.device->allocate();
-        ctx_.device->withOverwrite(fresh, [&](std::span<Word> fresh_data) {
+        const BlockId fresh = io().allocate();
+        io().withOverwrite(fresh, [&](std::span<Word> fresh_data) {
           BucketPage fresh_page(fresh_data);
           fresh_page.format();
           EXTHASH_CHECK(fresh_page.append(Record{key, value}));
@@ -130,7 +130,7 @@ bool ChainingHashTable::insert(std::uint64_t key, std::uint64_t value) {
       BlockId next = kInvalidBlock;
     };
     const ChainInfo info =
-        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+        io().withRead(current, [&](std::span<const Word> data) {
           ConstBucketPage page(data);
           ChainInfo ci;
           ci.found = page.indexOf(key).has_value();
@@ -139,7 +139,7 @@ bool ChainingHashTable::insert(std::uint64_t key, std::uint64_t value) {
           return ci;
         });
     if (info.found) {
-      ctx_.device->withWrite(current, [&](std::span<Word> data) {
+      io().withWrite(current, [&](std::span<Word> data) {
         BucketPage page(data);
         const auto idx = page.indexOf(key);
         EXTHASH_CHECK(idx.has_value());
@@ -154,17 +154,17 @@ bool ChainingHashTable::insert(std::uint64_t key, std::uint64_t value) {
   }
 
   if (first_with_space != kInvalidBlock) {
-    ctx_.device->withWrite(first_with_space, [&](std::span<Word> data) {
+    io().withWrite(first_with_space, [&](std::span<Word> data) {
       EXTHASH_CHECK(BucketPage(data).append(Record{key, value}));
     });
   } else {
-    const BlockId fresh = ctx_.device->allocate();
-    ctx_.device->withOverwrite(fresh, [&](std::span<Word> data) {
+    const BlockId fresh = io().allocate();
+    io().withOverwrite(fresh, [&](std::span<Word> data) {
       BucketPage page(data);
       page.format();
       EXTHASH_CHECK(page.append(Record{key, value}));
     });
-    ctx_.device->withWrite(last, [&](std::span<Word> data) {
+    io().withWrite(last, [&](std::span<Word> data) {
       BucketPage(data).setNext(fresh);
     });
     ++overflow_blocks_;
@@ -182,7 +182,7 @@ std::optional<std::uint64_t> ChainingHashTable::lookup(std::uint64_t key) {
       BlockId next = kInvalidBlock;
     };
     const Result r =
-        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+        io().withRead(current, [&](std::span<const Word> data) {
           ConstBucketPage page(data);
           return Result{page.find(key), page.next()};
         });
@@ -204,12 +204,12 @@ bool ChainingHashTable::erase(std::uint64_t key) {
       BlockId next = kInvalidBlock;
     };
     const Info info =
-        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+        io().withRead(current, [&](std::span<const Word> data) {
           ConstBucketPage page(data);
           return Info{page.indexOf(key), page.count(), page.next()};
         });
     if (info.index) {
-      ctx_.device->withWrite(current, [&](std::span<Word> data) {
+      io().withWrite(current, [&](std::span<Word> data) {
         BucketPage page(data);
         const auto idx = page.indexOf(key);
         EXTHASH_CHECK(idx.has_value());
@@ -217,10 +217,10 @@ bool ChainingHashTable::erase(std::uint64_t key) {
       });
       // Unlink a now-empty overflow block to keep chains tight.
       if (current != primary && info.count == 1) {
-        ctx_.device->withWrite(prev, [&](std::span<Word> data) {
+        io().withWrite(prev, [&](std::span<Word> data) {
           BucketPage(data).setNext(info.next);
         });
-        ctx_.device->free(current);
+        io().free(current);
         --overflow_blocks_;
       }
       --size_;
@@ -239,7 +239,7 @@ bool ChainingHashTable::erase(std::uint64_t key) {
 void ChainingHashTable::applyOpsToBucket(std::uint64_t bucket,
                                          std::span<const Op> ops) {
   const std::ptrdiff_t delta = batch::applyOpsToChain(
-      *ctx_.device, primaryBlock(bucket), ops, overflow_blocks_);
+      io(), primaryBlock(bucket), ops, overflow_blocks_);
   size_ = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(size_) + delta);
 }
 
@@ -280,8 +280,7 @@ void ChainingHashTable::lookupBatch(std::span<const std::uint64_t> keys,
                                  std::size_t j) {
     pending.clear();
     for (std::size_t k = i; k < j; ++k) pending.push_back(order[k].second);
-    batch::lookupInChain(*ctx_.device, primaryBlock(bucket), keys, out,
-                         pending);
+    batch::lookupInChain(io(), primaryBlock(bucket), keys, out, pending);
   });
 }
 
@@ -399,7 +398,7 @@ class ChainingHashTable::ScanCursor final : public RecordCursor {
     buffer_.clear();
     pos_ = 0;
     BlockId current = table_->primaryBlock(j);
-    auto& device = *table_->ctx_.device;
+    auto device = table_->io();
     while (current != kInvalidBlock) {
       current = device.withRead(current, [&](std::span<const Word> data) {
         ConstBucketPage page(data);

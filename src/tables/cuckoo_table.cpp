@@ -1,5 +1,8 @@
 #include "tables/cuckoo_table.h"
 
+#include <vector>
+
+#include "tables/batch_util.h"
 #include "util/random.h"
 
 namespace exthash::tables {
@@ -146,6 +149,46 @@ std::optional<std::uint64_t> CuckooHashTable::lookup(std::uint64_t key) {
   return ctx_.device->withRead(
       extent_ + bucket1(key),
       [&](std::span<const Word> d) { return ConstBucketPage(d).find(key); });
+}
+
+void CuckooHashTable::lookupBatch(std::span<const std::uint64_t> keys,
+                                  std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  // Stash answers are free; everything else probes bucket 2 first (where
+  // inserts prefer to place), grouped so one read serves every key of a
+  // bucket, then the misses probe bucket 1 the same way.
+  std::vector<std::size_t> pending;
+  pending.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (auto v = stash_.find(keys[i])) out[i] = v;
+    else pending.push_back(i);
+  }
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * keys.size());
+
+  std::vector<std::size_t> second_round;
+  const auto probeGrouped = [&](const std::vector<std::size_t>& indices,
+                                auto&& bucket_of,
+                                std::vector<std::size_t>* misses) {
+    const auto order = batch::orderByBucket(indices.size(), [&](std::size_t k) {
+      return bucket_of(keys[indices[k]]);
+    });
+    batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                   std::size_t j) {
+      ctx_.device->withRead(
+          extent_ + bucket, [&](std::span<const Word> data) {
+            ConstBucketPage page(data);
+            for (std::size_t k = i; k < j; ++k) {
+              const std::size_t idx = indices[order[k].second];
+              out[idx] = page.find(keys[idx]);
+              if (!out[idx] && misses) misses->push_back(idx);
+            }
+          });
+    });
+  };
+  probeGrouped(pending, [&](std::uint64_t key) { return bucket2(key); },
+               &second_round);
+  probeGrouped(second_round, [&](std::uint64_t key) { return bucket1(key); },
+               nullptr);
 }
 
 bool CuckooHashTable::erase(std::uint64_t key) {

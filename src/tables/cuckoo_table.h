@@ -30,6 +30,11 @@ class CuckooHashTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Bucket-grouped probes: all keys sharing a second-choice bucket are
+  /// answered by one read; only the misses pay a (grouped) first-choice
+  /// read — k keys against one block cost one I/O instead of k.
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   std::size_t size() const override { return size_; }
   std::string_view name() const override { return "cuckoo"; }
   void visitLayout(LayoutVisitor& visitor) const override;

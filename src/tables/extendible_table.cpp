@@ -23,7 +23,7 @@ ExtendibleHashTable::ExtendibleHashTable(TableContext ctx,
   directory_.resize(std::size_t{1} << global_depth_);
   dir_charge_.resize(directory_.size() + 8);
   // All directory entries initially share one depth-0 bucket.
-  const BlockId first = ctx_.device->allocate();
+  const BlockId first = io().allocate();
   ++bucket_blocks_;
   for (auto& entry : directory_) entry = first;
 }
@@ -34,7 +34,7 @@ ExtendibleHashTable::~ExtendibleHashTable() {
   for (std::size_t i = 0; i < directory_.size(); ++i) {
     const BlockId id = directory_[i];
     if (id != last_freed) {
-      ctx_.device->free(id);
+      io().free(id);
       last_freed = id;
     }
   }
@@ -74,7 +74,7 @@ bool ExtendibleHashTable::splitBucket(std::size_t idx) {
   const BlockId old_block = directory_[idx];
   std::uint32_t local_depth = 0;
   std::vector<Record> records;
-  ctx_.device->withRead(old_block, [&](std::span<const Word> data) {
+  io().withRead(old_block, [&](std::span<const Word> data) {
     ConstBucketPage page(data);
     local_depth = page.flags();
     const std::size_t n = page.count();
@@ -96,15 +96,15 @@ bool ExtendibleHashTable::splitBucket(std::size_t idx) {
     else zeros.push_back(r);
   }
 
-  const BlockId one_block = ctx_.device->allocate();
+  const BlockId one_block = io().allocate();
   ++bucket_blocks_;
-  ctx_.device->withOverwrite(old_block, [&](std::span<Word> data) {
+  io().withOverwrite(old_block, [&](std::span<Word> data) {
     BucketPage page(data);
     page.format();
     page.setFlags(new_depth);
     for (const Record& r : zeros) EXTHASH_CHECK(page.append(r));
   });
-  ctx_.device->withOverwrite(one_block, [&](std::span<Word> data) {
+  io().withOverwrite(one_block, [&](std::span<Word> data) {
     BucketPage page(data);
     page.format();
     page.setFlags(new_depth);
@@ -129,7 +129,7 @@ bool ExtendibleHashTable::insert(std::uint64_t key, std::uint64_t value) {
       bool done = false;
       bool inserted_new = false;
     };
-    const Outcome o = ctx_.device->withWrite(
+    const Outcome o = io().withWrite(
         directory_[idx], [&](std::span<Word> data) {
           BucketPage page(data);
           if (auto at = page.indexOf(key)) {
@@ -153,14 +153,14 @@ bool ExtendibleHashTable::insert(std::uint64_t key, std::uint64_t value) {
 }
 
 std::optional<std::uint64_t> ExtendibleHashTable::lookup(std::uint64_t key) {
-  return ctx_.device->withRead(
+  return io().withRead(
       directory_[dirIndex(key)], [&](std::span<const Word> data) {
         return ConstBucketPage(data).find(key);
       });
 }
 
 bool ExtendibleHashTable::erase(std::uint64_t key) {
-  const bool removed = ctx_.device->withWrite(
+  const bool removed = io().withWrite(
       directory_[dirIndex(key)], [&](std::span<Word> data) {
         BucketPage page(data);
         if (auto idx = page.indexOf(key)) {
@@ -203,7 +203,7 @@ void ExtendibleHashTable::applyBatch(std::span<const Op> ops) {
     // follows it, so per-key operation order survives the fallback.
     deferred.clear();
     std::ptrdiff_t delta = 0;
-    ctx_.device->withWrite(block, [&](std::span<Word> data) {
+    io().withWrite(block, [&](std::span<Word> data) {
       BucketPage page(data);
       bool deferring = false;
       for (std::size_t k = i; k < j; ++k) {
@@ -247,7 +247,7 @@ void ExtendibleHashTable::lookupBatch(
 
   batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
                                  std::size_t j) {
-    ctx_.device->withRead(
+    io().withRead(
         static_cast<extmem::BlockId>(bucket),
         [&](std::span<const Word> data) {
           ConstBucketPage page(data);

@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "extmem/block_device.h"
+#include "extmem/cached_io.h"
 #include "extmem/memory_budget.h"
 #include "extmem/record.h"
 #include "hashfn/hash_function.h"
@@ -159,13 +160,36 @@ class ExternalHashTable {
   /// must diff this, not the raw device, to stay shard-correct.
   virtual extmem::IoStats ioStats() const { return ctx_.device->stats(); }
 
+  /// Attach a non-owning read-through cache (see extmem/cached_io.h). The
+  /// cache must be write-through, layered over this table's context
+  /// device, and must outlive the table (or be detached with nullptr).
+  /// Tables that honor it route their counted block accesses through it —
+  /// currently the chained-bucket structures (chaining, linear hashing)
+  /// and extendible hashing; other kinds simply never read it. The
+  /// sharded façade cannot honor a single cache: its shards own private
+  /// devices (attach per-shard caches via shard() instead).
+  void attachReadCache(extmem::BlockCache* cache) {
+    // Validates the policy and device-identity preconditions.
+    extmem::CachedBlockIo probe(*ctx_.device, cache);
+    (void)probe;
+    read_cache_ = cache;
+  }
+  extmem::BlockCache* readCache() const noexcept { return read_cache_; }
+
   const TableContext& context() const noexcept { return ctx_; }
   extmem::BlockDevice& device() const noexcept { return *ctx_.device; }
   extmem::MemoryBudget& memory() const noexcept { return *ctx_.memory; }
   const hashfn::HashFunction& hash() const noexcept { return *ctx_.hash; }
 
  protected:
+  /// Counted block access for cache-honoring tables: reads go through the
+  /// attached cache (if any), writes/frees keep it coherent.
+  extmem::CachedBlockIo io() const noexcept {
+    return extmem::CachedBlockIo(*ctx_.device, read_cache_);
+  }
+
   TableContext ctx_;
+  extmem::BlockCache* read_cache_ = nullptr;
 };
 
 }  // namespace exthash::tables

@@ -33,14 +33,14 @@ LinearHashTable::~LinearHashTable() {
     while (overflow != kInvalidBlock) {
       ConstBucketPage opage(ctx_.device->inspect(overflow));
       const BlockId next = opage.next();
-      ctx_.device->free(overflow);
+      io().free(overflow);
       overflow = next;
     }
   }
   const std::uint64_t n0 = config_.initial_buckets;
   for (std::size_t s = 0; s < segments_.size(); ++s) {
     const std::uint64_t span = s == 0 ? n0 : n0 << (s - 1);
-    ctx_.device->freeExtent(segments_[s], span);
+    io().freeExtent(segments_[s], span);
   }
 }
 
@@ -94,7 +94,7 @@ std::vector<Record> LinearHashTable::drainBucket(std::uint64_t bucket) {
   BlockId current = primary;
   while (current != kInvalidBlock) {
     const BlockId next =
-        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+        io().withRead(current, [&](std::span<const Word> data) {
           ConstBucketPage page(data);
           const std::size_t n = page.count();
           for (std::size_t i = 0; i < n; ++i)
@@ -102,7 +102,7 @@ std::vector<Record> LinearHashTable::drainBucket(std::uint64_t bucket) {
           return page.next();
         });
     if (current != primary) {
-      ctx_.device->free(current);
+      io().free(current);
       --overflow_blocks_;
     }
     current = next;
@@ -118,11 +118,11 @@ void LinearHashTable::writeBucket(std::uint64_t bucket,
   std::vector<BlockId> chain(blocks);
   chain[0] = blockOfBucket(bucket);
   for (std::size_t i = 1; i < blocks; ++i) {
-    chain[i] = ctx_.device->allocate();
+    chain[i] = io().allocate();
     ++overflow_blocks_;
   }
   for (std::size_t i = 0; i < blocks; ++i) {
-    ctx_.device->withOverwrite(chain[i], [&](std::span<Word> data) {
+    io().withOverwrite(chain[i], [&](std::span<Word> data) {
       BucketPage page(data);
       page.format();
       const std::size_t begin = i * cap;
@@ -181,7 +181,7 @@ bool LinearHashTable::insertNoSplit(std::uint64_t key, std::uint64_t value) {
     BlockId next = kInvalidBlock;
   };
   const FastResult fast =
-      ctx_.device->withWrite(primary, [&](std::span<Word> data) {
+      io().withWrite(primary, [&](std::span<Word> data) {
         BucketPage page(data);
         FastResult r;
         if (auto idx = page.indexOf(key)) {
@@ -198,8 +198,8 @@ bool LinearHashTable::insertNoSplit(std::uint64_t key, std::uint64_t value) {
           r.handled = r.inserted_new = true;
           return r;
         }
-        const BlockId fresh = ctx_.device->allocate();
-        ctx_.device->withOverwrite(fresh, [&](std::span<Word> fd) {
+        const BlockId fresh = io().allocate();
+        io().withOverwrite(fresh, [&](std::span<Word> fd) {
           BucketPage fp(fd);
           fp.format();
           EXTHASH_CHECK(fp.append(Record{key, value}));
@@ -222,13 +222,13 @@ bool LinearHashTable::insertNoSplit(std::uint64_t key, std::uint64_t value) {
         BlockId next = kInvalidBlock;
       };
       const Info info =
-          ctx_.device->withRead(current, [&](std::span<const Word> data) {
+          io().withRead(current, [&](std::span<const Word> data) {
             ConstBucketPage page(data);
             return Info{page.indexOf(key).has_value(), page.full(),
                         page.next()};
           });
       if (info.found) {
-        ctx_.device->withWrite(current, [&](std::span<Word> data) {
+        io().withWrite(current, [&](std::span<Word> data) {
           BucketPage page(data);
           const auto idx = page.indexOf(key);
           EXTHASH_CHECK(idx.has_value());
@@ -244,17 +244,17 @@ bool LinearHashTable::insertNoSplit(std::uint64_t key, std::uint64_t value) {
     }
     if (!updated) {
       if (first_with_space != kInvalidBlock) {
-        ctx_.device->withWrite(first_with_space, [&](std::span<Word> data) {
+        io().withWrite(first_with_space, [&](std::span<Word> data) {
           EXTHASH_CHECK(BucketPage(data).append(Record{key, value}));
         });
       } else {
-        const BlockId fresh = ctx_.device->allocate();
-        ctx_.device->withOverwrite(fresh, [&](std::span<Word> data) {
+        const BlockId fresh = io().allocate();
+        io().withOverwrite(fresh, [&](std::span<Word> data) {
           BucketPage page(data);
           page.format();
           EXTHASH_CHECK(page.append(Record{key, value}));
         });
-        ctx_.device->withWrite(last, [&](std::span<Word> data) {
+        io().withWrite(last, [&](std::span<Word> data) {
           BucketPage(data).setNext(fresh);
         });
         ++overflow_blocks_;
@@ -275,7 +275,7 @@ std::optional<std::uint64_t> LinearHashTable::lookup(std::uint64_t key) {
       BlockId next = kInvalidBlock;
     };
     const Result r =
-        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+        io().withRead(current, [&](std::span<const Word> data) {
           ConstBucketPage page(data);
           return Result{page.find(key), page.next()};
         });
@@ -296,22 +296,22 @@ bool LinearHashTable::erase(std::uint64_t key) {
       BlockId next = kInvalidBlock;
     };
     const Info info =
-        ctx_.device->withRead(current, [&](std::span<const Word> data) {
+        io().withRead(current, [&](std::span<const Word> data) {
           ConstBucketPage page(data);
           return Info{page.indexOf(key), page.count(), page.next()};
         });
     if (info.index) {
-      ctx_.device->withWrite(current, [&](std::span<Word> data) {
+      io().withWrite(current, [&](std::span<Word> data) {
         BucketPage page(data);
         const auto idx = page.indexOf(key);
         EXTHASH_CHECK(idx.has_value());
         page.removeAt(*idx);
       });
       if (current != primary && info.count == 1) {
-        ctx_.device->withWrite(prev, [&](std::span<Word> data) {
+        io().withWrite(prev, [&](std::span<Word> data) {
           BucketPage(data).setNext(info.next);
         });
-        ctx_.device->free(current);
+        io().free(current);
         --overflow_blocks_;
       }
       --size_;
@@ -347,7 +347,7 @@ void LinearHashTable::applyBatch(std::span<const Op> ops) {
     group.clear();
     for (std::size_t k = i; k < j; ++k) group.push_back(ops[order[k].second]);
     const std::ptrdiff_t delta = batch::applyOpsToChain(
-        *ctx_.device, blockOfBucket(bucket), group, overflow_blocks_);
+        io(), blockOfBucket(bucket), group, overflow_blocks_);
     size_ =
         static_cast<std::size_t>(static_cast<std::ptrdiff_t>(size_) + delta);
   });
@@ -366,8 +366,7 @@ void LinearHashTable::lookupBatch(std::span<const std::uint64_t> keys,
                                  std::size_t j) {
     pending.clear();
     for (std::size_t k = i; k < j; ++k) pending.push_back(order[k].second);
-    batch::lookupInChain(*ctx_.device, blockOfBucket(bucket), keys, out,
-                         pending);
+    batch::lookupInChain(io(), blockOfBucket(bucket), keys, out, pending);
   });
 }
 

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "tables/batch_util.h"
+
 namespace exthash::tables {
 
 using extmem::BlockId;
@@ -147,6 +149,44 @@ std::optional<std::uint64_t> LinearProbingHashTable::lookup(
     if (!p.overflowed) return std::nullopt;  // probe run ends here
   }
   return std::nullopt;
+}
+
+void LinearProbingHashTable::lookupBatch(
+    std::span<const std::uint64_t> keys,
+    std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  const std::uint64_t d = config_.bucket_count;
+  const auto order = batch::orderByBucket(
+      keys.size(), [&](std::size_t i) { return homeBucket(keys[i]); });
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * keys.size());
+
+  // One probe-run walk per home bucket: each visited block is read once
+  // and answers every still-pending key of the group. The walk ends at
+  // the first block that never overflowed, exactly like the serial probe.
+  std::vector<std::size_t> pending;
+  batch::forEachGroup(order, [&](std::uint64_t home, std::size_t i,
+                                 std::size_t j) {
+    pending.clear();
+    for (std::size_t k = i; k < j; ++k) pending.push_back(order[k].second);
+    for (std::uint64_t step = 0; step < d && !pending.empty(); ++step) {
+      const std::uint64_t jb = (home + step) % d;
+      const bool overflowed =
+          ctx_.device->withRead(blockOf(jb), [&](std::span<const Word> data) {
+            ConstBucketPage page(data);
+            for (auto it = pending.begin(); it != pending.end();) {
+              if (auto v = page.find(keys[*it])) {
+                out[*it] = v;
+                it = pending.erase(it);
+              } else {
+                ++it;
+              }
+            }
+            return (page.flags() & kOverflowedFlag) != 0;
+          });
+      if (!overflowed) break;  // probe runs of this home end here
+    }
+    for (const std::size_t idx : pending) out[idx] = std::nullopt;
+  });
 }
 
 bool LinearProbingHashTable::erase(std::uint64_t key) {

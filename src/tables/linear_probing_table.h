@@ -33,6 +33,10 @@ class LinearProbingHashTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Home-bucket-grouped probes: one walk of a probe run answers every
+  /// key whose home bucket starts it.
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   std::size_t size() const override { return size_; }
   std::string_view name() const override { return "linear-probing"; }
   void visitLayout(LayoutVisitor& visitor) const override;

@@ -27,6 +27,9 @@ ShardedTable::ShardedTable(TableContext ctx, ShardedTableConfig config)
                       config.shards,
                       std::max(1u, std::thread::hardware_concurrency()))) {
   EXTHASH_CHECK_MSG(config_.shards >= 1, "need at least one shard");
+  EXTHASH_CHECK_MSG(config_.shards <= kMaxShards,
+                    "shard count exceeds the block-id namespace ("
+                        << kMaxShards << ")");
   EXTHASH_CHECK_MSG(config_.inner != TableKind::kSharded,
                     "sharded façades do not nest");
   const std::size_t n = config_.shards;
@@ -119,8 +122,42 @@ std::size_t ShardedTable::size() const {
   return total;
 }
 
+namespace {
+
+/// Forwards a shard's layout with block ids namespaced by shard index, so
+/// numerically colliding per-device ids stay distinct at the façade level.
+class NamespacingVisitor final : public LayoutVisitor {
+ public:
+  NamespacingVisitor(LayoutVisitor& inner, std::size_t shard)
+      : inner_(inner), shard_(shard) {}
+
+  void memoryItem(const Record& record) override { inner_.memoryItem(record); }
+  void diskItem(extmem::BlockId block, const Record& record) override {
+    EXTHASH_CHECK_MSG(block < (extmem::BlockId{1} << ShardedTable::kLocalIdBits),
+                      "shard-local block id overflows the namespace");
+    inner_.diskItem(ShardedTable::namespacedBlockId(shard_, block), record);
+  }
+
+ private:
+  LayoutVisitor& inner_;
+  std::size_t shard_;
+};
+
+}  // namespace
+
 void ShardedTable::visitLayout(LayoutVisitor& visitor) const {
-  for (const Shard& shard : shards_) shard.table->visitLayout(visitor);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    NamespacingVisitor forwarding(visitor, s);
+    shards_[s].table->visitLayout(forwarding);
+  }
+}
+
+std::optional<extmem::BlockId> ShardedTable::primaryBlockOf(
+    std::uint64_t key) const {
+  const std::size_t s = shardOf(key);
+  const auto local = shards_[s].table->primaryBlockOf(key);
+  if (!local) return std::nullopt;
+  return namespacedBlockId(s, *local);
 }
 
 extmem::IoStats ShardedTable::ioStats() const {

@@ -13,9 +13,20 @@
 // I/O accounting: the façade's shards count I/Os on their own devices;
 // ioStats() aggregates them. Measurement code must diff ioStats(), not the
 // context device passed at construction (which the façade never touches).
-// visitLayout forwards to every shard — block ids are per-shard-device and
-// may collide numerically across shards. primaryBlockOf is nullopt for the
-// same reason.
+//
+// Block-id namespacing: shard-local block ids are small sequential ids on
+// each shard's private device, so ids from different shards collide
+// numerically. visitLayout and primaryBlockOf therefore forward ids in a
+// namespaced encoding: the shard index in the top kShardIdBits (8) bits,
+// the shard-local id in the low kLocalIdBits (56) bits —
+//
+//   namespaced = (shard + 1) << 56 | local
+//
+// The +1 keeps every namespaced id disjoint from raw ids of any
+// non-sharded table sharing an analysis (raw ids live far below 2^56), and
+// from kInvalidBlock. Decode with shardOfBlockId / localBlockId. Layout
+// consumers (zone accounting) only need distinctness, which the encoding
+// guarantees as long as shard-local ids stay below 2^56 (checked).
 #pragma once
 
 #include <memory>
@@ -45,6 +56,23 @@ class ShardedTable final : public ExternalHashTable {
   /// device); the façade allocates a private device + budget per shard.
   ShardedTable(TableContext ctx, ShardedTableConfig config);
 
+  /// Namespaced block-id encoding for forwarded layout visits (see the
+  /// file comment).
+  static constexpr unsigned kShardIdBits = 8;
+  static constexpr unsigned kLocalIdBits = 64 - kShardIdBits;
+  static constexpr std::size_t kMaxShards =
+      (std::size_t{1} << kShardIdBits) - 1;
+  static constexpr extmem::BlockId namespacedBlockId(
+      std::size_t shard, extmem::BlockId local) noexcept {
+    return (static_cast<extmem::BlockId>(shard + 1) << kLocalIdBits) | local;
+  }
+  static constexpr std::size_t shardOfBlockId(extmem::BlockId id) noexcept {
+    return static_cast<std::size_t>(id >> kLocalIdBits) - 1;
+  }
+  static constexpr extmem::BlockId localBlockId(extmem::BlockId id) noexcept {
+    return id & ((extmem::BlockId{1} << kLocalIdBits) - 1);
+  }
+
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
@@ -56,12 +84,20 @@ class ShardedTable final : public ExternalHashTable {
                    std::span<std::optional<std::uint64_t>> out) override;
   std::size_t size() const override;
   std::string_view name() const override { return "sharded"; }
+  /// Forwards every shard's layout with block ids namespaced by shard
+  /// index, so ids are collision-free across the façade.
   void visitLayout(LayoutVisitor& visitor) const override;
+  /// The owning shard's primary block for `key`, namespaced.
+  std::optional<extmem::BlockId> primaryBlockOf(
+      std::uint64_t key) const override;
   std::string debugString() const override;
   extmem::IoStats ioStats() const override;
 
   std::size_t shardCount() const noexcept { return shards_.size(); }
   ExternalHashTable& shard(std::size_t i) { return *shards_[i].table; }
+  extmem::BlockDevice& shardDevice(std::size_t i) {
+    return *shards_[i].device;
+  }
   const extmem::BlockDevice& shardDevice(std::size_t i) const {
     return *shards_[i].device;
   }

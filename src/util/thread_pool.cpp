@@ -31,9 +31,25 @@ void ThreadPool::workerLoop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
   }
+}
+
+std::size_t ThreadPool::pendingTasks() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size() + active_;
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 void ThreadPool::parallelFor(std::size_t begin, std::size_t end,

@@ -1,6 +1,9 @@
 // Fixed-size thread pool used to run independent benchmark sweep points in
-// parallel. Each sweep point owns its own simulated device and RNG seed, so
-// points are embarrassingly parallel and results stay deterministic.
+// parallel and to back the ingest pipeline's background apply worker. Each
+// benchmark sweep point owns its own simulated device and RNG seed, so
+// points are embarrassingly parallel and results stay deterministic; a
+// single-thread pool doubles as a FIFO serial executor (tasks run in
+// submission order), which is what the pipeline relies on.
 #pragma once
 
 #include <condition_variable>
@@ -45,13 +48,24 @@ class ThreadPool {
   void parallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
 
+  /// Tasks not yet finished: queued plus currently executing. A snapshot —
+  /// by the time the caller looks, more tasks may have been submitted or
+  /// completed.
+  std::size_t pendingTasks() const;
+
+  /// Block until the queue is empty and no task is executing. Tasks
+  /// submitted by other threads while waiting extend the wait.
+  void waitIdle();
+
  private:
   void workerLoop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;  // tasks currently executing
   bool stop_ = false;
 };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 
+#include "pipeline/ingest_pipeline.h"
 #include "util/assert.h"
 
 namespace exthash::workload {
@@ -44,10 +46,29 @@ double sampleQueryCost(tables::ExternalHashTable& table,
   return static_cast<double>(total) / static_cast<double>(samples);
 }
 
-namespace {
-
 double sampleMissCost(tables::ExternalHashTable& table, std::size_t samples,
-                      Xoshiro256StarStar& rng) {
+                      Xoshiro256StarStar& rng, bool batched) {
+  if (batched) {
+    // Random 64-bit keys virtually never collide with the inserted set;
+    // the rare accidental hit is re-rolled (its share of the grouped
+    // batch cost is not separable, so it is attributed to the misses —
+    // a < 2^-40 perturbation).
+    std::uint64_t total = 0;
+    std::size_t done = 0;
+    while (done < samples) {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(samples - done);
+      for (std::size_t i = done; i < samples; ++i) keys.push_back(rng());
+      std::vector<std::optional<std::uint64_t>> out(keys.size());
+      const extmem::IoStats before = table.ioStats();
+      table.lookupBatch(keys, out);
+      total += (table.ioStats() - before).cost();
+      for (const auto& hit : out) {
+        if (!hit.has_value()) ++done;
+      }
+    }
+    return static_cast<double>(total) / static_cast<double>(samples);
+  }
   std::uint64_t total = 0;
   std::size_t done = 0;
   while (done < samples) {
@@ -59,8 +80,6 @@ double sampleMissCost(tables::ExternalHashTable& table, std::size_t samples,
   }
   return static_cast<double>(total) / static_cast<double>(samples);
 }
-
-}  // namespace
 
 TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
                                    KeyStream& keys,
@@ -91,58 +110,85 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
   out.n = config.n;
   const auto t0 = std::chrono::steady_clock::now();
 
-  // Inserts are costed around each applyBatch call (a singleton batch is
-  // the classic per-op protocol); query sampling I/O is excluded from tu.
-  std::uint64_t insert_cost = 0;
-  extmem::IoStats insert_io_total;
+  // Pipelined mode overlaps accumulation with background applies, so
+  // per-batch I/O diffs are meaningless mid-flight; both modes use the
+  // same quiescent accounting instead: insert I/O = total I/O at drain
+  // points minus the query-sampling I/O measured at those points.
+  std::optional<pipeline::IngestPipeline> pipe;
+  if (config.pipelined) {
+    pipeline::PipelineConfig pc;
+    pc.batch_capacity = batch_size;
+    pc.max_pending_batches = std::max<std::size_t>(1, config.pipeline_depth);
+    pipe.emplace(table, pc);
+  }
+
+  const extmem::IoStats start_io = table.ioStats();
+  extmem::IoStats query_io;  // accumulated sampling I/O (quiescent points)
   std::size_t next_checkpoint = 0;
   RunningStat miss_costs;
 
   std::vector<tables::Op> batch;
   batch.reserve(batch_size);
-  auto flushBatch = [&]() {
-    if (batch.empty()) return;
-    const extmem::IoStats before = table.ioStats();
-    table.applyBatch(batch);
-    const extmem::IoStats delta = table.ioStats() - before;
-    insert_cost += delta.cost();
-    insert_io_total += delta;
-    batch.clear();
+  auto settle = [&]() {
+    // Make the table quiescent: apply everything staged so sampling sees
+    // the exact prefix and the I/O counters are safe to read.
+    if (pipe) {
+      pipe->drain();
+    } else if (!batch.empty()) {
+      table.applyBatch(batch);
+      batch.clear();
+    }
   };
 
   for (std::size_t i = 0; i < config.n; ++i) {
     const std::uint64_t key = keys.next();
-    batch.push_back(tables::Op::insertOp(key, key ^ 0x5bd1e995));
+    const std::uint64_t value = key ^ 0x5bd1e995;
     inserted.push_back(key);
+    if (pipe) {
+      pipe->insert(key, value);
+    } else {
+      batch.push_back(tables::Op::insertOp(key, value));
+      if (batch.size() >= batch_size) {
+        table.applyBatch(batch);
+        batch.clear();
+      }
+    }
 
     const bool at_checkpoint = next_checkpoint < checkpoints.size() &&
                                i + 1 == checkpoints[next_checkpoint];
-    if (batch.size() >= batch_size || at_checkpoint || i + 1 == config.n) {
-      flushBatch();
-    }
+    if (at_checkpoint || i + 1 == config.n) settle();
     if (at_checkpoint) {
+      const extmem::IoStats before_q = table.ioStats();
       const double cost =
           sampleQueryCost(table, inserted, config.queries_per_checkpoint,
                           rng, config.batched_queries);
       out.checkpoint_costs.push(cost);
       if (config.measure_unsuccessful) {
-        miss_costs.push(
-            sampleMissCost(table, config.queries_per_checkpoint, rng));
+        miss_costs.push(sampleMissCost(table, config.queries_per_checkpoint,
+                                       rng, config.batched_queries));
       }
+      query_io += table.ioStats() - before_q;
       ++next_checkpoint;
     }
   }
+  settle();
 
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  out.tu = static_cast<double>(insert_cost) / static_cast<double>(config.n);
-  out.insert_io = insert_io_total;
+  out.insert_io = table.ioStats() - start_io - query_io;
+  out.tu = static_cast<double>(out.insert_io.cost()) /
+           static_cast<double>(config.n);
   out.tq_mean = out.checkpoint_costs.mean();
   out.tq_worst = out.checkpoint_costs.max();
   out.tq_final = sampleQueryCost(table, inserted,
                                  config.queries_per_checkpoint, rng,
                                  config.batched_queries);
   out.tq_unsuccessful = miss_costs.mean();
+  if (pipe) {
+    const auto ps = pipe->stats();
+    out.pipeline_coalesced = ps.ops_coalesced;
+    out.pipeline_submit_waits = ps.submit_waits;
+  }
   return out;
 }
 

@@ -30,8 +30,18 @@ struct MeasurementConfig {
   /// values hand the table bucket-groupable batches (chunks are cut early
   /// at checkpoints so query sampling still sees every prefix).
   std::size_t batch_size = 1;
-  /// Sample checkpoint queries through lookupBatch instead of lookup().
+  /// Sample checkpoint queries through lookupBatch instead of lookup()
+  /// (applies to successful AND unsuccessful sampling, so sharded /
+  /// pipelined query throughput is measured honestly).
   bool batched_queries = false;
+  /// Drive inserts through an IngestPipeline (batch_size = the window,
+  /// pipeline_depth = max unapplied batches): accumulation of window k+1
+  /// overlaps the background apply of window k. The pipeline drains at
+  /// every checkpoint so query sampling still sees exact prefixes and I/O
+  /// counters are read quiescently. Repeated keys coalesce in the window
+  /// (pipeline semantics); tu stays per *submitted* op.
+  bool pipelined = false;
+  std::size_t pipeline_depth = 1;
 };
 
 struct TradeoffMeasurement {
@@ -44,6 +54,9 @@ struct TradeoffMeasurement {
   extmem::IoStats insert_io;        // raw insert I/O breakdown
   std::uint64_t n = 0;
   double wall_seconds = 0.0;
+  // Pipelined mode only: window coalescing and backpressure telemetry.
+  std::uint64_t pipeline_coalesced = 0;   // ops absorbed in staging windows
+  std::uint64_t pipeline_submit_waits = 0;  // backpressure blocks
 };
 
 /// Insert `n` keys from `keys` into `table`, sampling query costs at
@@ -61,5 +74,10 @@ double sampleQueryCost(tables::ExternalHashTable& table,
                        const std::vector<std::uint64_t>& inserted,
                        std::size_t samples, Xoshiro256StarStar& rng,
                        bool batched = false);
+
+/// Average unsuccessful-lookup cost over `samples` random (absent) keys.
+/// `batched` samples through lookupBatch; accidental hits are re-rolled.
+double sampleMissCost(tables::ExternalHashTable& table, std::size_t samples,
+                      Xoshiro256StarStar& rng, bool batched = false);
 
 }  // namespace exthash::workload

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -302,6 +303,62 @@ TEST(BatchBeatsSerial, BufferedAtBatchSizeB) {
       costOf(TableKind::kBuffered, kB, kN, 1024, cfg);
   EXPECT_LT(batched, serial) << "serial=" << serial
                              << " batched=" << batched;
+}
+
+TEST(ShardedTableTest, VisitLayoutNamespacesBlockIdsByShard) {
+  TestRig rig(8);
+  GeneralConfig cfg;
+  cfg.expected_n = 512;
+  cfg.shards = 4;
+  cfg.sharded_inner = TableKind::kChaining;
+  auto table = makeTable(TableKind::kSharded, rig.context(), cfg);
+  const auto ops = insertOps(512);
+  table->applyBatch(ops);
+
+  // Collect (shard, local id) per visited disk block. Shards' private
+  // devices hand out numerically colliding small ids; the namespaced ids
+  // must stay distinct across shards and decode back cleanly.
+  struct BlockVisitor : LayoutVisitor {
+    std::map<std::size_t, std::set<extmem::BlockId>> local_ids_by_shard;
+    std::set<extmem::BlockId> namespaced;
+    std::size_t items = 0;
+    void diskItem(extmem::BlockId block, const Record&) override {
+      ++items;
+      namespaced.insert(block);
+      local_ids_by_shard[ShardedTable::shardOfBlockId(block)].insert(
+          ShardedTable::localBlockId(block));
+    }
+  } visitor;
+  table->visitLayout(visitor);
+
+  EXPECT_EQ(visitor.items, 512u);
+  EXPECT_EQ(visitor.local_ids_by_shard.size(), 4u);
+  for (const auto& [shard, ids] : visitor.local_ids_by_shard) {
+    EXPECT_LT(shard, 4u);
+  }
+  // The per-shard local id ranges overlap (every shard allocates from 0),
+  // yet the namespaced ids are collision-free: their count equals the sum
+  // of per-shard block counts.
+  std::size_t total_local = 0;
+  for (const auto& [shard, ids] : visitor.local_ids_by_shard) {
+    total_local += ids.size();
+  }
+  EXPECT_EQ(visitor.namespaced.size(), total_local);
+  std::set<extmem::BlockId> local_union;
+  for (const auto& [shard, ids] : visitor.local_ids_by_shard) {
+    local_union.insert(ids.begin(), ids.end());
+  }
+  EXPECT_LT(local_union.size(), total_local)
+      << "shards' raw ids no longer collide; the namespacing test lost "
+         "its premise";
+
+  // primaryBlockOf is namespaced the same way and points into the owning
+  // shard's visited blocks.
+  for (std::size_t i = 0; i < 32; ++i) {
+    const auto primary = table->primaryBlockOf(ops[i].key);
+    ASSERT_TRUE(primary.has_value());
+    EXPECT_LT(ShardedTable::shardOfBlockId(*primary), 4u);
+  }
 }
 
 TEST(ShardedTableTest, AggregatesIoAcrossPrivateDevices) {

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace exthash {
@@ -46,6 +49,46 @@ TEST(ThreadPool, SubmitExceptionViaFuture) {
   ThreadPool pool(1);
   auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
   EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilAllTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      done.fetch_add(1);
+    });
+  }
+  pool.waitIdle();
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPool, PendingTasksCountsQueuedAndRunning) {
+  ThreadPool pool(1);
+  std::mutex gate;
+  gate.lock();
+  pool.submit([&gate] { std::lock_guard hold(gate); });
+  pool.submit([] {});
+  // One task is parked on the gate, one is queued behind it.
+  EXPECT_EQ(pool.pendingTasks(), 2u);
+  gate.unlock();
+  pool.waitIdle();
+  EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsTasksInFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // the pipeline's ordering contract
 }
 
 TEST(ThreadPool, ManyTasksComplete) {
