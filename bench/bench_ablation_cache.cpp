@@ -1,104 +1,213 @@
 // ABL-CACHE — ablation: spend the memory budget on an LRU block cache
-// (the "obvious" systems answer) versus on the Theorem-2 insert buffer.
+// (the "obvious" systems answer) versus on the Theorem-2 insert buffer —
+// and, within the cache arm, write-through versus write-back.
 //
-// The cache experiment drives the standard table's primary-block access
-// pattern (uniform over d blocks, exactly what chaining inserts generate)
-// through a write-back LRU cache of varying capacity. Uniform accesses
-// give hit rate ≈ cache/d, so the effective insert cost is ≈ 1 - cache/d:
-// caching only ever shaves the fraction of the table that fits in memory,
-// while the same memory spent as a Theorem-2 buffer yields tu = O(b^(c-1))
-// regardless of n — the quantitative content of "the memory buffer is
-// essentially useless [for tq near 1], but decisive when tq is relaxed".
+// The cache arm drives a REAL chaining-table ingest (uniform-distinct and
+// Zipf keys) with the cache attached through CachedBlockIo. Write-through
+// pays one counted rmw per touched bucket per batch; write-back dirties
+// the resident frame and pays one counted write per eviction/flush, so a
+// skewed stream that rewrites the same hot pages over and over collapses
+// to one device write per hot page per residency — the paper's point that
+// caching is a (weak) special case of buffering updates in memory. The
+// buffer arm gives the same memory to the Theorem-2 table's H0 instead.
+//
+// PASS gate: write-back spends strictly fewer write I/Os per insert than
+// write-through on Zipf keys at EVERY memory fraction, and the final
+// table contents (checksummed via grouped lookups over the distinct key
+// universe) are identical to the uncached run in every mode.
 #include <iostream>
+#include <map>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/buffered_hash_table.h"
 #include "extmem/block_cache.h"
 #include "util/cli.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace exthash;
+
+struct CacheRun {
+  double write_io_per_op = 0.0;  // (writes + rmws) / n, flush included
+  double total_io_per_op = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+enum class CacheMode { kNone, kWriteThrough, kWriteBack };
+
+CacheRun runCacheArm(CacheMode mode, const std::vector<std::uint64_t>& keys,
+                     const std::vector<std::uint64_t>& universe,
+                     std::size_t cache_blocks, std::size_t b,
+                     std::size_t batch, std::uint64_t seed) {
+  bench::Rig rig(b, /*memory_words=*/0, deriveSeed(seed, 11));
+  // The cache outlives the table: the table's destructor flushes and
+  // invalidates through it.
+  std::unique_ptr<extmem::BlockCache> cache;
+  if (mode != CacheMode::kNone) {
+    cache = std::make_unique<extmem::BlockCache>(
+        *rig.device, *rig.memory, cache_blocks,
+        mode == CacheMode::kWriteBack
+            ? extmem::BlockCache::WritePolicy::kWriteBack
+            : extmem::BlockCache::WritePolicy::kWriteThrough);
+  }
+  tables::GeneralConfig cfg;
+  cfg.expected_n = universe.size();
+  cfg.target_load = 0.5;
+  auto table = makeTable(tables::TableKind::kChaining, rig.context(), cfg);
+  if (cache) table->attachCache(cache.get());
+
+  const extmem::IoStats before = table->ioStats();
+  std::vector<tables::Op> ops;
+  ops.reserve(batch);
+  for (const std::uint64_t key : keys) {
+    ops.push_back(tables::Op::insertOp(key, key ^ 0x5bd1e995));
+    if (ops.size() >= batch) {
+      table->applyBatch(ops);
+      ops.clear();
+    }
+  }
+  if (!ops.empty()) table->applyBatch(ops);
+  table->flushCache();  // charge the deferred writes before reading I/O
+
+  const extmem::IoStats io = table->ioStats() - before;
+  CacheRun r;
+  r.write_io_per_op = static_cast<double>(io.writeCost()) /
+                      static_cast<double>(keys.size());
+  r.total_io_per_op =
+      static_cast<double>(io.cost()) / static_cast<double>(keys.size());
+  r.hit_rate = cache ? cache->hitRate() : 0.0;
+  r.checksum = bench::contentChecksum(*table, universe);
+  return r;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace exthash;
-  ArgParser args("bench_ablation_cache", "LRU cache vs insert buffer");
+  ArgParser args("bench_ablation_cache",
+                 "LRU cache (write-through vs write-back) vs insert buffer");
   args.addUintFlag("n", 1 << 16, "insertions");
   args.addUintFlag("b", 64, "records per block");
+  args.addUintFlag("batch", 1,
+                   "applyBatch chunk size (1 = the classic per-op protocol; "
+                   "larger batches pre-coalesce hot keys, shifting the win "
+                   "from the cache to the grouping)");
   args.addUintFlag("seed", 1, "root seed");
   if (!args.parse(argc, argv)) return 0;
   const std::size_t n = args.getUint("n");
   const std::size_t b = args.getUint("b");
+  const std::size_t batch = std::max<std::size_t>(1, args.getUint("batch"));
   const std::uint64_t seed = args.getUint("seed");
-  const std::uint64_t d = 2 * n / b;  // standard table at load 1/2
 
   bench::printHeader(
-      "ABL-CACHE: memory as LRU cache vs memory as insert buffer",
-      "Same memory budget two ways. Cache rows: chaining-table insert "
-      "pattern through a write-back LRU (hit = free). Buffer rows: the "
-      "Theorem-2 table given the equivalent H0 capacity.");
+      "ABL-CACHE: memory as LRU cache (write-through vs write-back) vs "
+      "memory as insert buffer",
+      "Cache rows: a real chaining-table ingest through an attached LRU "
+      "cache; write I/O counts device writes + rmws per insert, flush "
+      "included. Buffer rows: the Theorem-2 table given the equivalent H0 "
+      "capacity. 'ok' = contents identical to the uncached run.");
 
-  TablePrinter out({"memory (blocks)", "mem fraction of table",
-                    "cache: eff. insert I/O", "cache hit rate",
-                    "buffer: tu (β=16)", "buffer: tq"});
+  TablePrinter out({"keys", "memory (blocks)", "mem fraction",
+                    "wt: write I/O/op", "wb: write I/O/op", "wb hit rate",
+                    "contents", "buffer: tu (β=16)", "buffer: tq"});
 
-  for (const double frac : {0.005, 0.02, 0.08, 0.25}) {
-    const auto cache_blocks = std::max<std::size_t>(
-        1, static_cast<std::size_t>(frac * static_cast<double>(d)));
+  bool all_equal = true;
+  bool wb_always_cheaper_on_zipf = true;
 
-    // --- Cache arm: uniform primary-block rmw stream through the LRU.
-    double eff_cost = 0.0, hit_rate = 0.0;
-    {
-      bench::Rig rig(b, 0, deriveSeed(seed, cache_blocks));
-      const auto base = rig.device->allocateExtent(d);
-      extmem::BlockCache cache(*rig.device, *rig.memory, cache_blocks,
-                               extmem::BlockCache::WritePolicy::kWriteBack);
-      workload::DistinctKeyStream keys(deriveSeed(seed, 2));
-      const extmem::IoProbe probe(*rig.device);
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::uint64_t bucket =
-            hashfn::rangeBucket((*rig.hash)(keys.next()), d);
-        cache.withWrite(base + bucket, [&](std::span<extmem::Word> page) {
-          page[0] += 1;  // stand-in for the record append
-        });
+  for (const std::string stream : {"uniform", "zipf"}) {
+    // One key vector per stream, shared by every mode and fraction so the
+    // checksums are comparable.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    if (stream == "uniform") {
+      workload::DistinctKeyStream ks(deriveSeed(seed, 2));
+      for (std::size_t i = 0; i < n; ++i) keys.push_back(ks.next());
+    } else {
+      workload::ZipfKeyStream ks(deriveSeed(seed, 3), n / 2, 1.1);
+      for (std::size_t i = 0; i < n; ++i) keys.push_back(ks.next());
+    }
+    std::vector<std::uint64_t> universe = keys;
+    std::sort(universe.begin(), universe.end());
+    universe.erase(std::unique(universe.begin(), universe.end()),
+                   universe.end());
+    // The table is sized for its DISTINCT keys (a zipf stream has far
+    // fewer than n), so the memory fraction is measured against that
+    // stream's actual primary area, not the uniform one.
+    const std::uint64_t d = std::max<std::uint64_t>(
+        1, (2 * universe.size() + b - 1) / b);  // primary blocks, load 1/2
+
+    const CacheRun uncached = runCacheArm(CacheMode::kNone, keys, universe,
+                                          1, b, batch, seed);
+
+    for (const double frac : {0.005, 0.02, 0.08, 0.25}) {
+      const auto cache_blocks = std::max<std::size_t>(
+          1, static_cast<std::size_t>(frac * static_cast<double>(d)));
+
+      const CacheRun wt = runCacheArm(CacheMode::kWriteThrough, keys,
+                                      universe, cache_blocks, b, batch, seed);
+      const CacheRun wb = runCacheArm(CacheMode::kWriteBack, keys, universe,
+                                      cache_blocks, b, batch, seed);
+      const bool equal = wt.checksum == uncached.checksum &&
+                         wb.checksum == uncached.checksum;
+      all_equal = all_equal && equal;
+      if (stream == "zipf" && wb.write_io_per_op >= wt.write_io_per_op) {
+        wb_always_cheaper_on_zipf = false;
       }
-      cache.flush();
-      eff_cost = static_cast<double>(probe.cost()) / static_cast<double>(n);
-      hit_rate = cache.hitRate();
-    }
 
-    // --- Buffer arm: the same memory as H0 of the Theorem-2 table.
-    const std::size_t h0_items =
-        cache_blocks * b / 2;  // same words: blocks·(2b+2) ≈ items·2·2
-    double tu = 0.0, tq = 0.0;
-    {
-      bench::Rig rig(b, 0, deriveSeed(seed, 3 * cache_blocks + 7));
-      core::BufferedHashTable table(
-          rig.context(), {16, 2, std::max<std::size_t>(8, h0_items)});
-      workload::DistinctKeyStream keys(deriveSeed(seed, 5));
-      workload::MeasurementConfig mc;
-      mc.n = n;
-      mc.queries_per_checkpoint = 256;
-      mc.checkpoints = 4;
-      mc.seed = deriveSeed(seed, 6);
-      const auto m = workload::runMeasurement(table, keys, mc);
-      tu = m.tu;
-      tq = m.tq_mean;
-    }
+      // Buffer arm: the same memory as H0 of the Theorem-2 table (uniform
+      // keys; the stream does not change the amortized bound).
+      double tu = 0.0, tq = 0.0;
+      if (stream == "uniform") {
+        const std::size_t h0_items = std::max<std::size_t>(
+            8, cache_blocks * b / 2);  // same words: blocks·(2b+2) ≈ items·2·2
+        bench::Rig rig(b, 0, deriveSeed(seed, 3 * cache_blocks + 7));
+        core::BufferedHashTable buffered(rig.context(), {16, 2, h0_items});
+        workload::DistinctKeyStream bkeys(deriveSeed(seed, 5));
+        workload::MeasurementConfig mc;
+        mc.n = n;
+        mc.queries_per_checkpoint = 256;
+        mc.checkpoints = 4;
+        mc.seed = deriveSeed(seed, 6);
+        const auto m = workload::runMeasurement(buffered, bkeys, mc);
+        tu = m.tu;
+        tq = m.tq_mean;
+      }
 
-    out.addRow({TablePrinter::num(std::uint64_t{cache_blocks}),
-                TablePrinter::percent(frac),
-                TablePrinter::num(eff_cost, 4),
-                TablePrinter::percent(hit_rate),
-                TablePrinter::num(tu, 4), TablePrinter::num(tq, 4)});
+      out.addRow({stream, TablePrinter::num(std::uint64_t{cache_blocks}),
+                  TablePrinter::percent(frac),
+                  TablePrinter::num(wt.write_io_per_op, 4),
+                  TablePrinter::num(wb.write_io_per_op, 4),
+                  TablePrinter::percent(wb.hit_rate),
+                  equal ? "ok" : "MISMATCH",
+                  stream == "uniform" ? TablePrinter::num(tu, 4) : "-",
+                  stream == "uniform" ? TablePrinter::num(tq, 4) : "-"});
+    }
   }
 
   out.print(std::cout);
   bench::saveCsv(out, "ablation_cache");
-  std::cout << "\nReading the table: the cache's effective insert cost is "
-               "≈ 2·(1 - hit rate)\n(each miss pays a read now and a dirty "
-               "write-back later, which the seek-\ncoalescing of footnote 2 "
-               "cannot merge) — linear in the memory fraction, and\nuseless "
-               "unless the whole table fits in RAM. The buffer column stays "
-               "at o(1)\nI/Os independent of the memory fraction. Caching "
-               "IS a form of buffering, so\nTheorem 1 bounds it too: with "
-               "tq pinned near 1 no memory policy can beat\n1 - "
-               "O(1/b^((c-1)/4)) per insert.\n";
-  return 0;
+  std::cout
+      << "\nReading the table: write-through pays a device rmw for every "
+         "touched bucket\nper batch; write-back pays one device write per "
+         "dirty eviction/flush, so hot\npages rewritten across batches "
+         "collapse to one write per residency — decisive\non zipf, "
+         "marginal on uniform (uniform hit rate ≈ memory fraction, the "
+         "paper's\n'caching only shaves the fraction of the table that "
+         "fits in RAM'). The buffer\ncolumn spends the same memory as a "
+         "Theorem-2 insert buffer and stays at o(1)\nI/Os regardless of "
+         "the fraction: caching IS buffering, and Theorem 1 bounds "
+         "both.\n";
+  if (!all_equal) {
+    std::cerr << "FAIL: cached contents diverged from the uncached run\n";
+    return 1;
+  }
+  std::cout << (wb_always_cheaper_on_zipf
+                    ? "PASS: write-back < write-through write I/Os per "
+                      "insert on zipf at every fraction\n"
+                    : "WARNING: write-back did not beat write-through on "
+                      "zipf at every fraction\n");
+  return wb_always_cheaper_on_zipf ? 0 : 2;
 }

@@ -2,10 +2,13 @@
 // standard measurement protocol, and result folders.
 #pragma once
 
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "extmem/block_device.h"
 #include "extmem/bucket_page.h"
@@ -55,6 +58,31 @@ inline workload::TradeoffMeasurement measurePoint(
   mc.checkpoints = 6;
   mc.seed = deriveSeed(seed, 3);
   return workload::runMeasurement(*table, keys, mc);
+}
+
+/// Order-independent checksum of a table's live content over a key
+/// universe: newest value per key via grouped lookups (visitLayout may
+/// surface shadowed versions on deferred structures — lookups decide what
+/// is live). Protocol/caching ablations compare this across runs to prove
+/// the contents identical.
+inline std::uint64_t contentChecksum(
+    tables::ExternalHashTable& table,
+    const std::vector<std::uint64_t>& universe) {
+  std::uint64_t sum = 0;
+  std::vector<std::optional<std::uint64_t>> out;
+  constexpr std::size_t kChunk = 4096;
+  for (std::size_t i = 0; i < universe.size(); i += kChunk) {
+    const std::size_t n = std::min(kChunk, universe.size() - i);
+    out.assign(n, std::nullopt);
+    table.lookupBatch(std::span(universe.data() + i, n),
+                      std::span(out.data(), n));
+    for (std::size_t k = 0; k < n; ++k) {
+      if (out[k]) {
+        sum += splitmix64(universe[i + k] * 0x9E3779B97F4A7C15ULL ^ *out[k]);
+      }
+    }
+  }
+  return sum;
 }
 
 /// Write a CSV copy of the table under bench_results/ (best effort).

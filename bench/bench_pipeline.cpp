@@ -36,41 +36,21 @@ namespace {
 using namespace exthash;
 
 enum class Protocol { kSerial, kBatched, kPipelined };
+enum class CacheMode { kNone, kWriteThrough, kWriteBack };
 
 struct RunResult {
   double seconds = 0.0;
   double io_per_op = 0.0;
+  double write_io_per_op = 0.0;  // device writes + rmws, flush included
   std::uint64_t checksum = 0;  // over live (key, value) pairs
   std::size_t size = 0;
   std::uint64_t coalesced = 0;
 };
 
-/// Order-independent checksum of the table's live content: newest value
-/// per key (visitLayout may surface shadowed versions on deferred
-/// structures — lookups decide what is live, so we checksum via lookups
-/// over the submitted key universe).
-std::uint64_t contentChecksum(tables::ExternalHashTable& table,
-                              const std::vector<std::uint64_t>& universe) {
-  std::uint64_t sum = 0;
-  std::vector<std::optional<std::uint64_t>> out;
-  constexpr std::size_t kChunk = 4096;
-  for (std::size_t i = 0; i < universe.size(); i += kChunk) {
-    const std::size_t n = std::min(kChunk, universe.size() - i);
-    out.assign(n, std::nullopt);
-    table.lookupBatch(std::span(universe.data() + i, n),
-                      std::span(out.data(), n));
-    for (std::size_t k = 0; k < n; ++k) {
-      if (out[k]) {
-        sum += splitmix64(universe[i + k] * 0x9E3779B97F4A7C15ULL ^ *out[k]);
-      }
-    }
-  }
-  return sum;
-}
-
 std::unique_ptr<tables::ExternalHashTable> makeTableFor(
     const bench::Rig& rig, const std::string& kind_name, std::size_t n,
-    std::uint32_t latency_spins) {
+    std::uint32_t latency_spins, CacheMode cache_mode,
+    std::size_t cache_frames) {
   tables::GeneralConfig cfg;
   cfg.expected_n = n;
   cfg.target_load = 0.5;
@@ -79,6 +59,10 @@ std::unique_ptr<tables::ExternalHashTable> makeTableFor(
   cfg.gamma = 2;
   cfg.shards = 4;
   cfg.shard_threads = 4;
+  if (cache_mode != CacheMode::kNone) {
+    cfg.shard_cache_frames = cache_frames;
+    cfg.shard_cache_write_back = cache_mode == CacheMode::kWriteBack;
+  }
   tables::TableKind kind;
   if (kind_name == "sharded-chaining") {
     kind = tables::TableKind::kSharded;
@@ -100,13 +84,16 @@ std::unique_ptr<tables::ExternalHashTable> makeTableFor(
   return table;
 }
 
-RunResult runProtocol(Protocol protocol, const std::string& kind_name,
+RunResult runProtocol(Protocol protocol, CacheMode cache_mode,
+                      const std::string& kind_name,
                       const std::vector<std::uint64_t>& keys,
                       const std::vector<std::uint64_t>& universe,
                       std::size_t batch, std::size_t depth, std::size_t b,
-                      std::uint32_t latency_spins, std::uint64_t seed) {
+                      std::size_t cache_frames, std::uint32_t latency_spins,
+                      std::uint64_t seed) {
   bench::Rig rig(b, /*memory_words=*/0, deriveSeed(seed, 11));
-  auto table = makeTableFor(rig, kind_name, keys.size(), latency_spins);
+  auto table = makeTableFor(rig, kind_name, keys.size(), latency_spins,
+                            cache_mode, cache_frames);
 
   RunResult r;
   const auto t0 = std::chrono::steady_clock::now();
@@ -118,7 +105,7 @@ RunResult runProtocol(Protocol protocol, const std::string& kind_name,
     for (const std::uint64_t key : keys) {
       pipe.insert(key, key ^ 0x5bd1e995);
     }
-    pipe.drain();
+    pipe.drain();  // flush barrier: dirty shard frames are charged here
     r.coalesced = pipe.stats().ops_coalesced;
   } else {
     const std::size_t chunk = protocol == Protocol::kSerial ? 1 : batch;
@@ -132,13 +119,17 @@ RunResult runProtocol(Protocol protocol, const std::string& kind_name,
       }
     }
     if (!ops.empty()) table->applyBatch(ops);
+    table->flushCache();
   }
   const auto t1 = std::chrono::steady_clock::now();
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
-  r.io_per_op = static_cast<double>(table->ioStats().cost()) /
+  const auto io = table->ioStats();
+  r.io_per_op = static_cast<double>(io.cost()) /
                 static_cast<double>(keys.size());
+  r.write_io_per_op = static_cast<double>(io.writeCost()) /
+                      static_cast<double>(keys.size());
   r.size = table->size();
-  r.checksum = contentChecksum(*table, universe);
+  r.checksum = bench::contentChecksum(*table, universe);
   return r;
 }
 
@@ -154,6 +145,12 @@ int main(int argc, char** argv) {
   args.addUintFlag("depth", 2, "pipeline max pending batches");
   args.addUintFlag("latency", 10,
                    "per-I/O yield quanta (device latency emulation)");
+  args.addUintFlag("cache", 0,
+                   "total cache frames split across shards for the cached "
+                   "sharded-chaining rows (0 = the whole primary area: "
+                   "batch grouping already coalesces within a batch, so "
+                   "write-back needs cross-batch residency to show its "
+                   "win)");
   args.addUintFlag("seed", 1, "root seed");
   if (!args.parse(argc, argv)) return 0;
   const std::size_t n = args.getUint("n");
@@ -161,17 +158,22 @@ int main(int argc, char** argv) {
   const std::size_t batch = args.getUint("batch");
   const std::size_t depth = args.getUint("depth");
   const auto latency = static_cast<std::uint32_t>(args.getUint("latency"));
+  const std::size_t cache_frames =
+      args.getUint("cache") != 0 ? args.getUint("cache") : 2 * n / b;  // = d
   const std::uint64_t seed = args.getUint("seed");
 
   bench::printHeader(
       "PIPE: pipelined ingest — overlapping accumulation with apply",
       "Identical key streams through three submission protocols. ops/s is "
-      "wall-clock; I/O is the counted cost per submitted op. The device "
-      "yields per access to emulate DMA latency (counted I/O unaffected). "
-      "'ok' = final live contents identical to the serial protocol.");
+      "wall-clock; I/O is the counted cost per submitted op (write I/O = "
+      "writes + rmws, cache flushes included). The device yields per "
+      "access to emulate DMA latency (counted I/O unaffected). The cached "
+      "sharded-chaining rows auto-attach per-shard caches (wt = "
+      "write-through, wb = write-back). 'ok' = final live contents "
+      "identical to the serial protocol.");
 
-  TablePrinter out({"table", "keys", "protocol", "ops/s", "speedup",
-                    "I/O per op", "coalesced", "contents"});
+  TablePrinter out({"table", "keys", "protocol", "cache", "ops/s", "speedup",
+                    "I/O per op", "write I/O", "coalesced", "contents"});
 
   bool all_equal = true;
   std::map<std::string, bool> sharded_kind_wins;  // kind -> pipelined beat
@@ -194,33 +196,50 @@ int main(int argc, char** argv) {
       universe.erase(std::unique(universe.begin(), universe.end()),
                      universe.end());
 
-      std::map<Protocol, RunResult> results;
-      for (const Protocol p :
-           {Protocol::kSerial, Protocol::kBatched, Protocol::kPipelined}) {
-        results[p] = runProtocol(p, kind, keys, universe, batch, depth, b,
-                                 latency, seed);
+      // The base matrix runs uncached; the cache-honoring sharded kind
+      // additionally runs the pipelined protocol through write-through
+      // and write-back per-shard caches.
+      std::vector<std::pair<Protocol, CacheMode>> combos = {
+          {Protocol::kSerial, CacheMode::kNone},
+          {Protocol::kBatched, CacheMode::kNone},
+          {Protocol::kPipelined, CacheMode::kNone}};
+      if (kind == "sharded-chaining") {
+        combos.emplace_back(Protocol::kPipelined, CacheMode::kWriteThrough);
+        combos.emplace_back(Protocol::kPipelined, CacheMode::kWriteBack);
       }
-      const RunResult& serial = results[Protocol::kSerial];
-      for (const Protocol p :
-           {Protocol::kSerial, Protocol::kBatched, Protocol::kPipelined}) {
-        const RunResult& r = results[p];
+
+      std::map<std::pair<Protocol, CacheMode>, RunResult> results;
+      for (const auto& combo : combos) {
+        results[combo] =
+            runProtocol(combo.first, combo.second, kind, keys, universe,
+                        batch, depth, b, cache_frames, latency, seed);
+      }
+      const RunResult& serial = results[{Protocol::kSerial, CacheMode::kNone}];
+      for (const auto& combo : combos) {
+        const RunResult& r = results[combo];
         const bool equal = r.checksum == serial.checksum;
         all_equal = all_equal && equal;
-        const char* proto_name = p == Protocol::kSerial     ? "serial"
-                                 : p == Protocol::kBatched  ? "batched"
-                                                            : "pipelined";
-        out.addRow({kind, stream, proto_name,
+        const char* proto_name = combo.first == Protocol::kSerial ? "serial"
+                                 : combo.first == Protocol::kBatched
+                                     ? "batched"
+                                     : "pipelined";
+        const char* cache_name =
+            combo.second == CacheMode::kNone           ? "-"
+            : combo.second == CacheMode::kWriteThrough ? "wt"
+                                                       : "wb";
+        out.addRow({kind, stream, proto_name, cache_name,
                     TablePrinter::num(static_cast<double>(n) / r.seconds, 0),
                     TablePrinter::num(serial.seconds / r.seconds, 2),
                     TablePrinter::num(r.io_per_op, 4),
+                    TablePrinter::num(r.write_io_per_op, 4),
                     TablePrinter::num(std::uint64_t{r.coalesced}),
                     equal ? "ok" : "MISMATCH"});
       }
       if (kind.rfind("sharded", 0) == 0) {
         sharded_kind_wins[kind] =
             sharded_kind_wins[kind] ||
-            results[Protocol::kPipelined].seconds <
-                results[Protocol::kBatched].seconds;
+            results[{Protocol::kPipelined, CacheMode::kNone}].seconds <
+                results[{Protocol::kBatched, CacheMode::kNone}].seconds;
       }
     }
   }

@@ -17,53 +17,104 @@ BlockCache::BlockCache(BlockDevice& device, MemoryBudget& budget,
 
 BlockCache::~BlockCache() { flush(); }
 
+void BlockCache::markDirty(Frame& frame) {
+  if (!frame.dirty) {
+    frame.dirty = true;
+    ++dirty_blocks_;
+  }
+}
+
+void BlockCache::promote(BlockId id, Frame& frame) {
+  lru_.erase(frame.lru_pos);
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+}
+
+void BlockCache::rechargeForResidency() {
+  // The paper's m-word model sees every resident frame: pinned frames can
+  // push residency past capacity for a nesting's duration, and that
+  // transient memory is charged too (and released as eviction drains it).
+  charge_.resize(std::max(capacity_blocks_, frames_.size()) *
+                 device_.wordsPerBlock());
+}
+
+BlockCache::Frame& BlockCache::insertFrame(BlockId id, Frame frame) {
+  // Shrink to capacity first (this also drains any over-capacity frames
+  // left behind while everything evictable was pinned).
+  while (frames_.size() >= capacity_blocks_ && evictOneUnpinned()) {
+  }
+  lru_.push_front(id);
+  frame.lru_pos = lru_.begin();
+  auto [ins, ok] = frames_.emplace(id, std::move(frame));
+  EXTHASH_CHECK(ok);
+  if (ins->second.dirty) ++dirty_blocks_;
+  rechargeForResidency();
+  return ins->second;
+}
+
 BlockCache::Frame& BlockCache::fetch(BlockId id, bool mark_dirty) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
-    lru_.erase(it->second.lru_pos);
-    lru_.push_front(id);
-    it->second.lru_pos = lru_.begin();
-    it->second.dirty = it->second.dirty || mark_dirty;
+    promote(id, it->second);
+    if (mark_dirty) markDirty(it->second);
     return it->second;
   }
 
   ++misses_;
-  if (frames_.size() >= capacity_blocks_) evictOne();
-
   Frame frame;
   frame.data.resize(device_.wordsPerBlock());
   device_.withRead(id, [&](std::span<const Word> data) {
     std::copy(data.begin(), data.end(), frame.data.begin());
   });
   frame.dirty = mark_dirty;
-  lru_.push_front(id);
-  frame.lru_pos = lru_.begin();
-  auto [ins, ok] = frames_.emplace(id, std::move(frame));
-  EXTHASH_CHECK(ok);
-  return ins->second;
+  return insertFrame(id, std::move(frame));
+}
+
+BlockCache::Frame& BlockCache::installZeroed(BlockId id) {
+  // Either branch costs zero device I/O (the caller overwrites
+  // everything, so the device copy is never needed), which is what
+  // hits_ counts; misses_ stays the device-read counter.
+  ++hits_;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    promote(id, it->second);
+    std::fill(it->second.data.begin(), it->second.data.end(), Word{0});
+    markDirty(it->second);
+    return it->second;
+  }
+  Frame frame;
+  frame.data.assign(device_.wordsPerBlock(), Word{0});
+  frame.dirty = true;
+  return insertFrame(id, std::move(frame));
 }
 
 void BlockCache::writeBack(BlockId id, Frame& frame) {
   if (!frame.dirty) return;
+  frame.dirty = false;
+  --dirty_blocks_;
   if (!device_.isAllocated(id)) {
-    frame.dirty = false;  // owner freed the block; drop silently
-    return;
+    return;  // owner freed the block; drop silently
   }
   device_.withOverwrite(id, [&](std::span<Word> data) {
     std::copy(frame.data.begin(), frame.data.end(), data.begin());
   });
-  frame.dirty = false;
+  ++writebacks_;
 }
 
-void BlockCache::evictOne() {
-  EXTHASH_CHECK(!lru_.empty());
-  const BlockId victim = lru_.back();
-  auto it = frames_.find(victim);
-  EXTHASH_CHECK(it != frames_.end());
-  writeBack(victim, it->second);
-  lru_.pop_back();
-  frames_.erase(it);
+bool BlockCache::evictOneUnpinned() {
+  for (auto pos = lru_.rbegin(); pos != lru_.rend(); ++pos) {
+    const BlockId victim = *pos;
+    auto it = frames_.find(victim);
+    EXTHASH_CHECK(it != frames_.end());
+    if (it->second.pins > 0) continue;  // a live span points into it
+    writeBack(victim, it->second);
+    lru_.erase(std::next(pos).base());
+    frames_.erase(it);
+    rechargeForResidency();
+    return true;
+  }
+  return false;
 }
 
 void BlockCache::flush() {
@@ -73,8 +124,13 @@ void BlockCache::flush() {
 void BlockCache::invalidate(BlockId id) {
   auto it = frames_.find(id);
   if (it == frames_.end()) return;
+  EXTHASH_CHECK_MSG(it->second.pins == 0,
+                    "invalidating block " << id
+                        << " while a callback holds its span");
+  if (it->second.dirty) --dirty_blocks_;
   lru_.erase(it->second.lru_pos);
   frames_.erase(it);
+  rechargeForResidency();
 }
 
 void BlockCache::refreshFromDevice(BlockId id) {
@@ -82,7 +138,13 @@ void BlockCache::refreshFromDevice(BlockId id) {
   if (it == frames_.end()) return;
   const auto data = device_.inspect(id);
   std::copy(data.begin(), data.end(), it->second.data.begin());
-  it->second.dirty = false;
+  if (it->second.dirty) {
+    it->second.dirty = false;
+    --dirty_blocks_;
+  }
+  // The write that triggered this refresh is a use of the block: promote
+  // it so a hot written page cannot be evicted ahead of a cold read page.
+  promote(id, it->second);
 }
 
 }  // namespace exthash::extmem

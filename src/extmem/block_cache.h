@@ -7,8 +7,13 @@
 // Write policies:
 //   kWriteThrough — writes go directly to the device (counted rmw); the
 //                   cached copy is refreshed afterwards. Reads may hit.
-//   kWriteBack    — writes mutate the cached frame (miss costs one read);
-//                   dirty frames are written on eviction or flush().
+//   kWriteBack    — writes mutate the cached frame only (a miss costs one
+//                   read to load it; a blind overwrite costs nothing);
+//                   dirty frames reach the device as one counted write on
+//                   LRU eviction or flush(). Between flushes the CACHE,
+//                   not the device, is authoritative for dirty blocks —
+//                   anything that reads the device directly (inspect(),
+//                   visitLayout, destroy walks) must flush() first.
 //
 // The paper's lower bound applies to caching as a special case of
 // buffering — the ABL-CACHE ablation benchmark quantifies that. The cache
@@ -18,13 +23,33 @@
 #include <cstdint>
 #include <list>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 
 namespace exthash::extmem {
+
+namespace detail {
+
+/// invoke `call`, then `after`, propagating call's result (which may be
+/// void) — the write-through "device op, then refresh the frame" shape.
+template <class Call, class After>
+decltype(auto) invokeThen(Call&& call, After&& after) {
+  if constexpr (std::is_void_v<decltype(call())>) {
+    std::forward<Call>(call)();
+    std::forward<After>(after)();
+  } else {
+    auto result = std::forward<Call>(call)();
+    std::forward<After>(after)();
+    return result;
+  }
+}
+
+}  // namespace detail
 
 class BlockCache {
  public:
@@ -39,36 +64,76 @@ class BlockCache {
   BlockCache& operator=(const BlockCache&) = delete;
 
   /// Counted read via the cache: hit = 0 I/O, miss = 1 read on the device.
+  ///
+  /// The frame is PINNED for the duration of fn: the tables' guarded
+  /// scopes allocate and write fresh blocks while holding a span into the
+  /// current block (the chain-rewrite idiom, safe on the chunk-stable
+  /// device), so a nested cache access must never evict — and destroy —
+  /// the frame the outer span points into. Pinned frames are skipped by
+  /// eviction; the cache may exceed capacity by the nesting depth until
+  /// the next unpinned access shrinks it back.
   template <class F>
   decltype(auto) withRead(BlockId id, F&& fn) {
-    const Frame& frame = fetch(id, /*mark_dirty=*/false);
+    Frame& frame = fetch(id, /*mark_dirty=*/false);
+    const PinGuard pin(frame);
     return std::forward<F>(fn)(
         std::span<const Word>(frame.data.data(), frame.data.size()));
   }
 
-  /// Counted read-modify-write via the cache (policy-dependent, see above).
+  /// Counted read-modify-write via the cache (policy-dependent, see the
+  /// file comment). Propagates fn's return value. Write-back pins the
+  /// frame across fn (see withRead).
   template <class F>
   decltype(auto) withWrite(BlockId id, F&& fn) {
     if (policy_ == WritePolicy::kWriteThrough) {
       // Straight to the device (one rmw), then refresh any cached copy so
       // future hits observe the new contents.
-      device_.withWrite(id, [&](std::span<Word> data) { fn(data); });
-      refreshFromDevice(id);
-      return;
+      return detail::invokeThen(
+          [&]() -> decltype(auto) {
+            return device_.withWrite(id, std::forward<F>(fn));
+          },
+          [&] { refreshFromDevice(id); });
     }
     Frame& frame = fetch(id, /*mark_dirty=*/true);
-    fn(std::span<Word>(frame.data.data(), frame.data.size()));
+    const PinGuard pin(frame);
+    return std::forward<F>(fn)(
+        std::span<Word>(frame.data.data(), frame.data.size()));
   }
 
-  /// Flush all dirty frames (write-back mode) to the device.
+  /// Counted blind write via the cache. Write-through: one counted device
+  /// write, then refresh. Write-back: installs a zeroed dirty frame with
+  /// NO device I/O at all (the previous contents are irrelevant, so a miss
+  /// needs no read); the single counted write happens at eviction/flush.
+  /// Write-back pins the frame across fn (see withRead).
+  template <class F>
+  decltype(auto) withOverwrite(BlockId id, F&& fn) {
+    if (policy_ == WritePolicy::kWriteThrough) {
+      return detail::invokeThen(
+          [&]() -> decltype(auto) {
+            return device_.withOverwrite(id, std::forward<F>(fn));
+          },
+          [&] { refreshFromDevice(id); });
+    }
+    Frame& frame = installZeroed(id);
+    const PinGuard pin(frame);
+    return std::forward<F>(fn)(
+        std::span<Word>(frame.data.data(), frame.data.size()));
+  }
+
+  /// Flush all dirty frames (write-back mode) to the device. After flush
+  /// the device is authoritative for every resident block.
   void flush();
 
-  /// Drop a block from the cache (e.g. after the owner frees it).
+  /// Drop a block from the cache (e.g. after the owner frees it). Dirty
+  /// contents are discarded — a freed block's data must never be written
+  /// over a reused id.
   void invalidate(BlockId id);
 
   /// Refresh the cached copy of `id` from the device (uncounted), if one
-  /// is resident. Used by write paths that hit the device directly so
-  /// later cached reads observe the new contents.
+  /// is resident, and promote it to most-recently-used. Used by write
+  /// paths that hit the device directly so later cached reads observe the
+  /// new contents — the write is a genuine use of the block, so it must
+  /// count for recency like any read.
   void refreshFromDevice(BlockId id);
 
   WritePolicy policy() const noexcept { return policy_; }
@@ -76,22 +141,50 @@ class BlockCache {
 
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+  /// Dirty frames written to the device so far (evictions + flushes).
+  std::uint64_t writebacks() const noexcept { return writebacks_; }
   double hitRate() const noexcept {
     const double total = static_cast<double>(hits_ + misses_);
     return total > 0 ? static_cast<double>(hits_) / total : 0.0;
   }
   std::size_t capacityBlocks() const noexcept { return capacity_blocks_; }
   std::size_t residentBlocks() const noexcept { return frames_.size(); }
+  std::size_t dirtyBlocks() const noexcept { return dirty_blocks_; }
 
  private:
+  // Frames live in unordered_map nodes, so references stay valid while
+  // OTHER frames come and go — only erasing the frame itself invalidates
+  // them, which is exactly what pinning forbids.
   struct Frame {
     std::vector<Word> data;
     bool dirty = false;
+    int pins = 0;  // > 0: a caller holds a span into `data`; not evictable
     std::list<BlockId>::iterator lru_pos;
   };
 
+  /// RAII pin for the duration of a callback (exception-safe).
+  struct PinGuard {
+    explicit PinGuard(Frame& frame) : frame(frame) { ++frame.pins; }
+    ~PinGuard() { --frame.pins; }
+    PinGuard(const PinGuard&) = delete;
+    PinGuard& operator=(const PinGuard&) = delete;
+    Frame& frame;
+  };
+
   Frame& fetch(BlockId id, bool mark_dirty);
-  void evictOne();
+  /// Resident-or-new zeroed frame for a blind write (write-back only):
+  /// never reads the device, always leaves the frame dirty.
+  Frame& installZeroed(BlockId id);
+  Frame& insertFrame(BlockId id, Frame frame);
+  /// Keep the budget charge in step with max(capacity, residency) so
+  /// transient pin-driven over-capacity is accounted like any memory.
+  void rechargeForResidency();
+  void promote(BlockId id, Frame& frame);
+  void markDirty(Frame& frame);
+  /// Evict the least-recently-used UNPINNED frame; false if every
+  /// resident frame is pinned (the cache then runs over capacity until
+  /// the nesting unwinds).
+  bool evictOneUnpinned();
   void writeBack(BlockId id, Frame& frame);
 
   BlockDevice& device_;
@@ -102,6 +195,8 @@ class BlockCache {
   std::list<BlockId> lru_;  // front = most recent
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::size_t dirty_blocks_ = 0;
 };
 
 }  // namespace exthash::extmem

@@ -1,5 +1,5 @@
 // CachedBlockIo — a thin counted-access view over a BlockDevice with an
-// optional read-through BlockCache in front.
+// optional BlockCache in front.
 //
 // The bucketed tables' grouped batch paths (chain walks, probe runs) used
 // to talk to the BlockDevice directly, bypassing any cache and re-paying a
@@ -7,15 +7,33 @@
 // accesses through this view: with no cache attached it forwards verbatim
 // (zero overhead beyond a null check); with a cache attached, reads hit
 // the cache (hit = 0 counted I/O) and every mutation keeps the cache
-// coherent:
-//   withRead      cache->withRead (hit free, miss reads through)
-//   withWrite     device rmw, then refresh the resident frame
-//   withOverwrite device write, then refresh the resident frame
-//   free          device free + invalidate (ids are pooled for reuse)
+// coherent. What a mutation costs depends on the cache's write policy:
 //
-// Only the write-through policy is supported here: the device stays
-// authoritative at all times, so the uncounted inspect()/visitLayout
-// introspection paths — which read the device directly — remain correct.
+//   write-through  withWrite / withOverwrite hit the device (counted),
+//                  then refresh the resident frame. The device stays
+//                  authoritative at all times.
+//   write-back     withWrite dirties the cached frame (a miss pays one
+//                  read to load it); withOverwrite installs a zeroed
+//                  dirty frame with no device I/O. Dirty frames reach
+//                  the device as one counted write each on LRU eviction
+//                  or flush().
+//
+//   free / freeExtent  device free + invalidate in BOTH policies. The
+//                  invalidation discards dirty data, which is exactly
+//                  right: block ids are pooled for reuse, and a stale
+//                  dirty frame flushed over a reused id would corrupt
+//                  the new owner.
+//
+// Flush-barrier contract (write-back only): between flushes the cache,
+// not the device, is authoritative for dirty blocks. Every path that
+// reads the device directly — inspect(), visitLayout, destroy()'s
+// deallocation walks, and any I/O-accounting read that must include the
+// deferred writes — must be preceded by flush(). The library inserts
+// these barriers at: table destructors / destroy(), visitLayout,
+// IngestPipeline::drain(), and the measurement runner's quiescent drain
+// points (so tu/tq charge the deferred writes honestly). Code outside
+// those paths can rely on withRead/withWrite seeing dirty data coherently
+// without ever flushing.
 #pragma once
 
 #include "extmem/block_cache.h"
@@ -29,16 +47,17 @@ class CachedBlockIo {
   explicit CachedBlockIo(BlockDevice& device, BlockCache* cache = nullptr)
       : device_(&device), cache_(cache) {
     EXTHASH_CHECK_MSG(
-        cache == nullptr ||
-            (cache->policy() == BlockCache::WritePolicy::kWriteThrough &&
-             &cache->device() == &device),
-        "CachedBlockIo needs a write-through cache over the same device "
-        "(device-direct writes refresh frames, which would drop write-back "
-        "dirty data; a foreign-device cache would serve wrong blocks)");
+        cache == nullptr || &cache->device() == &device,
+        "CachedBlockIo needs a cache layered over the same device (a "
+        "foreign-device cache would serve wrong blocks)");
   }
 
   BlockDevice& device() const noexcept { return *device_; }
   BlockCache* cache() const noexcept { return cache_; }
+  bool writeBack() const noexcept {
+    return cache_ != nullptr &&
+           cache_->policy() == BlockCache::WritePolicy::kWriteBack;
+  }
   std::size_t wordsPerBlock() const noexcept {
     return device_->wordsPerBlock();
   }
@@ -49,35 +68,32 @@ class CachedBlockIo {
     return device_->withRead(id, std::forward<F>(fn));
   }
 
-  /// Counted read-modify-write on the device; a resident cached frame is
-  /// refreshed afterwards so subsequent cached reads see the new contents.
+  /// Counted read-modify-write. Write-through: device rmw, then the
+  /// resident frame is refreshed so subsequent cached reads see the new
+  /// contents. Write-back: the cached frame is dirtied instead and the
+  /// device is untouched until eviction/flush.
   template <class F>
   decltype(auto) withWrite(BlockId id, F&& fn) {
     if (!cache_) return device_->withWrite(id, std::forward<F>(fn));
-    if constexpr (std::is_void_v<
-                      decltype(device_->withWrite(id, std::forward<F>(fn)))>) {
-      device_->withWrite(id, std::forward<F>(fn));
-      cache_->refreshFromDevice(id);
-    } else {
-      auto result = device_->withWrite(id, std::forward<F>(fn));
-      cache_->refreshFromDevice(id);
-      return result;
-    }
+    if (writeBack()) return cache_->withWrite(id, std::forward<F>(fn));
+    return detail::invokeThen(
+        [&]() -> decltype(auto) {
+          return device_->withWrite(id, std::forward<F>(fn));
+        },
+        [&] { cache_->refreshFromDevice(id); });
   }
 
-  /// Counted blind write; refreshes a resident cached frame afterwards.
+  /// Counted blind write; same policy split as withWrite (write-back
+  /// installs a zeroed dirty frame at zero device I/O).
   template <class F>
   decltype(auto) withOverwrite(BlockId id, F&& fn) {
     if (!cache_) return device_->withOverwrite(id, std::forward<F>(fn));
-    if constexpr (std::is_void_v<decltype(device_->withOverwrite(
-                      id, std::forward<F>(fn)))>) {
-      device_->withOverwrite(id, std::forward<F>(fn));
-      cache_->refreshFromDevice(id);
-    } else {
-      auto result = device_->withOverwrite(id, std::forward<F>(fn));
-      cache_->refreshFromDevice(id);
-      return result;
-    }
+    if (writeBack()) return cache_->withOverwrite(id, std::forward<F>(fn));
+    return detail::invokeThen(
+        [&]() -> decltype(auto) {
+          return device_->withOverwrite(id, std::forward<F>(fn));
+        },
+        [&] { cache_->refreshFromDevice(id); });
   }
 
   BlockId allocate() { return device_->allocate(); }
@@ -92,6 +108,12 @@ class CachedBlockIo {
       for (std::size_t i = 0; i < count; ++i) cache_->invalidate(first + i);
     }
     device_->freeExtent(first, count);
+  }
+
+  /// Flush barrier: write every dirty frame to the device (counted).
+  /// No-op without a cache or in write-through mode.
+  void flush() {
+    if (cache_) cache_->flush();
   }
 
  private:

@@ -20,9 +20,22 @@ struct IoStats {
   std::uint64_t rmws = 0;
   std::uint64_t allocated_blocks = 0;
   std::uint64_t freed_blocks = 0;
+  // Cache telemetry, aggregated by tables with an attached BlockCache
+  // (and by the sharded façade across its per-shard caches). Hits are the
+  // accesses that cost zero device I/O; writebacks are the dirty frames a
+  // write-back cache has written to the device (those device writes are
+  // already counted in `writes` — this counter attributes them).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_writebacks = 0;
 
-  /// Paper-convention I/O cost (footnote 2 of the paper).
+  /// Paper-convention I/O cost (footnote 2 of the paper). Cache hits are
+  /// free by definition and never enter the cost.
   std::uint64_t cost() const noexcept { return reads + writes + rmws; }
+
+  /// Device writes of any flavor: blind writes (incl. write-back flushes)
+  /// plus read-modify-writes. The ablation benchmarks compare THIS across
+  /// write policies — it is the figure buffering/caching pushes down.
+  std::uint64_t writeCost() const noexcept { return writes + rmws; }
 
   /// Total raw block transfers (an rmw touches the block twice).
   std::uint64_t rawAccesses() const noexcept {
@@ -37,6 +50,8 @@ struct IoStats {
     rmws += rhs.rmws;
     allocated_blocks += rhs.allocated_blocks;
     freed_blocks += rhs.freed_blocks;
+    cache_hits += rhs.cache_hits;
+    cache_writebacks += rhs.cache_writebacks;
     return *this;
   }
 
@@ -53,6 +68,8 @@ struct IoStats {
     d.rmws = rhs.rmws <= rmws ? rmws - rhs.rmws : 0;
     d.allocated_blocks = allocated_blocks - rhs.allocated_blocks;
     d.freed_blocks = freed_blocks - rhs.freed_blocks;
+    d.cache_hits = cache_hits - rhs.cache_hits;
+    d.cache_writebacks = cache_writebacks - rhs.cache_writebacks;
     return d;
   }
 };

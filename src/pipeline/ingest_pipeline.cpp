@@ -199,6 +199,11 @@ void IngestPipeline::drain() {
   done_cv_.wait(lock, [this] {
     return inflight_.empty() && pending_lookup_tasks_ == 0;
   });
+  // Flush barrier: the worker is idle, so the table is quiescent — write
+  // any dirty cached frames to the device now. Callers rely on drain()
+  // leaving the device authoritative (direct table use, inspect-based
+  // checks) and on ioStats() including the deferred writes.
+  table_.flushCache();
   throwIfFailedLocked();
 }
 

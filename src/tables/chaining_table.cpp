@@ -36,6 +36,10 @@ ChainingHashTable::~ChainingHashTable() {
 
 void ChainingHashTable::destroy() {
   if (destroyed_) return;
+  // Flush barrier: the inspect() walk below reads the device directly,
+  // and under a write-back cache the dirty frames hold the live chain
+  // pointers — without the flush we would free along stale chains.
+  flushCache();
   // Uncounted traversal: deallocation is metadata bookkeeping, not data
   // transfer (the owner of a real disk would drop the whole file).
   for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
@@ -286,6 +290,7 @@ void ChainingHashTable::lookupBatch(std::span<const std::uint64_t> keys,
 
 void ChainingHashTable::visitLayout(LayoutVisitor& visitor) const {
   if (destroyed_) return;
+  flushCache();  // the inspect() reads below bypass the cache
   for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
     BlockId current = primaryBlock(j);
     while (current != kInvalidBlock) {

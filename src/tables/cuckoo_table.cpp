@@ -1,5 +1,6 @@
 #include "tables/cuckoo_table.h"
 
+#include <unordered_set>
 #include <vector>
 
 #include "tables/batch_util.h"
@@ -149,6 +150,119 @@ std::optional<std::uint64_t> CuckooHashTable::lookup(std::uint64_t key) {
   return ctx_.device->withRead(
       extent_ + bucket1(key),
       [&](std::span<const Word> d) { return ConstBucketPage(d).find(key); });
+}
+
+void CuckooHashTable::applyBatch(std::span<const Op> ops) {
+  if (ops.size() < 2) {
+    for (const Op& op : ops) {
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+    }
+    return;
+  }
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * ops.size());
+
+  // Phase 0 (memory, in submission order): ops on stash-resident keys
+  // resolve immediately; everything else queues for the grouped passes.
+  // The stash only ever shrinks here, so an op queued because its key is
+  // absent stays correctly ordered behind the stash ops that precede it.
+  std::vector<std::size_t> pending;
+  pending.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (stash_.contains(op.key)) {
+      if (op.kind == OpKind::kInsert) {
+        EXTHASH_CHECK(stash_.insertOrAssign(op.key, op.value));
+      } else {
+        EXTHASH_CHECK(stash_.erase(op.key));
+        --size_;
+      }
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  // Phase A: one rmw per touched first-choice bucket resolves every op
+  // whose key already lives there (update / erase). All ops of one key
+  // share both candidate buckets, so they travel through the same groups
+  // in submission order — per-key order survives the grouping.
+  std::vector<std::size_t> second_phase;
+  second_phase.reserve(pending.size());
+  {
+    const auto order = batch::orderByBucket(pending.size(), [&](std::size_t k) {
+      return bucket1(ops[pending[k]].key);
+    });
+    batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                   std::size_t j) {
+      ctx_.device->withWrite(extent_ + bucket, [&](std::span<Word> data) {
+        BucketPage page(data);
+        for (std::size_t k = i; k < j; ++k) {
+          const std::size_t idx = pending[order[k].second];
+          const Op& op = ops[idx];
+          if (auto at = page.indexOf(op.key)) {
+            if (op.kind == OpKind::kInsert) {
+              page.setValueAt(*at, op.value);
+            } else {
+              page.removeAt(*at);
+              --size_;
+            }
+          } else {
+            second_phase.push_back(idx);
+          }
+        }
+      });
+    });
+  }
+
+  // Phase B: one rmw per touched second-choice bucket updates, erases,
+  // or places the remainder. An insert that finds its bucket full defers
+  // to the serial kickout path — and once one op of a key defers, every
+  // later op of that key defers behind it so per-key order holds.
+  std::vector<std::size_t> deferred;
+  std::unordered_set<std::uint64_t> deferred_keys;
+  {
+    const auto order =
+        batch::orderByBucket(second_phase.size(), [&](std::size_t k) {
+          return bucket2(ops[second_phase[k]].key);
+        });
+    batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t i,
+                                   std::size_t j) {
+      ctx_.device->withWrite(extent_ + bucket, [&](std::span<Word> data) {
+        BucketPage page(data);
+        for (std::size_t k = i; k < j; ++k) {
+          const std::size_t idx = second_phase[order[k].second];
+          const Op& op = ops[idx];
+          if (deferred_keys.count(op.key) != 0) {
+            deferred.push_back(idx);
+            continue;
+          }
+          if (auto at = page.indexOf(op.key)) {
+            if (op.kind == OpKind::kInsert) {
+              page.setValueAt(*at, op.value);
+            } else {
+              page.removeAt(*at);
+              --size_;
+            }
+          } else if (op.kind == OpKind::kInsert) {
+            if (page.append(Record{op.key, op.value})) {
+              ++size_;
+            } else {
+              deferred_keys.insert(op.key);
+              deferred.push_back(idx);
+            }
+          }
+          // Erase of a key absent from stash and both buckets: a no-op,
+          // exactly like the serial path.
+        }
+      });
+    });
+  }
+
+  for (const std::size_t idx : deferred) {
+    const Op& op = ops[idx];
+    if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+    else erase(op.key);
+  }
 }
 
 void CuckooHashTable::lookupBatch(std::span<const std::uint64_t> keys,

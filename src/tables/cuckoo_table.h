@@ -30,6 +30,13 @@ class CuckooHashTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Bucket-grouped batch: stash-resident keys resolve in memory, then
+  /// one rmw per touched first-choice bucket handles updates/erases, and
+  /// one rmw per touched second-choice bucket places the rest — k ops
+  /// against a bucket pair cost two rmws instead of 2k. Ops needing
+  /// kickouts (full buckets) fall back to the serial path in submission
+  /// order.
+  void applyBatch(std::span<const Op> ops) override;
   /// Bucket-grouped probes: all keys sharing a second-choice bucket are
   /// answered by one read; only the misses pay a (grouped) first-choice
   /// read — k keys against one block cost one I/O instead of k.

@@ -259,6 +259,7 @@ void ExtendibleHashTable::lookupBatch(
 }
 
 void ExtendibleHashTable::visitLayout(LayoutVisitor& visitor) const {
+  flushCache();  // the inspect() reads below bypass the cache
   BlockId last_seen = extmem::kInvalidBlock;
   for (std::size_t i = 0; i < directory_.size(); ++i) {
     const BlockId id = directory_[i];

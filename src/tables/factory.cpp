@@ -91,6 +91,10 @@ std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,
       cfg.inner = config.sharded_inner;
       cfg.inner_config = config;
       cfg.threads = config.shard_threads;
+      cfg.cache_frames = config.shard_cache_frames;
+      cfg.cache_policy = config.shard_cache_write_back
+                             ? extmem::BlockCache::WritePolicy::kWriteBack
+                             : extmem::BlockCache::WritePolicy::kWriteThrough;
       return std::make_unique<ShardedTable>(ctx, cfg);
     }
   }

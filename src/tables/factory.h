@@ -43,6 +43,12 @@ struct GeneralConfig {
   std::size_t shards = 4;
   TableKind sharded_inner = TableKind::kBuffered;
   std::size_t shard_threads = 0;
+  /// kSharded only: total BlockCache frames auto-attached across shards
+  /// (0 = none) and whether they run write-back (dirty frames written on
+  /// eviction / flushCache()) instead of write-through. See
+  /// ShardedTableConfig::cache_frames / cache_policy.
+  std::size_t shard_cache_frames = 0;
+  bool shard_cache_write_back = false;
 };
 
 std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,

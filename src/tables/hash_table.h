@@ -155,26 +155,47 @@ class ExternalHashTable {
   virtual std::string debugString() const { return std::string(name()); }
 
   /// Counted I/O this table has caused. For ordinary tables this is the
-  /// context device's counters; composite façades that own private devices
-  /// (the sharded front-end) override it to aggregate. Measurement code
-  /// must diff this, not the raw device, to stay shard-correct.
-  virtual extmem::IoStats ioStats() const { return ctx_.device->stats(); }
+  /// context device's counters plus the attached cache's hit/writeback
+  /// telemetry; composite façades that own private devices (the sharded
+  /// front-end) override it to aggregate. Measurement code must diff
+  /// this, not the raw device, to stay shard-correct.
+  virtual extmem::IoStats ioStats() const {
+    extmem::IoStats stats = ctx_.device->stats();
+    if (read_cache_ != nullptr) {
+      stats.cache_hits += read_cache_->hits();
+      stats.cache_writebacks += read_cache_->writebacks();
+    }
+    return stats;
+  }
 
-  /// Attach a non-owning read-through cache (see extmem/cached_io.h). The
-  /// cache must be write-through, layered over this table's context
-  /// device, and must outlive the table (or be detached with nullptr).
-  /// Tables that honor it route their counted block accesses through it —
-  /// currently the chained-bucket structures (chaining, linear hashing)
-  /// and extendible hashing; other kinds simply never read it. The
-  /// sharded façade cannot honor a single cache: its shards own private
-  /// devices (attach per-shard caches via shard() instead).
-  void attachReadCache(extmem::BlockCache* cache) {
-    // Validates the policy and device-identity preconditions.
+  /// Attach a non-owning block cache (see extmem/cached_io.h), either
+  /// write-through or write-back. The cache must be layered over this
+  /// table's context device and must outlive the table (or be detached
+  /// with nullptr). Tables that honor it route their counted block
+  /// accesses through it — currently the chained-bucket structures
+  /// (chaining, linear hashing) and extendible hashing; other kinds
+  /// simply never read it. The sharded façade cannot honor a single
+  /// cache: its shards own private devices (use its auto-attach config
+  /// instead). With a write-back cache the table inserts its own flush
+  /// barriers (destroy paths, visitLayout); external quiescent points —
+  /// pipeline drain, measurement drain points — call flushCache().
+  void attachCache(extmem::BlockCache* cache) {
+    // Validates the device-identity precondition.
     extmem::CachedBlockIo probe(*ctx_.device, cache);
     (void)probe;
     read_cache_ = cache;
   }
+  /// Historical name for attachCache (pre-write-back API).
+  void attachReadCache(extmem::BlockCache* cache) { attachCache(cache); }
   extmem::BlockCache* readCache() const noexcept { return read_cache_; }
+
+  /// Flush barrier: write every dirty cached frame to the device
+  /// (counted). Composite façades override it to reach their internal
+  /// caches. Must be called with the table quiescent; afterwards the
+  /// device is authoritative and ioStats() includes the deferred writes.
+  virtual void flushCache() const {
+    if (read_cache_ != nullptr) read_cache_->flush();
+  }
 
   const TableContext& context() const noexcept { return ctx_; }
   extmem::BlockDevice& device() const noexcept { return *ctx_.device; }

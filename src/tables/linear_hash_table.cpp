@@ -25,6 +25,9 @@ LinearHashTable::LinearHashTable(TableContext ctx, LinearHashConfig config)
 }
 
 LinearHashTable::~LinearHashTable() {
+  // Flush barrier: the inspect() walk below reads the device directly;
+  // under a write-back cache the dirty frames hold the live chain links.
+  flushCache();
   // Free overflow chains, then the segment extents.
   const std::uint64_t live = bucketCountLive();
   for (std::uint64_t j = 0; j < live; ++j) {
@@ -371,6 +374,7 @@ void LinearHashTable::lookupBatch(std::span<const std::uint64_t> keys,
 }
 
 void LinearHashTable::visitLayout(LayoutVisitor& visitor) const {
+  flushCache();  // the inspect() reads below bypass the cache
   const std::uint64_t live = bucketCountLive();
   for (std::uint64_t j = 0; j < live; ++j) {
     BlockId current = blockOfBucket(j);

@@ -1,5 +1,6 @@
 #include "tables/linear_probing_table.h"
 
+#include <unordered_set>
 #include <vector>
 
 #include "tables/batch_util.h"
@@ -149,6 +150,91 @@ std::optional<std::uint64_t> LinearProbingHashTable::lookup(
     if (!p.overflowed) return std::nullopt;  // probe run ends here
   }
   return std::nullopt;
+}
+
+void LinearProbingHashTable::applyBatch(std::span<const Op> ops) {
+  if (ops.size() < 2) {
+    for (const Op& op : ops) {
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+    }
+    return;
+  }
+  const auto order = batch::orderByBucket(
+      ops.size(), [&](std::size_t i) { return homeBucket(ops[i].key); });
+  extmem::MemoryCharge scratch(*ctx_.memory, 2 * ops.size());
+
+  // One rmw per touched home block resolves every op whose probe run is
+  // that single block. Ops that must look past an overflowed home block
+  // defer to the serial walk — and once one op of a key defers, every
+  // later op of that key defers behind it, so per-key submission order
+  // survives. (All ops of one key share a home bucket, hence a group.)
+  std::vector<std::size_t> deferred;
+  std::unordered_set<std::uint64_t> deferred_keys;
+  batch::forEachGroup(order, [&](std::uint64_t home, std::size_t i,
+                                 std::size_t j) {
+    if (j - i == 1) {
+      const Op& op = ops[order[i].second];
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+      return;
+    }
+    std::ptrdiff_t delta = 0;
+    ctx_.device->withWrite(blockOf(home), [&](std::span<Word> data) {
+      BucketPage page(data);
+      for (std::size_t k = i; k < j; ++k) {
+        const std::size_t idx = order[k].second;
+        const Op& op = ops[idx];
+        if (deferred_keys.count(op.key) != 0) {
+          deferred.push_back(idx);
+          continue;
+        }
+        const bool overflowed = (page.flags() & kOverflowedFlag) != 0;
+        if (auto at = page.indexOf(op.key)) {
+          // The key lives here (keys are unique across the run): update
+          // or remove in place, whatever the run looks like downstream.
+          if (op.kind == OpKind::kInsert) page.setValueAt(*at, op.value);
+          else {
+            page.removeAt(*at);
+            --delta;
+          }
+          continue;
+        }
+        if (op.kind == OpKind::kErase) {
+          // Absent from the home block: done unless the run continues.
+          if (overflowed) {
+            deferred_keys.insert(op.key);
+            deferred.push_back(idx);
+          }
+          continue;
+        }
+        if (overflowed) {
+          // The run extends past this block, so the key may exist
+          // downstream; only the serial walk can decide insert-vs-update.
+          deferred_keys.insert(op.key);
+          deferred.push_back(idx);
+          continue;
+        }
+        if (page.append(Record{op.key, op.value})) {
+          ++delta;
+        } else {
+          // Full and never overflowed: it overflows now (the serial fast
+          // path sets the flag the same way before falling through).
+          page.setFlags(page.flags() | kOverflowedFlag);
+          deferred_keys.insert(op.key);
+          deferred.push_back(idx);
+        }
+      }
+    });
+    size_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(size_) + delta);
+  });
+
+  for (const std::size_t idx : deferred) {
+    const Op& op = ops[idx];
+    if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+    else erase(op.key);
+  }
 }
 
 void LinearProbingHashTable::lookupBatch(

@@ -33,6 +33,12 @@ class LinearProbingHashTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Home-bucket-grouped batch: one rmw on the home block resolves every
+  /// op whose probe run is just that block (the 1 - 1/2^Ω(b) common
+  /// case) — k ops cost one I/O instead of k. Ops that must scan past an
+  /// overflowed home block fall back to the serial path in submission
+  /// order.
+  void applyBatch(std::span<const Op> ops) override;
   /// Home-bucket-grouped probes: one walk of a probe run answers every
   /// key whose home bucket starts it.
   void lookupBatch(std::span<const std::uint64_t> keys,

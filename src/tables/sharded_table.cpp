@@ -49,13 +49,29 @@ ShardedTable::ShardedTable(TableContext ctx, ShardedTableConfig config)
 
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
+    // Distribute the frame budget exactly: base frames everywhere plus
+    // one extra for the first (cache_frames mod n) shards, so the charge
+    // against the shared budget equals the configured total (shards past
+    // the budget simply get no cache).
+    const std::size_t frames_per_shard =
+        config_.cache_frames / n + (s < config_.cache_frames % n ? 1 : 0);
     Shard shard;
     shard.device = std::make_unique<extmem::BlockDevice>(words);
     shard.memory = std::make_unique<extmem::MemoryBudget>(mem_limit);
+    if (frames_per_shard > 0) {
+      // Frames are charged to the caller's shared budget (ctx_.memory):
+      // cache memory competes with staging buffers and every other
+      // in-memory structure the caller accounts there, exactly like the
+      // paper's single memory-of-m-words model.
+      shard.cache = std::make_unique<extmem::BlockCache>(
+          *shard.device, *ctx_.memory, frames_per_shard,
+          config_.cache_policy);
+    }
     shard.table = makeTable(
         config_.inner,
         TableContext{shard.device.get(), shard.memory.get(), ctx_.hash},
         inner);
+    if (shard.cache) shard.table->attachCache(shard.cache.get());
     shards_.push_back(std::move(shard));
   }
 }
@@ -162,8 +178,20 @@ std::optional<extmem::BlockId> ShardedTable::primaryBlockOf(
 
 extmem::IoStats ShardedTable::ioStats() const {
   extmem::IoStats total;
-  for (const Shard& shard : shards_) total += shard.device->stats();
+  for (const Shard& shard : shards_) {
+    total += shard.device->stats();
+    if (shard.cache) {
+      total.cache_hits += shard.cache->hits();
+      total.cache_writebacks += shard.cache->writebacks();
+    }
+  }
   return total;
+}
+
+void ShardedTable::flushCache() const {
+  for (const Shard& shard : shards_) {
+    if (shard.cache) shard.cache->flush();
+  }
 }
 
 std::string ShardedTable::debugString() const {

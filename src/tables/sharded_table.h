@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "extmem/block_cache.h"
 #include "tables/factory.h"
 #include "tables/hash_table.h"
 #include "util/thread_pool.h"
@@ -48,6 +49,22 @@ struct ShardedTableConfig {
   GeneralConfig inner_config;
   /// Dispatch threads (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Total block-cache frames distributed exactly across the shards
+  /// (shard s gets floor(total/N) frames, +1 for the first total mod N
+  /// shards; a shard allotted zero frames gets no cache). Each cache is
+  /// a private BlockCache over the shard's device, auto-attached and
+  /// charged against the CALLER's shared MemoryBudget — the façade's
+  /// context budget, not the per-shard ones. 0 = no caches. Only the
+  /// cache-honoring inner kinds (chaining, linear hashing, extendible)
+  /// actually route accesses through them.
+  std::size_t cache_frames = 0;
+  /// Write policy for the auto-attached per-shard caches. Write-back
+  /// requires the flush barriers the façade provides: flushCache() (and
+  /// the destructor) flushes every shard cache, and ioStats() aggregates
+  /// their hit/writeback telemetry alongside the per-shard device
+  /// counters.
+  extmem::BlockCache::WritePolicy cache_policy =
+      extmem::BlockCache::WritePolicy::kWriteThrough;
 };
 
 class ShardedTable final : public ExternalHashTable {
@@ -91,7 +108,12 @@ class ShardedTable final : public ExternalHashTable {
   std::optional<extmem::BlockId> primaryBlockOf(
       std::uint64_t key) const override;
   std::string debugString() const override;
+  /// Aggregates per-shard device counters AND per-shard cache telemetry
+  /// (cache_hits / cache_writebacks).
   extmem::IoStats ioStats() const override;
+  /// Flush barrier across every auto-attached shard cache. The façade
+  /// must be quiescent (no batch in flight on the shard pool).
+  void flushCache() const override;
 
   std::size_t shardCount() const noexcept { return shards_.size(); }
   ExternalHashTable& shard(std::size_t i) { return *shards_[i].table; }
@@ -101,11 +123,19 @@ class ShardedTable final : public ExternalHashTable {
   const extmem::BlockDevice& shardDevice(std::size_t i) const {
     return *shards_[i].device;
   }
+  /// The auto-attached cache of shard i (nullptr when cache_frames == 0).
+  extmem::BlockCache* shardCache(std::size_t i) const noexcept {
+    return shards_[i].cache.get();
+  }
 
  private:
+  // Destruction order matters: `table` is declared last so it is
+  // destroyed first — its destructor flushes/invalidates through `cache`,
+  // which must still be alive, and frees blocks on `device`.
   struct Shard {
     std::unique_ptr<extmem::BlockDevice> device;
     std::unique_ptr<extmem::MemoryBudget> memory;
+    std::unique_ptr<extmem::BlockCache> cache;
     std::unique_ptr<ExternalHashTable> table;
   };
 

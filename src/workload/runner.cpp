@@ -131,12 +131,18 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
   batch.reserve(batch_size);
   auto settle = [&]() {
     // Make the table quiescent: apply everything staged so sampling sees
-    // the exact prefix and the I/O counters are safe to read.
+    // the exact prefix and the I/O counters are safe to read. The cache
+    // flush barrier charges deferred write-back writes to the insert
+    // phase BEFORE tu/tq are read — without it a write-back cache would
+    // under-report tu and leak the flush cost into the query diffs.
     if (pipe) {
-      pipe->drain();
-    } else if (!batch.empty()) {
-      table.applyBatch(batch);
-      batch.clear();
+      pipe->drain();  // drains, then flushes the table's caches
+    } else {
+      if (!batch.empty()) {
+        table.applyBatch(batch);
+        batch.clear();
+      }
+      table.flushCache();
     }
   };
 

@@ -305,6 +305,30 @@ TEST(BatchBeatsSerial, BufferedAtBatchSizeB) {
                              << " batched=" << batched;
 }
 
+TEST(BatchBeatsSerial, CuckooAtBatchSizeB) {
+  constexpr std::size_t kB = 16, kN = 4096;
+  GeneralConfig cfg;
+  cfg.expected_n = kN;
+  cfg.target_load = 0.5;
+  const std::uint64_t serial = costOf(TableKind::kCuckoo, kB, kN, 1, cfg);
+  const std::uint64_t batched = costOf(TableKind::kCuckoo, kB, kN, 1024, cfg);
+  EXPECT_LT(batched, serial) << "serial=" << serial
+                             << " batched=" << batched;
+}
+
+TEST(BatchBeatsSerial, LinearProbingAtBatchSizeB) {
+  constexpr std::size_t kB = 16, kN = 4096;
+  GeneralConfig cfg;
+  cfg.expected_n = kN;
+  cfg.target_load = 0.5;
+  const std::uint64_t serial =
+      costOf(TableKind::kLinearProbing, kB, kN, 1, cfg);
+  const std::uint64_t batched =
+      costOf(TableKind::kLinearProbing, kB, kN, 1024, cfg);
+  EXPECT_LT(batched, serial) << "serial=" << serial
+                             << " batched=" << batched;
+}
+
 TEST(ShardedTableTest, VisitLayoutNamespacesBlockIdsByShard) {
   TestRig rig(8);
   GeneralConfig cfg;
