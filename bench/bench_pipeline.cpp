@@ -36,7 +36,20 @@ namespace {
 using namespace exthash;
 
 enum class Protocol { kSerial, kBatched, kPipelined };
-enum class CacheMode { kNone, kWriteThrough, kWriteBack };
+
+/// Auto-attached per-shard cache spec for a run (label like "wt/lru",
+/// "wb/arc"; `cached == false` prints "-").
+struct CacheSpec {
+  bool cached = false;
+  bool write_back = false;
+  extmem::ReplacementKind replacement = extmem::ReplacementKind::kLru;
+
+  std::string label() const {
+    if (!cached) return "-";
+    return std::string(write_back ? "wb/" : "wt/") +
+           std::string(extmem::replacementKindName(replacement));
+  }
+};
 
 struct RunResult {
   double seconds = 0.0;
@@ -49,7 +62,7 @@ struct RunResult {
 
 std::unique_ptr<tables::ExternalHashTable> makeTableFor(
     const bench::Rig& rig, const std::string& kind_name, std::size_t n,
-    std::uint32_t latency_spins, CacheMode cache_mode,
+    std::uint32_t latency_spins, const CacheSpec& cache,
     std::size_t cache_frames) {
   tables::GeneralConfig cfg;
   cfg.expected_n = n;
@@ -59,9 +72,10 @@ std::unique_ptr<tables::ExternalHashTable> makeTableFor(
   cfg.gamma = 2;
   cfg.shards = 4;
   cfg.shard_threads = 4;
-  if (cache_mode != CacheMode::kNone) {
+  if (cache.cached) {
     cfg.shard_cache_frames = cache_frames;
-    cfg.shard_cache_write_back = cache_mode == CacheMode::kWriteBack;
+    cfg.shard_cache_write_back = cache.write_back;
+    cfg.shard_cache_replacement = cache.replacement;
   }
   tables::TableKind kind;
   if (kind_name == "sharded-chaining") {
@@ -84,7 +98,7 @@ std::unique_ptr<tables::ExternalHashTable> makeTableFor(
   return table;
 }
 
-RunResult runProtocol(Protocol protocol, CacheMode cache_mode,
+RunResult runProtocol(Protocol protocol, const CacheSpec& cache,
                       const std::string& kind_name,
                       const std::vector<std::uint64_t>& keys,
                       const std::vector<std::uint64_t>& universe,
@@ -93,7 +107,7 @@ RunResult runProtocol(Protocol protocol, CacheMode cache_mode,
                       std::uint64_t seed) {
   bench::Rig rig(b, /*memory_words=*/0, deriveSeed(seed, 11));
   auto table = makeTableFor(rig, kind_name, keys.size(), latency_spins,
-                            cache_mode, cache_frames);
+                            cache, cache_frames);
 
   RunResult r;
   const auto t0 = std::chrono::steady_clock::now();
@@ -168,9 +182,11 @@ int main(int argc, char** argv) {
       "wall-clock; I/O is the counted cost per submitted op (write I/O = "
       "writes + rmws, cache flushes included). The device yields per "
       "access to emulate DMA latency (counted I/O unaffected). The cached "
-      "sharded-chaining rows auto-attach per-shard caches (wt = "
-      "write-through, wb = write-back). 'ok' = final live contents "
-      "identical to the serial protocol.");
+      "sharded-chaining rows auto-attach per-shard caches, labeled "
+      "write-policy/replacement-policy (wt|wb / lru|2q|arc): pipelined "
+      "windows are bucket-grouped sweeps, the cyclic shape where "
+      "scan-resistant replacement decides what stays resident. 'ok' = "
+      "final live contents identical to the serial protocol.");
 
   TablePrinter out({"table", "keys", "protocol", "cache", "ops/s", "speedup",
                     "I/O per op", "write I/O", "coalesced", "contents"});
@@ -197,37 +213,45 @@ int main(int argc, char** argv) {
                      universe.end());
 
       // The base matrix runs uncached; the cache-honoring sharded kind
-      // additionally runs the pipelined protocol through write-through
-      // and write-back per-shard caches.
-      std::vector<std::pair<Protocol, CacheMode>> combos = {
-          {Protocol::kSerial, CacheMode::kNone},
-          {Protocol::kBatched, CacheMode::kNone},
-          {Protocol::kPipelined, CacheMode::kNone}};
+      // additionally runs the pipelined protocol through per-shard caches
+      // across write x replacement policies (write-through LRU as the
+      // strawman baseline, then write-back under all three replacements —
+      // the pipelined windows are bucket-grouped sweeps, so this is the
+      // cyclic access shape where the policy choice decides residency).
+      std::vector<std::pair<Protocol, CacheSpec>> combos = {
+          {Protocol::kSerial, CacheSpec{}},
+          {Protocol::kBatched, CacheSpec{}},
+          {Protocol::kPipelined, CacheSpec{}}};
       if (kind == "sharded-chaining") {
-        combos.emplace_back(Protocol::kPipelined, CacheMode::kWriteThrough);
-        combos.emplace_back(Protocol::kPipelined, CacheMode::kWriteBack);
+        combos.push_back({Protocol::kPipelined,
+                          CacheSpec{true, false, extmem::ReplacementKind::kLru}});
+        for (const auto repl :
+             {extmem::ReplacementKind::kLru, extmem::ReplacementKind::kTwoQ,
+              extmem::ReplacementKind::kArc}) {
+          combos.push_back(
+              {Protocol::kPipelined, CacheSpec{true, true, repl}});
+        }
       }
 
-      std::map<std::pair<Protocol, CacheMode>, RunResult> results;
+      std::vector<RunResult> results;
+      results.reserve(combos.size());
       for (const auto& combo : combos) {
-        results[combo] =
+        results.push_back(
             runProtocol(combo.first, combo.second, kind, keys, universe,
-                        batch, depth, b, cache_frames, latency, seed);
+                        batch, depth, b, cache_frames, latency, seed));
       }
-      const RunResult& serial = results[{Protocol::kSerial, CacheMode::kNone}];
-      for (const auto& combo : combos) {
-        const RunResult& r = results[combo];
+      const RunResult& serial = results[0];  // combos[0] is serial/uncached
+      const RunResult& batched = results[1];
+      const RunResult& pipelined = results[2];
+      for (std::size_t c = 0; c < combos.size(); ++c) {
+        const RunResult& r = results[c];
         const bool equal = r.checksum == serial.checksum;
         all_equal = all_equal && equal;
-        const char* proto_name = combo.first == Protocol::kSerial ? "serial"
-                                 : combo.first == Protocol::kBatched
-                                     ? "batched"
-                                     : "pipelined";
-        const char* cache_name =
-            combo.second == CacheMode::kNone           ? "-"
-            : combo.second == CacheMode::kWriteThrough ? "wt"
-                                                       : "wb";
-        out.addRow({kind, stream, proto_name, cache_name,
+        const char* proto_name =
+            combos[c].first == Protocol::kSerial    ? "serial"
+            : combos[c].first == Protocol::kBatched ? "batched"
+                                                    : "pipelined";
+        out.addRow({kind, stream, proto_name, combos[c].second.label(),
                     TablePrinter::num(static_cast<double>(n) / r.seconds, 0),
                     TablePrinter::num(serial.seconds / r.seconds, 2),
                     TablePrinter::num(r.io_per_op, 4),
@@ -237,9 +261,7 @@ int main(int argc, char** argv) {
       }
       if (kind.rfind("sharded", 0) == 0) {
         sharded_kind_wins[kind] =
-            sharded_kind_wins[kind] ||
-            results[{Protocol::kPipelined, CacheMode::kNone}].seconds <
-                results[{Protocol::kBatched, CacheMode::kNone}].seconds;
+            sharded_kind_wins[kind] || pipelined.seconds < batched.seconds;
       }
     }
   }

@@ -7,11 +7,15 @@
 namespace exthash::extmem {
 
 BlockCache::BlockCache(BlockDevice& device, MemoryBudget& budget,
-                       std::size_t capacity_blocks, WritePolicy policy)
+                       std::size_t capacity_blocks, WritePolicy policy,
+                       ReplacementKind replacement)
     : device_(device),
       charge_(budget, capacity_blocks * device.wordsPerBlock()),
       capacity_blocks_(capacity_blocks),
-      policy_(policy) {
+      policy_(policy),
+      replacement_kind_(replacement),
+      replacement_(makeReplacementPolicy(replacement, budget,
+                                         capacity_blocks)) {
   EXTHASH_CHECK(capacity_blocks >= 1);
 }
 
@@ -22,12 +26,6 @@ void BlockCache::markDirty(Frame& frame) {
     frame.dirty = true;
     ++dirty_blocks_;
   }
-}
-
-void BlockCache::promote(BlockId id, Frame& frame) {
-  lru_.erase(frame.lru_pos);
-  lru_.push_front(id);
-  frame.lru_pos = lru_.begin();
 }
 
 void BlockCache::rechargeForResidency() {
@@ -41,13 +39,12 @@ void BlockCache::rechargeForResidency() {
 BlockCache::Frame& BlockCache::insertFrame(BlockId id, Frame frame) {
   // Shrink to capacity first (this also drains any over-capacity frames
   // left behind while everything evictable was pinned).
-  while (frames_.size() >= capacity_blocks_ && evictOneUnpinned()) {
+  while (frames_.size() >= capacity_blocks_ && evictOne()) {
   }
-  lru_.push_front(id);
-  frame.lru_pos = lru_.begin();
   auto [ins, ok] = frames_.emplace(id, std::move(frame));
   EXTHASH_CHECK(ok);
   if (ins->second.dirty) ++dirty_blocks_;
+  replacement_->onInsert(id);
   rechargeForResidency();
   return ins->second;
 }
@@ -56,12 +53,13 @@ BlockCache::Frame& BlockCache::fetch(BlockId id, bool mark_dirty) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
-    promote(id, it->second);
+    replacement_->onHit(id);
     if (mark_dirty) markDirty(it->second);
     return it->second;
   }
 
   ++misses_;
+  replacement_->onMiss(id);  // ghost lookup / adaptation, pre-eviction
   Frame frame;
   frame.data.resize(device_.wordsPerBlock());
   device_.withRead(id, [&](std::span<const Word> data) {
@@ -73,16 +71,18 @@ BlockCache::Frame& BlockCache::fetch(BlockId id, bool mark_dirty) {
 
 BlockCache::Frame& BlockCache::installZeroed(BlockId id) {
   // Either branch costs zero device I/O (the caller overwrites
-  // everything, so the device copy is never needed), which is what
-  // hits_ counts; misses_ stays the device-read counter.
+  // everything, so the device copy is never needed), which is what the
+  // hit telemetry counts; the policy still sees a non-resident install as
+  // a miss-admission so its queues mirror residency.
   ++hits_;
   auto it = frames_.find(id);
   if (it != frames_.end()) {
-    promote(id, it->second);
+    replacement_->onHit(id);
     std::fill(it->second.data.begin(), it->second.data.end(), Word{0});
     markDirty(it->second);
     return it->second;
   }
+  replacement_->onMiss(id);
   Frame frame;
   frame.data.assign(device_.wordsPerBlock(), Word{0});
   frame.dirty = true;
@@ -102,19 +102,22 @@ void BlockCache::writeBack(BlockId id, Frame& frame) {
   ++writebacks_;
 }
 
-bool BlockCache::evictOneUnpinned() {
-  for (auto pos = lru_.rbegin(); pos != lru_.rend(); ++pos) {
-    const BlockId victim = *pos;
-    auto it = frames_.find(victim);
-    EXTHASH_CHECK(it != frames_.end());
-    if (it->second.pins > 0) continue;  // a live span points into it
-    writeBack(victim, it->second);
-    lru_.erase(std::next(pos).base());
-    frames_.erase(it);
-    rechargeForResidency();
-    return true;
-  }
-  return false;
+bool BlockCache::evictOne() {
+  const auto unpinned = [this](BlockId id) {
+    auto it = frames_.find(id);
+    EXTHASH_CHECK_MSG(it != frames_.end(),
+                      "policy proposed a non-resident victim " << id);
+    return it->second.pins == 0;  // a live span points into pinned frames
+  };
+  const std::optional<BlockId> victim = replacement_->chooseEvict(unpinned);
+  if (!victim) return false;
+  auto it = frames_.find(*victim);
+  EXTHASH_CHECK(it != frames_.end());
+  EXTHASH_CHECK(it->second.pins == 0);
+  writeBack(*victim, it->second);
+  frames_.erase(it);
+  rechargeForResidency();
+  return true;
 }
 
 void BlockCache::flush() {
@@ -123,28 +126,50 @@ void BlockCache::flush() {
 
 void BlockCache::invalidate(BlockId id) {
   auto it = frames_.find(id);
-  if (it == frames_.end()) return;
-  EXTHASH_CHECK_MSG(it->second.pins == 0,
+  // Reject pinned frames BEFORE touching any state: the CheckFailure is
+  // documented as catchable, and a partial invalidation would leave the
+  // policy desynced from the resident set.
+  EXTHASH_CHECK_MSG(it == frames_.end() || it->second.pins == 0,
                     "invalidating block " << id
                         << " while a callback holds its span");
+  // Drop policy state even for a non-resident id — it may have a ghost
+  // entry, and the owner is about to recycle the id.
+  replacement_->onRemove(id);
+  if (it == frames_.end()) return;
   if (it->second.dirty) --dirty_blocks_;
-  lru_.erase(it->second.lru_pos);
   frames_.erase(it);
   rechargeForResidency();
 }
 
 void BlockCache::refreshFromDevice(BlockId id) {
   auto it = frames_.find(id);
-  if (it == frames_.end()) return;
-  const auto data = device_.inspect(id);
-  std::copy(data.begin(), data.end(), it->second.data.begin());
-  if (it->second.dirty) {
-    it->second.dirty = false;
-    --dirty_blocks_;
+  if (it != frames_.end()) {
+    ++hits_;
+    const auto data = device_.inspect(id);
+    std::copy(data.begin(), data.end(), it->second.data.begin());
+    if (it->second.dirty) {
+      it->second.dirty = false;
+      --dirty_blocks_;
+    }
+    // The write is a use of the block: promote it so a hot written page
+    // cannot be evicted ahead of a cold read page.
+    replacement_->onHit(id);
+    return;
   }
-  // The write that triggered this refresh is a use of the block: promote
-  // it so a hot written page cannot be evicted ahead of a cold read page.
-  promote(id, it->second);
+  // Write-allocate: the device write that triggered this refresh was a
+  // genuine use of a block the cache did not hold, so it counts as a miss
+  // and installs the freshly written contents — at zero additional device
+  // I/O (the counted I/O was the write itself; the copy-in is the same
+  // uncounted transfer as the resident refresh above). This is what makes
+  // write-through recency and hit/miss telemetry match write-back, whose
+  // write path fetches and admits the same way.
+  ++misses_;
+  replacement_->onMiss(id);
+  Frame frame;
+  frame.data.resize(device_.wordsPerBlock());
+  const auto data = device_.inspect(id);
+  std::copy(data.begin(), data.end(), frame.data.begin());
+  insertFrame(id, std::move(frame));
 }
 
 }  // namespace exthash::extmem

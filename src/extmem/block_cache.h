@@ -1,8 +1,14 @@
-// LRU block cache layered over a BlockDevice.
+// Block cache layered over a BlockDevice, with pluggable replacement.
 //
 // Models "use the memory as a cache" instead of "use the memory as an
 // insert buffer". Cache hits cost zero I/Os; misses read through (counted
 // on the underlying device).
+//
+// Replacement is a strategy (see extmem/replacement_policy.h): LRU, 2Q, or
+// ARC. The batch fast paths emit bucket-grouped — i.e. sorted, cyclically
+// sweeping — access runs, which are LRU's worst case below full residency;
+// the scan-resistant policies keep the proven-hot set resident through
+// those sweeps. The ABL-CACHE ablation quantifies the difference.
 //
 // Write policies:
 //   kWriteThrough — writes go directly to the device (counted rmw); the
@@ -10,18 +16,29 @@
 //   kWriteBack    — writes mutate the cached frame only (a miss costs one
 //                   read to load it; a blind overwrite costs nothing);
 //                   dirty frames reach the device as one counted write on
-//                   LRU eviction or flush(). Between flushes the CACHE,
+//                   eviction or flush(). Between flushes the CACHE,
 //                   not the device, is authoritative for dirty blocks —
 //                   anything that reads the device directly (inspect(),
 //                   visitLayout, destroy walks) must flush() first.
 //
+// Telemetry contract: hits() and misses() count block USES through the
+// cache, not device reads. A hit found (or, on the write-through refresh
+// path, updated) a resident frame; a miss found none. In particular
+// refreshFromDevice — the uncounted refresh after a write-through device
+// write — records a hit when the frame is resident and a miss (with a
+// write-allocate install of the just-written contents, at zero counted
+// I/O) when it is not, so write-through recency statistics and cache
+// population match write-back, whose write path goes through fetch and
+// counts the same way. ghostHits() and adaptiveTarget() surface the
+// replacement policy's internals (see replacement_policy.h).
+//
 // The paper's lower bound applies to caching as a special case of
 // buffering — the ABL-CACHE ablation benchmark quantifies that. The cache
-// charges the memory budget for its frames.
+// charges the memory budget for its frames, and the policy charges its
+// ghost-list metadata on top.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <span>
 #include <type_traits>
 #include <unordered_map>
@@ -30,6 +47,7 @@
 
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
+#include "extmem/replacement_policy.h"
 
 namespace exthash::extmem {
 
@@ -57,7 +75,8 @@ class BlockCache {
 
   BlockCache(BlockDevice& device, MemoryBudget& budget,
              std::size_t capacity_blocks,
-             WritePolicy policy = WritePolicy::kWriteThrough);
+             WritePolicy policy = WritePolicy::kWriteThrough,
+             ReplacementKind replacement = ReplacementKind::kLru);
   ~BlockCache();
 
   BlockCache(const BlockCache&) = delete;
@@ -126,23 +145,37 @@ class BlockCache {
 
   /// Drop a block from the cache (e.g. after the owner frees it). Dirty
   /// contents are discarded — a freed block's data must never be written
-  /// over a reused id.
+  /// over a reused id. Ghost-list entries for the id are dropped too, so
+  /// id reuse cannot fake a reuse signal to the policy.
   void invalidate(BlockId id);
 
-  /// Refresh the cached copy of `id` from the device (uncounted), if one
-  /// is resident, and promote it to most-recently-used. Used by write
-  /// paths that hit the device directly so later cached reads observe the
-  /// new contents — the write is a genuine use of the block, so it must
-  /// count for recency like any read.
+  /// Refresh the cached copy of `id` from the device (uncounted). Used by
+  /// write paths that hit the device directly so later cached reads
+  /// observe the new contents — the write is a genuine use of the block,
+  /// so it counts in the hit/miss telemetry and as a policy touch (see
+  /// the file comment): resident = hit + promote, non-resident = miss +
+  /// write-allocate install of the written contents.
   void refreshFromDevice(BlockId id);
 
   WritePolicy policy() const noexcept { return policy_; }
+  ReplacementKind replacementKind() const noexcept { return replacement_kind_; }
+  std::string_view replacementName() const noexcept {
+    return replacement_->name();
+  }
   BlockDevice& device() const noexcept { return device_; }
 
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
   /// Dirty frames written to the device so far (evictions + flushes).
   std::uint64_t writebacks() const noexcept { return writebacks_; }
+  /// Misses that hit the policy's ghost directory (see
+  /// replacement_policy.h; always 0 for LRU).
+  std::uint64_t ghostHits() const noexcept { return replacement_->ghostHits(); }
+  /// The policy's adaptive balance target (ARC's p, in blocks; 0 for
+  /// non-adaptive policies).
+  double adaptiveTarget() const noexcept {
+    return replacement_->adaptiveTarget();
+  }
   double hitRate() const noexcept {
     const double total = static_cast<double>(hits_ + misses_);
     return total > 0 ? static_cast<double>(hits_) / total : 0.0;
@@ -150,6 +183,9 @@ class BlockCache {
   std::size_t capacityBlocks() const noexcept { return capacity_blocks_; }
   std::size_t residentBlocks() const noexcept { return frames_.size(); }
   std::size_t dirtyBlocks() const noexcept { return dirty_blocks_; }
+  std::size_t ghostEntries() const noexcept {
+    return replacement_->ghostEntries();
+  }
 
  private:
   // Frames live in unordered_map nodes, so references stay valid while
@@ -159,7 +195,6 @@ class BlockCache {
     std::vector<Word> data;
     bool dirty = false;
     int pins = 0;  // > 0: a caller holds a span into `data`; not evictable
-    std::list<BlockId>::iterator lru_pos;
   };
 
   /// RAII pin for the duration of a callback (exception-safe).
@@ -179,20 +214,20 @@ class BlockCache {
   /// Keep the budget charge in step with max(capacity, residency) so
   /// transient pin-driven over-capacity is accounted like any memory.
   void rechargeForResidency();
-  void promote(BlockId id, Frame& frame);
   void markDirty(Frame& frame);
-  /// Evict the least-recently-used UNPINNED frame; false if every
+  /// Ask the policy for an unpinned victim and evict it; false if every
   /// resident frame is pinned (the cache then runs over capacity until
   /// the nesting unwinds).
-  bool evictOneUnpinned();
+  bool evictOne();
   void writeBack(BlockId id, Frame& frame);
 
   BlockDevice& device_;
   MemoryCharge charge_;
   std::size_t capacity_blocks_;
   WritePolicy policy_;
+  ReplacementKind replacement_kind_;
+  std::unique_ptr<ReplacementPolicy> replacement_;
   std::unordered_map<BlockId, Frame> frames_;
-  std::list<BlockId> lru_;  // front = most recent
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t writebacks_ = 0;

@@ -1,6 +1,13 @@
 // CachedBlockIo — a thin counted-access view over a BlockDevice with an
 // optional BlockCache in front.
 //
+// The cache's replacement policy (LRU / 2Q / ARC, see
+// extmem/replacement_policy.h) is the cache's own business: this view
+// forwards accesses and coherence events and is policy-agnostic. Pick the
+// policy where the cache is built — BlockCache's constructor,
+// ShardedTableConfig::cache_replacement for the façade's auto-attached
+// caches, or MeasurementConfig::cache_replacement in the workload runner.
+//
 // The bucketed tables' grouped batch paths (chain walks, probe runs) used
 // to talk to the BlockDevice directly, bypassing any cache and re-paying a
 // read for every revisit of a hot block. Tables now route their counted

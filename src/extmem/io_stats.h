@@ -27,6 +27,15 @@ struct IoStats {
   // already counted in `writes` — this counter attributes them).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_writebacks = 0;
+  // Replacement-policy telemetry (see extmem/replacement_policy.h):
+  // misses that hit a ghost directory (2Q's A1out, ARC's B1/B2 — a reuse
+  // the policy remembered after evicting; always 0 for LRU), and the sum
+  // of the caches' adaptive targets (ARC's p, in blocks). The target is a
+  // GAUGE, not a counter: a snapshot sums the current p over every
+  // attached cache (divide by the cache count for a mean), and diffing
+  // snapshots yields the drift over the measured phase.
+  std::uint64_t cache_ghost_hits = 0;
+  double cache_adaptive_target = 0.0;
 
   /// Paper-convention I/O cost (footnote 2 of the paper). Cache hits are
   /// free by definition and never enter the cost.
@@ -52,6 +61,8 @@ struct IoStats {
     freed_blocks += rhs.freed_blocks;
     cache_hits += rhs.cache_hits;
     cache_writebacks += rhs.cache_writebacks;
+    cache_ghost_hits += rhs.cache_ghost_hits;
+    cache_adaptive_target += rhs.cache_adaptive_target;
     return *this;
   }
 
@@ -70,6 +81,8 @@ struct IoStats {
     d.freed_blocks = freed_blocks - rhs.freed_blocks;
     d.cache_hits = cache_hits - rhs.cache_hits;
     d.cache_writebacks = cache_writebacks - rhs.cache_writebacks;
+    d.cache_ghost_hits = cache_ghost_hits - rhs.cache_ghost_hits;
+    d.cache_adaptive_target = cache_adaptive_target - rhs.cache_adaptive_target;
     return d;
   }
 };

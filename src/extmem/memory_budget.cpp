@@ -1,27 +1,44 @@
 #include "extmem/memory_budget.h"
 
-#include <algorithm>
-
 namespace exthash::extmem {
 
 void MemoryBudget::charge(std::size_t words) {
-  if (limit_words_ != 0 && used_words_ + words > limit_words_) {
-    throw BudgetExceeded("memory budget exceeded: used " +
-                         std::to_string(used_words_) + " + " +
-                         std::to_string(words) + " > limit " +
-                         std::to_string(limit_words_) + " words");
+  // CAS loop so an over-limit attempt never mutates the counter: a doomed
+  // charge must not transiently inflate `used` and fail a concurrent
+  // charge that actually fits (per-shard caches recharge one shared
+  // budget from their shard threads).
+  std::size_t cur = used_words_.load(std::memory_order_relaxed);
+  std::size_t now;
+  do {
+    now = cur + words;
+    if (limit_words_ != 0 && now > limit_words_) {
+      throw BudgetExceeded("memory budget exceeded: used " +
+                           std::to_string(cur) + " + " +
+                           std::to_string(words) + " > limit " +
+                           std::to_string(limit_words_) + " words");
+    }
+  } while (!used_words_.compare_exchange_weak(cur, now,
+                                              std::memory_order_relaxed));
+  std::size_t peak = peak_words_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_words_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed)) {
   }
-  used_words_ += words;
-  peak_words_ = std::max(peak_words_, used_words_);
 }
 
 void MemoryBudget::release(std::size_t words) noexcept {
-  used_words_ = words <= used_words_ ? used_words_ - words : 0;
+  // Clamped at zero, like the pre-atomic accounting: an over-release is a
+  // caller bug but must not wrap the counter.
+  std::size_t cur = used_words_.load(std::memory_order_relaxed);
+  while (!used_words_.compare_exchange_weak(
+      cur, cur >= words ? cur - words : 0, std::memory_order_relaxed)) {
+  }
 }
 
 std::size_t MemoryBudget::available() const noexcept {
   if (limit_words_ == 0) return static_cast<std::size_t>(-1);
-  return limit_words_ > used_words_ ? limit_words_ - used_words_ : 0;
+  const std::size_t used = used_words_.load(std::memory_order_relaxed);
+  return limit_words_ > used ? limit_words_ - used : 0;
 }
 
 }  // namespace exthash::extmem

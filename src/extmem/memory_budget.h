@@ -5,8 +5,17 @@
 // budget; exceeding the limit throws BudgetExceeded. This is what lets the
 // test suite *prove* that a structure honors a given memory bound rather
 // than merely claim it.
+//
+// Thread safety: charge/release/used are atomic. The sharded façade hands
+// ONE caller budget to per-shard block caches that admit and evict on
+// concurrent shard threads, so the counters must tolerate that. The limit
+// is enforced exactly and an over-limit attempt never mutates the
+// counter (CAS, not fetch_add-then-rollback), so a doomed charge cannot
+// spuriously fail a concurrent one that fits; `peak` is a monotone
+// CAS-max.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -32,16 +41,20 @@ class MemoryBudget {
   void charge(std::size_t words);
   void release(std::size_t words) noexcept;
 
-  std::size_t used() const noexcept { return used_words_; }
+  std::size_t used() const noexcept {
+    return used_words_.load(std::memory_order_relaxed);
+  }
   std::size_t limit() const noexcept { return limit_words_; }
-  std::size_t peak() const noexcept { return peak_words_; }
+  std::size_t peak() const noexcept {
+    return peak_words_.load(std::memory_order_relaxed);
+  }
   bool unlimited() const noexcept { return limit_words_ == 0; }
   std::size_t available() const noexcept;
 
  private:
   std::size_t limit_words_;
-  std::size_t used_words_ = 0;
-  std::size_t peak_words_ = 0;
+  std::atomic<std::size_t> used_words_{0};
+  std::atomic<std::size_t> peak_words_{0};
 };
 
 /// RAII charge against a budget; resizable, released on destruction.

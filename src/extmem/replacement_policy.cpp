@@ -1,0 +1,389 @@
+#include "extmem/replacement_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+#include <unordered_map>
+
+#include "util/assert.h"
+
+namespace exthash::extmem {
+
+namespace {
+
+/// Shared queue machinery: every policy is a set of std::list<BlockId>
+/// queues plus an id -> (queue, node) index. All movements between queues
+/// are splice() — O(1), no allocation — and nodes retired from any queue
+/// are parked on a spare list and recycled by the next admission, so after
+/// warm-up even the miss path stops allocating list nodes. The index map
+/// only ever mutates on the miss path (admission of a never-seen id /
+/// ghost expiry); hits are a find + splice.
+class QueuedPolicyBase : public ReplacementPolicy {
+ protected:
+  using List = std::list<BlockId>;
+  struct Slot {
+    std::uint8_t where;
+    List::iterator pos;
+  };
+
+  /// Put `id` at the front of `dst`, recycling a retired node if one is
+  /// parked. Returns the node's iterator.
+  List::iterator emplaceFront(List& dst, BlockId id) {
+    if (spare_.empty()) {
+      dst.push_front(id);
+    } else {
+      spare_.front() = id;
+      dst.splice(dst.begin(), spare_, spare_.begin());
+    }
+    return dst.begin();
+  }
+
+  /// Splice `slot`'s node from `from` to the front of `to`.
+  void moveToFront(List& from, List& to, Slot& slot, std::uint8_t where) {
+    to.splice(to.begin(), from, slot.pos);
+    slot.pos = to.begin();
+    slot.where = where;
+  }
+
+  /// Park a node for reuse (the Slot must be erased by the caller).
+  void retire(List& from, List::iterator pos) {
+    spare_.splice(spare_.begin(), from, pos);
+  }
+
+  /// Oldest (back-most) id in `lst` passing `evictable`, or nullopt.
+  static std::optional<BlockId> oldestEvictable(
+      const List& lst, const EvictableQuery& evictable) {
+    for (auto it = lst.rbegin(); it != lst.rend(); ++it) {
+      if (evictable(*it)) return *it;
+    }
+    return std::nullopt;
+  }
+
+  /// Drop the oldest entry of ghost list `lst` (index entry included).
+  void expireGhostBack(List& lst) {
+    EXTHASH_CHECK(!lst.empty());
+    const BlockId id = lst.back();
+    retire(lst, std::prev(lst.end()));
+    index_.erase(id);
+  }
+
+  std::unordered_map<BlockId, Slot> index_;
+  List spare_;
+};
+
+// ---------------------------------------------------------------------------
+// LRU — the policy BlockCache hard-coded before it grew this interface.
+
+class LruPolicy final : public QueuedPolicyBase {
+ public:
+  void onInsert(BlockId id) override {
+    const auto [it, ok] = index_.emplace(id, Slot{0, {}});
+    EXTHASH_CHECK(ok);
+    it->second.pos = emplaceFront(lru_, id);
+  }
+
+  void onHit(BlockId id) override {
+    auto it = index_.find(id);
+    EXTHASH_CHECK(it != index_.end());
+    moveToFront(lru_, lru_, it->second, 0);
+  }
+
+  void onRemove(BlockId id) override {
+    auto it = index_.find(id);
+    if (it == index_.end()) return;
+    retire(lru_, it->second.pos);
+    index_.erase(it);
+  }
+
+  std::optional<BlockId> chooseEvict(
+      const EvictableQuery& evictable) override {
+    const auto victim = oldestEvictable(lru_, evictable);
+    if (!victim) return std::nullopt;
+    auto it = index_.find(*victim);
+    retire(lru_, it->second.pos);
+    index_.erase(it);
+    return victim;
+  }
+
+  std::string_view name() const override { return "lru"; }
+
+ private:
+  List lru_;  // front = most recent
+};
+
+// ---------------------------------------------------------------------------
+// 2Q (Johnson–Shasha, "2Q: A Low Overhead High Performance Buffer
+// Management Replacement Algorithm"). Newcomers queue through the A1in
+// FIFO; only an id re-referenced after leaving A1in — remembered by the
+// A1out ghost queue — earns a slot in the main LRU Am. A cyclic sweep of
+// cold blocks therefore churns A1in and the ghosts but never evicts Am.
+
+class TwoQPolicy final : public QueuedPolicyBase {
+ public:
+  TwoQPolicy(MemoryBudget& budget, std::size_t capacity)
+      :  // Classic tuning: A1in ~ 25% of the frames, A1out remembers ~ 50%
+         // of capacity in ghosts.
+        kin_(std::max<std::size_t>(1, capacity / 4)),
+        kout_(std::max<std::size_t>(1, capacity / 2)),
+        ghost_charge_(budget, kout_ * kGhostEntryWords) {}
+
+  void onMiss(BlockId id) override {
+    pending_am_ = false;
+    auto it = index_.find(id);
+    if (it != index_.end() && it->second.where == kA1out) {
+      ++ghost_hits_;
+      // Reclaim the ghost NOW: the admission decision is made here, and
+      // the eviction running between this and onInsert must not be able
+      // to expire the entry out from under the promotion.
+      retire(a1out_, it->second.pos);
+      index_.erase(it);
+      pending_am_ = true;
+      pending_id_ = id;
+    }
+  }
+
+  void onInsert(BlockId id) override {
+    // A reuse after leaving A1in proves the block hot: it skips the FIFO
+    // and enters the protected LRU.
+    const bool to_am = pending_am_ && pending_id_ == id;
+    pending_am_ = false;
+    const auto [ins, ok] = index_.emplace(id, Slot{to_am ? kAm : kA1in, {}});
+    EXTHASH_CHECK(ok);
+    ins->second.pos = emplaceFront(to_am ? am_ : a1in_, id);
+  }
+
+  void onHit(BlockId id) override {
+    auto it = index_.find(id);
+    EXTHASH_CHECK(it != index_.end());
+    // A1in hits are deliberately ignored (correlated references — the
+    // 2Q paper's point); only Am maintains recency order.
+    if (it->second.where == kAm) moveToFront(am_, am_, it->second, kAm);
+  }
+
+  void onRemove(BlockId id) override {
+    auto it = index_.find(id);
+    if (it == index_.end()) return;
+    List& lst = it->second.where == kA1in ? a1in_
+                : it->second.where == kAm ? am_
+                                          : a1out_;
+    retire(lst, it->second.pos);
+    index_.erase(it);
+  }
+
+  std::optional<BlockId> chooseEvict(
+      const EvictableQuery& evictable) override {
+    // Evict from A1in once it outgrows its quota (or when there is no Am
+    // to fall back on); otherwise from Am. Either choice degrades to the
+    // other list when pins block every candidate on the preferred one.
+    const bool prefer_a1in = a1in_.size() > kin_ || am_.empty();
+    if (prefer_a1in) {
+      if (const auto v = evictFromA1in(evictable)) return v;
+      return evictFromAm(evictable);
+    }
+    if (const auto v = evictFromAm(evictable)) return v;
+    return evictFromA1in(evictable);
+  }
+
+  std::string_view name() const override { return "2q"; }
+  std::size_t ghostEntries() const noexcept override { return a1out_.size(); }
+
+ private:
+  enum Where : std::uint8_t { kA1in, kAm, kA1out };
+
+  std::optional<BlockId> evictFromA1in(const EvictableQuery& evictable) {
+    const auto victim = oldestEvictable(a1in_, evictable);
+    if (!victim) return std::nullopt;
+    // The FIFO's victim leaves a ghost: if it comes back soon, that
+    // return is the admission ticket to Am.
+    auto it = index_.find(*victim);
+    moveToFront(a1in_, a1out_, it->second, kA1out);
+    if (a1out_.size() > kout_) expireGhostBack(a1out_);
+    return victim;
+  }
+
+  std::optional<BlockId> evictFromAm(const EvictableQuery& evictable) {
+    const auto victim = oldestEvictable(am_, evictable);
+    if (!victim) return std::nullopt;
+    auto it = index_.find(*victim);
+    retire(am_, it->second.pos);
+    index_.erase(it);
+    return victim;
+  }
+
+  List a1in_;   // FIFO of newcomers (front = newest)
+  List am_;     // LRU of proven-hot blocks (front = MRU)
+  List a1out_;  // ghost FIFO of ids evicted from A1in
+  std::size_t kin_;
+  std::size_t kout_;
+  MemoryCharge ghost_charge_;
+  bool pending_am_ = false;  // the in-flight miss was an A1out ghost hit
+  BlockId pending_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ARC (Megiddo–Modha, "ARC: A Self-Tuning, Low Overhead Replacement
+// Cache"). T1 holds blocks seen once, T2 blocks seen at least twice; B1/B2
+// shadow them with ghosts of recently evicted ids. The target p says how
+// many of the c frames T1 deserves: a B1 ghost hit ("you evicted a
+// once-seen block too early") grows p, a B2 ghost hit shrinks it, so the
+// recency/frequency balance follows the workload.
+
+class ArcPolicy final : public QueuedPolicyBase {
+ public:
+  ArcPolicy(MemoryBudget& budget, std::size_t capacity)
+      : c_(capacity), ghost_charge_(budget, capacity * kGhostEntryWords) {}
+
+  void onMiss(BlockId id) override {
+    pending_ = Pending::kFresh;
+    pending_id_ = id;
+    auto it = index_.find(id);
+    if (it != index_.end() && it->second.where == kB1) {
+      ++ghost_hits_;
+      const double delta = std::max(
+          1.0, static_cast<double>(b2_.size()) /
+                   static_cast<double>(std::max<std::size_t>(1, b1_.size())));
+      p_ = std::min(static_cast<double>(c_), p_ + delta);
+      // Reclaim the ghost now — the eviction between this and onInsert
+      // must not be able to expire the entry mid-promotion.
+      retire(b1_, it->second.pos);
+      index_.erase(it);
+      pending_ = Pending::kFromB1;
+    } else if (it != index_.end() && it->second.where == kB2) {
+      ++ghost_hits_;
+      const double delta = std::max(
+          1.0, static_cast<double>(b1_.size()) /
+                   static_cast<double>(std::max<std::size_t>(1, b2_.size())));
+      p_ = std::max(0.0, p_ - delta);
+      retire(b2_, it->second.pos);
+      index_.erase(it);
+      pending_ = Pending::kFromB2;
+    } else {
+      // Complete miss: trim the ghost directories so |T1|+|B1| stays <= c
+      // and the four lists together stay <= 2c (the paper's Case IV).
+      if (t1_.size() + b1_.size() >= c_ && !b1_.empty()) {
+        expireGhostBack(b1_);
+      } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c_ &&
+                 !b2_.empty()) {
+        expireGhostBack(b2_);
+      }
+    }
+  }
+
+  void onInsert(BlockId id) override {
+    // A ghost hit proved the block reusable: admit it to the frequency
+    // side directly; everything else starts on the recency side.
+    const bool from_ghost = pending_ != Pending::kFresh && pending_id_ == id;
+    pending_ = Pending::kFresh;
+    const auto [ins, ok] =
+        index_.emplace(id, Slot{from_ghost ? kT2 : kT1, {}});
+    EXTHASH_CHECK(ok);
+    ins->second.pos = emplaceFront(from_ghost ? t2_ : t1_, id);
+  }
+
+  void onHit(BlockId id) override {
+    auto it = index_.find(id);
+    EXTHASH_CHECK(it != index_.end());
+    // Any resident re-reference moves the block to the frequency side.
+    moveToFront(it->second.where == kT1 ? t1_ : t2_, t2_, it->second, kT2);
+  }
+
+  void onRemove(BlockId id) override {
+    auto it = index_.find(id);
+    if (it == index_.end()) return;
+    List& lst = it->second.where == kT1   ? t1_
+                : it->second.where == kT2 ? t2_
+                : it->second.where == kB1 ? b1_
+                                          : b2_;
+    retire(lst, it->second.pos);
+    index_.erase(it);
+  }
+
+  std::optional<BlockId> chooseEvict(
+      const EvictableQuery& evictable) override {
+    // REPLACE(p): evict T1's LRU when T1 exceeds its target (or exactly
+    // meets it and the pending access is a B2 ghost hit — T2 is about to
+    // grow, so recency yields); otherwise evict T2's LRU. Pins degrade
+    // each choice to the other list.
+    const double t1_size = static_cast<double>(t1_.size());
+    const bool b2_pending =
+        pending_ == Pending::kFromB2 && t1_size >= p_ && !t1_.empty();
+    const bool prefer_t1 =
+        !t1_.empty() && (t1_size > p_ || b2_pending || t2_.empty());
+    if (prefer_t1) {
+      if (const auto v = evictFrom(t1_, kB1, b1_, evictable)) return v;
+      return evictFrom(t2_, kB2, b2_, evictable);
+    }
+    if (const auto v = evictFrom(t2_, kB2, b2_, evictable)) return v;
+    return evictFrom(t1_, kB1, b1_, evictable);
+  }
+
+  std::string_view name() const override { return "arc"; }
+  std::size_t ghostEntries() const noexcept override {
+    return b1_.size() + b2_.size();
+  }
+  double adaptiveTarget() const noexcept override { return p_; }
+
+ private:
+  enum Where : std::uint8_t { kT1, kT2, kB1, kB2 };
+  enum class Pending : std::uint8_t { kFresh, kFromB1, kFromB2 };
+
+  std::optional<BlockId> evictFrom(List& from, std::uint8_t ghost_where,
+                                   List& ghost, const EvictableQuery& evictable) {
+    const auto victim = oldestEvictable(from, evictable);
+    if (!victim) return std::nullopt;
+    auto it = index_.find(*victim);
+    moveToFront(from, ghost, it->second, ghost_where);
+    // Defensive bound matching the up-front budget charge: pins can defer
+    // evictions past the textbook schedule, so clamp the ghost total at c
+    // by expiring the longer directory.
+    while (b1_.size() + b2_.size() > c_) {
+      expireGhostBack(b1_.size() >= b2_.size() ? b1_ : b2_);
+    }
+    return victim;
+  }
+
+  List t1_;  // resident, seen once (front = MRU)
+  List t2_;  // resident, seen twice+ (front = MRU)
+  List b1_;  // ghosts of T1 evictions
+  List b2_;  // ghosts of T2 evictions
+  std::size_t c_;
+  double p_ = 0.0;  // adaptive target size of T1, in [0, c]
+  MemoryCharge ghost_charge_;
+  Pending pending_ = Pending::kFresh;
+  BlockId pending_id_ = 0;
+};
+
+}  // namespace
+
+ReplacementKind parseReplacementKind(const std::string& name) {
+  if (name == "lru") return ReplacementKind::kLru;
+  if (name == "2q") return ReplacementKind::kTwoQ;
+  if (name == "arc") return ReplacementKind::kArc;
+  EXTHASH_CHECK_MSG(false, "unknown replacement policy '" << name << "'");
+  return ReplacementKind::kLru;
+}
+
+std::string_view replacementKindName(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::kLru: return "lru";
+    case ReplacementKind::kTwoQ: return "2q";
+    case ReplacementKind::kArc: return "arc";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    ReplacementKind kind, MemoryBudget& budget, std::size_t capacity_blocks) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case ReplacementKind::kTwoQ:
+      return std::make_unique<TwoQPolicy>(budget, capacity_blocks);
+    case ReplacementKind::kArc:
+      return std::make_unique<ArcPolicy>(budget, capacity_blocks);
+  }
+  EXTHASH_CHECK_MSG(false, "unknown ReplacementKind");
+  return nullptr;
+}
+
+}  // namespace exthash::extmem

@@ -1,0 +1,129 @@
+// Pluggable cache-replacement strategies for BlockCache.
+//
+// PR 3's ablation showed plain LRU collapsing on the bucket-grouped access
+// runs the batch fast paths emit: grouping sorts a batch's blocks into an
+// ascending sweep, so consecutive batches look like a cyclic scan — LRU's
+// worst case (every reuse distance equals the sweep length). The fix is a
+// scan-resistant, adaptive policy; BlockCache therefore delegates all
+// recency bookkeeping to a ReplacementPolicy:
+//
+//   LruPolicy   classic single-queue LRU (the previous behavior).
+//   TwoQPolicy  2Q (Johnson–Shasha): newcomers enter a small FIFO (A1in);
+//               only blocks re-referenced AFTER leaving it — observed via
+//               the A1out ghost queue — are admitted to the main LRU (Am).
+//               One sweep's worth of cold blocks churns through A1in and
+//               never displaces the proven-hot set.
+//   ArcPolicy   ARC (Megiddo–Modha): two resident LRUs, T1 (seen once) and
+//               T2 (seen twice+), shadowed by ghost lists B1/B2 of recently
+//               evicted ids. A ghost hit in B1 grows the adaptive target p
+//               (favor recency), in B2 shrinks it (favor frequency), so the
+//               T1/T2 split tracks the workload with no tuning knob.
+//
+// Contract with BlockCache (the only caller):
+//   * the policy mirrors the cache's resident set exactly: onInsert /
+//     onRemove bracket a frame's residency, onHit fires on every resident
+//     touch, and chooseEvict proposes only resident ids;
+//   * onMiss(id) fires BEFORE the eviction + insert of a non-resident
+//     access, so ghost membership can steer both the victim choice and the
+//     admission list (this is where ARC adapts p and ghost hits count);
+//   * chooseEvict must skip ids the query rejects (pinned frames — a live
+//     span points into them) and may return nullopt when nothing is
+//     evictable (the cache then runs over capacity until pins release);
+//   * per-access bookkeeping is O(1) and the HIT path (onHit) never
+//     allocates: queues are std::lists moved exclusively by splice, and
+//     retired nodes are recycled through a spare list so even steady-state
+//     miss traffic stops allocating once the working structures are warm;
+//   * ghost lists are metadata, not cached data — but they are memory, so
+//     each policy charges its worst-case ghost footprint (kGhostEntryWords
+//     per possible ghost id) to the MemoryBudget up front, keeping the
+//     hit/miss path free of budget churn and of BudgetExceeded throws.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "extmem/block_device.h"
+#include "extmem/memory_budget.h"
+
+namespace exthash::extmem {
+
+enum class ReplacementKind { kLru, kTwoQ, kArc };
+
+/// Parse "lru" | "2q" | "arc".
+ReplacementKind parseReplacementKind(const std::string& name);
+std::string_view replacementKindName(ReplacementKind kind);
+
+/// Model cost of one ghost-list entry in words: the block id, two queue
+/// links, and an index slot. Used for the up-front MemoryBudget charge.
+inline constexpr std::size_t kGhostEntryWords = 4;
+
+/// Non-owning predicate ref ("is this resident id evictable right now?").
+/// A function pointer + context, so building one on the eviction path
+/// never allocates the way a std::function might.
+class EvictableQuery {
+ public:
+  template <class F>
+  EvictableQuery(const F& fn)  // NOLINT(google-explicit-constructor)
+      : ctx_(&fn), call_([](const void* ctx, BlockId id) {
+          return (*static_cast<const F*>(ctx))(id);
+        }) {}
+
+  bool operator()(BlockId id) const { return call_(ctx_, id); }
+
+ private:
+  const void* ctx_;
+  bool (*call_)(const void*, BlockId);
+};
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A non-resident id is about to be fetched (or blind-installed).
+  /// Called before any chooseEvict/onInsert for that access; ghost
+  /// bookkeeping (hit counting, ARC's p adaptation) happens here.
+  virtual void onMiss(BlockId id) { (void)id; }
+
+  /// `id` became resident (always follows the access's onMiss).
+  virtual void onInsert(BlockId id) = 0;
+
+  /// A resident frame was touched (read hit, write hit, or a
+  /// write-through refresh — any event the cache counts as a use).
+  /// O(1), never allocates.
+  virtual void onHit(BlockId id) = 0;
+
+  /// `id` left the cache outside the policy's control (invalidate / freed
+  /// block). Must drop resident AND ghost state — freed ids get reused,
+  /// and a stale ghost would fake a reuse signal. Unknown ids are a no-op.
+  virtual void onRemove(BlockId id) = 0;
+
+  /// Pick a victim among resident ids with `evictable(id)` true, retire it
+  /// from the resident structures (moving it to a ghost list if the policy
+  /// keeps one), and return it. nullopt when every candidate is rejected.
+  virtual std::optional<BlockId> chooseEvict(const EvictableQuery& evictable) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// Accesses that missed residency but hit a ghost list (a strong reuse
+  /// signal; zero for ghostless policies).
+  std::uint64_t ghostHits() const noexcept { return ghost_hits_; }
+  /// Current ghost-list entries (resident-set metadata, not frames).
+  virtual std::size_t ghostEntries() const noexcept { return 0; }
+  /// The policy's adaptive balance knob, if any: ARC reports its target p
+  /// (in blocks, within [0, capacity]); non-adaptive policies report 0.
+  virtual double adaptiveTarget() const noexcept { return 0.0; }
+
+ protected:
+  std::uint64_t ghost_hits_ = 0;
+};
+
+/// Build a policy for a cache of `capacity_blocks` frames. Ghost metadata
+/// (2Q's A1out, ARC's B1/B2) is charged to `budget` for the policy's
+/// lifetime at its worst-case size.
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    ReplacementKind kind, MemoryBudget& budget, std::size_t capacity_blocks);
+
+}  // namespace exthash::extmem

@@ -20,6 +20,16 @@
 // background worker through lookupBatch, ordered so no lookup can observe
 // an operation submitted after it.
 //
+// Caching: the wrapped table may have a BlockCache attached (any write
+// policy × any replacement policy — LRU / 2Q / ARC). The cache is touched
+// only by the background worker, like the table itself, and drain() is the
+// flush barrier that writes dirty frames out and makes ioStats() include
+// the deferred writes. Note the interaction the ABL-CACHE bench measures:
+// the grouped applyBatch the worker issues turns each window into a sorted
+// block sweep, which is exactly the access shape plain LRU handles worst —
+// pipelined ingest below full cache residency wants a scan-resistant
+// replacement policy.
+//
 // Backpressure: at most `max_pending_batches` sealed batches may be
 // unapplied at once; submit()/flush() block until the worker frees a slot.
 // The staging structures live outside the paper's I/O model (like the

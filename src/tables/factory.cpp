@@ -95,6 +95,7 @@ std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,
       cfg.cache_policy = config.shard_cache_write_back
                              ? extmem::BlockCache::WritePolicy::kWriteBack
                              : extmem::BlockCache::WritePolicy::kWriteThrough;
+      cfg.cache_replacement = config.shard_cache_replacement;
       return std::make_unique<ShardedTable>(ctx, cfg);
     }
   }

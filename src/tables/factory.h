@@ -49,6 +49,10 @@ struct GeneralConfig {
   /// ShardedTableConfig::cache_frames / cache_policy.
   std::size_t shard_cache_frames = 0;
   bool shard_cache_write_back = false;
+  /// kSharded only: replacement policy of the auto-attached caches
+  /// (lru / 2q / arc — see extmem/replacement_policy.h).
+  extmem::ReplacementKind shard_cache_replacement =
+      extmem::ReplacementKind::kLru;
 };
 
 std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,

@@ -164,6 +164,8 @@ class ExternalHashTable {
     if (read_cache_ != nullptr) {
       stats.cache_hits += read_cache_->hits();
       stats.cache_writebacks += read_cache_->writebacks();
+      stats.cache_ghost_hits += read_cache_->ghostHits();
+      stats.cache_adaptive_target += read_cache_->adaptiveTarget();
     }
     return stats;
   }

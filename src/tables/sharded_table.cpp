@@ -65,7 +65,7 @@ ShardedTable::ShardedTable(TableContext ctx, ShardedTableConfig config)
       // paper's single memory-of-m-words model.
       shard.cache = std::make_unique<extmem::BlockCache>(
           *shard.device, *ctx_.memory, frames_per_shard,
-          config_.cache_policy);
+          config_.cache_policy, config_.cache_replacement);
     }
     shard.table = makeTable(
         config_.inner,
@@ -183,6 +183,8 @@ extmem::IoStats ShardedTable::ioStats() const {
     if (shard.cache) {
       total.cache_hits += shard.cache->hits();
       total.cache_writebacks += shard.cache->writebacks();
+      total.cache_ghost_hits += shard.cache->ghostHits();
+      total.cache_adaptive_target += shard.cache->adaptiveTarget();
     }
   }
   return total;

@@ -65,6 +65,11 @@ struct ShardedTableConfig {
   /// counters.
   extmem::BlockCache::WritePolicy cache_policy =
       extmem::BlockCache::WritePolicy::kWriteThrough;
+  /// Replacement policy for the auto-attached per-shard caches (every
+  /// shard runs the same one). ioStats() aggregates ghost hits and sums
+  /// the shards' adaptive targets (cache_adaptive_target — divide by
+  /// shardCount() for a mean p).
+  extmem::ReplacementKind cache_replacement = extmem::ReplacementKind::kLru;
 };
 
 class ShardedTable final : public ExternalHashTable {
@@ -109,7 +114,8 @@ class ShardedTable final : public ExternalHashTable {
       std::uint64_t key) const override;
   std::string debugString() const override;
   /// Aggregates per-shard device counters AND per-shard cache telemetry
-  /// (cache_hits / cache_writebacks).
+  /// (cache_hits / cache_writebacks / cache_ghost_hits, plus the summed
+  /// adaptive targets as cache_adaptive_target).
   extmem::IoStats ioStats() const override;
   /// Flush barrier across every auto-attached shard cache. The façade
   /// must be quiescent (no batch in flight on the shard pool).

@@ -106,6 +106,28 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
   std::vector<std::uint64_t> inserted;
   inserted.reserve(config.n);
 
+  // Optional run-scoped cache over the table's context device, so a
+  // measurement can sweep cache policies without the caller re-plumbing
+  // attachCache. Detached (and flushed, via the settle barriers below)
+  // before the guard releases — the cache must not outlive this frame.
+  std::optional<extmem::BlockCache> run_cache;
+  struct DetachGuard {
+    tables::ExternalHashTable* table = nullptr;
+    ~DetachGuard() {
+      if (table != nullptr) table->attachCache(nullptr);
+    }
+  } detach_guard;
+  if (config.cache_frames > 0) {
+    run_cache.emplace(*table.context().device, *table.context().memory,
+                      config.cache_frames,
+                      config.cache_write_back
+                          ? extmem::BlockCache::WritePolicy::kWriteBack
+                          : extmem::BlockCache::WritePolicy::kWriteThrough,
+                      config.cache_replacement);
+    table.attachCache(&*run_cache);
+    detach_guard.table = &table;
+  }
+
   TradeoffMeasurement out;
   out.n = config.n;
   const auto t0 = std::chrono::steady_clock::now();

@@ -42,6 +42,16 @@ struct MeasurementConfig {
   /// (pipeline semantics); tu stays per *submitted* op.
   bool pipelined = false;
   std::size_t pipeline_depth = 1;
+  /// Attach a BlockCache of this many frames over the table's context
+  /// device for the duration of the run (0 = none). The cache is charged
+  /// to the table's MemoryBudget, honored by the cache-honoring kinds
+  /// (chaining / linear hashing / extendible — the sharded façade uses
+  /// its own GeneralConfig::shard_cache_frames instead), flushed at every
+  /// drain point so deferred writes land in tu, and detached before
+  /// runMeasurement returns.
+  std::size_t cache_frames = 0;
+  bool cache_write_back = false;
+  extmem::ReplacementKind cache_replacement = extmem::ReplacementKind::kLru;
 };
 
 struct TradeoffMeasurement {

@@ -37,6 +37,11 @@ class CacheWiringTest : public ::testing::TestWithParam<CacheCase> {
 
 TEST_P(CacheWiringTest, RepeatedBatchLookupsHitTheCache) {
   TestRig rig(kB);
+  // Cache big enough to keep the whole primary area resident. Declared
+  // before the table: the attach contract requires the cache to outlive
+  // it (the table's destructor invalidates freed blocks through it).
+  extmem::BlockCache cache(*rig.device, *rig.memory, 256,
+                           extmem::BlockCache::WritePolicy::kWriteThrough);
   auto table = make(rig, 256);
   const auto keys = distinctKeys(256);
   std::vector<Op> ops;
@@ -44,10 +49,6 @@ TEST_P(CacheWiringTest, RepeatedBatchLookupsHitTheCache) {
     ops.push_back(Op::insertOp(keys[i], i + 1));
   }
   table->applyBatch(ops);
-
-  // Cache big enough to keep the whole primary area resident.
-  extmem::BlockCache cache(*rig.device, *rig.memory, 256,
-                           extmem::BlockCache::WritePolicy::kWriteThrough);
   table->attachReadCache(&cache);
 
   std::vector<std::optional<std::uint64_t>> out(keys.size());
@@ -71,9 +72,10 @@ TEST_P(CacheWiringTest, RepeatedBatchLookupsHitTheCache) {
 
 TEST_P(CacheWiringTest, WritesKeepCachedReadsCoherent) {
   TestRig rig(kB);
-  auto table = make(rig, 128);
+  // Cache before table: it must outlive the table (see above).
   extmem::BlockCache cache(*rig.device, *rig.memory, 128,
                            extmem::BlockCache::WritePolicy::kWriteThrough);
+  auto table = make(rig, 128);
   table->attachReadCache(&cache);
 
   const auto keys = distinctKeys(128);
@@ -120,11 +122,12 @@ INSTANTIATE_TEST_SUITE_P(
 // reallocates overflow blocks; stale frames must never serve old data.
 TEST(CacheWiringChains, ChainRewriteInvalidatesFreedBlocks) {
   TestRig rig(4);  // tiny blocks force overflow chains
+  // Cache before table: it must outlive the table (see above).
+  extmem::BlockCache cache(*rig.device, *rig.memory, 64,
+                           extmem::BlockCache::WritePolicy::kWriteThrough);
   ChainingConfig cfg;
   cfg.bucket_count = 2;  // heavy per-bucket load
   ChainingHashTable table(rig.context(), cfg);
-  extmem::BlockCache cache(*rig.device, *rig.memory, 64,
-                           extmem::BlockCache::WritePolicy::kWriteThrough);
   table.attachReadCache(&cache);
 
   const auto keys = distinctKeys(64);

@@ -1,0 +1,290 @@
+// Unit tests for the pluggable replacement policies (LRU / 2Q / ARC)
+// through the BlockCache they drive: scan resistance, ghost-hit
+// adaptation, telemetry, invalidation hygiene, and the MemoryBudget
+// charge for ghost metadata.
+#include "extmem/replacement_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "extmem/block_cache.h"
+
+namespace exthash::extmem {
+namespace {
+
+/// Allocate `n` device blocks and return their ids.
+std::vector<BlockId> allocBlocks(BlockDevice& dev, std::size_t n) {
+  std::vector<BlockId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(dev.allocate());
+  return ids;
+}
+
+void touch(BlockCache& cache, BlockId id) {
+  cache.withRead(id, [](std::span<const Word>) {});
+}
+
+TEST(ReplacementPolicy, ParseAndName) {
+  EXPECT_EQ(parseReplacementKind("lru"), ReplacementKind::kLru);
+  EXPECT_EQ(parseReplacementKind("2q"), ReplacementKind::kTwoQ);
+  EXPECT_EQ(parseReplacementKind("arc"), ReplacementKind::kArc);
+  EXPECT_EQ(replacementKindName(ReplacementKind::kTwoQ), "2q");
+  EXPECT_THROW(parseReplacementKind("clock"), std::logic_error);
+}
+
+TEST(ReplacementPolicy, LruMatchesLegacyEvictionOrder) {
+  BlockDevice dev(8);
+  MemoryBudget budget(0);
+  BlockCache cache(dev, budget, 2, BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kLru);
+  const auto ids = allocBlocks(dev, 3);
+  touch(cache, ids[0]);
+  touch(cache, ids[1]);
+  touch(cache, ids[0]);  // ids[0] is MRU
+  touch(cache, ids[2]);  // evicts ids[1]
+  const auto misses = cache.misses();
+  touch(cache, ids[1]);  // must miss again
+  EXPECT_EQ(cache.misses(), misses + 1);
+  EXPECT_EQ(cache.ghostHits(), 0u);  // LRU keeps no ghosts
+  EXPECT_EQ(cache.adaptiveTarget(), 0.0);
+}
+
+// The issue's scan-resistance contract: a cyclic scan of 2x capacity must
+// not evict a hot set that lives in 2Q's Am.
+TEST(ReplacementPolicy, TwoQCyclicScanDoesNotEvictHotSet) {
+  BlockDevice dev(8);
+  MemoryBudget budget(0);
+  constexpr std::size_t kCapacity = 8;
+  BlockCache cache(dev, budget, kCapacity,
+                   BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kTwoQ);
+  const auto hot = allocBlocks(dev, 4);
+  const auto filler = allocBlocks(dev, kCapacity);
+  const auto scan = allocBlocks(dev, 2 * kCapacity);
+
+  // Promote the hot set into Am: first touch admits to A1in, a burst of
+  // filler blocks pushes them out into the A1out ghosts, and the re-touch
+  // is the ghost hit that admits them to Am.
+  for (const BlockId id : hot) touch(cache, id);
+  for (const BlockId id : filler) touch(cache, id);
+  for (const BlockId id : hot) touch(cache, id);
+  EXPECT_GE(cache.ghostHits(), 4u);
+
+  // Two full cyclic sweeps of 2x capacity.
+  const auto misses_before = cache.misses();
+  for (int round = 0; round < 2; ++round) {
+    for (const BlockId id : scan) touch(cache, id);
+  }
+  (void)misses_before;
+
+  // The hot set must still be resident: touching it adds no misses.
+  const auto misses = cache.misses();
+  for (const BlockId id : hot) touch(cache, id);
+  EXPECT_EQ(cache.misses(), misses) << "cyclic scan evicted the hot set";
+}
+
+// Same scan through an LRU cache: the hot set is flushed every sweep —
+// the contrast the ablation bench measures.
+TEST(ReplacementPolicy, LruCyclicScanFlushesHotSet) {
+  BlockDevice dev(8);
+  MemoryBudget budget(0);
+  BlockCache cache(dev, budget, 8, BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kLru);
+  const auto hot = allocBlocks(dev, 4);
+  const auto scan = allocBlocks(dev, 16);
+  for (const BlockId id : hot) touch(cache, id);
+  for (const BlockId id : scan) touch(cache, id);
+  const auto misses = cache.misses();
+  for (const BlockId id : hot) touch(cache, id);
+  EXPECT_EQ(cache.misses(), misses + hot.size());
+}
+
+TEST(ReplacementPolicy, TwoQGhostHitCountsAndPromotes) {
+  BlockDevice dev(8);
+  MemoryBudget budget(0);
+  BlockCache cache(dev, budget, 4, BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kTwoQ);
+  const auto ids = allocBlocks(dev, 8);
+  touch(cache, ids[0]);
+  // Push ids[0] out of the A1in FIFO (capacity 4, quota 1).
+  for (std::size_t i = 1; i <= 4; ++i) touch(cache, ids[i]);
+  EXPECT_EQ(cache.ghostHits(), 0u);
+  touch(cache, ids[0]);  // ghost hit -> promoted to Am
+  EXPECT_EQ(cache.ghostHits(), 1u);
+  // A further burst of newcomers must not dislodge the promoted block.
+  for (std::size_t i = 5; i < 8; ++i) touch(cache, ids[i]);
+  const auto misses = cache.misses();
+  touch(cache, ids[0]);
+  EXPECT_EQ(cache.misses(), misses);
+}
+
+// ARC's adaptation: a B1 ghost hit ("evicted a once-seen block too
+// early") must raise the target p; a later B2 ghost hit must lower it.
+TEST(ReplacementPolicy, ArcGhostHitsAdaptTarget) {
+  BlockDevice dev(8);
+  MemoryBudget budget(0);
+  constexpr std::size_t kCapacity = 4;
+  BlockCache cache(dev, budget, kCapacity,
+                   BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kArc);
+  const auto ids = allocBlocks(dev, 12);
+
+  EXPECT_EQ(cache.adaptiveTarget(), 0.0);
+  // Fill T1 with fresh blocks, overflow it so ids[0] lands in B1.
+  for (std::size_t i = 0; i < kCapacity + 1; ++i) touch(cache, ids[i]);
+  touch(cache, ids[0]);  // B1 ghost hit
+  EXPECT_EQ(cache.ghostHits(), 1u);
+  const double p_after_b1 = cache.adaptiveTarget();
+  EXPECT_GT(p_after_b1, 0.0);
+
+  // Build a T2 population (re-touch residents), evict from T2 into B2 by
+  // streaming fresh blocks, and hit the B2 ghost: p must come back down.
+  for (std::size_t i = 1; i <= kCapacity; ++i) touch(cache, ids[i]);
+  for (std::size_t i = 1; i <= kCapacity; ++i) touch(cache, ids[i]);
+  for (std::size_t i = 5; i < 12; ++i) touch(cache, ids[i]);
+  const auto ghost_hits_before = cache.ghostHits();
+  double p_after_b2 = cache.adaptiveTarget();
+  for (std::size_t i = 1; i <= kCapacity; ++i) {
+    touch(cache, ids[i]);  // some of these hit B2 ghosts
+  }
+  p_after_b2 = cache.adaptiveTarget();
+  EXPECT_GT(cache.ghostHits(), ghost_hits_before);
+  EXPECT_LT(p_after_b2, p_after_b1 + 1.0);  // no runaway growth
+  EXPECT_LE(p_after_b2, static_cast<double>(kCapacity));
+  EXPECT_GE(p_after_b2, 0.0);
+}
+
+TEST(ReplacementPolicy, ArcScanResistsAfterHotSetEstablished) {
+  BlockDevice dev(8);
+  MemoryBudget budget(0);
+  BlockCache cache(dev, budget, 8, BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kArc);
+  const auto hot = allocBlocks(dev, 3);
+  const auto scan = allocBlocks(dev, 16);
+  // Two touches put the hot set in T2.
+  for (const BlockId id : hot) touch(cache, id);
+  for (const BlockId id : hot) touch(cache, id);
+  // A long one-touch scan must churn T1, not T2.
+  for (int round = 0; round < 2; ++round) {
+    for (const BlockId id : scan) touch(cache, id);
+  }
+  const auto misses = cache.misses();
+  for (const BlockId id : hot) touch(cache, id);
+  EXPECT_EQ(cache.misses(), misses) << "scan evicted ARC's T2 hot set";
+}
+
+TEST(ReplacementPolicy, GhostMetadataChargesBudget) {
+  BlockDevice dev(16);
+  MemoryBudget budget(0);
+  const std::size_t frame_words = 5 * 16;
+  {
+    BlockCache lru(dev, budget, 5, BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kLru);
+    EXPECT_EQ(budget.used(), frame_words);  // no ghosts
+  }
+  {
+    BlockCache twoq(dev, budget, 5, BlockCache::WritePolicy::kWriteThrough,
+                    ReplacementKind::kTwoQ);
+    // A1out remembers up to capacity/2 ghosts.
+    EXPECT_EQ(budget.used(), frame_words + 2 * kGhostEntryWords);
+  }
+  {
+    BlockCache arc(dev, budget, 5, BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kArc);
+    // B1 + B2 remember up to capacity ghosts.
+    EXPECT_EQ(budget.used(), frame_words + 5 * kGhostEntryWords);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(ReplacementPolicy, GhostChargeRespectsBudgetLimit) {
+  BlockDevice dev(16);
+  // Room for the frames but not for ARC's ghost directory.
+  MemoryBudget budget(5 * 16 + 2);
+  EXPECT_THROW(BlockCache(dev, budget, 5,
+                          BlockCache::WritePolicy::kWriteThrough,
+                          ReplacementKind::kArc),
+               BudgetExceeded);
+}
+
+// Invalidation must scrub ghost state too: a freed id that returns (block
+// reuse) must be treated as cold, not as a remembered hot block.
+TEST(ReplacementPolicy, InvalidateScrubsGhostEntries) {
+  BlockDevice dev(8);
+  MemoryBudget budget(0);
+  BlockCache cache(dev, budget, 2, BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kArc);
+  const auto ids = allocBlocks(dev, 4);
+  touch(cache, ids[0]);
+  touch(cache, ids[1]);
+  touch(cache, ids[2]);  // evicts ids[0] into B1
+  EXPECT_GT(cache.ghostEntries(), 0u);
+  cache.invalidate(ids[0]);  // owner freed the block
+  const auto ghost_hits = cache.ghostHits();
+  touch(cache, ids[0]);  // reused id: must NOT register a ghost hit
+  EXPECT_EQ(cache.ghostHits(), ghost_hits);
+}
+
+// Pinned frames are skipped by every policy's eviction scan: a nested
+// access while the only frames are pinned runs the cache over capacity
+// instead of invalidating a live span.
+TEST(ReplacementPolicy, PinnedFramesSurviveEvictionUnderAllPolicies) {
+  for (const auto kind : {ReplacementKind::kLru, ReplacementKind::kTwoQ,
+                          ReplacementKind::kArc}) {
+    BlockDevice dev(8);
+    MemoryBudget budget(0);
+    BlockCache cache(dev, budget, 1, BlockCache::WritePolicy::kWriteThrough,
+                     kind);
+    const auto ids = allocBlocks(dev, 2);
+    dev.withWrite(ids[0], [](std::span<Word> d) { d[0] = 77; });
+    cache.withRead(ids[0], [&](std::span<const Word> outer) {
+      // Nested access forces an admission while the only frame is pinned.
+      cache.withRead(ids[1], [](std::span<const Word>) {});
+      EXPECT_EQ(outer[0], 77u) << replacementKindName(kind);
+    });
+    EXPECT_GE(cache.residentBlocks(), 1u);
+    // The next unpinned admission drains back to capacity.
+    touch(cache, ids[0]);
+    EXPECT_LE(cache.residentBlocks(), 2u);
+  }
+}
+
+// Satellite: the write-through refresh path participates in hit/miss
+// telemetry — resident refresh = hit + promote, non-resident = miss +
+// write-allocate — so wt and wb recency stats are comparable.
+TEST(ReplacementPolicy, WriteThroughRefreshCountsAsPolicyTouch) {
+  BlockDevice dev(8);
+  MemoryBudget budget(0);
+  BlockCache cache(dev, budget, 2, BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kLru);
+  const auto ids = allocBlocks(dev, 2);
+
+  // Non-resident write: counted as a miss, and write-allocated.
+  cache.withWrite(ids[0], [](std::span<Word> d) { d[0] = 1; });
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.residentBlocks(), 1u);
+
+  // The allocated frame serves reads without device I/O.
+  const auto reads_before = dev.stats().reads;
+  cache.withRead(ids[0], [](std::span<const Word> d) {
+    EXPECT_EQ(d[0], 1u);
+  });
+  EXPECT_EQ(dev.stats().reads, reads_before);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Resident write: hit + refresh, and the refresh promotes — a
+  // subsequent admission evicts the colder block.
+  touch(cache, ids[1]);                                      // resident: 0,1
+  cache.withWrite(ids[0], [](std::span<Word> d) { d[0] = 2; });  // promote 0
+  EXPECT_EQ(cache.hits(), 2u);
+  const auto evict_probe = dev.allocate();
+  touch(cache, evict_probe);  // evicts ids[1], not the promoted ids[0]
+  const auto misses = cache.misses();
+  touch(cache, ids[0]);
+  EXPECT_EQ(cache.misses(), misses);
+}
+
+}  // namespace
+}  // namespace exthash::extmem
