@@ -37,17 +37,25 @@ using namespace exthash;
 
 enum class Protocol { kSerial, kBatched, kPipelined };
 
-/// Auto-attached per-shard cache spec for a run (label like "wt/lru",
-/// "wb/arc"; `cached == false` prints "-").
+/// Auto-attached per-shard cache spec for a run. Emitted as three
+/// machine-comparable columns — frames / write policy / replacement —
+/// rather than encoded into the row label, so bench_results CSV diffs
+/// line up across configurations ("-" and 0 for uncached rows).
 struct CacheSpec {
   bool cached = false;
   bool write_back = false;
   extmem::ReplacementKind replacement = extmem::ReplacementKind::kLru;
 
-  std::string label() const {
+  std::string framesColumn(std::size_t cache_frames) const {
+    return std::to_string(cached ? cache_frames : 0);
+  }
+  std::string writePolicyColumn() const {
     if (!cached) return "-";
-    return std::string(write_back ? "wb/" : "wt/") +
-           std::string(extmem::replacementKindName(replacement));
+    return write_back ? "wb" : "wt";
+  }
+  std::string replacementColumn() const {
+    if (!cached) return "-";
+    return std::string(extmem::replacementKindName(replacement));
   }
 };
 
@@ -182,13 +190,15 @@ int main(int argc, char** argv) {
       "wall-clock; I/O is the counted cost per submitted op (write I/O = "
       "writes + rmws, cache flushes included). The device yields per "
       "access to emulate DMA latency (counted I/O unaffected). The cached "
-      "sharded-chaining rows auto-attach per-shard caches, labeled "
-      "write-policy/replacement-policy (wt|wb / lru|2q|arc): pipelined "
-      "windows are bucket-grouped sweeps, the cyclic shape where "
-      "scan-resistant replacement decides what stays resident. 'ok' = "
-      "final live contents identical to the serial protocol.");
+      "sharded-chaining rows auto-attach per-shard caches; the cache "
+      "configuration is emitted as its own columns (frames / write "
+      "policy wt|wb / replacement lru|2q|arc) so CSV diffs line up. "
+      "Pipelined windows are bucket-grouped sweeps, the cyclic shape "
+      "where scan-resistant replacement decides what stays resident. "
+      "'ok' = final live contents identical to the serial protocol.");
 
-  TablePrinter out({"table", "keys", "protocol", "cache", "ops/s", "speedup",
+  TablePrinter out({"table", "keys", "protocol", "cache frames",
+                    "write policy", "replacement", "ops/s", "speedup",
                     "I/O per op", "write I/O", "coalesced", "contents"});
 
   bool all_equal = true;
@@ -251,7 +261,10 @@ int main(int argc, char** argv) {
             combos[c].first == Protocol::kSerial    ? "serial"
             : combos[c].first == Protocol::kBatched ? "batched"
                                                     : "pipelined";
-        out.addRow({kind, stream, proto_name, combos[c].second.label(),
+        out.addRow({kind, stream, proto_name,
+                    combos[c].second.framesColumn(cache_frames),
+                    combos[c].second.writePolicyColumn(),
+                    combos[c].second.replacementColumn(),
                     TablePrinter::num(static_cast<double>(n) / r.seconds, 0),
                     TablePrinter::num(serial.seconds / r.seconds, 2),
                     TablePrinter::num(r.io_per_op, 4),

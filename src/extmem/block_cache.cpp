@@ -124,6 +124,34 @@ void BlockCache::flush() {
   for (auto& [id, frame] : frames_) writeBack(id, frame);
 }
 
+void BlockCache::resize(std::size_t capacity_blocks) {
+  if (capacity_blocks == capacity_blocks_) return;
+  if (capacity_blocks > capacity_blocks_) {
+    // Grow: charge the policy's larger ghost directory and the new frames
+    // up front. Either charge may throw BudgetExceeded; the rollback
+    // leaves capacity, charge, and policy quotas at their old values.
+    const std::size_t old_capacity = capacity_blocks_;
+    replacement_->resizeCapacity(capacity_blocks);
+    capacity_blocks_ = capacity_blocks;
+    try {
+      rechargeForResidency();
+    } catch (...) {
+      capacity_blocks_ = old_capacity;
+      replacement_->resizeCapacity(old_capacity);
+      throw;
+    }
+    return;
+  }
+  // Shrink: flush-and-evict the policy's coldest tail down to the new
+  // capacity (skipping pinned frames — see the header), then let the
+  // policy trim ghosts and release its charge.
+  capacity_blocks_ = capacity_blocks;
+  while (frames_.size() > capacity_blocks_ && evictOne()) {
+  }
+  rechargeForResidency();
+  replacement_->resizeCapacity(capacity_blocks);
+}
+
 void BlockCache::invalidate(BlockId id) {
   auto it = frames_.find(id);
   // Reject pinned frames BEFORE touching any state: the CheckFailure is

@@ -143,6 +143,31 @@ class BlockCache {
   /// the device is authoritative for every resident block.
   void flush();
 
+  /// Re-target the cache to `capacity_blocks` frames at runtime — the
+  /// memory arbiter's lever (see extmem/memory_arbiter.h). Growing admits
+  /// frames lazily (capacity + budget charge rise now; frames fill on
+  /// future misses) and may throw BudgetExceeded with the old capacity
+  /// intact. Shrinking flush-and-evicts from the policy's coldest tail:
+  /// dirty victims are written back (counted device writes), pinned
+  /// frames are skipped — the cache then runs over the new capacity until
+  /// the pin nesting unwinds, and that transient residency stays charged.
+  /// resize(0) is allowed (the shrink-to-nothing edge an arbiter can
+  /// reach): every subsequent access still completes, holding at most the
+  /// one frame it is using, which the next access evicts.
+  /// NOT thread-safe against concurrent cache users — callers serialize
+  /// resizes with accesses and flushes (the pipeline's maintenance-task
+  /// hook is the provided quiescent point).
+  void resize(std::size_t capacity_blocks);
+
+  /// Widen the replacement policy's ghost directories to scout at
+  /// `frames` even when the current capacity is smaller (see
+  /// replacement_policy.h). The memory arbiter sets this to its total so
+  /// a squeezed cache keeps producing ghost hits — the evidence that
+  /// growing it back would pay. No-op for ghostless policies (LRU).
+  void setGhostHorizon(std::size_t frames) {
+    replacement_->setGhostHorizon(frames);
+  }
+
   /// Drop a block from the cache (e.g. after the owner frees it). Dirty
   /// contents are discarded — a freed block's data must never be written
   /// over a reused id. Ghost-list entries for the id are dropped too, so

@@ -36,6 +36,19 @@ struct IoStats {
   // snapshots yields the drift over the measured phase.
   std::uint64_t cache_ghost_hits = 0;
   double cache_adaptive_target = 0.0;
+  // Memory-arbitration telemetry (see extmem/memory_arbiter.h).
+  // cache_frames_current is a GAUGE like cache_adaptive_target: tables
+  // report their attached cache's current capacity (the sharded façade
+  // sums its shards'), so a snapshot is the cache-side memory grant right
+  // now and a diff is the drift over the measured phase.
+  // staging_slots_current (gauge: the arbitrated staging window capacity)
+  // and arbiter_moves (counter: frames moved between the cache and
+  // staging sides or between per-shard caches) are filled by the layer
+  // that owns the arbiter — workload::runMeasurement, or a bench driving
+  // MemoryArbiter directly — since no single table can see them.
+  std::uint64_t cache_frames_current = 0;
+  std::uint64_t staging_slots_current = 0;
+  std::uint64_t arbiter_moves = 0;
 
   /// Paper-convention I/O cost (footnote 2 of the paper). Cache hits are
   /// free by definition and never enter the cost.
@@ -63,6 +76,9 @@ struct IoStats {
     cache_writebacks += rhs.cache_writebacks;
     cache_ghost_hits += rhs.cache_ghost_hits;
     cache_adaptive_target += rhs.cache_adaptive_target;
+    cache_frames_current += rhs.cache_frames_current;
+    staging_slots_current += rhs.staging_slots_current;
+    arbiter_moves += rhs.arbiter_moves;
     return *this;
   }
 
@@ -83,6 +99,16 @@ struct IoStats {
     d.cache_writebacks = cache_writebacks - rhs.cache_writebacks;
     d.cache_ghost_hits = cache_ghost_hits - rhs.cache_ghost_hits;
     d.cache_adaptive_target = cache_adaptive_target - rhs.cache_adaptive_target;
+    // Gauges can legitimately drift down across a diff; clamp at zero
+    // like rmws so a shrink never wraps the unsigned fields.
+    d.cache_frames_current = rhs.cache_frames_current <= cache_frames_current
+                                 ? cache_frames_current - rhs.cache_frames_current
+                                 : 0;
+    d.staging_slots_current =
+        rhs.staging_slots_current <= staging_slots_current
+            ? staging_slots_current - rhs.staging_slots_current
+            : 0;
+    d.arbiter_moves = arbiter_moves - rhs.arbiter_moves;
     return d;
   }
 };

@@ -123,6 +123,7 @@ class TwoQPolicy final : public QueuedPolicyBase {
   TwoQPolicy(MemoryBudget& budget, std::size_t capacity)
       :  // Classic tuning: A1in ~ 25% of the frames, A1out remembers ~ 50%
          // of capacity in ghosts.
+        capacity_(capacity),
         kin_(std::max<std::size_t>(1, capacity / 4)),
         kout_(std::max<std::size_t>(1, capacity / 2)),
         ghost_charge_(budget, kout_ * kGhostEntryWords) {}
@@ -184,11 +185,39 @@ class TwoQPolicy final : public QueuedPolicyBase {
     return evictFromA1in(evictable);
   }
 
+  void resizeCapacity(std::size_t capacity) override {
+    retune(capacity, horizon_);
+  }
+
+  void setGhostHorizon(std::size_t frames) override {
+    retune(capacity_, frames);
+  }
+
   std::string_view name() const override { return "2q"; }
   std::size_t ghostEntries() const noexcept override { return a1out_.size(); }
 
  private:
   enum Where : std::uint8_t { kA1in, kAm, kA1out };
+
+  /// Recompute the capacity/horizon-derived quotas. A1out remembers half
+  /// of max(capacity, horizon) — with a horizon set, the ghost queue
+  /// keeps scouting at the arbitrated total even when the resident
+  /// quota is squeezed. Charge before adopting quotas so a
+  /// BudgetExceeded leaves the old state intact; a shrink releases only
+  /// after the ghosts are expired.
+  void retune(std::size_t capacity, std::size_t horizon) {
+    const std::size_t new_kin = std::max<std::size_t>(1, capacity / 4);
+    const std::size_t new_kout =
+        std::max<std::size_t>(1, std::max(capacity, horizon) / 2);
+    const std::size_t new_words = new_kout * kGhostEntryWords;
+    if (new_words > ghost_charge_.words()) ghost_charge_.resize(new_words);
+    capacity_ = capacity;
+    horizon_ = horizon;
+    kin_ = new_kin;
+    kout_ = new_kout;
+    while (a1out_.size() > kout_) expireGhostBack(a1out_);
+    if (new_words < ghost_charge_.words()) ghost_charge_.resize(new_words);
+  }
 
   std::optional<BlockId> evictFromA1in(const EvictableQuery& evictable) {
     const auto victim = oldestEvictable(a1in_, evictable);
@@ -213,6 +242,8 @@ class TwoQPolicy final : public QueuedPolicyBase {
   List a1in_;   // FIFO of newcomers (front = newest)
   List am_;     // LRU of proven-hot blocks (front = MRU)
   List a1out_;  // ghost FIFO of ids evicted from A1in
+  std::size_t capacity_;
+  std::size_t horizon_ = 0;  // 0 = ghosts track capacity
   std::size_t kin_;
   std::size_t kout_;
   MemoryCharge ghost_charge_;
@@ -258,11 +289,15 @@ class ArcPolicy final : public QueuedPolicyBase {
       index_.erase(it);
       pending_ = Pending::kFromB2;
     } else {
-      // Complete miss: trim the ghost directories so |T1|+|B1| stays <= c
-      // and the four lists together stay <= 2c (the paper's Case IV).
-      if (t1_.size() + b1_.size() >= c_ && !b1_.empty()) {
+      // Complete miss: trim the ghost directories so |T1|+|B1| stays
+      // within the ghost span and the four lists together stay <= c +
+      // span (the paper's Case IV, with span == c when no arbitration
+      // horizon widens it).
+      const std::size_t span = ghostSpan();
+      if (t1_.size() + b1_.size() >= span && !b1_.empty()) {
         expireGhostBack(b1_);
-      } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c_ &&
+      } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >=
+                     c_ + span &&
                  !b2_.empty()) {
         expireGhostBack(b2_);
       }
@@ -317,6 +352,12 @@ class ArcPolicy final : public QueuedPolicyBase {
     return evictFrom(t1_, kB1, b1_, evictable);
   }
 
+  void resizeCapacity(std::size_t capacity) override {
+    retune(capacity, horizon_);
+  }
+
+  void setGhostHorizon(std::size_t frames) override { retune(c_, frames); }
+
   std::string_view name() const override { return "arc"; }
   std::size_t ghostEntries() const noexcept override {
     return b1_.size() + b2_.size();
@@ -327,6 +368,25 @@ class ArcPolicy final : public QueuedPolicyBase {
   enum Where : std::uint8_t { kT1, kT2, kB1, kB2 };
   enum class Pending : std::uint8_t { kFresh, kFromB1, kFromB2 };
 
+  /// Ghost directory span: the capacity, or the arbitration horizon when
+  /// one is set — ghosts then keep answering "would a cache of up to the
+  /// arbitrated total have hit?" even while the resident set is squeezed.
+  std::size_t ghostSpan() const noexcept { return std::max(c_, horizon_); }
+
+  /// Recompute capacity/horizon state; charge-before-adopt as in 2Q.
+  void retune(std::size_t capacity, std::size_t horizon) {
+    const std::size_t new_span = std::max(capacity, horizon);
+    const std::size_t new_words = new_span * kGhostEntryWords;
+    if (new_words > ghost_charge_.words()) ghost_charge_.resize(new_words);
+    c_ = capacity;
+    horizon_ = horizon;
+    p_ = std::min(p_, static_cast<double>(c_));
+    while (b1_.size() + b2_.size() > new_span) {
+      expireGhostBack(b1_.size() >= b2_.size() ? b1_ : b2_);
+    }
+    if (new_words < ghost_charge_.words()) ghost_charge_.resize(new_words);
+  }
+
   std::optional<BlockId> evictFrom(List& from, std::uint8_t ghost_where,
                                    List& ghost, const EvictableQuery& evictable) {
     const auto victim = oldestEvictable(from, evictable);
@@ -334,9 +394,9 @@ class ArcPolicy final : public QueuedPolicyBase {
     auto it = index_.find(*victim);
     moveToFront(from, ghost, it->second, ghost_where);
     // Defensive bound matching the up-front budget charge: pins can defer
-    // evictions past the textbook schedule, so clamp the ghost total at c
-    // by expiring the longer directory.
-    while (b1_.size() + b2_.size() > c_) {
+    // evictions past the textbook schedule, so clamp the ghost total at
+    // the span by expiring the longer directory.
+    while (b1_.size() + b2_.size() > ghostSpan()) {
       expireGhostBack(b1_.size() >= b2_.size() ? b1_ : b2_);
     }
     return victim;
@@ -347,6 +407,7 @@ class ArcPolicy final : public QueuedPolicyBase {
   List b1_;  // ghosts of T1 evictions
   List b2_;  // ghosts of T2 evictions
   std::size_t c_;
+  std::size_t horizon_ = 0;  // 0 = ghosts track capacity
   double p_ = 0.0;  // adaptive target size of T1, in [0, c]
   MemoryCharge ghost_charge_;
   Pending pending_ = Pending::kFresh;

@@ -105,6 +105,28 @@ class ReplacementPolicy {
   /// keeps one), and return it. nullopt when every candidate is rejected.
   virtual std::optional<BlockId> chooseEvict(const EvictableQuery& evictable) = 0;
 
+  /// The cache's capacity changed (BlockCache::resize — the memory
+  /// arbiter's lever). Policies recompute capacity-derived quotas (2Q's
+  /// kin/kout, ARC's c and clamped p), expire ghost entries beyond the new
+  /// worst case, and resize their up-front ghost charge. Shrinking only
+  /// releases budget; growing charges more and may throw BudgetExceeded,
+  /// in which case the policy keeps its old quotas. The cache evicts down
+  /// to the new capacity itself — the policy only adjusts metadata.
+  virtual void resizeCapacity(std::size_t capacity_blocks) {
+    (void)capacity_blocks;
+  }
+
+  /// Size the ghost directories for `frames` even when the current
+  /// capacity is smaller (0 = track capacity, the default). Under memory
+  /// arbitration the ghosts answer "would a cache of up to the arbiter's
+  /// TOTAL have hit?" — gradient information a capacity-sized directory
+  /// cannot provide once the cache has been squeezed (its reach shrinks
+  /// with it, silencing the very signal that argues for growth). The
+  /// extra entries are metadata charged at kGhostEntryWords each — cheap
+  /// scouting relative to the frames they arbitrate. May throw
+  /// BudgetExceeded (growth), leaving the old horizon in place.
+  virtual void setGhostHorizon(std::size_t frames) { (void)frames; }
+
   virtual std::string_view name() const = 0;
 
   /// Accesses that missed residency but hit a ghost list (a strong reuse

@@ -7,6 +7,37 @@ namespace exthash::pipeline {
 using tables::Op;
 using tables::OpKind;
 
+namespace {
+
+/// Words the optional staging charge covers for a window capacity of
+/// `ops`: every op slot across the accumulating window plus the bounded
+/// in-flight windows.
+std::size_t stagingWords(const PipelineConfig& config, std::size_t ops) {
+  return ops * (config.max_pending_batches + 1) * kStagingOpWords;
+}
+
+}  // namespace
+
+std::size_t IngestPipeline::residentEnvelopeLocked() const {
+  std::size_t span = staging_.size();
+  for (const auto& window : inflight_) {
+    span = std::max(span, window->ops.size());
+  }
+  return span;
+}
+
+void IngestPipeline::rechargeStagingLocked() {
+  // Charge the envelope of what the staging structures PHYSICALLY hold,
+  // not just the configured capacity: after a shrink, the accumulating
+  // window and the sealed in-flight windows may still carry the old
+  // capacity's ops until they seal/apply, and releasing their words
+  // early would let an arbiter re-grant memory that is still resident
+  // (the same convention as BlockCache::rechargeForResidency). Window
+  // completions call back here, so the charge drains as the windows do.
+  staging_charge_.resize(stagingWords(
+      config_, std::max(config_.batch_capacity, residentEnvelopeLocked())));
+}
+
 IngestPipeline::IngestPipeline(tables::ExternalHashTable& table,
                                PipelineConfig config)
     : table_(table), config_(config), worker_(1) {
@@ -14,6 +45,10 @@ IngestPipeline::IngestPipeline(tables::ExternalHashTable& table,
                     "pipeline needs batch_capacity >= 1");
   EXTHASH_CHECK_MSG(config_.max_pending_batches >= 1,
                     "pipeline needs max_pending_batches >= 1");
+  if (config_.budget != nullptr) {
+    staging_charge_ = extmem::MemoryCharge(
+        *config_.budget, stagingWords(config_, config_.batch_capacity));
+  }
   staging_.reserve(config_.batch_capacity);
   staging_index_.reserve(config_.batch_capacity);
 }
@@ -108,6 +143,9 @@ void IngestPipeline::sealBatchLocked(std::unique_lock<std::mutex>& lock) {
       ++stats_.batches_applied;
       stats_.ops_applied += window->ops.size();
       if (err && !error_) error_ = err;
+      // A retired oversized window may let the staging charge drop to
+      // the (possibly shrunk) configured capacity.
+      rechargeStagingLocked();
       // Progress guarantee: dispatch lookups that accumulated while this
       // window applied.
       sealLookupsLocked();
@@ -181,6 +219,51 @@ std::future<std::optional<std::uint64_t>> IngestPipeline::submitLookup(
   return fut;
 }
 
+void IngestPipeline::setWindowCapacity(std::size_t ops) {
+  std::lock_guard lock(mutex_);
+  EXTHASH_CHECK_MSG(ops >= 1, "pipeline needs batch_capacity >= 1");
+  if (ops == config_.batch_capacity) return;
+  if (ops > config_.batch_capacity) {
+    // Charge first so a BudgetExceeded on growth leaves the capacity
+    // as-is — to the envelope, not the bare capacity: a grow that is
+    // still below an oversized resident window must not release the
+    // words that window holds.
+    staging_charge_.resize(
+        stagingWords(config_, std::max(ops, residentEnvelopeLocked())));
+    config_.batch_capacity = ops;
+    return;
+  }
+  // Shrink: the charge only drops to the envelope of what the windows
+  // still hold; completions release the rest as they drain.
+  config_.batch_capacity = ops;
+  rechargeStagingLocked();
+}
+
+std::size_t IngestPipeline::windowCapacity() const {
+  std::lock_guard lock(mutex_);
+  return config_.batch_capacity;
+}
+
+void IngestPipeline::submitMaintenance(std::function<void()> fn) {
+  std::unique_lock lock(mutex_);
+  throwIfFailedLocked();
+  ++pending_maintenance_;
+  worker_.submit([this, fn = std::move(fn)] {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard inner(mutex_);
+      if (err && !error_) error_ = err;
+      --pending_maintenance_;
+    }
+    done_cv_.notify_all();
+  });
+}
+
 void IngestPipeline::flush() {
   std::unique_lock lock(mutex_);
   throwIfFailedLocked();
@@ -197,7 +280,8 @@ void IngestPipeline::drain() {
   sealBatchLocked(lock);
   sealLookupsLocked();
   done_cv_.wait(lock, [this] {
-    return inflight_.empty() && pending_lookup_tasks_ == 0;
+    return inflight_.empty() && pending_lookup_tasks_ == 0 &&
+           pending_maintenance_ == 0;
   });
   // Flush barrier: the worker is idle, so the table is quiescent — write
   // any dirty cached frames to the device now. Callers rely on drain()

@@ -45,6 +45,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -56,8 +57,14 @@
 
 namespace exthash::pipeline {
 
+/// Model cost of one staging slot in words: the Op (kind, key, value) plus
+/// its key-index entry. What the optional PipelineConfig::budget charge and
+/// the memory arbiter's frame↔slot exchange rate are denominated in.
+inline constexpr std::size_t kStagingOpWords = 4;
+
 struct PipelineConfig {
-  /// Operations accumulated per staging window before it seals.
+  /// Operations accumulated per staging window before it seals. Resizable
+  /// at runtime via setWindowCapacity (the memory arbiter's lever).
   std::size_t batch_capacity = 1024;
   /// Bound on sealed-but-unapplied batches (>= 1). 1 is the classic
   /// double buffer: one batch applies while the next accumulates.
@@ -66,6 +73,14 @@ struct PipelineConfig {
   /// every submitted op reaches the table (the table's own applyBatch
   /// still groups them; read-your-writes is unaffected).
   bool coalesce = true;
+  /// Optional memory accounting for the staging windows: when set, the
+  /// pipeline charges batch_capacity * (max_pending_batches + 1) *
+  /// kStagingOpWords words for its bounded staging structures, resized
+  /// whenever setWindowCapacity moves the capacity. This is what lets a
+  /// MemoryArbiter trade staging slots against cache frames inside ONE
+  /// MemoryBudget — the paper's "memory as buffer vs memory as cache"
+  /// split made explicit. The budget must outlive the pipeline.
+  extmem::MemoryBudget* budget = nullptr;
 };
 
 struct PipelineStats {
@@ -111,13 +126,38 @@ class IngestPipeline {
   /// without waiting for them to apply (may block on backpressure).
   void flush();
 
-  /// flush() and wait until every queued batch and lookup has completed;
-  /// rethrows the first background error. Afterwards the wrapped table is
-  /// quiescent and safe to use directly.
+  /// flush() and wait until every queued batch, lookup, and maintenance
+  /// task has completed; rethrows the first background error. Afterwards
+  /// the wrapped table is quiescent and safe to use directly.
   void drain();
 
+  /// Resize the staging window capacity at runtime (>= 1) — the memory
+  /// arbiter's staging-side lever. Takes effect at the next submit(): a
+  /// window already holding >= the new capacity seals on the following
+  /// operation. Deliberately never seals inline — sealing can block on
+  /// backpressure, and this method must be safe to call from a
+  /// submitMaintenance task on the worker itself. Resizes the optional
+  /// staging budget charge (growing may throw BudgetExceeded, leaving the
+  /// old capacity in place).
+  void setWindowCapacity(std::size_t ops);
+  std::size_t windowCapacity() const;
+
+  /// Run `fn` on the background worker, FIFO-ordered after every window
+  /// sealed so far and before any sealed later. This is the quiescent
+  /// hook for memory arbitration: between worker tasks nothing else
+  /// touches the wrapped table or its caches, so `fn` may resize caches
+  /// and flush safely while producers keep submitting. Errors from `fn`
+  /// surface at the next drain()/submit like any background error.
+  void submitMaintenance(std::function<void()> fn);
+
   PipelineStats stats() const;
-  const PipelineConfig& config() const noexcept { return config_; }
+  /// Snapshot of the configuration. By value under the lock:
+  /// batch_capacity is runtime-mutable (setWindowCapacity may run on the
+  /// worker mid-stream), so a live reference would be a data race.
+  PipelineConfig config() const {
+    std::lock_guard lock(mutex_);
+    return config_;
+  }
 
   /// The wrapped table. Only meaningful to touch after drain().
   tables::ExternalHashTable& table() noexcept { return table_; }
@@ -148,6 +188,10 @@ class IngestPipeline {
   void sealBatchLocked(std::unique_lock<std::mutex>& lock);
   void sealLookupsLocked();
   void throwIfFailedLocked();
+  /// Largest op count any staging structure still physically holds (the
+  /// accumulating window or a sealed in-flight window).
+  std::size_t residentEnvelopeLocked() const;
+  void rechargeStagingLocked();
 
   tables::ExternalHashTable& table_;
   PipelineConfig config_;
@@ -168,7 +212,12 @@ class IngestPipeline {
   std::deque<std::shared_ptr<BatchWindow>> inflight_;
 
   std::size_t pending_lookup_tasks_ = 0;
+  std::size_t pending_maintenance_ = 0;
   std::exception_ptr error_;
+
+  // Charge for the bounded staging structures when config_.budget is set;
+  // resized by setWindowCapacity.
+  extmem::MemoryCharge staging_charge_;
 
   PipelineStats stats_;
 

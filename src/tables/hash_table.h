@@ -166,6 +166,7 @@ class ExternalHashTable {
       stats.cache_writebacks += read_cache_->writebacks();
       stats.cache_ghost_hits += read_cache_->ghostHits();
       stats.cache_adaptive_target += read_cache_->adaptiveTarget();
+      stats.cache_frames_current += read_cache_->capacityBlocks();
     }
     return stats;
   }
@@ -175,8 +176,10 @@ class ExternalHashTable {
   /// table's context device and must outlive the table (or be detached
   /// with nullptr). Tables that honor it route their counted block
   /// accesses through it — currently the chained-bucket structures
-  /// (chaining, linear hashing) and extendible hashing; other kinds
-  /// simply never read it. The sharded façade cannot honor a single
+  /// (chaining, linear hashing), extendible hashing, and the LSM's
+  /// lookup path (its merges stay uncached — a compaction is a one-shot
+  /// scan that would only pollute the frames); other kinds simply never
+  /// read it. The sharded façade cannot honor a single
   /// cache: its shards own private devices (use its auto-attach config
   /// instead). With a write-back cache the table inserts its own flush
   /// barriers (destroy paths, visitLayout); external quiescent points —

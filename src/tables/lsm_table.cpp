@@ -73,7 +73,10 @@ LsmTable::~LsmTable() {
 
 void LsmTable::freeRun(Run& run) {
   if (run.extent != extmem::kInvalidBlock && run.blocks > 0) {
-    ctx_.device->freeExtent(run.extent, run.blocks);
+    // Through io(): a compacted-away run's blocks may be resident in the
+    // attached read cache, and the ids are pooled for reuse — the free
+    // must invalidate them or a later run would serve stale frames.
+    io().freeExtent(run.extent, run.blocks);
     run.extent = extmem::kInvalidBlock;
   }
 }
@@ -122,12 +125,13 @@ LsmTable::Run LsmTable::writeRun(RecordCursor& records,
   }
   flushPage();
   run.blocks = block;
-  // Return unused tail blocks of the (over)estimated extent.
+  // Return unused tail blocks of the (over)estimated extent (through
+  // io() so any cached frames on the freed ids are invalidated).
   if (run.blocks == 0) {
-    ctx_.device->freeExtent(run.extent, max_blocks);
+    io().freeExtent(run.extent, max_blocks);
     run.extent = extmem::kInvalidBlock;
   } else if (run.blocks < max_blocks) {
-    ctx_.device->freeExtent(run.extent + run.blocks, max_blocks - run.blocks);
+    io().freeExtent(run.extent + run.blocks, max_blocks - run.blocks);
   }
   run.fence_charge = extmem::MemoryCharge(*ctx_.memory, run.fences.size() + 6);
   return run;
@@ -202,7 +206,7 @@ std::optional<std::uint64_t> LsmTable::probeRun(Run& run, std::uint64_t key) {
       std::optional<std::uint64_t> value;
       bool past = false;
     };
-    const Probe p = ctx_.device->withRead(
+    const Probe p = io().withRead(
         run.extent + blk, [&](std::span<const Word> data) {
           ConstSortedRunPage page(data);
           if (page.count() == 0) return Probe{std::nullopt, true};
@@ -371,7 +375,7 @@ void LsmTable::probeRunBatch(Run& run, std::span<const std::uint64_t> keys,
         std::min(run.blocks, first_block + config_.fence_stride);
     for (std::size_t blk = first_block;
          blk < last_block && !active.empty(); ++blk) {
-      ctx_.device->withRead(
+      io().withRead(
           run.extent + blk, [&](std::span<const Word> data) {
             ConstSortedRunPage page(data);
             for (auto it = active.begin(); it != active.end();) {

@@ -12,6 +12,16 @@
 // key per `fence_stride` blocks, charged against the budget) so a run
 // probe costs `fence_stride` reads in the worst case (1 by default).
 // Deletions are tombstones, dropped when a merge reaches the bottom level.
+//
+// Caching: the LOOKUP path honors an attachCache'd BlockCache — run
+// probes (point and batched) read through it, so Θ(#runs) probing over a
+// skewed key set re-reads its hot blocks for free once resident. Merges
+// and run writes deliberately bypass the cache: a compaction is a
+// one-shot streaming scan that would only flush the lookup working set
+// (the classic scan-pollution argument — and the scan-resistant policies
+// would fight a pollution we can simply not create). The table never
+// dirties the cache; frees invalidate through it so compacted-away block
+// ids can't serve stale frames when the device pool reuses them.
 #pragma once
 
 #include <memory>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "extmem/memory_arbiter.h"
 #include "util/random.h"
 
 namespace exthash::tables {
@@ -185,6 +186,7 @@ extmem::IoStats ShardedTable::ioStats() const {
       total.cache_writebacks += shard.cache->writebacks();
       total.cache_ghost_hits += shard.cache->ghostHits();
       total.cache_adaptive_target += shard.cache->adaptiveTarget();
+      total.cache_frames_current += shard.cache->capacityBlocks();
     }
   }
   return total;
@@ -193,6 +195,12 @@ extmem::IoStats ShardedTable::ioStats() const {
 void ShardedTable::flushCache() const {
   for (const Shard& shard : shards_) {
     if (shard.cache) shard.cache->flush();
+  }
+}
+
+void ShardedTable::registerCaches(extmem::MemoryArbiter& arbiter) const {
+  for (const Shard& shard : shards_) {
+    if (shard.cache) arbiter.addCache(shard.cache.get());
   }
 }
 

@@ -37,6 +37,10 @@
 #include "tables/hash_table.h"
 #include "util/thread_pool.h"
 
+namespace exthash::extmem {
+class MemoryArbiter;
+}
+
 namespace exthash::tables {
 
 struct ShardedTableConfig {
@@ -133,6 +137,15 @@ class ShardedTable final : public ExternalHashTable {
   extmem::BlockCache* shardCache(std::size_t i) const noexcept {
     return shards_[i].cache.get();
   }
+
+  /// Register every auto-attached shard cache with a MemoryArbiter, so the
+  /// arbiter re-splits the cache-side frame grant across shards by
+  /// observed heat (hot shards earn frames) while trading the total
+  /// against the pipeline's staging windows. The arbiter must only
+  /// rebalance at quiescent points — no batch in flight on the shard pool
+  /// (IngestPipeline::submitMaintenance provides exactly that). No-op
+  /// when cache_frames == 0.
+  void registerCaches(extmem::MemoryArbiter& arbiter) const;
 
  private:
   // Destruction order matters: `table` is declared last so it is

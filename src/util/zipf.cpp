@@ -1,18 +1,32 @@
 #include "util/zipf.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.h"
 
 namespace exthash {
 
-ZipfDistribution::ZipfDistribution(std::uint64_t n, double theta)
-    : n_(n), theta_(theta) {
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double theta,
+                                   ZipfMode mode)
+    : n_(n), theta_(theta), mode_(mode) {
   EXTHASH_CHECK_MSG(n >= 1, "Zipf needs n >= 1, got n=" << n);
   EXTHASH_CHECK_MSG(theta >= 0.0, "Zipf needs theta >= 0, got " << theta);
   h_x1_ = h(1.5) - 1.0;
   h_n_ = h(static_cast<double>(n) + 0.5);
   s_ = 2.0 - hInverse(h(2.5) - std::pow(2.0, -theta));
+  if (mode_ == ZipfMode::kFast && theta_ > 0.0 && n_ <= kCdfMaxN) {
+    cdf_.resize(n_);
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= n_; ++k) {
+      sum += std::pow(static_cast<double>(k), -theta_);
+      cdf_[k - 1] = sum;
+    }
+    // Normalize; pin the tail to exactly 1 so a u == 1-epsilon draw can
+    // never run past the table.
+    for (double& c : cdf_) c /= sum;
+    cdf_.back() = 1.0;
+  }
 }
 
 double ZipfDistribution::h(double x) const {
@@ -25,8 +39,8 @@ double ZipfDistribution::hInverse(double x) const {
   return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
 }
 
-std::uint64_t ZipfDistribution::operator()(Xoshiro256StarStar& rng) const {
-  if (theta_ == 0.0) return 1 + rng.below(n_);  // uniform special case
+std::uint64_t ZipfDistribution::sampleRejection(
+    Xoshiro256StarStar& rng) const {
   while (true) {
     const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
     const double x = hInverse(u);
@@ -38,6 +52,17 @@ std::uint64_t ZipfDistribution::operator()(Xoshiro256StarStar& rng) const {
       return k;
     }
   }
+}
+
+std::uint64_t ZipfDistribution::operator()(Xoshiro256StarStar& rng) const {
+  if (theta_ == 0.0) return 1 + rng.below(n_);  // uniform special case
+  if (!cdf_.empty()) {
+    // One draw, one binary search: rank = smallest k with cdf[k-1] >= u.
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+  }
+  return sampleRejection(rng);
 }
 
 }  // namespace exthash

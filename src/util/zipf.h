@@ -1,36 +1,70 @@
 // Zipf-distributed integer sampler (rank 1..n, exponent theta).
 //
-// Uses the rejection-inversion method of Hörmann & Derflinger, which needs
-// no O(n) precomputed table, so skewed workloads over huge key spaces are
-// cheap. Used by the dedup example and skew-robustness tests; the paper's
-// core experiments use uniform inputs.
+// Two sampling engines:
+//
+//   kFast    (default) precomputed-CDF + binary search: the constructor
+//            pays one O(n) pass to tabulate the normalized prefix sums of
+//            k^-theta, and every sample is then ONE uniform draw plus an
+//            O(log n) lower_bound (smallest rank k with CDF(k) >= u) —
+//            no per-sample pow/rejection loop.
+//            Large-n bench sweeps (millions of samples) stop paying the
+//            transcendental-heavy inner loop. Above kCdfMaxN ranks the
+//            table would dominate memory, so the sampler transparently
+//            falls back to rejection-inversion (still O(1) expected, no
+//            O(n) table).
+//   kCompat  the original rejection-inversion method of Hörmann &
+//            Derflinger, kept bit-for-bit: a seeded RNG produces exactly
+//            the sequence it produced before the fast path existed (the
+//            draw COUNT per sample differs between modes, so the modes
+//            cannot mix on one RNG stream). Seeded tests and historical
+//            traces pin this mode.
+//
+// Used by the dedup example, skew-robustness tests, and the workload
+// generators; the paper's core experiments use uniform inputs.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/random.h"
 
 namespace exthash {
 
+enum class ZipfMode {
+  kFast,    // CDF table + binary search (rejection fallback above kCdfMaxN)
+  kCompat,  // legacy rejection-inversion, bitwise-identical sequences
+};
+
 class ZipfDistribution {
  public:
+  /// Ranks above this skip the CDF table (8 bytes/rank) and use
+  /// rejection-inversion even in kFast mode.
+  static constexpr std::uint64_t kCdfMaxN = std::uint64_t{1} << 22;
+
   /// Sample ranks in [1, n] with P(rank = k) ∝ 1 / k^theta, theta >= 0.
-  ZipfDistribution(std::uint64_t n, double theta);
+  ZipfDistribution(std::uint64_t n, double theta,
+                   ZipfMode mode = ZipfMode::kFast);
 
   std::uint64_t operator()(Xoshiro256StarStar& rng) const;
 
   std::uint64_t n() const noexcept { return n_; }
   double theta() const noexcept { return theta_; }
+  ZipfMode mode() const noexcept { return mode_; }
+  /// True when samples go through the CDF table (kFast and n <= kCdfMaxN).
+  bool usesCdf() const noexcept { return !cdf_.empty(); }
 
  private:
   double h(double x) const;     // integral of 1/x^theta
   double hInverse(double x) const;
+  std::uint64_t sampleRejection(Xoshiro256StarStar& rng) const;
 
   std::uint64_t n_;
   double theta_;
+  ZipfMode mode_;
   double h_x1_;
   double h_n_;
   double s_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k), empty off-path
 };
 
 }  // namespace exthash

@@ -64,10 +64,14 @@ class SequentialKeyStream final : public KeyStream {
 /// over the hash space (heavy repeats = heavy updates).
 class ZipfKeyStream final : public KeyStream {
  public:
-  ZipfKeyStream(std::uint64_t seed, std::uint64_t universe, double theta)
+  /// `mode` picks the sampler engine (util/zipf.h): kFast by default;
+  /// kCompat reproduces the pre-CDF sequences bit-for-bit for seeded
+  /// tests and historical traces.
+  ZipfKeyStream(std::uint64_t seed, std::uint64_t universe, double theta,
+                ZipfMode mode = ZipfMode::kFast)
       : rng_(deriveSeed(seed, 1)),
         perm_(deriveSeed(seed, 2)),
-        zipf_(universe, theta) {}
+        zipf_(universe, theta, mode) {}
   std::uint64_t next() override { return perm_(zipf_(rng_)); }
   std::string_view name() const override { return "zipf"; }
 

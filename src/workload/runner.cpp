@@ -5,7 +5,9 @@
 #include <cmath>
 #include <optional>
 
+#include "extmem/memory_arbiter.h"
 #include "pipeline/ingest_pipeline.h"
+#include "tables/sharded_table.h"
 #include "util/assert.h"
 
 namespace exthash::workload {
@@ -136,12 +138,56 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
   // per-batch I/O diffs are meaningless mid-flight; both modes use the
   // same quiescent accounting instead: insert I/O = total I/O at drain
   // points minus the query-sampling I/O measured at those points.
+  //
+  // Declared before `pipe` so it outlives it: the arbiter's rebalances
+  // run as maintenance tasks on the pipeline worker, all drained before
+  // the pipeline destructor completes — after which nothing touches the
+  // arbiter.
+  std::optional<extmem::MemoryArbiter> arbiter;
   std::optional<pipeline::IngestPipeline> pipe;
   if (config.pipelined) {
     pipeline::PipelineConfig pc;
     pc.batch_capacity = batch_size;
     pc.max_pending_batches = std::max<std::size_t>(1, config.pipeline_depth);
+    if (config.arbiter) {
+      // Under arbitration the staging windows are charged to the table's
+      // budget, so frames and slots trade inside one accounted memory.
+      pc.budget = table.context().memory;
+    }
     pipe.emplace(table, pc);
+  }
+
+  if (config.arbiter) {
+    EXTHASH_CHECK_MSG(config.arbiter_interval >= 1,
+                      "arbiter_interval must be >= 1");
+    extmem::ArbiterConfig ac;
+    // Exchange rate: one frame's words buy as many staging slots as fit
+    // in them across the pipeline's window multiplicity.
+    const std::size_t wpb = table.context().device->wordsPerBlock();
+    const std::size_t windows =
+        (pipe ? std::max<std::size_t>(1, config.pipeline_depth) : 1) + 1;
+    ac.slots_per_frame = std::max<std::size_t>(
+        1, wpb / (pipeline::kStagingOpWords * windows));
+    arbiter.emplace(ac);
+    if (auto* sharded = dynamic_cast<tables::ShardedTable*>(&table)) {
+      sharded->registerCaches(*arbiter);
+    } else if (run_cache) {
+      arbiter->addCache(&*run_cache);
+    }
+    EXTHASH_CHECK_MSG(arbiter->cacheCount() > 0,
+                      "MeasurementConfig::arbiter needs a cache: set "
+                      "cache_frames, or use a sharded table with "
+                      "shard_cache_frames");
+    if (pipe) {
+      pipeline::IngestPipeline* p = &*pipe;
+      arbiter->setStaging(
+          [p](std::size_t slots) { p->setWindowCapacity(slots); },
+          [p] {
+            const auto s = p->stats();
+            return extmem::StagingSignals{s.ops_coalesced, s.submit_waits};
+          },
+          batch_size);
+    }
   }
 
   const extmem::IoStats start_io = table.ioStats();
@@ -168,6 +214,7 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
     }
   };
 
+  std::size_t since_rebalance = 0;
   for (std::size_t i = 0; i < config.n; ++i) {
     const std::uint64_t key = keys.next();
     const std::uint64_t value = key ^ 0x5bd1e995;
@@ -179,6 +226,18 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
       if (batch.size() >= batch_size) {
         table.applyBatch(batch);
         batch.clear();
+      }
+    }
+    if (arbiter && ++since_rebalance >= config.arbiter_interval) {
+      since_rebalance = 0;
+      if (pipe) {
+        // Serialized on the one worker thread that touches the table and
+        // its caches — the quiescent point between window applies.
+        pipe->submitMaintenance([a = &*arbiter] { a->rebalance(); });
+      } else {
+        // Synchronous loop: the table is quiescent between applyBatch
+        // calls, so rebalance inline.
+        arbiter->rebalance();
       }
     }
 
@@ -216,6 +275,16 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
     const auto ps = pipe->stats();
     out.pipeline_coalesced = ps.ops_coalesced;
     out.pipeline_submit_waits = ps.submit_waits;
+  }
+  if (arbiter) {
+    out.arbiter_moves = arbiter->moves();
+    out.cache_frames_final = arbiter->cacheFrames();
+    out.staging_slots_final = pipe ? arbiter->stagingSlots() : 0;
+    // The diff-based insert_io gauges only show drift; surface the final
+    // absolute split there too, per the IoStats field contract.
+    out.insert_io.cache_frames_current = out.cache_frames_final;
+    out.insert_io.staging_slots_current = out.staging_slots_final;
+    out.insert_io.arbiter_moves = out.arbiter_moves;
   }
   return out;
 }

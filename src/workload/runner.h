@@ -45,13 +45,26 @@ struct MeasurementConfig {
   /// Attach a BlockCache of this many frames over the table's context
   /// device for the duration of the run (0 = none). The cache is charged
   /// to the table's MemoryBudget, honored by the cache-honoring kinds
-  /// (chaining / linear hashing / extendible — the sharded façade uses
-  /// its own GeneralConfig::shard_cache_frames instead), flushed at every
-  /// drain point so deferred writes land in tu, and detached before
-  /// runMeasurement returns.
+  /// (chaining / linear hashing / extendible, plus the LSM's read path —
+  /// the sharded façade uses its own GeneralConfig::shard_cache_frames
+  /// instead), flushed at every drain point so deferred writes land in
+  /// tu, and detached before runMeasurement returns.
   std::size_t cache_frames = 0;
   bool cache_write_back = false;
   extmem::ReplacementKind cache_replacement = extmem::ReplacementKind::kLru;
+  /// Arbitrate memory between the cache and the pipeline's staging
+  /// windows at runtime (see extmem/memory_arbiter.h). Requires a cache —
+  /// cache_frames > 0, or a sharded table whose auto-attached per-shard
+  /// caches the arbiter then rebalances by heat. With `pipelined` the
+  /// staging side joins the arbitration (window capacity moves against
+  /// cache frames at a word-conserving exchange rate) and rebalances run
+  /// as maintenance tasks on the pipeline worker; without it the arbiter
+  /// only heat-rebalances the (sharded) cache split inline. Ghost-keeping
+  /// replacement policies (2q/arc) are what give the cache side its
+  /// growth signal — under lru the cache can only shed frames.
+  bool arbiter = false;
+  /// Submitted inserts between rebalances.
+  std::size_t arbiter_interval = 4096;
 };
 
 struct TradeoffMeasurement {
@@ -67,6 +80,12 @@ struct TradeoffMeasurement {
   // Pipelined mode only: window coalescing and backpressure telemetry.
   std::uint64_t pipeline_coalesced = 0;   // ops absorbed in staging windows
   std::uint64_t pipeline_submit_waits = 0;  // backpressure blocks
+  // Arbitrated runs only (MeasurementConfig::arbiter): frames moved, and
+  // the final split. insert_io carries the same figures as IoStats gauges
+  // (cache_frames_current / staging_slots_current / arbiter_moves).
+  std::uint64_t arbiter_moves = 0;
+  std::uint64_t cache_frames_final = 0;
+  std::uint64_t staging_slots_final = 0;
 };
 
 /// Insert `n` keys from `keys` into `table`, sampling query costs at

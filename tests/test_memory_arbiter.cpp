@@ -1,0 +1,297 @@
+// MemoryArbiter behavior: signal-driven movement between the cache and
+// staging sides, per-side floors with a conserved total, heat-skewed
+// multi-cache splits, and the runner/pipeline integration (including the
+// TSAN-exercised sharded flush-vs-resize serialization).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "extmem/block_cache.h"
+#include "extmem/cached_io.h"
+#include "extmem/memory_arbiter.h"
+#include "pipeline/ingest_pipeline.h"
+#include "table_test_util.h"
+#include "tables/factory.h"
+#include "tables/sharded_table.h"
+#include "workload/keygen.h"
+#include "workload/runner.h"
+
+namespace exthash::extmem {
+namespace {
+
+using exthash::testing::TestRig;
+
+struct FakeStaging {
+  std::size_t slots = 0;
+  StagingSignals signals;
+  std::size_t resize_calls = 0;
+
+  void attach(MemoryArbiter& arb, std::size_t initial_slots) {
+    arb.setStaging(
+        [this](std::size_t s) {
+          slots = s;
+          ++resize_calls;
+        },
+        [this] { return signals; }, initial_slots);
+  }
+};
+
+TEST(MemoryArbiter, MovesFramesTowardCacheOnGhostHits) {
+  TestRig rig(8);
+  std::vector<BlockId> ids;
+  for (int i = 0; i < 12; ++i) ids.push_back(rig.device->allocate());
+  BlockCache cache(*rig.device, *rig.memory, 8,
+                   BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kArc);
+  CachedBlockIo io(*rig.device, &cache);
+
+  ArbiterConfig ac;
+  ac.slots_per_frame = 4;
+  MemoryArbiter arb(ac);
+  arb.addCache(&cache);
+  FakeStaging staging;
+  staging.attach(arb, /*initial_slots=*/32);  // 8 staging frames
+  ASSERT_EQ(arb.totalFrames(), 16u);
+  EXPECT_EQ(staging.slots, 32u);  // registration pushed the rounded target
+
+  // A cyclic sweep one-and-a-half times the cache: every round re-misses
+  // blocks whose ghosts survive (the arbiter widened the horizon to the
+  // total), voting to grow the cache. Staging stays silent.
+  for (int round = 0; round < 6; ++round) {
+    for (const BlockId id : ids) {
+      io.withRead(id, [](std::span<const Word>) {});
+    }
+    arb.rebalance();
+  }
+  EXPECT_GT(arb.cacheFrames(), 8u);
+  EXPECT_GT(cache.capacityBlocks(), 8u);
+  EXPECT_GT(arb.moves(), 0u);
+  EXPECT_EQ(arb.totalFrames(), 16u);
+  EXPECT_EQ(staging.slots, arb.stagingSlots());
+}
+
+TEST(MemoryArbiter, MovesFramesTowardStagingOnCoalescing) {
+  TestRig rig(8);
+  BlockCache cache(*rig.device, *rig.memory, 8,
+                   BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kArc);
+  ArbiterConfig ac;
+  ac.slots_per_frame = 4;
+  MemoryArbiter arb(ac);
+  arb.addCache(&cache);
+  FakeStaging staging;
+  staging.attach(arb, 32);
+
+  for (int round = 0; round < 6; ++round) {
+    staging.signals.absorbed += 200;  // heavy window coalescing, no ghosts
+    arb.rebalance();
+  }
+  EXPECT_LT(arb.cacheFrames(), 8u);
+  EXPECT_GT(arb.stagingFrames(), 8u);
+  EXPECT_EQ(cache.capacityBlocks(), arb.cacheFrames());
+  EXPECT_EQ(arb.totalFrames(), 16u);
+}
+
+TEST(MemoryArbiter, RespectsFloorsUnderOneSidedPressure) {
+  TestRig rig(8);
+  BlockCache cache(*rig.device, *rig.memory, 8,
+                   BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kArc);
+  ArbiterConfig ac;
+  ac.slots_per_frame = 4;
+  ac.min_cache_frames = 2;
+  ac.min_staging_frames = 3;
+  MemoryArbiter arb(ac);
+  arb.addCache(&cache);
+  FakeStaging staging;
+  staging.attach(arb, 32);
+
+  for (int round = 0; round < 20; ++round) {
+    staging.signals.absorbed += 500;
+    arb.rebalance();
+    EXPECT_EQ(arb.totalFrames(), 16u);
+  }
+  EXPECT_EQ(arb.cacheFrames(), 2u);  // pinned at the floor, not below
+  EXPECT_EQ(arb.stagingFrames(), 14u);
+  EXPECT_EQ(cache.capacityBlocks(), 2u);
+}
+
+TEST(MemoryArbiter, HeatSkewMovesFramesToTheHotCache) {
+  TestRig rig_a(8);
+  TestRig rig_b(8);
+  const BlockId hot = rig_a.device->allocate();
+  BlockCache cache_a(*rig_a.device, *rig_a.memory, 8,
+                     BlockCache::WritePolicy::kWriteThrough,
+                     ReplacementKind::kTwoQ);
+  BlockCache cache_b(*rig_b.device, *rig_b.memory, 8,
+                     BlockCache::WritePolicy::kWriteThrough,
+                     ReplacementKind::kTwoQ);
+  CachedBlockIo io_a(*rig_a.device, &cache_a);
+
+  MemoryArbiter arb;  // no staging side: pure heat rebalancing
+  arb.addCache(&cache_a);
+  arb.addCache(&cache_b);
+  ASSERT_EQ(arb.totalFrames(), 16u);
+
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      io_a.withRead(hot, [](std::span<const Word>) {});
+    }
+    arb.rebalance();
+  }
+  EXPECT_GT(cache_a.capacityBlocks(), cache_b.capacityBlocks());
+  EXPECT_EQ(cache_a.capacityBlocks() + cache_b.capacityBlocks(), 16u);
+  EXPECT_GT(arb.moves(), 0u);
+}
+
+TEST(MemoryArbiter, CacheSideBelowFloorCannotGoNegative) {
+  // Caches registered UNDER the configured per-cache floor: the side has
+  // nothing to give (saturating headroom), but can still receive — and
+  // nothing wraps or explodes.
+  TestRig rig_a(8);
+  TestRig rig_b(8);
+  BlockCache cache_a(*rig_a.device, *rig_a.memory, 1,
+                     BlockCache::WritePolicy::kWriteThrough,
+                     ReplacementKind::kArc);
+  BlockCache cache_b(*rig_b.device, *rig_b.memory, 1,
+                     BlockCache::WritePolicy::kWriteThrough,
+                     ReplacementKind::kArc);
+  ArbiterConfig ac;
+  ac.min_cache_frames = 4;  // > each cache's actual 1 frame
+  ac.slots_per_frame = 4;
+  MemoryArbiter arb(ac);
+  arb.addCache(&cache_a);
+  arb.addCache(&cache_b);
+  FakeStaging staging;
+  staging.attach(arb, 16);
+  const std::size_t total = arb.totalFrames();
+  for (int round = 0; round < 6; ++round) {
+    staging.signals.absorbed += 500;  // begs for frames the side can't give
+    arb.rebalance();
+    EXPECT_LE(arb.cacheFrames(), total);
+    EXPECT_LE(arb.stagingFrames(), total);
+    EXPECT_EQ(arb.totalFrames(), total);
+  }
+  EXPECT_EQ(arb.cacheFrames(),
+            cache_a.capacityBlocks() + cache_b.capacityBlocks());
+}
+
+TEST(MemoryArbiter, HoldsStillWithoutSignals) {
+  TestRig rig(8);
+  BlockCache cache(*rig.device, *rig.memory, 8,
+                   BlockCache::WritePolicy::kWriteThrough,
+                   ReplacementKind::kArc);
+  MemoryArbiter arb;
+  arb.addCache(&cache);
+  FakeStaging staging;
+  staging.attach(arb, 64);
+  for (int round = 0; round < 5; ++round) arb.rebalance();
+  EXPECT_EQ(arb.moves(), 0u);
+  EXPECT_EQ(cache.capacityBlocks(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Runner integration (MeasurementConfig::arbiter)
+// ---------------------------------------------------------------------------
+
+workload::MeasurementConfig arbiterRunnerConfig(std::size_t n) {
+  workload::MeasurementConfig mc;
+  mc.n = n;
+  mc.queries_per_checkpoint = 64;
+  mc.checkpoints = 4;
+  mc.seed = 3;
+  mc.batch_size = 256;
+  mc.cache_frames = 16;
+  mc.cache_write_back = true;
+  mc.cache_replacement = ReplacementKind::kArc;
+  mc.arbiter = true;
+  mc.arbiter_interval = 512;
+  return mc;
+}
+
+TEST(RunnerArbiter, SynchronousRunPopulatesArbiterTelemetry) {
+  TestRig rig(16);
+  tables::GeneralConfig cfg;
+  cfg.expected_n = 4096;
+  cfg.target_load = 0.5;
+  auto table = makeTable(tables::TableKind::kChaining, rig.context(), cfg);
+  workload::ZipfKeyStream keys(11, 2048, 0.99);
+  const auto m = workload::runMeasurement(*table, keys,arbiterRunnerConfig(4096));
+  EXPECT_EQ(m.n, 4096u);
+  EXPECT_GT(m.cache_frames_final, 0u);
+  EXPECT_EQ(m.staging_slots_final, 0u);  // no pipeline, no staging side
+  EXPECT_EQ(m.insert_io.cache_frames_current, m.cache_frames_final);
+  EXPECT_EQ(m.insert_io.arbiter_moves, m.arbiter_moves);
+  EXPECT_GT(m.tq_final, 0.0);
+}
+
+TEST(RunnerArbiter, PipelinedRunArbitratesStagingAgainstCache) {
+  TestRig rig(16);
+  tables::GeneralConfig cfg;
+  cfg.expected_n = 4096;
+  cfg.target_load = 0.5;
+  auto table = makeTable(tables::TableKind::kChaining, rig.context(), cfg);
+  workload::ZipfKeyStream keys(13, 2048, 0.99);
+  auto mc = arbiterRunnerConfig(4096);
+  mc.pipelined = true;
+  mc.pipeline_depth = 2;
+  const auto m = workload::runMeasurement(*table, keys,mc);
+  EXPECT_GT(m.cache_frames_final, 0u);
+  EXPECT_GT(m.staging_slots_final, 0u);
+  EXPECT_EQ(m.insert_io.staging_slots_current, m.staging_slots_final);
+  // The conserved total: final cache frames + staging frame-equivalents
+  // never exceed what the run started with (16 + the initial window).
+  EXPECT_GT(m.tq_final, 0.0);
+}
+
+TEST(RunnerArbiter, RequiresACache) {
+  TestRig rig(16);
+  tables::GeneralConfig cfg;
+  cfg.expected_n = 512;
+  auto table = makeTable(tables::TableKind::kChaining, rig.context(), cfg);
+  workload::DistinctKeyStream keys(5);
+  auto mc = arbiterRunnerConfig(512);
+  mc.cache_frames = 0;
+  EXPECT_THROW(workload::runMeasurement(*table, keys, mc), CheckFailure);
+}
+
+// The TSAN-exercised case (matches the CI sanitizer filter): per-shard
+// cache resizes ride the pipeline's maintenance hook while drains flush
+// the same caches — every touch must serialize on the one worker thread.
+TEST(RunnerArbiter, ShardedPipelinedArbiterResizesRaceFlushSafely) {
+  TestRig rig(16);
+  tables::GeneralConfig cfg;
+  cfg.expected_n = 4096;
+  cfg.target_load = 0.5;
+  cfg.shards = 3;
+  cfg.shard_threads = 3;
+  cfg.sharded_inner = tables::TableKind::kChaining;
+  cfg.shard_cache_frames = 12;
+  cfg.shard_cache_write_back = true;
+  cfg.shard_cache_replacement = ReplacementKind::kTwoQ;
+  auto table = makeTable(tables::TableKind::kSharded, rig.context(), cfg);
+  auto* sharded = dynamic_cast<tables::ShardedTable*>(table.get());
+  ASSERT_NE(sharded, nullptr);
+
+  workload::ZipfKeyStream keys(17, 2048, 0.99);
+  auto mc = arbiterRunnerConfig(4096);
+  mc.cache_frames = 0;  // the façade's own per-shard caches arbitrate
+  mc.pipelined = true;
+  mc.pipeline_depth = 2;
+  mc.arbiter_interval = 256;  // frequent maintenance vs checkpoint drains
+  const auto m = workload::runMeasurement(*table, keys,mc);
+
+  std::size_t shard_frames = 0;
+  for (std::size_t s = 0; s < sharded->shardCount(); ++s) {
+    if (sharded->shardCache(s) != nullptr) {
+      shard_frames += sharded->shardCache(s)->capacityBlocks();
+    }
+  }
+  EXPECT_EQ(shard_frames, m.cache_frames_final);
+  EXPECT_EQ(table->ioStats().cache_frames_current, m.cache_frames_final);
+  EXPECT_GT(m.tq_final, 0.0);
+}
+
+}  // namespace
+}  // namespace exthash::extmem

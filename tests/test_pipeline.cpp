@@ -385,5 +385,40 @@ TEST(PipelineErrors, WorkerExceptionSurfacesOnDrain) {
   EXPECT_FALSE(pending.get().has_value());
 }
 
+TEST(PipelineStagingCharge, ShrinkReleasesOnlyAsWindowsDrain) {
+  TestRig rig(8);
+  tables::GeneralConfig cfg;
+  cfg.expected_n = 256;
+  auto table = makeTable(tables::TableKind::kChaining, rig.context(), cfg);
+  // A dedicated budget so the assertions see only the staging charge.
+  extmem::MemoryBudget staging_budget(0);
+  PipelineConfig pc;
+  pc.batch_capacity = 64;
+  pc.max_pending_batches = 1;
+  pc.budget = &staging_budget;
+  IngestPipeline pipe(*table, pc);
+  const std::size_t words_per_slot = 2 * kStagingOpWords;  // (depth+1)=2
+  EXPECT_EQ(staging_budget.used(), 64 * words_per_slot);
+
+  for (std::uint64_t i = 0; i < 40; ++i) pipe.insert(i, i);  // staged, unsealed
+  pipe.setWindowCapacity(8);
+  EXPECT_EQ(pipe.windowCapacity(), 8u);
+  // The 40 staged ops are still physically resident: the charge drops
+  // only to their envelope, not to the new 8-slot capacity — releasing
+  // early would let an arbiter re-grant memory that is still in use.
+  EXPECT_EQ(staging_budget.used(), 40 * words_per_slot);
+
+  // Growing back UNDER the resident envelope must not release it either.
+  pipe.setWindowCapacity(16);
+  EXPECT_EQ(staging_budget.used(), 40 * words_per_slot);
+
+  pipe.drain();  // the oversized window applied and retired
+  EXPECT_EQ(staging_budget.used(), 16 * words_per_slot);
+
+  pipe.setWindowCapacity(32);  // growth past the envelope charges at once
+  EXPECT_EQ(staging_budget.used(), 32 * words_per_slot);
+  pipe.drain();
+}
+
 }  // namespace
 }  // namespace exthash::pipeline

@@ -58,5 +58,73 @@ TEST(Zipf, RejectsBadParameters) {
   EXPECT_THROW(ZipfDistribution(10, -0.5), CheckFailure);
 }
 
+// kCompat must keep producing the PRE-fast-path sequences bit-for-bit:
+// these goldens were captured from the original rejection-inversion
+// sampler before the CDF path landed. If this test breaks, seeded
+// historical traces silently change.
+TEST(Zipf, CompatModeReproducesLegacySequences) {
+  {
+    ZipfDistribution zipf(1000, 1.0, ZipfMode::kCompat);
+    Xoshiro256StarStar rng(42);
+    const std::uint64_t expected[] = {533, 58, 6, 1, 1, 3,
+                                      5,   2,  3, 13, 6, 113};
+    for (const std::uint64_t want : expected) EXPECT_EQ(zipf(rng), want);
+  }
+  {
+    ZipfDistribution zipf(std::uint64_t{1} << 16, 0.8, ZipfMode::kCompat);
+    Xoshiro256StarStar rng(7);
+    const std::uint64_t expected[] = {435,   15354, 53,   1,    1,
+                                      28,    49415, 39921, 6774, 31335};
+    for (const std::uint64_t want : expected) EXPECT_EQ(zipf(rng), want);
+  }
+}
+
+TEST(Zipf, FastModeUsesCdfAndMatchesCompatDistribution) {
+  ZipfDistribution fast(1000, 1.0, ZipfMode::kFast);
+  ZipfDistribution compat(1000, 1.0, ZipfMode::kCompat);
+  ASSERT_TRUE(fast.usesCdf());
+  ASSERT_FALSE(compat.usesCdf());
+  // Independent streams, same marginals: compare head masses and a
+  // mid-tail bucket within loose tolerances.
+  Xoshiro256StarStar rng_f(21), rng_c(22);
+  const int n = 40000;
+  int head_f = 0, head_c = 0, mid_f = 0, mid_c = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t f = fast(rng_f);
+    const std::uint64_t c = compat(rng_c);
+    head_f += f <= 10;
+    head_c += c <= 10;
+    mid_f += f > 10 && f <= 100;
+    mid_c += c > 10 && c <= 100;
+  }
+  EXPECT_NEAR(head_f, head_c, n / 25);
+  EXPECT_NEAR(mid_f, mid_c, n / 25);
+}
+
+TEST(Zipf, FastModeIsDeterministicAndInRange) {
+  ZipfDistribution zipf(512, 1.3, ZipfMode::kFast);
+  Xoshiro256StarStar a(9), b(9);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = zipf(a);
+    EXPECT_EQ(v, zipf(b));
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 512u);
+  }
+}
+
+TEST(Zipf, FastModeFallsBackAboveCdfLimit) {
+  // Above kCdfMaxN the fast mode must decline the O(n) table and still
+  // sample correctly via rejection-inversion.
+  ZipfDistribution huge(ZipfDistribution::kCdfMaxN + 1, 1.0,
+                        ZipfMode::kFast);
+  EXPECT_FALSE(huge.usesCdf());
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = huge(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, ZipfDistribution::kCdfMaxN + 1);
+  }
+}
+
 }  // namespace
 }  // namespace exthash
