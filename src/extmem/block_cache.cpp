@@ -42,7 +42,10 @@ BlockCache::Frame& BlockCache::insertFrame(BlockId id, Frame frame) {
   while (frames_.size() >= capacity_blocks_ && evictOne()) {
   }
   auto [ins, ok] = frames_.emplace(id, std::move(frame));
-  EXTHASH_CHECK(ok);
+  // Per-miss touch path: debug-only (the partition audit catches a
+  // double-resident id at the next barrier in Release).
+  EXTHASH_DCHECK(ok);
+  (void)ok;
   if (ins->second.dirty) ++dirty_blocks_;
   replacement_->onInsert(id);
   rechargeForResidency();
@@ -103,17 +106,20 @@ void BlockCache::writeBack(BlockId id, Frame& frame) {
 }
 
 bool BlockCache::evictOne() {
+  // Per-eviction policy-contract checks are debug-only: a policy that
+  // proposes a non-resident victim is caught by the partition audit at
+  // the next barrier, and Release eviction stays two map probes.
   const auto unpinned = [this](BlockId id) {
     auto it = frames_.find(id);
-    EXTHASH_CHECK_MSG(it != frames_.end(),
-                      "policy proposed a non-resident victim " << id);
-    return it->second.pins == 0;  // a live span points into pinned frames
+    EXTHASH_DCHECK_MSG(it != frames_.end(),
+                       "policy proposed a non-resident victim " << id);
+    return it != frames_.end() && it->second.pins == 0;
   };
   const std::optional<BlockId> victim = replacement_->chooseEvict(unpinned);
   if (!victim) return false;
   auto it = frames_.find(*victim);
   EXTHASH_CHECK(it != frames_.end());
-  EXTHASH_CHECK(it->second.pins == 0);
+  EXTHASH_DCHECK(it->second.pins == 0);
   writeBack(*victim, it->second);
   frames_.erase(it);
   rechargeForResidency();
@@ -198,6 +204,84 @@ void BlockCache::refreshFromDevice(BlockId id) {
   const auto data = device_.inspect(id);
   std::copy(data.begin(), data.end(), frame.data.begin());
   insertFrame(id, std::move(frame));
+}
+
+void BlockCache::audit(AuditReport& report) const {
+  const char* kComponent = "block-cache";
+
+  // Partition agreement, direction 1: every id the policy believes
+  // resident must have a frame, exactly once.
+  std::size_t policy_resident = 0;
+  replacement_->visitResident([&](BlockId id) {
+    ++policy_resident;
+    EXTHASH_AUDIT_EXPECT(report, kComponent, frames_.count(id) == 1,
+                         "policy-resident id " << id << " has no frame");
+  });
+  // Direction 2: equal cardinality makes the subset relation an equality
+  // (no frame the policy forgot).
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       policy_resident == frames_.size(),
+                       "policy tracks " << policy_resident
+                           << " resident ids, cache holds "
+                           << frames_.size() << " frames");
+
+  // Ghosts are evicted-id memory: a ghost that is also resident would let
+  // id reuse fake a reuse signal.
+  std::size_t ghosts = 0;
+  replacement_->visitGhosts([&](BlockId id) {
+    ++ghosts;
+    EXTHASH_AUDIT_EXPECT(report, kComponent, frames_.count(id) == 0,
+                         "ghost id " << id << " is still resident");
+  });
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       ghosts == replacement_->ghostEntries(),
+                       "ghost lists hold " << ghosts
+                           << " ids, ghostEntries() reports "
+                           << replacement_->ghostEntries());
+
+  // Flag accounting: the dirty counter mirrors the dirty bits; a
+  // write-through cache never holds a dirty frame; at a quiescent barrier
+  // no frame is pinned, and every resident id is still allocated (frees
+  // go through invalidate()).
+  std::size_t dirty = 0;
+  for (const auto& [id, frame] : frames_) {
+    if (frame.dirty) ++dirty;
+    EXTHASH_AUDIT_EXPECT(report, kComponent, frame.pins == 0,
+                         "frame " << id << " pinned (" << frame.pins
+                                  << ") at a quiescent audit");
+    EXTHASH_AUDIT_EXPECT(report, kComponent, device_.isAllocated(id),
+                         "resident frame " << id
+                                           << " maps a freed block");
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         frame.data.size() == device_.wordsPerBlock(),
+                         "frame " << id << " holds " << frame.data.size()
+                                  << " words, device block is "
+                                  << device_.wordsPerBlock());
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent, dirty == dirty_blocks_,
+                       dirty << " dirty frames, counter says "
+                             << dirty_blocks_);
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       policy_ == WritePolicy::kWriteBack || dirty == 0,
+                       "write-through cache holds " << dirty
+                                                    << " dirty frames");
+
+  // Budget charge reconciliation: the frame charge follows
+  // max(capacity, residency) — transient pin-driven over-residency is
+  // charged like any memory (rechargeForResidency's contract) — and the
+  // policy's ghost charge covers its live ghost entries.
+  const std::size_t expected_words =
+      std::max(capacity_blocks_, frames_.size()) * device_.wordsPerBlock();
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       charge_.words() == expected_words,
+                       "frame charge " << charge_.words()
+                           << " words, expected " << expected_words);
+  EXTHASH_AUDIT_EXPECT(
+      report, kComponent,
+      replacement_->chargedWords() >= ghosts * kGhostEntryWords,
+      "policy charges " << replacement_->chargedWords()
+                        << " words for " << ghosts << " ghosts (>= "
+                        << ghosts * kGhostEntryWords << " required)");
 }
 
 }  // namespace exthash::extmem

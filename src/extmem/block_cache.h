@@ -36,6 +36,17 @@
 // buffering — the ABL-CACHE ablation benchmark quantifies that. The cache
 // charges the memory budget for its frames, and the policy charges its
 // ghost-list metadata on top.
+//
+// Threading: the cache is thread-COMPATIBLE, not thread-safe — it holds
+// no mutex by design (the hot path is a hash-map probe and a splice, and
+// every deployment already serializes it externally: each instance is
+// touched only by its owning shard thread inside a batch, or by the one
+// pipeline worker; resizes happen at quiescent points only, see
+// resize()). There is deliberately nothing to annotate for
+// -Wthread-safety here; the compile-time-verified locks live in
+// ThreadPool and IngestPipeline (util/thread_annotations.h), whose
+// serialization is what makes this contract hold. audit() checks the
+// structure those serialized users maintain.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +59,7 @@
 #include "extmem/block_device.h"
 #include "extmem/memory_budget.h"
 #include "extmem/replacement_policy.h"
+#include "util/audit.h"
 
 namespace exthash::extmem {
 
@@ -211,6 +223,21 @@ class BlockCache {
   std::size_t ghostEntries() const noexcept {
     return replacement_->ghostEntries();
   }
+  /// Words this cache charges to the budget for its frames (the policy's
+  /// ghost metadata charge is separate — see policyChargedWords).
+  std::size_t chargedWords() const noexcept { return charge_.words(); }
+  /// Words the replacement policy charges for its ghost directories.
+  std::size_t policyChargedWords() const noexcept {
+    return replacement_->chargedWords();
+  }
+
+  /// Cross-subsystem audit (see util/audit.h): cache-vs-policy partition
+  /// agreement (the policy's resident set must equal the frame map, its
+  /// ghosts must be disjoint from it), dirty/pin flag accounting, and the
+  /// budget charge reconciliation charge == max(capacity, residency) ·
+  /// wordsPerBlock. Must run at a quiescent point — no access in flight,
+  /// no frame pinned (pinned frames are reported as findings).
+  void audit(AuditReport& report) const;
 
  private:
   // Frames live in unordered_map nodes, so references stay valid while
@@ -245,6 +272,10 @@ class BlockCache {
   /// the nesting unwinds).
   bool evictOne();
   void writeBack(BlockId id, Frame& frame);
+
+  // Corruption-seeding hook for the audit mutation tests (defined in
+  // tests/test_audit.cpp); production code never touches it.
+  friend struct AuditPeer;
 
   BlockDevice& device_;
   MemoryCharge charge_;

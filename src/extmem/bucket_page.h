@@ -18,6 +18,11 @@
 // ConstBucketPage wraps span<const Word>, a mutable BucketPage wraps
 // span<Word>. All layout arithmetic lives here so table code never touches
 // raw word offsets.
+//
+// Index bounds here are EXTHASH_DCHECK (debug-only): these run once per
+// record on every hot path, the conditions are pure, and a corrupted
+// count is caught structurally by the invariant auditor (validateLayout
+// clamps counts before iterating) rather than per access.
 #pragma once
 
 #include <optional>
@@ -58,7 +63,7 @@ inline std::uint64_t packHeaderA(std::uint32_t count,
 class ConstBucketPage {
  public:
   explicit ConstBucketPage(std::span<const Word> data) : data_(data) {
-    EXTHASH_CHECK(data.size() >= 4);
+    EXTHASH_DCHECK(data.size() >= 4);
   }
 
   std::size_t capacity() const noexcept {
@@ -72,7 +77,7 @@ class ConstBucketPage {
   }
 
   Record recordAt(std::size_t i) const {
-    EXTHASH_CHECK(i < count());
+    EXTHASH_DCHECK(i < count());
     return Record{data_[2 + 2 * i], data_[3 + 2 * i]};
   }
 
@@ -103,7 +108,7 @@ class ConstBucketPage {
 class BucketPage {
  public:
   explicit BucketPage(std::span<Word> data) : data_(data) {
-    EXTHASH_CHECK(data.size() >= 4);
+    EXTHASH_DCHECK(data.size() >= 4);
   }
 
   /// Re-initialize as an empty bucket page (fresh allocations are already
@@ -133,16 +138,16 @@ class BucketPage {
   }
 
   Record recordAt(std::size_t i) const {
-    EXTHASH_CHECK(i < count());
+    EXTHASH_DCHECK(i < count());
     return Record{data_[2 + 2 * i], data_[3 + 2 * i]};
   }
   void setRecord(std::size_t i, Record r) {
-    EXTHASH_CHECK(i < capacity());
+    EXTHASH_DCHECK(i < capacity());
     data_[2 + 2 * i] = r.key;
     data_[3 + 2 * i] = r.value;
   }
   void setValueAt(std::size_t i, std::uint64_t value) {
-    EXTHASH_CHECK(i < count());
+    EXTHASH_DCHECK(i < count());
     data_[3 + 2 * i] = value;
   }
 
@@ -168,7 +173,7 @@ class BucketPage {
   /// Remove the record at index i by swapping the last record into it.
   void removeAt(std::size_t i) {
     const std::size_t n = count();
-    EXTHASH_CHECK(i < n);
+    EXTHASH_DCHECK(i < n);
     if (i + 1 != n) setRecord(i, recordAt(n - 1));
     setCount(n - 1);
   }
@@ -188,7 +193,7 @@ class ConstSortedRunPage {
 
   std::size_t count() const noexcept { return detail::loadCount(data_[0]); }
   Record recordAt(std::size_t i) const {
-    EXTHASH_CHECK(i < count());
+    EXTHASH_DCHECK(i < count());
     return Record{data_[2 + 2 * i], data_[3 + 2 * i]};
   }
   std::uint64_t firstKey() const { return recordAt(0).key; }

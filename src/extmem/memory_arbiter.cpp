@@ -256,4 +256,32 @@ std::uint64_t MemoryArbiter::applyCacheSplit() {
   return delta_sum;
 }
 
+void MemoryArbiter::audit(AuditReport& report) const {
+  const char* kComponent = "memory-arbiter";
+
+  // The grant ledger must match reality: cache_frames_ is re-derived from
+  // the capacities that stuck after every split, so any divergence means
+  // a cache was resized behind the arbiter's back.
+  std::size_t actual = 0;
+  for (const CacheState& c : caches_) {
+    actual += c.cache->capacityBlocks();
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         !horizon_set_ || c.cache->capacityBlocks() >=
+                                              config_.min_cache_frames,
+                         "cache granted " << c.cache->capacityBlocks()
+                             << " frames, floor is "
+                             << config_.min_cache_frames);
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent, cache_frames_ == actual,
+                       "arbiter believes " << cache_frames_
+                           << " cache frames, caches hold " << actual);
+  if (has_staging_ && horizon_set_) {
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         staging_frames_ >= config_.min_staging_frames,
+                         "staging granted " << staging_frames_
+                             << " frame-equivalents, floor is "
+                             << config_.min_staging_frames);
+  }
+}
+
 }  // namespace exthash::extmem

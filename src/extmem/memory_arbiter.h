@@ -40,7 +40,11 @@
 // must not race cache users. Callers invoke rebalance() only at quiescent
 // points: inline between batches in synchronous loops, or through
 // IngestPipeline::submitMaintenance, which serializes it on the one worker
-// thread that touches the table and its caches.
+// thread that touches the table and its caches. This is a deliberate
+// thread-COMPATIBLE design, not an oversight: adding a mutex here would
+// annotate nothing real (see util/thread_annotations.h — the verified
+// locks live in ThreadPool and IngestPipeline, whose serialization this
+// class piggybacks on).
 #pragma once
 
 #include <cstdint>
@@ -121,6 +125,13 @@ class MemoryArbiter {
   /// Rebalance() calls so far.
   std::uint64_t rebalances() const noexcept { return rebalances_; }
   std::size_t cacheCount() const noexcept { return caches_.size(); }
+
+  /// Structural audit (see util/audit.h): the conserved-total bookkeeping
+  /// must agree with the caches' real capacities — cache_frames_ equals
+  /// the sum of registered caches' capacityBlocks(), every side respects
+  /// its floor, and the pushed staging slot target matches
+  /// staging_frames_. Call at the same quiescent points as rebalance().
+  void audit(AuditReport& report) const;
 
  private:
   struct CacheState {

@@ -12,7 +12,10 @@
 // is enforced exactly and an over-limit attempt never mutates the
 // counter (CAS, not fetch_add-then-rollback), so a doomed charge cannot
 // spuriously fail a concurrent one that fits; `peak` is a monotone
-// CAS-max.
+// CAS-max. Being lock-free, there is no capability for the thread-safety
+// analysis (util/thread_annotations.h) to track here — the atomics ARE
+// the synchronization, and MemoryCharge instances are single-owner by
+// construction (each belongs to one structure serialized by its caller).
 #pragma once
 
 #include <atomic>

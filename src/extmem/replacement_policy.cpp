@@ -67,6 +67,11 @@ class QueuedPolicyBase : public ReplacementPolicy {
     index_.erase(id);
   }
 
+  static void visitList(const List& lst,
+                        const std::function<void(BlockId)>& fn) {
+    for (const BlockId id : lst) fn(id);
+  }
+
   std::unordered_map<BlockId, Slot> index_;
   List spare_;
 };
@@ -106,6 +111,10 @@ class LruPolicy final : public QueuedPolicyBase {
   }
 
   std::string_view name() const override { return "lru"; }
+
+  void visitResident(const std::function<void(BlockId)>& fn) const override {
+    visitList(lru_, fn);
+  }
 
  private:
   List lru_;  // front = most recent
@@ -195,6 +204,17 @@ class TwoQPolicy final : public QueuedPolicyBase {
 
   std::string_view name() const override { return "2q"; }
   std::size_t ghostEntries() const noexcept override { return a1out_.size(); }
+
+  void visitResident(const std::function<void(BlockId)>& fn) const override {
+    visitList(a1in_, fn);
+    visitList(am_, fn);
+  }
+  void visitGhosts(const std::function<void(BlockId)>& fn) const override {
+    visitList(a1out_, fn);
+  }
+  std::size_t chargedWords() const noexcept override {
+    return ghost_charge_.words();
+  }
 
  private:
   enum Where : std::uint8_t { kA1in, kAm, kA1out };
@@ -363,6 +383,18 @@ class ArcPolicy final : public QueuedPolicyBase {
     return b1_.size() + b2_.size();
   }
   double adaptiveTarget() const noexcept override { return p_; }
+
+  void visitResident(const std::function<void(BlockId)>& fn) const override {
+    visitList(t1_, fn);
+    visitList(t2_, fn);
+  }
+  void visitGhosts(const std::function<void(BlockId)>& fn) const override {
+    visitList(b1_, fn);
+    visitList(b2_, fn);
+  }
+  std::size_t chargedWords() const noexcept override {
+    return ghost_charge_.words();
+  }
 
  private:
   enum Where : std::uint8_t { kT1, kT2, kB1, kB2 };

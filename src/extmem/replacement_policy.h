@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -128,6 +129,23 @@ class ReplacementPolicy {
   virtual void setGhostHorizon(std::size_t frames) { (void)frames; }
 
   virtual std::string_view name() const = 0;
+
+  // --- Audit hooks (see util/audit.h) ------------------------------------
+  // The cache-vs-policy partition audit cross-checks the cache's frame map
+  // against the policy's own idea of residency, so a desync (a frame the
+  // policy forgot, a ghost that stayed resident) is caught at the next
+  // barrier instead of surfacing as a mystery eviction.
+
+  /// Enumerate every id the policy currently believes RESIDENT.
+  virtual void visitResident(
+      const std::function<void(BlockId)>& fn) const = 0;
+  /// Enumerate every id on a ghost list (none for ghostless policies).
+  virtual void visitGhosts(const std::function<void(BlockId)>& fn) const {
+    (void)fn;
+  }
+  /// Words of ghost metadata currently charged to the MemoryBudget (the
+  /// up-front worst-case charge; used by budget reconciliation audits).
+  virtual std::size_t chargedWords() const noexcept { return 0; }
 
   /// Accesses that missed residency but hit a ghost list (a strong reuse
   /// signal; zero for ghostless policies).

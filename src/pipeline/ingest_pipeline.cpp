@@ -88,7 +88,7 @@ void IngestPipeline::sealLookupsLocked() {
       else (*batch)[i].promise.set_value(out[i]);
     }
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (err && !error_) error_ = err;
       --pending_lookup_tasks_;
       stats_.lookups_from_table += batch->size();
@@ -99,7 +99,7 @@ void IngestPipeline::sealLookupsLocked() {
   });
 }
 
-void IngestPipeline::sealBatchLocked(std::unique_lock<std::mutex>& lock) {
+void IngestPipeline::sealBatchLocked(util::MutexLock& lock) {
   // Pending table lookups were submitted before the ops in this window
   // seal; enqueue them first so FIFO order on the single worker keeps
   // them from observing this batch. (Their keys are disjoint from every
@@ -136,7 +136,7 @@ void IngestPipeline::sealBatchLocked(std::unique_lock<std::mutex>& lock) {
       err = std::current_exception();
     }
     {
-      std::lock_guard inner(mutex_);
+      util::MutexLock inner(mutex_);
       // The worker is FIFO, so the window completing is the oldest one.
       EXTHASH_CHECK(!inflight_.empty() && inflight_.front() == window);
       inflight_.pop_front();
@@ -156,7 +156,7 @@ void IngestPipeline::sealBatchLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 void IngestPipeline::submit(Op op) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   throwIfFailedLocked();
   // Pending table lookups need no action here: they stay correct as long
   // as they dispatch before this op's window does, and sealBatchLocked
@@ -178,7 +178,7 @@ void IngestPipeline::submit(Op op) {
 
 std::future<std::optional<std::uint64_t>> IngestPipeline::submitLookup(
     std::uint64_t key) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   throwIfFailedLocked();
   ++stats_.lookups_submitted;
 
@@ -220,7 +220,7 @@ std::future<std::optional<std::uint64_t>> IngestPipeline::submitLookup(
 }
 
 void IngestPipeline::setWindowCapacity(std::size_t ops) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   EXTHASH_CHECK_MSG(ops >= 1, "pipeline needs batch_capacity >= 1");
   if (ops == config_.batch_capacity) return;
   if (ops > config_.batch_capacity) {
@@ -240,12 +240,12 @@ void IngestPipeline::setWindowCapacity(std::size_t ops) {
 }
 
 std::size_t IngestPipeline::windowCapacity() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return config_.batch_capacity;
 }
 
 void IngestPipeline::submitMaintenance(std::function<void()> fn) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   throwIfFailedLocked();
   ++pending_maintenance_;
   worker_.submit([this, fn = std::move(fn)] {
@@ -256,7 +256,7 @@ void IngestPipeline::submitMaintenance(std::function<void()> fn) {
       err = std::current_exception();
     }
     {
-      std::lock_guard inner(mutex_);
+      util::MutexLock inner(mutex_);
       if (err && !error_) error_ = err;
       --pending_maintenance_;
     }
@@ -265,35 +265,125 @@ void IngestPipeline::submitMaintenance(std::function<void()> fn) {
 }
 
 void IngestPipeline::flush() {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   throwIfFailedLocked();
   sealBatchLocked(lock);
   sealLookupsLocked();
 }
 
 void IngestPipeline::drain() {
-  std::unique_lock lock(mutex_);
-  // Seal and wait even when a background error is pending: every queued
-  // promise must resolve (with the error, not broken_promise) and the
-  // worker must go idle before drain reports — the table is quiescent
-  // after drain() whether it throws or not.
-  sealBatchLocked(lock);
-  sealLookupsLocked();
-  done_cv_.wait(lock, [this] {
-    return inflight_.empty() && pending_lookup_tasks_ == 0 &&
-           pending_maintenance_ == 0;
-  });
-  // Flush barrier: the worker is idle, so the table is quiescent — write
-  // any dirty cached frames to the device now. Callers rely on drain()
-  // leaving the device authoritative (direct table use, inspect-based
-  // checks) and on ioStats() including the deferred writes.
-  table_.flushCache();
-  throwIfFailedLocked();
+  {
+    util::MutexLock lock(mutex_);
+    // Seal and wait even when a background error is pending: every queued
+    // promise must resolve (with the error, not broken_promise) and the
+    // worker must go idle before drain reports — the table is quiescent
+    // after drain() whether it throws or not. (Explicit loop rather than
+    // a predicate lambda: thread-safety analysis cannot see a lambda
+    // predicate runs with the lock held.)
+    sealBatchLocked(lock);
+    sealLookupsLocked();
+    while (!(inflight_.empty() && pending_lookup_tasks_ == 0 &&
+             pending_maintenance_ == 0)) {
+      done_cv_.wait(lock);
+    }
+    // Flush barrier: the worker is idle, so the table is quiescent — write
+    // any dirty cached frames to the device now. Callers rely on drain()
+    // leaving the device authoritative (direct table use, inspect-based
+    // checks) and on ioStats() including the deferred writes.
+    table_.flushCache();
+    throwIfFailedLocked();
+  }
+  // Barrier audit: everything is quiescent and flushed, so both the
+  // pipeline's accounting invariants and the table's structural layout
+  // are exact here. Off unless audit mode is on (compile option or env).
+  if (audit::enabled()) {
+    AuditReport report;
+    audit(report);
+    table_.validateLayout(report);
+    report.throwIfFailed();
+  }
 }
 
 PipelineStats IngestPipeline::stats() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
+}
+
+void IngestPipeline::audit(AuditReport& report) const {
+  const char* kComponent = "pipeline";
+  util::MutexLock lock(mutex_);
+
+  // Staging window ↔ key index agreement: every index entry points at an
+  // in-range op carrying that key; under coalescing the index is exactly
+  // one entry per staged op (that is what makes last-write-wins O(1)).
+  for (const auto& [key, idx] : staging_index_) {
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         idx < staging_.size() && staging_[idx].key == key,
+                         "staging index maps key " << key << " to slot "
+                             << idx << " of " << staging_.size());
+  }
+  if (config_.coalesce) {
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         staging_index_.size() == staging_.size(),
+                         "coalescing index holds " << staging_index_.size()
+                             << " keys for " << staging_.size()
+                             << " staged ops");
+  }
+
+  // In-flight bound and per-window index agreement (windows are immutable
+  // after sealing, so the same invariant as staging applies).
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       inflight_.size() <= config_.max_pending_batches,
+                       inflight_.size() << " unapplied windows, bound is "
+                           << config_.max_pending_batches);
+  std::size_t inflight_ops = 0;
+  for (const auto& window : inflight_) {
+    inflight_ops += window->ops.size();
+    for (const auto& [key, idx] : window->index) {
+      EXTHASH_AUDIT_EXPECT(
+          report, kComponent,
+          idx < window->ops.size() && window->ops[idx].key == key,
+          "sealed-window index maps key " << key << " to slot " << idx
+              << " of " << window->ops.size());
+    }
+  }
+
+  // Operation ledger: every submitted op was coalesced away, applied, or
+  // is still physically buffered. Holds at any instant under the lock.
+  EXTHASH_AUDIT_EXPECT(
+      report, kComponent,
+      stats_.ops_submitted == stats_.ops_coalesced + stats_.ops_applied +
+                                  staging_.size() + inflight_ops,
+      stats_.ops_submitted << " submitted != " << stats_.ops_coalesced
+          << " coalesced + " << stats_.ops_applied << " applied + "
+          << staging_.size() << " staging + " << inflight_ops
+          << " in flight");
+
+  // Lookup ledger: exact only once no lookup task is on the worker.
+  if (pending_lookup_tasks_ == 0) {
+    EXTHASH_AUDIT_EXPECT(
+        report, kComponent,
+        stats_.lookups_submitted == stats_.lookups_from_memory +
+                                        stats_.lookups_from_table +
+                                        pending_lookups_.size(),
+        stats_.lookups_submitted << " lookups submitted != "
+            << stats_.lookups_from_memory << " from memory + "
+            << stats_.lookups_from_table << " from table + "
+            << pending_lookups_.size() << " pending");
+  }
+
+  // Staging charge reconciliation: when a budget is attached, the charge
+  // covers the envelope of configured capacity and physically resident
+  // windows (rechargeStagingLocked's contract).
+  if (config_.budget != nullptr) {
+    const std::size_t expected = stagingWords(
+        config_,
+        std::max(config_.batch_capacity, residentEnvelopeLocked()));
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         staging_charge_.words() == expected,
+                         "staging charge " << staging_charge_.words()
+                             << " words, expected " << expected);
+  }
 }
 
 }  // namespace exthash::pipeline

@@ -41,6 +41,10 @@
 // wrapped table is touched ONLY by the single background worker between
 // construction and drain(), so tables need no internal locking. After
 // drain() returns the table is quiescent and may be inspected directly.
+// The locking discipline is compiler-verified (-Wthread-safety, see
+// util/thread_annotations.h): mutex_ guards every mutable member, the
+// *Locked helpers require it held, and the public surface is annotated
+// as acquiring it internally.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +57,8 @@
 #include <vector>
 
 #include "tables/hash_table.h"
+#include "util/audit.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace exthash::pipeline {
@@ -109,7 +115,7 @@ class IngestPipeline {
 
   /// Stage one operation. Seals the window when it reaches batch_capacity;
   /// sealing blocks while max_pending_batches batches are unapplied.
-  void submit(tables::Op op);
+  void submit(tables::Op op) EXTHASH_EXCLUDES(mutex_);
   void insert(std::uint64_t key, std::uint64_t value) {
     submit(tables::Op::insertOp(key, value));
   }
@@ -120,16 +126,20 @@ class IngestPipeline {
   /// resolve when the background worker answers them via lookupBatch —
   /// dispatched at once if the worker is idle, or grouped behind the work
   /// in flight otherwise, so every future resolves without flush().
-  std::future<std::optional<std::uint64_t>> submitLookup(std::uint64_t key);
+  std::future<std::optional<std::uint64_t>> submitLookup(std::uint64_t key)
+      EXTHASH_EXCLUDES(mutex_);
 
   /// Seal the staging window and pending lookups into the worker queue
   /// without waiting for them to apply (may block on backpressure).
-  void flush();
+  void flush() EXTHASH_EXCLUDES(mutex_);
 
   /// flush() and wait until every queued batch, lookup, and maintenance
   /// task has completed; rethrows the first background error. Afterwards
-  /// the wrapped table is quiescent and safe to use directly.
-  void drain();
+  /// the wrapped table is quiescent and safe to use directly. Under audit
+  /// mode (see util/audit.h) this barrier additionally runs the pipeline's
+  /// own accounting audit plus the wrapped table's validateLayout and
+  /// throws CheckFailure on any violation.
+  void drain() EXTHASH_EXCLUDES(mutex_);
 
   /// Resize the staging window capacity at runtime (>= 1) — the memory
   /// arbiter's staging-side lever. Takes effect at the next submit(): a
@@ -139,8 +149,8 @@ class IngestPipeline {
   /// submitMaintenance task on the worker itself. Resizes the optional
   /// staging budget charge (growing may throw BudgetExceeded, leaving the
   /// old capacity in place).
-  void setWindowCapacity(std::size_t ops);
-  std::size_t windowCapacity() const;
+  void setWindowCapacity(std::size_t ops) EXTHASH_EXCLUDES(mutex_);
+  std::size_t windowCapacity() const EXTHASH_EXCLUDES(mutex_);
 
   /// Run `fn` on the background worker, FIFO-ordered after every window
   /// sealed so far and before any sealed later. This is the quiescent
@@ -148,16 +158,25 @@ class IngestPipeline {
   /// touches the wrapped table or its caches, so `fn` may resize caches
   /// and flush safely while producers keep submitting. Errors from `fn`
   /// surface at the next drain()/submit like any background error.
-  void submitMaintenance(std::function<void()> fn);
+  void submitMaintenance(std::function<void()> fn) EXTHASH_EXCLUDES(mutex_);
 
-  PipelineStats stats() const;
+  PipelineStats stats() const EXTHASH_EXCLUDES(mutex_);
   /// Snapshot of the configuration. By value under the lock:
   /// batch_capacity is runtime-mutable (setWindowCapacity may run on the
   /// worker mid-stream), so a live reference would be a data race.
-  PipelineConfig config() const {
-    std::lock_guard lock(mutex_);
+  PipelineConfig config() const EXTHASH_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return config_;
   }
+
+  /// Structural accounting audit (see util/audit.h): staging-index ↔
+  /// staging-window agreement, in-flight bound, staging-charge
+  /// reconciliation against the configured budget, and the submitted =
+  /// coalesced + applied + still-buffered operation ledger. Safe to call
+  /// concurrently with producers (it snapshots under the lock), but the
+  /// ledger checks are only exact at a quiescent barrier — drain() calls
+  /// this automatically under audit mode.
+  void audit(AuditReport& report) const EXTHASH_EXCLUDES(mutex_);
 
   /// The wrapped table. Only meaningful to touch after drain().
   tables::ExternalHashTable& table() noexcept { return table_; }
@@ -184,42 +203,48 @@ class IngestPipeline {
                : std::nullopt;
   }
 
-  // All *Locked methods require mutex_ held.
-  void sealBatchLocked(std::unique_lock<std::mutex>& lock);
-  void sealLookupsLocked();
-  void throwIfFailedLocked();
+  // All *Locked methods require mutex_ held (compiler-enforced).
+  void sealBatchLocked(util::MutexLock& lock) EXTHASH_REQUIRES(mutex_);
+  void sealLookupsLocked() EXTHASH_REQUIRES(mutex_);
+  void throwIfFailedLocked() EXTHASH_REQUIRES(mutex_);
   /// Largest op count any staging structure still physically holds (the
   /// accumulating window or a sealed in-flight window).
-  std::size_t residentEnvelopeLocked() const;
-  void rechargeStagingLocked();
+  std::size_t residentEnvelopeLocked() const EXTHASH_REQUIRES(mutex_);
+  void rechargeStagingLocked() EXTHASH_REQUIRES(mutex_);
+
+  // Test-only corruption hook for the invariant auditor (tests define the
+  // struct; the library never does).
+  friend struct AuditPeer;
 
   tables::ExternalHashTable& table_;
-  PipelineConfig config_;
+  PipelineConfig config_ EXTHASH_GUARDED_BY(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable room_cv_;   // a pending-batch slot freed
-  std::condition_variable done_cv_;   // some queued work completed
+  mutable util::Mutex mutex_;
+  util::CondVar room_cv_;   // a pending-batch slot freed
+  util::CondVar done_cv_;   // some queued work completed
 
   // Staging window (accumulating, not yet sealed).
-  std::vector<tables::Op> staging_;
-  std::unordered_map<std::uint64_t, std::size_t> staging_index_;
+  std::vector<tables::Op> staging_ EXTHASH_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::size_t> staging_index_
+      EXTHASH_GUARDED_BY(mutex_);
 
   // Lookups waiting to be sealed into a worker task.
-  std::vector<PendingLookup> pending_lookups_;
+  std::vector<PendingLookup> pending_lookups_ EXTHASH_GUARDED_BY(mutex_);
 
   // Sealed windows not yet applied, oldest first (the worker completes
   // them in FIFO order). Bounded by max_pending_batches.
-  std::deque<std::shared_ptr<BatchWindow>> inflight_;
+  std::deque<std::shared_ptr<BatchWindow>> inflight_
+      EXTHASH_GUARDED_BY(mutex_);
 
-  std::size_t pending_lookup_tasks_ = 0;
-  std::size_t pending_maintenance_ = 0;
-  std::exception_ptr error_;
+  std::size_t pending_lookup_tasks_ EXTHASH_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_maintenance_ EXTHASH_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ EXTHASH_GUARDED_BY(mutex_);
 
   // Charge for the bounded staging structures when config_.budget is set;
   // resized by setWindowCapacity.
-  extmem::MemoryCharge staging_charge_;
+  extmem::MemoryCharge staging_charge_ EXTHASH_GUARDED_BY(mutex_);
 
-  PipelineStats stats_;
+  PipelineStats stats_ EXTHASH_GUARDED_BY(mutex_);
 
   // Single-thread FIFO executor; declared last so it stops (and finishes
   // queued tasks referencing the state above) before anything else is

@@ -118,7 +118,12 @@ std::ptrdiff_t applyOpsToChain(Io&& device, extmem::BlockId primary,
         const std::size_t begin = cap + i * cap;
         const std::size_t end = std::min(records.size(), begin + cap);
         for (std::size_t r = begin; r < end; ++r) {
-          EXTHASH_CHECK(page.append(records[r]));
+          // Hot path: cannot fail (end - begin <= cap by construction), so
+          // debug-only — but the append must still RUN in Release, hence
+          // the hoisted call (EXTHASH_DCHECK never evaluates under NDEBUG).
+          const bool appended = page.append(records[r]);
+          EXTHASH_DCHECK(appended);
+          (void)appended;
         }
         if (i + 1 < blocks) page.setNext(chain[i + 1]);
       });
@@ -151,7 +156,9 @@ std::ptrdiff_t applyOpsToChain(Io&& device, extmem::BlockId primary,
     page.setFlags(flags);
     const std::size_t in_primary = std::min(records.size(), cap);
     for (std::size_t i = 0; i < in_primary; ++i) {
-      EXTHASH_CHECK(page.append(records[i]));
+      const bool appended = page.append(records[i]);
+      EXTHASH_DCHECK(appended);  // in_primary <= cap; hoisted for NDEBUG
+      (void)appended;
     }
     page.setNext(writeOverflow(records));
     return r;
@@ -180,7 +187,9 @@ std::ptrdiff_t applyOpsToChain(Io&& device, extmem::BlockId primary,
     page.format();
     const std::size_t in_primary = std::min(records.size(), cap);
     for (std::size_t i = 0; i < in_primary; ++i) {
-      EXTHASH_CHECK(page.append(records[i]));
+      const bool appended = page.append(records[i]);
+      EXTHASH_DCHECK(appended);  // in_primary <= cap; hoisted for NDEBUG
+      (void)appended;
     }
     page.setNext(writeOverflow(records));
   });

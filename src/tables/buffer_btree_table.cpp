@@ -664,4 +664,143 @@ std::string BufferBTreeTable::debugString() const {
          ", nodes=" + std::to_string(node_blocks_) + "}";
 }
 
+void BufferBTreeTable::auditSubtree(BlockId node, std::size_t depth,
+                                    std::optional<std::uint64_t> lo,
+                                    std::optional<std::uint64_t> hi,
+                                    AuditReport& report,
+                                    std::uint64_t& nodes_seen) const {
+  const char* kComponent = "buffer-btree";
+  ++nodes_seen;
+  EXTHASH_AUDIT_EXPECT(report, kComponent, ctx_.device->isAllocated(node),
+                       "tree links freed block " << node << " at depth "
+                                                 << depth);
+  if (!ctx_.device->isAllocated(node)) return;
+  if (nodes_seen > node_blocks_ + 1) {
+    // A pointer cycle would recurse forever; the ledger check at the top
+    // already reports the mismatch, so just stop descending.
+    return;
+  }
+
+  // Validate the raw header counts BEFORE readNode materializes the
+  // image: a corrupted count must become a finding, not an out-of-range
+  // span read.
+  const std::span<const Word> w = ctx_.device->inspect(node);
+  const auto count = static_cast<std::size_t>(w[0] & 0xffffffffULL);
+  const bool is_leaf = (w[0] & kInternalFlag) == 0;
+  if (is_leaf) {
+    EXTHASH_AUDIT_EXPECT(report, kComponent, count <= leaf_cap_,
+                         "leaf " << node << " claims " << count
+                                 << " records, capacity " << leaf_cap_);
+    EXTHASH_AUDIT_EXPECT(report, kComponent, depth + 1 == height_,
+                         "leaf " << node << " at depth " << depth
+                                 << ", tree height is " << height_);
+    if (count > leaf_cap_) return;
+  } else {
+    const auto buffered = static_cast<std::size_t>(w[1]);
+    EXTHASH_AUDIT_EXPECT(report, kComponent, count <= fanout_,
+                         "node " << node << " claims " << count
+                                 << " pivots, fanout " << fanout_);
+    EXTHASH_AUDIT_EXPECT(report, kComponent, buffered <= buffer_cap_,
+                         "node " << node << " buffers " << buffered
+                                 << " messages, capacity " << buffer_cap_);
+    EXTHASH_AUDIT_EXPECT(report, kComponent, count >= 1,
+                         "internal node " << node << " has no pivot");
+    if (count > fanout_ || buffered > buffer_cap_) return;
+  }
+
+  const Geometry g{fanout_, buffer_cap_, leaf_cap_};
+  const NodeImage img = readNode(w, g);
+  const auto in_range = [&](std::uint64_t key) {
+    return (!lo || key >= *lo) && (!hi || key < *hi);
+  };
+  if (img.is_leaf) {
+    for (std::size_t i = 0; i < img.records.size(); ++i) {
+      const std::uint64_t key = img.records[i].key;
+      EXTHASH_AUDIT_EXPECT(report, kComponent,
+                           i == 0 || img.records[i - 1].key < key,
+                           "leaf " << node << " key order broken at slot "
+                                   << i);
+      EXTHASH_AUDIT_EXPECT(report, kComponent, in_range(key),
+                           "leaf " << node << " key " << key
+                                   << " escapes its fence interval");
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < img.pivots.size(); ++i) {
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         i == 0 || img.pivots[i - 1] < img.pivots[i],
+                         "node " << node << " pivot order broken at slot "
+                                 << i);
+    EXTHASH_AUDIT_EXPECT(report, kComponent, in_range(img.pivots[i]),
+                         "node " << node << " pivot " << img.pivots[i]
+                                 << " escapes its fence interval");
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       img.children.size() == img.pivots.size() + 1,
+                       "node " << node << " has " << img.children.size()
+                               << " children for " << img.pivots.size()
+                               << " pivots");
+  for (const Record& msg : img.buffer) {
+    EXTHASH_AUDIT_EXPECT(report, kComponent, in_range(msg.key),
+                         "node " << node << " buffered message for key "
+                                 << msg.key
+                                 << " escapes its fence interval");
+  }
+  for (std::size_t i = 0; i < img.children.size(); ++i) {
+    // Child i covers [pivots[i-1], pivots[i]) — rootChildIndex's
+    // upper_bound convention.
+    auditSubtree(img.children[i], depth + 1,
+                 i == 0 ? lo : std::optional<std::uint64_t>(img.pivots[i - 1]),
+                 i == img.pivots.size()
+                     ? hi
+                     : std::optional<std::uint64_t>(img.pivots[i]),
+                 report, nodes_seen);
+  }
+}
+
+void BufferBTreeTable::validateLayout(AuditReport& report) const {
+  ExternalHashTable::validateLayout(report);  // attached-cache audit
+  const char* kComponent = "buffer-btree";
+
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       std::is_sorted(root_keys_.begin(), root_keys_.end()),
+                       "memory-root pivots out of order");
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       root_buffer_.size() <= buffer_cap_,
+                       "memory-root buffers " << root_buffer_.size()
+                           << " messages, capacity " << buffer_cap_);
+  if (root_is_leaf_) {
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         root_children_.empty() && height_ == 1,
+                         "leaf root carries " << root_children_.size()
+                             << " children at height " << height_);
+    EXTHASH_AUDIT_EXPECT(report, kComponent, node_blocks_ == 0,
+                         "leaf root but " << node_blocks_
+                             << " device nodes on the ledger");
+    return;
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       root_children_.size() == root_keys_.size() + 1,
+                       "memory root has " << root_children_.size()
+                           << " children for " << root_keys_.size()
+                           << " pivots");
+  EXTHASH_AUDIT_EXPECT(report, kComponent, height_ >= 2,
+                       "internal root at height " << height_);
+  if (root_children_.size() != root_keys_.size() + 1) return;
+  std::uint64_t nodes_seen = 0;
+  for (std::size_t i = 0; i < root_children_.size(); ++i) {
+    auditSubtree(
+        root_children_[i], 1,
+        i == 0 ? std::nullopt
+               : std::optional<std::uint64_t>(root_keys_[i - 1]),
+        i == root_keys_.size()
+            ? std::nullopt
+            : std::optional<std::uint64_t>(root_keys_[i]),
+        report, nodes_seen);
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent, nodes_seen == node_blocks_,
+                       "tree reaches " << nodes_seen
+                           << " nodes, ledger says " << node_blocks_);
+}
+
 }  // namespace exthash::tables

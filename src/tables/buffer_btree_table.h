@@ -50,6 +50,11 @@ class BufferBTreeTable final : public ExternalHashTable {
   std::string_view name() const override { return "buffer-btree"; }
   void visitLayout(LayoutVisitor& visitor) const override;
   std::string debugString() const override;
+  /// Deep structural audit: recursive descent checking pivot ordering and
+  /// fence-key containment, children = pivots + 1, buffer / leaf capacity
+  /// bounds, uniform leaf depth equal to height(), and the node_blocks_
+  /// ledger.
+  void validateLayout(AuditReport& report) const override;
 
   std::size_t height() const noexcept { return height_; }
   std::size_t fanout() const noexcept { return fanout_; }
@@ -57,6 +62,9 @@ class BufferBTreeTable final : public ExternalHashTable {
   std::uint64_t flushes() const noexcept { return flushes_; }
 
  private:
+  // Test-only corruption hook for the invariant auditor.
+  friend struct AuditPeer;
+
   struct SplitResult {
     // New (pivot, right-sibling) pairs the parent must install; empty if
     // the node absorbed the batch without splitting. A heavily skewed
@@ -81,6 +89,12 @@ class BufferBTreeTable final : public ExternalHashTable {
   std::size_t rootChildIndex(std::uint64_t key) const;
   void freeSubtree(extmem::BlockId node);
   void visitSubtree(extmem::BlockId node, LayoutVisitor& visitor) const;
+  /// validateLayout's recursive worker: audit the subtree at `node`,
+  /// expected at `depth` (root = 0) and covering keys in [lo, hi).
+  void auditSubtree(extmem::BlockId node, std::size_t depth,
+                    std::optional<std::uint64_t> lo,
+                    std::optional<std::uint64_t> hi, AuditReport& report,
+                    std::uint64_t& nodes_seen) const;
 
   BufferBTreeConfig config_;
   std::size_t fanout_;        // F: max pivots per internal node

@@ -311,6 +311,71 @@ std::string ChainingHashTable::debugString() const {
          ", load=" + std::to_string(loadFactor()) + "}";
 }
 
+void ChainingHashTable::validateLayout(AuditReport& report) const {
+  ExternalHashTable::validateLayout(report);  // attached-cache audit
+  if (destroyed_) return;
+  flushCache();  // the inspect() reads below bypass the cache
+  const char* kComponent = "chaining";
+
+  // Any chain longer than primary + every overflow block the table ever
+  // counted must contain a cycle; stop walking there instead of hanging.
+  const std::uint64_t max_chain = 1 + overflow_blocks_;
+  std::size_t records_seen = 0;
+  std::uint64_t overflow_seen = 0;
+  std::vector<std::uint64_t> chain_keys;
+  for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
+    chain_keys.clear();
+    BlockId current = primaryBlock(j);
+    std::uint64_t hops = 0;
+    while (current != kInvalidBlock) {
+      if (hops > max_chain) {
+        report.fail(kComponent, "chain acyclic",
+                    "bucket " + std::to_string(j) + " chain exceeds " +
+                        std::to_string(max_chain) + " blocks (cycle?)");
+        break;
+      }
+      EXTHASH_AUDIT_EXPECT(report, kComponent,
+                           ctx_.device->isAllocated(current),
+                           "bucket " << j << " chain links freed block "
+                                     << current);
+      if (!ctx_.device->isAllocated(current)) break;
+      ConstBucketPage page(ctx_.device->inspect(current));
+      // Clamp before iterating: a corrupted header must produce a
+      // finding, not out-of-range record reads.
+      EXTHASH_AUDIT_EXPECT(report, kComponent,
+                           page.count() <= page.capacity(),
+                           "block " << current << " claims " << page.count()
+                               << " records, capacity " << page.capacity());
+      const std::size_t n = std::min(page.count(), page.capacity());
+      for (std::size_t i = 0; i < n; ++i) {
+        const Record r = page.recordAt(i);
+        EXTHASH_AUDIT_EXPECT(report, kComponent, bucketOf(r.key) == j,
+                             "key " << r.key << " stored in bucket " << j
+                                    << " but hashes to bucket "
+                                    << bucketOf(r.key));
+        chain_keys.push_back(r.key);
+      }
+      records_seen += n;
+      if (hops > 0) ++overflow_seen;
+      ++hops;
+      current = page.next();
+    }
+    std::sort(chain_keys.begin(), chain_keys.end());
+    EXTHASH_AUDIT_EXPECT(
+        report, kComponent,
+        std::adjacent_find(chain_keys.begin(), chain_keys.end()) ==
+            chain_keys.end(),
+        "bucket " << j << " chain stores a key twice");
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent, records_seen == size_,
+                       "blocks hold " << records_seen
+                           << " records, size() reports " << size_);
+  EXTHASH_AUDIT_EXPECT(report, kComponent, overflow_seen == overflow_blocks_,
+                       "chains link " << overflow_seen
+                           << " overflow blocks, counter says "
+                           << overflow_blocks_);
+}
+
 // ---------------------------------------------------------------------------
 // Bulk build
 // ---------------------------------------------------------------------------

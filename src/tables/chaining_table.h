@@ -60,6 +60,11 @@ class ChainingHashTable final : public ExternalHashTable {
   std::optional<extmem::BlockId> primaryBlockOf(
       std::uint64_t key) const override;
   std::string debugString() const override;
+  /// Deep structural audit: walks every bucket chain on the device and
+  /// checks record placement (bucketOf agreement), per-page counts,
+  /// per-chain key uniqueness, chain acyclicity, and that the size_ /
+  /// overflow_blocks_ bookkeeping matches what the blocks actually hold.
+  void validateLayout(AuditReport& report) const override;
 
   std::uint64_t bucketCount() const noexcept { return config_.bucket_count; }
   const BucketIndexer& indexer() const noexcept { return config_.indexer; }
@@ -83,6 +88,8 @@ class ChainingHashTable final : public ExternalHashTable {
 
  private:
   class ScanCursor;
+  // Test-only corruption hook for the invariant auditor.
+  friend struct AuditPeer;
 
   /// Apply >= 2 ops destined for bucket j with one pass over its chain.
   void applyOpsToBucket(std::uint64_t bucket, std::span<const Op> ops);

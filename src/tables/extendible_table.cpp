@@ -1,5 +1,6 @@
 #include "tables/extendible_table.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "tables/batch_util.h"
@@ -277,6 +278,84 @@ std::string ExtendibleHashTable::debugString() const {
          ", buckets=" + std::to_string(bucket_blocks_) +
          ", size=" + std::to_string(size_) +
          ", load=" + std::to_string(loadFactor()) + "}";
+}
+
+void ExtendibleHashTable::validateLayout(AuditReport& report) const {
+  ExternalHashTable::validateLayout(report);  // attached-cache audit
+  flushCache();  // the inspect() reads below bypass the cache
+  const char* kComponent = "extendible";
+
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       directory_.size() ==
+                           (std::size_t{1} << global_depth_),
+                       "directory holds " << directory_.size()
+                           << " entries, global depth " << global_depth_
+                           << " demands " << (std::size_t{1} << global_depth_));
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       global_depth_ <= config_.max_global_depth,
+                       "global depth " << global_depth_ << " exceeds cap "
+                                       << config_.max_global_depth);
+
+  // Walk the directory as runs of aliased pointers. Each distinct bucket
+  // must serve exactly one aligned run of 2^(g-ℓ) entries — the pointer
+  // sharing that makes a depth-ℓ bucket addressable from every hash
+  // prefix it still covers.
+  std::size_t distinct = 0;
+  std::size_t records_seen = 0;
+  std::size_t i = 0;
+  while (i < directory_.size()) {
+    const BlockId id = directory_[i];
+    std::size_t run = 1;
+    while (i + run < directory_.size() && directory_[i + run] == id) ++run;
+    ++distinct;
+    EXTHASH_AUDIT_EXPECT(report, kComponent, ctx_.device->isAllocated(id),
+                         "directory entries [" << i << ", " << i + run
+                             << ") point at freed block " << id);
+    if (ctx_.device->isAllocated(id)) {
+      ConstBucketPage page(ctx_.device->inspect(id));
+      const std::uint32_t local_depth = page.flags();
+      EXTHASH_AUDIT_EXPECT(report, kComponent, local_depth <= global_depth_,
+                           "bucket " << id << " local depth " << local_depth
+                               << " exceeds global depth " << global_depth_);
+      if (local_depth <= global_depth_) {
+        const std::size_t expected_run =
+            std::size_t{1} << (global_depth_ - local_depth);
+        EXTHASH_AUDIT_EXPECT(report, kComponent,
+                             run == expected_run && i % expected_run == 0,
+                             "bucket " << id << " at depth " << local_depth
+                                 << " serves entries [" << i << ", "
+                                 << i + run << "), expected an aligned run"
+                                 << " of " << expected_run);
+      }
+      EXTHASH_AUDIT_EXPECT(report, kComponent, !page.hasNext(),
+                           "bucket " << id
+                               << " carries an overflow link; extendible"
+                               << " buckets never chain");
+      EXTHASH_AUDIT_EXPECT(report, kComponent,
+                           page.count() <= page.capacity(),
+                           "bucket " << id << " claims " << page.count()
+                               << " records, capacity " << page.capacity());
+      const std::size_t n = std::min(page.count(), page.capacity());
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::uint64_t key = page.recordAt(r).key;
+        const std::size_t idx = dirIndex(key);
+        EXTHASH_AUDIT_EXPECT(report, kComponent, idx >= i && idx < i + run,
+                             "key " << key << " stored in bucket " << id
+                                 << " but addresses directory entry " << idx
+                                 << " outside [" << i << ", " << i + run
+                                 << ")");
+      }
+      records_seen += n;
+    }
+    i += run;
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent, distinct == bucket_blocks_,
+                       "directory reaches " << distinct
+                           << " distinct buckets, counter says "
+                           << bucket_blocks_);
+  EXTHASH_AUDIT_EXPECT(report, kComponent, records_seen == size_,
+                       "buckets hold " << records_seen
+                           << " records, size() reports " << size_);
 }
 
 }  // namespace exthash::tables

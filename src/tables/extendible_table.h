@@ -46,6 +46,11 @@ class ExtendibleHashTable final : public ExternalHashTable {
   std::optional<extmem::BlockId> primaryBlockOf(
       std::uint64_t key) const override;
   std::string debugString() const override;
+  /// Deep structural audit: directory size is 2^g, every bucket's local
+  /// depth ℓ <= g with its 2^(g-ℓ) directory entries forming one aligned
+  /// run of aliases, every record stored under a directory index its hash
+  /// actually addresses, and bucket_blocks_ / size_ reconciliation.
+  void validateLayout(AuditReport& report) const override;
 
   std::uint32_t globalDepth() const noexcept { return global_depth_; }
   std::size_t directorySize() const noexcept { return directory_.size(); }
@@ -53,6 +58,9 @@ class ExtendibleHashTable final : public ExternalHashTable {
   double loadFactor() const noexcept;
 
  private:
+  // Test-only corruption hook for the invariant auditor.
+  friend struct AuditPeer;
+
   std::size_t dirIndex(std::uint64_t key) const;
   void doubleDirectory();
   /// Split the bucket serving directory index `idx`; returns false if the

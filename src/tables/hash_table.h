@@ -24,6 +24,7 @@
 #include "extmem/record.h"
 #include "hashfn/hash_function.h"
 #include "util/assert.h"
+#include "util/audit.h"
 
 namespace exthash::tables {
 
@@ -153,6 +154,21 @@ class ExternalHashTable {
 
   /// One-line structure-specific statistics for logs.
   virtual std::string debugString() const { return std::string(name()); }
+
+  /// Structural invariant audit (uncounted, see util/audit.h): verify the
+  /// table's on-device layout and in-memory metadata against each other
+  /// and record every violation in `report`. Deep per-kind overrides
+  /// exist for the structures whose layout carries the paper's I/O
+  /// accounting (chaining chains, linear-hashing split state, extendible
+  /// directory sharing, LSM run ordering, buffer-btree pivots, log-method
+  /// level capacities); the base implementation audits the attached
+  /// cache's partition/charge agreement, which every override should
+  /// inherit via ExternalHashTable::validateLayout(report). Must be
+  /// called with the table quiescent; write-back users flush first (the
+  /// overrides do it themselves, mirroring visitLayout).
+  virtual void validateLayout(AuditReport& report) const {
+    if (read_cache_ != nullptr) read_cache_->audit(report);
+  }
 
   /// Counted I/O this table has caused. For ordinary tables this is the
   /// context device's counters plus the attached cache's hit/writeback

@@ -1,6 +1,8 @@
 #include "tables/linear_hash_table.h"
 
+#include <algorithm>
 #include <bit>
+#include <vector>
 
 #include "tables/batch_util.h"
 
@@ -394,6 +396,92 @@ std::string LinearHashTable::debugString() const {
          ", buckets=" + std::to_string(bucketCountLive()) +
          ", size=" + std::to_string(size_) +
          ", load=" + std::to_string(loadFactor()) + "}";
+}
+
+void LinearHashTable::validateLayout(AuditReport& report) const {
+  ExternalHashTable::validateLayout(report);  // attached-cache audit
+  flushCache();  // the inspect() reads below bypass the cache
+  const char* kComponent = "linear-hashing";
+
+  // Split state: the pointer stays inside the current round (splitOne
+  // wraps it to 0 and bumps level_ at the round boundary), and the
+  // geometric segments must cover every live bucket.
+  const std::uint64_t round_buckets = config_.initial_buckets << level_;
+  EXTHASH_AUDIT_EXPECT(report, kComponent, split_pointer_ < round_buckets,
+                       "split pointer " << split_pointer_
+                           << " outside round of " << round_buckets
+                           << " buckets");
+  const std::uint64_t live = bucketCountLive();
+  std::uint64_t covered = config_.initial_buckets;  // segment 0
+  for (std::size_t s = 1; s < segments_.size(); ++s) {
+    covered += config_.initial_buckets << (s - 1);
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent, covered >= live,
+                       segments_.size() << " segments cover " << covered
+                           << " buckets, " << live << " are live");
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         ctx_.device->isAllocated(segments_[s]),
+                         "segment " << s << " base block " << segments_[s]
+                                    << " is not allocated");
+  }
+  if (covered < live) return;  // chain walks below would index past the end
+
+  // Chain walks: placement, counts, per-chain key uniqueness, acyclicity,
+  // and the size / overflow ledgers.
+  const std::uint64_t max_chain = 1 + overflow_blocks_;
+  std::size_t records_seen = 0;
+  std::uint64_t overflow_seen = 0;
+  std::vector<std::uint64_t> chain_keys;
+  for (std::uint64_t j = 0; j < live; ++j) {
+    chain_keys.clear();
+    BlockId current = blockOfBucket(j);
+    std::uint64_t hops = 0;
+    while (current != kInvalidBlock) {
+      if (hops > max_chain) {
+        report.fail(kComponent, "chain acyclic",
+                    "bucket " + std::to_string(j) + " chain exceeds " +
+                        std::to_string(max_chain) + " blocks (cycle?)");
+        break;
+      }
+      EXTHASH_AUDIT_EXPECT(report, kComponent,
+                           ctx_.device->isAllocated(current),
+                           "bucket " << j << " chain links freed block "
+                                     << current);
+      if (!ctx_.device->isAllocated(current)) break;
+      ConstBucketPage page(ctx_.device->inspect(current));
+      EXTHASH_AUDIT_EXPECT(report, kComponent,
+                           page.count() <= page.capacity(),
+                           "block " << current << " claims " << page.count()
+                               << " records, capacity " << page.capacity());
+      const std::size_t n = std::min(page.count(), page.capacity());
+      for (std::size_t i = 0; i < n; ++i) {
+        const Record r = page.recordAt(i);
+        EXTHASH_AUDIT_EXPECT(report, kComponent, bucketOf(r.key) == j,
+                             "key " << r.key << " stored in bucket " << j
+                                    << " but addresses to bucket "
+                                    << bucketOf(r.key));
+        chain_keys.push_back(r.key);
+      }
+      records_seen += n;
+      if (hops > 0) ++overflow_seen;
+      ++hops;
+      current = page.next();
+    }
+    std::sort(chain_keys.begin(), chain_keys.end());
+    EXTHASH_AUDIT_EXPECT(
+        report, kComponent,
+        std::adjacent_find(chain_keys.begin(), chain_keys.end()) ==
+            chain_keys.end(),
+        "bucket " << j << " chain stores a key twice");
+  }
+  EXTHASH_AUDIT_EXPECT(report, kComponent, records_seen == size_,
+                       "blocks hold " << records_seen
+                           << " records, size() reports " << size_);
+  EXTHASH_AUDIT_EXPECT(report, kComponent, overflow_seen == overflow_blocks_,
+                       "chains link " << overflow_seen
+                           << " overflow blocks, counter says "
+                           << overflow_blocks_);
 }
 
 }  // namespace exthash::tables

@@ -44,6 +44,11 @@ class LinearHashTable final : public ExternalHashTable {
   std::optional<extmem::BlockId> primaryBlockOf(
       std::uint64_t key) const override;
   std::string debugString() const override;
+  /// Deep structural audit: split state sanity (split pointer inside the
+  /// current round, segments covering every live bucket), every chain
+  /// walked with bucketOf placement / per-page count / acyclicity checks,
+  /// and size_ / overflow_blocks_ reconciliation.
+  void validateLayout(AuditReport& report) const override;
 
   std::uint64_t bucketCountLive() const noexcept {
     return (config_.initial_buckets << level_) + split_pointer_;
@@ -54,6 +59,9 @@ class LinearHashTable final : public ExternalHashTable {
   std::uint64_t splits() const noexcept { return splits_; }
 
  private:
+  // Test-only corruption hook for the invariant auditor.
+  friend struct AuditPeer;
+
   /// insert() minus the load-triggered split, so applyBatch can defer all
   /// splits past the bucket-grouped work.
   bool insertNoSplit(std::uint64_t key, std::uint64_t value);

@@ -310,6 +310,28 @@ std::string LogMethodTable::debugString() const {
   return s;
 }
 
+void LogMethodTable::validateLayout(AuditReport& report) const {
+  ExternalHashTable::validateLayout(report);  // attached-cache audit
+  const char* kComponent = "log-method";
+
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       h0_.size() <= config_.h0_capacity_items,
+                       "H0 holds " << h0_.size() << " items, capacity "
+                                   << config_.h0_capacity_items);
+  for (std::size_t k = 1; k <= levels_.size(); ++k) {
+    if (!levels_[k - 1]) continue;
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         levels_[k - 1]->size() <= levelCapacity(k),
+                         "level " << k << " holds "
+                             << levels_[k - 1]->size()
+                             << " records, geometric capacity "
+                             << levelCapacity(k));
+    // Each level is a chaining table; recurse into its deep audit so a
+    // corrupted chain inside a level surfaces under "chaining".
+    levels_[k - 1]->validateLayout(report);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // drainAll — hand the full buffered contents to a caller-side merge.
 // ---------------------------------------------------------------------------

@@ -55,6 +55,10 @@ class LogMethodTable final : public ExternalHashTable {
   std::optional<extmem::BlockId> primaryBlockOf(
       std::uint64_t key) const override;
   std::string debugString() const override;
+  /// Deep structural audit: H0 within its capacity, every nonempty level
+  /// within its geometric capacity, and a recursive chaining audit of
+  /// each level table.
+  void validateLayout(AuditReport& report) const override;
 
   std::size_t levelCount() const noexcept { return levels_.size(); }
   std::size_t nonemptyLevels() const noexcept;
@@ -74,6 +78,9 @@ class LogMethodTable final : public ExternalHashTable {
   std::unique_ptr<RecordCursor> drainAll();
 
  private:
+  // Test-only corruption hook for the invariant auditor.
+  friend struct AuditPeer;
+
   /// Migrate H0 (and any levels that must cascade) downward.
   void flush();
   /// Merge `newest` (hash-ordered, deduplicated, newer than every level)

@@ -462,4 +462,98 @@ std::string LsmTable::debugString() const {
   return s;
 }
 
+void LsmTable::validateLayout(AuditReport& report) const {
+  ExternalHashTable::validateLayout(report);  // attached-cache audit
+  flushCache();  // the inspect() reads below bypass the cache
+  const char* kComponent = "lsm";
+
+  EXTHASH_AUDIT_EXPECT(report, kComponent,
+                       memtable_.size() <= config_.memtable_capacity_items,
+                       "memtable holds " << memtable_.size()
+                           << " items, capacity "
+                           << config_.memtable_capacity_items);
+
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    // Compaction fires the moment a level exceeds its fanout, so at any
+    // quiescent point every level is back within bound.
+    EXTHASH_AUDIT_EXPECT(report, kComponent,
+                         levels_[lvl].size() <= config_.fanout,
+                         "level " << lvl << " holds " << levels_[lvl].size()
+                             << " runs, fanout bound "
+                             << config_.fanout);
+    for (std::size_t ri = 0; ri < levels_[lvl].size(); ++ri) {
+      const Run& run = levels_[lvl][ri];
+      const std::string where =
+          "level " + std::to_string(lvl) + " run " + std::to_string(ri);
+      EXTHASH_AUDIT_EXPECT(report, kComponent, run.blocks >= 1,
+                           where << " spans zero blocks");
+      const std::size_t expected_fences =
+          (run.blocks + config_.fence_stride - 1) / config_.fence_stride;
+      EXTHASH_AUDIT_EXPECT(report, kComponent,
+                           run.fences.size() == expected_fences,
+                           where << " keeps " << run.fences.size()
+                                 << " fences, " << run.blocks
+                                 << " blocks at stride "
+                                 << config_.fence_stride << " demand "
+                                 << expected_fences);
+
+      bool have_prev = false;
+      std::uint64_t prev_key = 0;
+      std::size_t records_seen = 0;
+      for (std::size_t blk = 0; blk < run.blocks; ++blk) {
+        const extmem::BlockId id = run.extent + blk;
+        EXTHASH_AUDIT_EXPECT(report, kComponent,
+                             ctx_.device->isAllocated(id),
+                             where << " block " << id << " is freed");
+        if (!ctx_.device->isAllocated(id)) break;
+        ConstSortedRunPage page(ctx_.device->inspect(id));
+        const std::size_t capacity = extmem::recordCapacityForWords(
+            ctx_.device->wordsPerBlock());
+        EXTHASH_AUDIT_EXPECT(report, kComponent, page.count() <= capacity,
+                             where << " block " << id << " claims "
+                                   << page.count()
+                                   << " records, capacity " << capacity);
+        const std::size_t n = std::min(page.count(), capacity);
+        if (n > 0 && blk % config_.fence_stride == 0) {
+          const std::size_t group = blk / config_.fence_stride;
+          EXTHASH_AUDIT_EXPECT(
+              report, kComponent,
+              group < run.fences.size() &&
+                  run.fences[group] == page.recordAt(0).key,
+              where << " fence " << group << " disagrees with block "
+                    << id << " first key " << page.recordAt(0).key);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint64_t key = page.recordAt(i).key;
+          EXTHASH_AUDIT_EXPECT(report, kComponent,
+                               !have_prev || prev_key < key,
+                               where << " key order broken at block " << id
+                                     << " slot " << i << ": " << prev_key
+                                     << " !< " << key);
+          prev_key = key;
+          have_prev = true;
+        }
+        records_seen += n;
+      }
+      EXTHASH_AUDIT_EXPECT(report, kComponent,
+                           records_seen == run.records,
+                           where << " blocks hold " << records_seen
+                                 << " records, run header says "
+                                 << run.records);
+      if (records_seen > 0 && have_prev) {
+        ConstSortedRunPage first(ctx_.device->inspect(run.extent));
+        EXTHASH_AUDIT_EXPECT(report, kComponent,
+                             first.count() > 0 &&
+                                 run.min_key == first.recordAt(0).key,
+                             where << " min_key " << run.min_key
+                                   << " disagrees with first record");
+        EXTHASH_AUDIT_EXPECT(report, kComponent, run.max_key == prev_key,
+                             where << " max_key " << run.max_key
+                                   << " disagrees with last record "
+                                   << prev_key);
+      }
+    }
+  }
+}
+
 }  // namespace exthash::tables

@@ -68,12 +68,20 @@ class LsmTable final : public ExternalHashTable {
   std::string_view name() const override { return "lsm"; }
   void visitLayout(LayoutVisitor& visitor) const override;
   std::string debugString() const override;
+  /// Deep structural audit: per-run key ordering across block boundaries,
+  /// record-count / min-max / fence-pointer agreement with the blocks,
+  /// extent allocation, level fanout bounds, and the memtable capacity
+  /// contract.
+  void validateLayout(AuditReport& report) const override;
 
   std::size_t runCount() const noexcept;
   std::size_t levelCount() const noexcept { return levels_.size(); }
   std::uint64_t compactions() const noexcept { return compactions_; }
 
  private:
+  // Test-only corruption hook for the invariant auditor.
+  friend struct AuditPeer;
+
   struct Run {
     extmem::BlockId extent = extmem::kInvalidBlock;
     std::size_t blocks = 0;

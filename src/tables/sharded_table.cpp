@@ -198,6 +198,15 @@ void ShardedTable::flushCache() const {
   }
 }
 
+void ShardedTable::validateLayout(AuditReport& report) const {
+  // No façade-level cache (attachCache is unusable over private shard
+  // devices), so skip the base audit and recurse instead: each shard's
+  // table audit inherits its own auto-attached cache's audit.
+  for (const Shard& shard : shards_) {
+    shard.table->validateLayout(report);
+  }
+}
+
 void ShardedTable::registerCaches(extmem::MemoryArbiter& arbiter) const {
   for (const Shard& shard : shards_) {
     if (shard.cache) arbiter.addCache(shard.cache.get());

@@ -27,6 +27,15 @@
 // from kInvalidBlock. Decode with shardOfBlockId / localBlockId. Layout
 // consumers (zone accounting) only need distinctness, which the encoding
 // guarantees as long as shard-local ids stay below 2^56 (checked).
+//
+// Threading: the façade is externally serialized like every table —
+// callers run one operation at a time. INTERNALLY a batch fans out via
+// ThreadPool::parallelFor, but each worker touches exactly one shard's
+// private device/budget/cache/table and no two workers share a shard, so
+// no façade-level mutex exists to annotate; the only lock in the fan-out
+// path is the pool's own annotated mutex (see util/thread_annotations.h).
+// Mutating shared façade state from inside a shard task would be a data
+// race — keep per-shard work confined to that shard's Shard struct.
 #pragma once
 
 #include <memory>
@@ -124,6 +133,11 @@ class ShardedTable final : public ExternalHashTable {
   /// Flush barrier across every auto-attached shard cache. The façade
   /// must be quiescent (no batch in flight on the shard pool).
   void flushCache() const override;
+  /// Recursive audit: every shard's deep per-kind audit plus its private
+  /// cache's partition/charge audit (the inner tables inherit it through
+  /// ExternalHashTable::validateLayout). Serial, quiescent-only, like
+  /// flushCache().
+  void validateLayout(AuditReport& report) const override;
 
   std::size_t shardCount() const noexcept { return shards_.size(); }
   ExternalHashTable& shard(std::size_t i) { return *shards_[i].table; }

@@ -46,3 +46,30 @@ namespace detail {
                                      exthash_check_os_.str());           \
     }                                                                    \
   } while (0)
+
+// Debug-only checks for per-op hot paths (per-record page accesses,
+// per-frame cache touches): active in debug builds, compiled out under
+// NDEBUG so Release benches stop paying for them. The condition is NOT
+// evaluated in Release — side-effecting expressions must be hoisted
+// (`const bool ok = f(); EXTHASH_DCHECK(ok);`). Structural and barrier
+// invariants stay hard EXTHASH_CHECKs in every build; deep corruption
+// detection in Release belongs to the audits (util/audit.h), not to
+// per-op checks.
+#ifdef NDEBUG
+#define EXTHASH_DCHECK(cond) \
+  do {                       \
+    if (false) {             \
+      (void)(cond);          \
+    }                        \
+  } while (0)
+#define EXTHASH_DCHECK_MSG(cond, stream_expr) \
+  do {                                        \
+    if (false) {                              \
+      (void)(cond);                           \
+    }                                         \
+  } while (0)
+#else
+#define EXTHASH_DCHECK(cond) EXTHASH_CHECK(cond)
+#define EXTHASH_DCHECK_MSG(cond, stream_expr) \
+  EXTHASH_CHECK_MSG(cond, stream_expr)
+#endif

@@ -1,0 +1,36 @@
+#include "util/audit.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace exthash {
+
+void AuditReport::throwIfFailed() const {
+  if (!ok()) throw CheckFailure(summary());
+}
+
+namespace audit {
+
+namespace {
+
+bool computeEnabled() noexcept {
+#ifdef EXTHASH_AUDIT_MODE
+  return true;
+#else
+  const char* env = std::getenv("EXTHASH_AUDIT");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+#endif
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  static const bool on = computeEnabled();
+  return on;
+}
+
+}  // namespace audit
+
+}  // namespace exthash

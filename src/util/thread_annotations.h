@@ -1,0 +1,137 @@
+// Clang Thread Safety Analysis wrappers, plus an annotated Mutex /
+// MutexLock / CondVar shim over the standard primitives.
+//
+// The concurrency layer (ThreadPool, IngestPipeline) documents which
+// members each mutex guards and which methods require it held; these
+// macros turn that documentation into attributes `-Wthread-safety`
+// verifies at compile time, so an unguarded access is a clang build
+// break instead of a TSAN coin-flip. Under compilers without the
+// attributes (GCC) every macro expands to nothing and the shim types
+// behave exactly like std::mutex / std::unique_lock.
+//
+// Usage pattern:
+//
+//   util::Mutex mutex_;
+//   std::deque<Task> queue_ EXTHASH_GUARDED_BY(mutex_);
+//   void sealLocked() EXTHASH_REQUIRES(mutex_);
+//   void submit() EXTHASH_EXCLUDES(mutex_) {
+//     util::MutexLock lock(mutex_);
+//     sealLocked();
+//   }
+//
+// Condition variables: the analysis cannot see through the predicate
+// lambda of cv.wait(lock, pred) — the lambda body is analyzed as if no
+// lock were held, producing false positives on every guarded member the
+// predicate reads. CondVar therefore only offers the predicate-less
+// wait(MutexLock&); callers write the explicit loop
+//
+//   while (!condLocked()) cv_.wait(lock);
+//
+// which the analysis follows precisely (wait is annotated as releasing
+// and re-acquiring the capability).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define EXTHASH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef EXTHASH_THREAD_ANNOTATION
+#define EXTHASH_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a type a lockable capability ("mutex" names it in warnings).
+#define EXTHASH_CAPABILITY(name) EXTHASH_THREAD_ANNOTATION(capability(name))
+/// Declares a RAII type that acquires a capability for its lifetime.
+#define EXTHASH_SCOPED_CAPABILITY EXTHASH_THREAD_ANNOTATION(scoped_lockable)
+/// Member is protected by the given mutex.
+#define EXTHASH_GUARDED_BY(x) EXTHASH_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee is protected by the given mutex (the pointer itself is not).
+#define EXTHASH_PT_GUARDED_BY(x) EXTHASH_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability held on entry (and keeps it held).
+#define EXTHASH_REQUIRES(...) \
+  EXTHASH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function must NOT be entered with the capability held.
+#define EXTHASH_EXCLUDES(...) \
+  EXTHASH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability (held on return, not on entry).
+#define EXTHASH_ACQUIRE(...) \
+  EXTHASH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define EXTHASH_RELEASE(...) \
+  EXTHASH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function tries to acquire; `ret` is the success return value.
+#define EXTHASH_TRY_ACQUIRE(ret, ...) \
+  EXTHASH_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/// Return value of a function is the capability itself (lock accessors).
+#define EXTHASH_RETURN_CAPABILITY(x) \
+  EXTHASH_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: suppress analysis inside one function. Every use must
+/// carry a comment justifying why the analysis cannot express the
+/// pattern; forbidden on public methods (see ISSUE 6 acceptance).
+#define EXTHASH_NO_THREAD_SAFETY_ANALYSIS \
+  EXTHASH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace exthash::util {
+
+/// std::mutex with the capability attribute, so `-Wthread-safety` tracks
+/// acquisitions. `native()` exposes the wrapped mutex for
+/// std::condition_variable, which demands the standard type.
+class EXTHASH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EXTHASH_ACQUIRE() { mutex_.lock(); }
+  void unlock() EXTHASH_RELEASE() { mutex_.unlock(); }
+  bool try_lock() EXTHASH_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over Mutex, holding a std::unique_lock on the native
+/// mutex so CondVar::wait can release/re-acquire it. Analysis-wise it is
+/// a scoped capability: construction acquires, destruction releases.
+class EXTHASH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) EXTHASH_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  // Needs a body (not "= default") so the release attribute attaches.
+  ~MutexLock() EXTHASH_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable for Mutex/MutexLock. Only the predicate-less wait
+/// is offered — see the file comment for the explicit-loop idiom the
+/// analysis can follow. wait() releases and re-acquires the lock's
+/// capability symmetrically, which the analysis models as "held before,
+/// held after": no annotation is needed.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace exthash::util

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -26,8 +26,8 @@ void ThreadPool::workerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -35,7 +35,7 @@ void ThreadPool::workerLoop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       --active_;
       if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
     }
@@ -43,13 +43,13 @@ void ThreadPool::workerLoop() {
 }
 
 std::size_t ThreadPool::pendingTasks() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return queue_.size() + active_;
 }
 
 void ThreadPool::waitIdle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(lock);
 }
 
 void ThreadPool::parallelFor(std::size_t begin, std::size_t end,

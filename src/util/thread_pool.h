@@ -4,16 +4,21 @@
 // points are embarrassingly parallel and results stay deterministic; a
 // single-thread pool doubles as a FIFO serial executor (tasks run in
 // submission order), which is what the pipeline relies on.
+//
+// Locking discipline (compiler-verified, see util/thread_annotations.h):
+// mutex_ guards the queue, the active-task count, and the stop flag;
+// every public method acquires it internally, so the pool is safe to use
+// from any number of submitter threads concurrently with its workers.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace exthash {
 
@@ -30,13 +35,14 @@ class ThreadPool {
 
   /// Enqueue a task; the future reports its result (or exception).
   template <class F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>>
+      EXTHASH_EXCLUDES(mutex_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -51,22 +57,22 @@ class ThreadPool {
   /// Tasks not yet finished: queued plus currently executing. A snapshot —
   /// by the time the caller looks, more tasks may have been submitted or
   /// completed.
-  std::size_t pendingTasks() const;
+  std::size_t pendingTasks() const EXTHASH_EXCLUDES(mutex_);
 
   /// Block until the queue is empty and no task is executing. Tasks
   /// submitted by other threads while waiting extend the wait.
-  void waitIdle();
+  void waitIdle() EXTHASH_EXCLUDES(mutex_);
 
  private:
-  void workerLoop();
+  void workerLoop() EXTHASH_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;  // tasks currently executing
-  bool stop_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  util::CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ EXTHASH_GUARDED_BY(mutex_);
+  std::size_t active_ EXTHASH_GUARDED_BY(mutex_) = 0;  // executing tasks
+  bool stop_ EXTHASH_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace exthash

@@ -1,0 +1,93 @@
+// CheckFailure propagation out of worker threads.
+//
+// EXTHASH_CHECK violations (and any other exception) raised on a
+// background thread must reach the caller that owns the work, not kill
+// the process or vanish: the pipeline surfaces its worker's first error
+// at drain()/submit, and the sharded façade's parallelFor rethrows into
+// the batch caller. The trigger used here is the tombstone-sentinel check
+// in the deferred-delete tables (inserting value == kTombstoneValue is a
+// contract violation those tables CHECK against).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "extmem/record.h"
+#include "pipeline/ingest_pipeline.h"
+#include "table_test_util.h"
+#include "tables/buffer_btree_table.h"
+#include "tables/factory.h"
+#include "tables/sharded_table.h"
+#include "util/assert.h"
+
+namespace {
+
+using exthash::CheckFailure;
+using exthash::kTombstoneValue;
+using exthash::pipeline::IngestPipeline;
+using exthash::tables::BufferBTreeTable;
+using exthash::tables::Op;
+using exthash::tables::ShardedTable;
+using exthash::tables::ShardedTableConfig;
+using exthash::tables::TableKind;
+using exthash::testing::distinctKeys;
+using exthash::testing::TestRig;
+
+TEST(CheckPropagation, PipelineWorkerCheckFailureReachesDrain) {
+  TestRig rig(8);
+  BufferBTreeTable table(rig.context());
+  IngestPipeline pipeline(table, {.batch_capacity = 8});
+  for (const auto k : distinctKeys(4)) pipeline.insert(k, k + 1);
+  // The sentinel value violates the table's tombstone CHECK when the
+  // worker applies the sealed window.
+  pipeline.insert(99, kTombstoneValue);
+  EXPECT_THROW(pipeline.drain(), CheckFailure);
+}
+
+TEST(CheckPropagation, PipelineWorkerErrorAlsoSurfacesAtNextSubmitBarrier) {
+  TestRig rig(8);
+  BufferBTreeTable table(rig.context());
+  // Window of 1 with one pending slot: the poisoned window is applied in
+  // the background while later submits are still accepted; the error must
+  // surface at the next blocking point rather than be lost.
+  IngestPipeline pipeline(table, {.batch_capacity = 1});
+  pipeline.insert(99, kTombstoneValue);
+  EXPECT_THROW(
+      {
+        for (std::uint64_t k = 0; k < 1000; ++k) pipeline.insert(k, k + 1);
+        pipeline.drain();
+      },
+      CheckFailure);
+}
+
+TEST(CheckPropagation, PipelineMaintenanceErrorReachesDrain) {
+  TestRig rig(8);
+  BufferBTreeTable table(rig.context());
+  IngestPipeline pipeline(table, {.batch_capacity = 8});
+  pipeline.submitMaintenance([] { throw std::runtime_error("maintenance"); });
+  EXPECT_THROW(pipeline.drain(), std::runtime_error);
+}
+
+TEST(CheckPropagation, ShardedParallelForRethrowsWorkerCheckFailure) {
+  TestRig rig(8);
+  ShardedTableConfig config;
+  config.shards = 2;
+  config.inner = TableKind::kBufferBTree;
+  config.threads = 2;
+  ShardedTable table(rig.context(), config);
+
+  std::vector<Op> ops;
+  for (const auto k : distinctKeys(32)) ops.push_back(Op::insertOp(k, k + 1));
+  ops.push_back(Op::insertOp(99, kTombstoneValue));
+  EXPECT_THROW(table.applyBatch(ops), CheckFailure);
+
+  // The façade stays usable for the shards the poison never reached:
+  // clean batches still apply after the failed one.
+  std::vector<Op> clean;
+  for (const auto k : distinctKeys(16, /*seed=*/11)) {
+    clean.push_back(Op::insertOp(k, k + 1));
+  }
+  EXPECT_NO_THROW(table.applyBatch(clean));
+}
+
+}  // namespace
