@@ -36,8 +36,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_common.h"
 #include "extmem/memory_arbiter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/ingest_pipeline.h"
 #include "util/cli.h"
 #include "util/zipf.h"
@@ -259,13 +263,31 @@ int main(int argc, char** argv) {
                    "ops per workload segment (inserts then lookups; the "
                    "adaptive run rebalances at each boundary)");
   args.addUintFlag("seed", 1, "root seed for the mixed-ratio grid");
+  args.addStringFlag("trace", "",
+                     "write a Chrome trace_event JSON of the run here "
+                     "(open at ui.perfetto.dev)");
+  args.addStringFlag("metrics", "",
+                     "write a Prometheus-format metrics snapshot here "
+                     "(families need -DEXTHASH_TELEMETRY=ON)");
   if (!args.parse(argc, argv)) return 0;
   const std::size_t n = args.getUint("n");
   const std::size_t b = args.getUint("b");
   const std::size_t frames = args.getUint("frames");
   const std::size_t segment = args.getUint("segment");
   const std::uint64_t seed = args.getUint("seed");
+  const std::string trace_file = args.getString("trace");
+  const std::string metrics_file = args.getString("metrics");
   EXTHASH_CHECK_MSG(frames >= 8, "need at least 8 frame-equivalents");
+
+  // Asking for either sink is an explicit opt-in: arm the runtime latch so
+  // telemetry builds populate the instrumentation sites without also
+  // needing the EXTHASH_TELEMETRY environment variable.
+  if (!trace_file.empty() || !metrics_file.empty()) obs::setEnabled(true);
+  std::optional<obs::TraceSession> trace;
+  if (!trace_file.empty()) {
+    trace.emplace();
+    trace->start();
+  }
   // Below this the run is too short to amortize the tracking transitions
   // against a 64-frame budget and the 10%-of-best bound is unreachable
   // even when the arbiter behaves correctly — same auto-skip convention
@@ -337,13 +359,18 @@ int main(int argc, char** argv) {
     };
     std::vector<Row> rows;
     for (const std::size_t cf : static_cache_frames) {
+      obs::TraceSpan split_span("static-split", "bench");
+      split_span.arg("cache_frames", static_cast<double>(cf));
       rows.push_back({splitLabel(cf, frames),
                       runSplit(plan, n, b, frames, cf, false, w.seed),
                       false});
     }
-    rows.push_back({"adaptive",
-                    runSplit(plan, n, b, frames, frames / 2, true, w.seed),
-                    true});
+    {
+      obs::TraceSpan split_span("adaptive-split", "bench");
+      rows.push_back({"adaptive",
+                      runSplit(plan, n, b, frames, frames / 2, true, w.seed),
+                      true});
+    }
 
     std::uint64_t best = UINT64_MAX;
     std::uint64_t worst = 0;
@@ -394,6 +421,18 @@ int main(int argc, char** argv) {
 
   out.print(std::cout);
   bench::saveCsv(out, "arbiter");
+  if (trace) {
+    trace->stop();
+    std::ofstream os(trace_file, std::ios::trunc);
+    trace->writeJson(os);
+    std::cout << "\ntrace: " << trace_file << " (" << trace->eventCount()
+              << " events, " << trace->dropped() << " dropped)\n";
+  }
+  if (!metrics_file.empty()) {
+    std::ofstream os(metrics_file, std::ios::trunc);
+    obs::dumpMetrics(os);
+    std::cout << "metrics snapshot: " << metrics_file << "\n";
+  }
 
   std::cout << "\nReading the table: every workload's rows share one op "
                "sequence; 'vs best'\nnormalizes total I/O to the best "

@@ -21,12 +21,16 @@
 // the final live contents are checksummed (grouped lookups over the key
 // universe) and compared: pipelining must not change what the table
 // answers.
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/ingest_pipeline.h"
 #include "tables/sharded_table.h"
 #include "util/cli.h"
@@ -66,6 +70,9 @@ struct RunResult {
   std::uint64_t checksum = 0;  // over live (key, value) pairs
   std::size_t size = 0;
   std::uint64_t coalesced = 0;
+  // Per-applyBatch wall-latency tail (log-bucketed histogram upper edges).
+  double apply_p50_us = 0.0;
+  double apply_p99_us = 0.0;
 };
 
 std::unique_ptr<tables::ExternalHashTable> makeTableFor(
@@ -118,30 +125,46 @@ RunResult runProtocol(Protocol protocol, const CacheSpec& cache,
                             cache, cache_frames);
 
   RunResult r;
+  // Direct (non-macro) span so --trace output is non-empty in every build.
+  obs::TraceSpan run_span("protocol-run", "bench");
+  run_span.arg("keys", static_cast<double>(keys.size()));
+  auto fillLatency = [&](const obs::LatencyHistogram& hist) {
+    if (hist.count() == 0) return;
+    r.apply_p50_us = static_cast<double>(hist.valueAtQuantile(0.5)) / 1000.0;
+    r.apply_p99_us = static_cast<double>(hist.valueAtQuantile(0.99)) / 1000.0;
+  };
   const auto t0 = std::chrono::steady_clock::now();
   if (protocol == Protocol::kPipelined) {
     pipeline::PipelineConfig pc;
     pc.batch_capacity = batch;
     pc.max_pending_batches = depth;
+    pc.record_apply_latency = true;
     pipeline::IngestPipeline pipe(*table, pc);
     for (const std::uint64_t key : keys) {
       pipe.insert(key, key ^ 0x5bd1e995);
     }
     pipe.drain();  // flush barrier: dirty shard frames are charged here
     r.coalesced = pipe.stats().ops_coalesced;
+    fillLatency(pipe.applyLatency());
   } else {
     const std::size_t chunk = protocol == Protocol::kSerial ? 1 : batch;
+    obs::LatencyHistogram apply_hist;
     std::vector<tables::Op> ops;
     ops.reserve(chunk);
     for (const std::uint64_t key : keys) {
       ops.push_back(tables::Op::insertOp(key, key ^ 0x5bd1e995));
       if (ops.size() >= chunk) {
+        obs::ScopedLatencyTimer timer(&apply_hist);
         table->applyBatch(ops);
         ops.clear();
       }
     }
-    if (!ops.empty()) table->applyBatch(ops);
+    if (!ops.empty()) {
+      obs::ScopedLatencyTimer timer(&apply_hist);
+      table->applyBatch(ops);
+    }
     table->flushCache();
+    fillLatency(apply_hist);
   }
   const auto t1 = std::chrono::steady_clock::now();
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -174,6 +197,12 @@ int main(int argc, char** argv) {
                    "write-back needs cross-batch residency to show its "
                    "win)");
   args.addUintFlag("seed", 1, "root seed");
+  args.addStringFlag("trace", "",
+                     "write a Chrome trace_event JSON of the run here "
+                     "(open at ui.perfetto.dev)");
+  args.addStringFlag("metrics", "",
+                     "write a Prometheus-format metrics snapshot here "
+                     "(families need -DEXTHASH_TELEMETRY=ON)");
   if (!args.parse(argc, argv)) return 0;
   const std::size_t n = args.getUint("n");
   const std::size_t b = args.getUint("b");
@@ -183,6 +212,18 @@ int main(int argc, char** argv) {
   const std::size_t cache_frames =
       args.getUint("cache") != 0 ? args.getUint("cache") : 2 * n / b;  // = d
   const std::uint64_t seed = args.getUint("seed");
+  const std::string trace_file = args.getString("trace");
+  const std::string metrics_file = args.getString("metrics");
+
+  // Asking for either sink is an explicit opt-in: arm the runtime latch so
+  // telemetry builds populate the instrumentation sites without also
+  // needing the EXTHASH_TELEMETRY environment variable.
+  if (!trace_file.empty() || !metrics_file.empty()) obs::setEnabled(true);
+  std::optional<obs::TraceSession> trace;
+  if (!trace_file.empty()) {
+    trace.emplace();
+    trace->start();
+  }
 
   bench::printHeader(
       "PIPE: pipelined ingest — overlapping accumulation with apply",
@@ -199,7 +240,8 @@ int main(int argc, char** argv) {
 
   TablePrinter out({"table", "keys", "protocol", "cache frames",
                     "write policy", "replacement", "ops/s", "speedup",
-                    "I/O per op", "write I/O", "coalesced", "contents"});
+                    "I/O per op", "write I/O", "coalesced",
+                    "apply p50 us", "apply p99 us", "contents"});
 
   bool all_equal = true;
   std::map<std::string, bool> sharded_kind_wins;  // kind -> pipelined beat
@@ -270,6 +312,8 @@ int main(int argc, char** argv) {
                     TablePrinter::num(r.io_per_op, 4),
                     TablePrinter::num(r.write_io_per_op, 4),
                     TablePrinter::num(std::uint64_t{r.coalesced}),
+                    TablePrinter::num(r.apply_p50_us, 1),
+                    TablePrinter::num(r.apply_p99_us, 1),
                     equal ? "ok" : "MISMATCH"});
       }
       if (kind.rfind("sharded", 0) == 0) {
@@ -285,6 +329,18 @@ int main(int argc, char** argv) {
 
   out.print(std::cout);
   bench::saveCsv(out, "pipeline");
+  if (trace) {
+    trace->stop();
+    std::ofstream os(trace_file, std::ios::trunc);
+    trace->writeJson(os);
+    std::cout << "\ntrace: " << trace_file << " (" << trace->eventCount()
+              << " events, " << trace->dropped() << " dropped)\n";
+  }
+  if (!metrics_file.empty()) {
+    std::ofstream os(metrics_file, std::ios::trunc);
+    obs::dumpMetrics(os);
+    std::cout << "metrics snapshot: " << metrics_file << "\n";
+  }
   std::cout << "\nReading the table: 'batched' buys counted I/O (grouped "
                "block work); 'pipelined'\nkeeps that I/O figure and buys "
                "wall-clock on top by overlapping window\naccumulation (and "

@@ -74,6 +74,12 @@ void BufferedHashTable::mergeIntoHhatWith(std::vector<Record> newest) {
   // One hash-ordered streaming pass over (batch newest, buffer next,
   // Ĥ oldest) rebuilds Ĥ at load <= 1/2. Every input is read once; the
   // new Ĥ is written once — the paper's O(|Ĥ|/b) scan per merge.
+  // UNCACHED BY DESIGN: a one-pass stream has no reuse for a cache to
+  // capture, and admitting it would only evict hot frames. Ĥ rebuilds run
+  // on fresh ChainingHashTables with no cache attached, so the scope just
+  // attributes the device reads (IoStats::cache_bypass_reads) as
+  // deliberate bypasses rather than cache misses.
+  extmem::CacheBypassScope merge_bypass(*ctx_.device);
   // Size the bucket array for the incoming total at load 1/2 (estimated
   // before draining; tombstones make this a slight overestimate).
   const std::size_t total_estimate = newest.size() +

@@ -2,9 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace exthash::extmem {
+
+namespace {
+// Occupancy/dirty gauges are point-in-time: sampling them every access
+// would dominate the hit path, so a telemetry build snapshots every
+// kObsSamplePeriod fetch-path accesses (and at every eviction, which is
+// when occupancy actually changes shape).
+[[maybe_unused]] constexpr std::uint64_t kObsSamplePeriod = 1024;
+}  // namespace
+
+// Gauge + trace-counter snapshot of the cache's occupancy shape. Compiles
+// to nothing without EXTHASH_TELEMETRY_MODE (the call sites below keep
+// the sampling-clock increment, one untimed uint64 add).
+#ifdef EXTHASH_TELEMETRY_MODE
+void BlockCache::obsSampleGauges() const {
+  EXTHASH_OBS_GAUGE("exthash_cache_resident_frames", frames_.size());
+  EXTHASH_OBS_GAUGE("exthash_cache_capacity_frames", capacity_blocks_);
+  EXTHASH_OBS_GAUGE("exthash_cache_dirty_frames", dirty_blocks_);
+  if (obs::enabled()) {
+    obs::traceCounter("cache resident", static_cast<double>(frames_.size()));
+    obs::traceCounter("cache dirty", static_cast<double>(dirty_blocks_));
+  }
+}
+#endif
 
 BlockCache::BlockCache(BlockDevice& device, MemoryBudget& budget,
                        std::size_t capacity_blocks, WritePolicy policy,
@@ -53,15 +78,20 @@ BlockCache::Frame& BlockCache::insertFrame(BlockId id, Frame frame) {
 }
 
 BlockCache::Frame& BlockCache::fetch(BlockId id, bool mark_dirty) {
+#ifdef EXTHASH_TELEMETRY_MODE
+  if (++obs_accesses_ % kObsSamplePeriod == 0) obsSampleGauges();
+#endif
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
+    EXTHASH_OBS_COUNT("exthash_cache_hits_total", 1);
     replacement_->onHit(id);
     if (mark_dirty) markDirty(it->second);
     return it->second;
   }
 
   ++misses_;
+  EXTHASH_OBS_COUNT("exthash_cache_misses_total", 1);
   replacement_->onMiss(id);  // ghost lookup / adaptation, pre-eviction
   Frame frame;
   frame.data.resize(device_.wordsPerBlock());
@@ -78,6 +108,7 @@ BlockCache::Frame& BlockCache::installZeroed(BlockId id) {
   // hit telemetry counts; the policy still sees a non-resident install as
   // a miss-admission so its queues mirror residency.
   ++hits_;
+  EXTHASH_OBS_COUNT("exthash_cache_hits_total", 1);
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     replacement_->onHit(id);
@@ -103,6 +134,7 @@ void BlockCache::writeBack(BlockId id, Frame& frame) {
     std::copy(frame.data.begin(), frame.data.end(), data.begin());
   });
   ++writebacks_;
+  EXTHASH_OBS_COUNT("exthash_cache_writebacks_total", 1);
 }
 
 bool BlockCache::evictOne() {
@@ -123,6 +155,7 @@ bool BlockCache::evictOne() {
   writeBack(*victim, it->second);
   frames_.erase(it);
   rechargeForResidency();
+  EXTHASH_OBS_COUNT("exthash_cache_evictions_total", 1);
   return true;
 }
 
@@ -179,6 +212,7 @@ void BlockCache::refreshFromDevice(BlockId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
+    EXTHASH_OBS_COUNT("exthash_cache_hits_total", 1);
     const auto data = device_.inspect(id);
     std::copy(data.begin(), data.end(), it->second.data.begin());
     if (it->second.dirty) {
@@ -198,6 +232,7 @@ void BlockCache::refreshFromDevice(BlockId id) {
   // write-through recency and hit/miss telemetry match write-back, whose
   // write path fetches and admits the same way.
   ++misses_;
+  EXTHASH_OBS_COUNT("exthash_cache_misses_total", 1);
   replacement_->onMiss(id);
   Frame frame;
   frame.data.resize(device_.wordsPerBlock());

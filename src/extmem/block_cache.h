@@ -288,6 +288,14 @@ class BlockCache {
   std::uint64_t misses_ = 0;
   std::uint64_t writebacks_ = 0;
   std::size_t dirty_blocks_ = 0;
+  // Telemetry sampling clock: counts fetch()-path accesses so a telemetry
+  // build can snapshot occupancy/dirty gauges every kObsSamplePeriod
+  // accesses instead of per event. One word; untouched in default builds.
+  std::uint64_t obs_accesses_ = 0;
+
+#ifdef EXTHASH_TELEMETRY_MODE
+  void obsSampleGauges() const;
+#endif
 };
 
 }  // namespace exthash::extmem

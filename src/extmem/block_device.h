@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "extmem/io_stats.h"
+#include "obs/metrics.h"
 #include "util/assert.h"
 
 namespace exthash::extmem {
@@ -55,8 +56,10 @@ class BlockDevice {
   /// Counted read: invokes fn(std::span<const Word>) on the block contents.
   template <class F>
   decltype(auto) withRead(BlockId id, F&& fn) {
+    EXTHASH_OBS_TIMED("exthash_device_read_ns");
     checkLive(id);
     ++stats_.reads;
+    if (bypass_depth_ > 0) ++stats_.cache_bypass_reads;
     simulateLatency();
     return std::forward<F>(fn)(
         std::span<const Word>(blockPtr(id), words_per_block_));
@@ -66,6 +69,7 @@ class BlockDevice {
   /// invokes fn(std::span<Word>) on the live block contents.
   template <class F>
   decltype(auto) withWrite(BlockId id, F&& fn) {
+    EXTHASH_OBS_TIMED("exthash_device_rmw_ns");
     checkLive(id);
     ++stats_.rmws;
     simulateLatency();
@@ -77,6 +81,7 @@ class BlockDevice {
   /// fill it. Use when the previous contents are irrelevant (bulk builds).
   template <class F>
   decltype(auto) withOverwrite(BlockId id, F&& fn) {
+    EXTHASH_OBS_TIMED("exthash_device_write_ns");
     checkLive(id);
     ++stats_.writes;
     simulateLatency();
@@ -136,7 +141,33 @@ class BlockDevice {
   BlockId next_id_ = 0;
   std::size_t blocks_in_use_ = 0;
   std::uint32_t latency_spins_ = 0;
+  std::uint32_t bypass_depth_ = 0;  // see CacheBypassScope
   IoStats stats_;
+
+  friend class CacheBypassScope;
+};
+
+/// Marks a scope as UNCACHED BY DESIGN: every counted read the device
+/// serves while one (or more, they nest) of these is live is also tallied
+/// in IoStats::cache_bypass_reads. The merge/rebuild paths that stream a
+/// structure exactly once (buffered Ĥ-merge, log-method mergeDown,
+/// Jensen–Pagh rebuild) deliberately go straight to the device — caching
+/// a one-pass stream would only evict genuinely hot frames — and this
+/// annotation is what lets telemetry tell those reads apart from cache
+/// misses. Not thread-safe against concurrent counted access to the same
+/// device, matching BlockDevice itself (each shard owns its device).
+class CacheBypassScope {
+ public:
+  explicit CacheBypassScope(BlockDevice& device) noexcept
+      : device_(&device) {
+    ++device_->bypass_depth_;
+  }
+  ~CacheBypassScope() { --device_->bypass_depth_; }
+  CacheBypassScope(const CacheBypassScope&) = delete;
+  CacheBypassScope& operator=(const CacheBypassScope&) = delete;
+
+ private:
+  BlockDevice* device_;
 };
 
 /// RAII probe measuring the I/O cost of a scoped piece of work.

@@ -49,6 +49,11 @@ struct IoStats {
   std::uint64_t cache_frames_current = 0;
   std::uint64_t staging_slots_current = 0;
   std::uint64_t arbiter_moves = 0;
+  // Device reads issued inside a CacheBypassScope (block_device.h): cold
+  // merges and bulk rebuilds that stream data once and would only pollute
+  // a cache. Each is also counted in `reads`; this counter attributes
+  // them so telemetry can separate deliberate bypasses from cache misses.
+  std::uint64_t cache_bypass_reads = 0;
 
   /// Paper-convention I/O cost (footnote 2 of the paper). Cache hits are
   /// free by definition and never enter the cost.
@@ -79,6 +84,7 @@ struct IoStats {
     cache_frames_current += rhs.cache_frames_current;
     staging_slots_current += rhs.staging_slots_current;
     arbiter_moves += rhs.arbiter_moves;
+    cache_bypass_reads += rhs.cache_bypass_reads;
     return *this;
   }
 
@@ -109,6 +115,7 @@ struct IoStats {
             ? staging_slots_current - rhs.staging_slots_current
             : 0;
     d.arbiter_moves = arbiter_moves - rhs.arbiter_moves;
+    d.cache_bypass_reads = cache_bypass_reads - rhs.cache_bypass_reads;
     return d;
   }
 };

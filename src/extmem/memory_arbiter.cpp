@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace exthash::extmem {
@@ -51,6 +53,8 @@ void MemoryArbiter::setStaging(std::function<void(std::size_t)> resize,
 void MemoryArbiter::rebalance() {
   if (caches_.empty()) return;
   ++rebalances_;
+  ArbiterDecision decision;
+  decision.round = rebalances_;
   if (!horizon_set_) {
     // Widen each cache's ghost directories to the most frames it could
     // ever be granted — the total minus the OTHER caches' floors and the
@@ -87,6 +91,7 @@ void MemoryArbiter::rebalance() {
   for (CacheState& c : caches_) ghost_now += c.cache->ghostHits();
   const std::uint64_t ghost_delta = ghost_now - last_ghost_hits_;
   last_ghost_hits_ = ghost_now;
+  decision.ghost_delta = ghost_delta;
   for (CacheState& c : caches_) {
     const std::uint64_t hits = c.cache->hits();
     c.heat = 0.5 * c.heat + static_cast<double>(hits - c.last_hits);
@@ -99,6 +104,8 @@ void MemoryArbiter::rebalance() {
     const std::uint64_t absorbed_delta = now.absorbed - last_staging_.absorbed;
     const std::uint64_t pressure_delta = now.pressure - last_staging_.pressure;
     last_staging_ = now;
+    decision.absorbed_delta = absorbed_delta;
+    decision.pressure_delta = pressure_delta;
 
     // Per-side headroom, saturating: a side already at (or below — e.g.
     // registered under the floor, or shrunk by a failed grow) its floor
@@ -132,14 +139,18 @@ void MemoryArbiter::rebalance() {
            config_.pressure_weight * static_cast<double>(pressure_delta)) *
           static_cast<double>(step) /
           static_cast<double>(std::max<std::size_t>(1, staging_frames_));
+      decision.cache_gain = cache_gain;
+      decision.staging_gain = staging_gain;
       if (cache_gain > staging_gain) {
         const std::size_t take = std::min(step, staging_headroom);
         cache_frames_ += take;
         staging_frames_ -= take;
+        decision.direction = +1;
       } else if (staging_gain > cache_gain) {
         const std::size_t take = std::min(step, cache_headroom);
         cache_frames_ -= take;
         staging_frames_ += take;
+        decision.direction = -1;
       }
       // Equal gains (notably both zero: no signal this interval) move
       // nothing — the arbiter holds still rather than oscillating.
@@ -196,6 +207,24 @@ void MemoryArbiter::rebalance() {
   // Every move has a source and a sink among {caches..., staging}, so the
   // summed absolute deltas count each moved frame twice.
   moves_ += delta_sum / 2;
+
+  decision.frames_moved = delta_sum / 2;
+  decision.cache_frames = cache_frames_;
+  decision.staging_frames = staging_frames_;
+  decisions_.push_back(decision);
+  if (decisions_.size() > kDecisionHistory) decisions_.pop_front();
+
+  EXTHASH_OBS_COUNT("exthash_arbiter_rebalances_total", 1);
+  EXTHASH_OBS_COUNT("exthash_arbiter_frames_moved_total",
+                    decision.frames_moved);
+  EXTHASH_OBS_GAUGE("exthash_arbiter_cache_frames", cache_frames_);
+  EXTHASH_OBS_GAUGE("exthash_arbiter_staging_frames", staging_frames_);
+  EXTHASH_OBS_GAUGE("exthash_arbiter_cache_gain", decision.cache_gain);
+  EXTHASH_OBS_GAUGE("exthash_arbiter_staging_gain", decision.staging_gain);
+  EXTHASH_OBS_COUNTER_SAMPLE("arbiter cache frames",
+                             static_cast<double>(cache_frames_));
+  EXTHASH_OBS_COUNTER_SAMPLE("arbiter staging frames",
+                             static_cast<double>(staging_frames_));
 }
 
 std::uint64_t MemoryArbiter::applyCacheSplit() {

@@ -48,6 +48,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -78,6 +79,24 @@ struct ArbiterConfig {
 struct StagingSignals {
   std::uint64_t absorbed = 0;
   std::uint64_t pressure = 0;
+};
+
+/// One rebalance() explained: the signal deltas it saw, the per-side
+/// marginal utilities it computed, and what it did about them. The
+/// arbiter keeps the latest kDecisionHistory of these (decisions()) so
+/// its behavior on a phase-shifting workload can be audited move by move
+/// instead of inferred from the cumulative moves() counter.
+struct ArbiterDecision {
+  std::uint64_t round = 0;           // rebalances() at decision time
+  std::uint64_t ghost_delta = 0;     // cache-side vote this interval
+  std::uint64_t absorbed_delta = 0;  // staging-side: coalesced ops
+  std::uint64_t pressure_delta = 0;  // staging-side: backpressure waits
+  double cache_gain = 0.0;           // expected I/O saved per step, cache
+  double staging_gain = 0.0;         // same unit, staging
+  int direction = 0;                 // +1 toward cache, -1 toward staging
+  std::uint64_t frames_moved = 0;    // this round (incl. heat re-homing)
+  std::size_t cache_frames = 0;      // grants AFTER the move
+  std::size_t staging_frames = 0;
 };
 
 class MemoryArbiter {
@@ -126,6 +145,14 @@ class MemoryArbiter {
   std::uint64_t rebalances() const noexcept { return rebalances_; }
   std::size_t cacheCount() const noexcept { return caches_.size(); }
 
+  /// Bound on the retained decision log.
+  static constexpr std::size_t kDecisionHistory = 256;
+  /// The most recent rebalance decisions, oldest first (at most
+  /// kDecisionHistory). Same thread-compatibility as rebalance().
+  const std::deque<ArbiterDecision>& decisions() const noexcept {
+    return decisions_;
+  }
+
   /// Structural audit (see util/audit.h): the conserved-total bookkeeping
   /// must agree with the caches' real capacities — cache_frames_ equals
   /// the sum of registered caches' capacityBlocks(), every side respects
@@ -159,6 +186,7 @@ class MemoryArbiter {
   StagingSignals last_staging_;
   std::uint64_t moves_ = 0;
   std::uint64_t rebalances_ = 0;
+  std::deque<ArbiterDecision> decisions_;
 };
 
 }  // namespace exthash::extmem

@@ -1,0 +1,308 @@
+#include "obs/trace_check.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+namespace exthash::obs {
+
+namespace {
+
+// A deliberately small JSON model: enough to validate structure and pull
+// out the fields the trace contract names. Numbers are kept as doubles.
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  const JsonObject* object() const {
+    auto* p = std::get_if<std::shared_ptr<JsonObject>>(&v);
+    return p != nullptr ? p->get() : nullptr;
+  }
+  const JsonArray* array() const {
+    auto* p = std::get_if<std::shared_ptr<JsonArray>>(&v);
+    return p != nullptr ? p->get() : nullptr;
+  }
+  const std::string* string() const { return std::get_if<std::string>(&v); }
+  const double* number() const { return std::get_if<double>(&v); }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  bool parseDocument(JsonValue& out, std::string& error) {
+    if (!parseValue(out, error)) return false;
+    skipWhitespace();
+    if (pos_ != input_.size()) {
+      error = "trailing data after JSON value at offset " +
+              std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(std::string& error, const std::string& what) {
+    error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool parseValue(JsonValue& out, std::string& error) {
+    skipWhitespace();
+    if (pos_ >= input_.size()) return fail(error, "unexpected end of input");
+    const char c = input_[pos_];
+    switch (c) {
+      case '{':
+        return parseObject(out, error);
+      case '[':
+        return parseArray(out, error);
+      case '"': {
+        std::string s;
+        if (!parseString(s, error)) return false;
+        out.v = std::move(s);
+        return true;
+      }
+      case 't':
+        return parseLiteral("true", error) && (out.v = true, true);
+      case 'f':
+        return parseLiteral("false", error) && (out.v = false, true);
+      case 'n':
+        return parseLiteral("null", error) && (out.v = nullptr, true);
+      default:
+        return parseNumber(out, error);
+    }
+  }
+
+  bool parseLiteral(std::string_view lit, std::string& error) {
+    if (input_.substr(pos_, lit.size()) != lit) {
+      return fail(error, "bad literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parseNumber(JsonValue& out, std::string& error) {
+    const std::size_t start = pos_;
+    if (pos_ < input_.size() && input_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    if (!digits()) return fail(error, "bad number");
+    if (pos_ < input_.size() && input_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return fail(error, "bad number fraction");
+    }
+    if (pos_ < input_.size() &&
+        (input_[pos_] == 'e' || input_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < input_.size() &&
+          (input_[pos_] == '+' || input_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) return fail(error, "bad number exponent");
+    }
+    out.v = std::stod(std::string(input_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool parseString(std::string& out, std::string& error) {
+    if (input_[pos_] != '"') return fail(error, "expected string");
+    ++pos_;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= input_.size()) break;
+        const char esc = input_[pos_];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= input_.size()) {
+              return fail(error, "truncated \\u escape");
+            }
+            for (int i = 1; i <= 4; ++i) {
+              if (!std::isxdigit(
+                      static_cast<unsigned char>(input_[pos_ + i]))) {
+                return fail(error, "bad \\u escape");
+              }
+            }
+            // Validation only: keep the escape verbatim.
+            out.append(input_.substr(pos_ - 1, 6));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail(error, "bad escape");
+        }
+        ++pos_;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail(error, "raw control character in string");
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    return fail(error, "unterminated string");
+  }
+
+  bool parseArray(JsonValue& out, std::string& error) {
+    ++pos_;  // '['
+    auto array = std::make_shared<JsonArray>();
+    skipWhitespace();
+    if (pos_ < input_.size() && input_[pos_] == ']') {
+      ++pos_;
+      out.v = std::move(array);
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!parseValue(element, error)) return false;
+      array->push_back(std::move(element));
+      skipWhitespace();
+      if (pos_ >= input_.size()) return fail(error, "unterminated array");
+      if (input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (input_[pos_] == ']') {
+        ++pos_;
+        out.v = std::move(array);
+        return true;
+      }
+      return fail(error, "expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(JsonValue& out, std::string& error) {
+    ++pos_;  // '{'
+    auto object = std::make_shared<JsonObject>();
+    skipWhitespace();
+    if (pos_ < input_.size() && input_[pos_] == '}') {
+      ++pos_;
+      out.v = std::move(object);
+      return true;
+    }
+    while (true) {
+      skipWhitespace();
+      std::string key;
+      if (pos_ >= input_.size() || input_[pos_] != '"') {
+        return fail(error, "expected object key");
+      }
+      if (!parseString(key, error)) return false;
+      skipWhitespace();
+      if (pos_ >= input_.size() || input_[pos_] != ':') {
+        return fail(error, "expected ':'");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!parseValue(value, error)) return false;
+      (*object)[std::move(key)] = std::move(value);
+      skipWhitespace();
+      if (pos_ >= input_.size()) return fail(error, "unterminated object");
+      if (input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (input_[pos_] == '}') {
+        ++pos_;
+        out.v = std::move(object);
+        return true;
+      }
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TraceCheckResult checkTraceJson(std::string_view json) {
+  TraceCheckResult result;
+  JsonValue root;
+  Parser parser(json);
+  if (!parser.parseDocument(root, result.error)) return result;
+
+  const JsonObject* top = root.object();
+  if (top == nullptr) {
+    result.error = "document root is not an object";
+    return result;
+  }
+  const auto it = top->find("traceEvents");
+  if (it == top->end()) {
+    result.error = "missing \"traceEvents\"";
+    return result;
+  }
+  const JsonArray* events = it->second.array();
+  if (events == nullptr) {
+    result.error = "\"traceEvents\" is not an array";
+    return result;
+  }
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonObject* event = (*events)[i].object();
+    if (event == nullptr) {
+      result.error = "event " + std::to_string(i) + " is not an object";
+      return result;
+    }
+    auto field = [&](const char* key) -> const JsonValue* {
+      const auto f = event->find(key);
+      return f == event->end() ? nullptr : &f->second;
+    };
+    const JsonValue* name = field("name");
+    if (name == nullptr || name->string() == nullptr ||
+        name->string()->empty()) {
+      result.error =
+          "event " + std::to_string(i) + " lacks a string \"name\"";
+      return result;
+    }
+    const JsonValue* ph = field("ph");
+    if (ph == nullptr || ph->string() == nullptr ||
+        ph->string()->size() != 1) {
+      result.error = "event " + std::to_string(i) +
+                     " lacks a one-character \"ph\"";
+      return result;
+    }
+    const JsonValue* ts = field("ts");
+    if (ts == nullptr || ts->number() == nullptr) {
+      result.error =
+          "event " + std::to_string(i) + " lacks a numeric \"ts\"";
+      return result;
+    }
+  }
+  result.events = events->size();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace exthash::obs

@@ -1,0 +1,33 @@
+// obs — Chrome-trace JSON validation without external dependencies.
+//
+// checkTraceJson() runs a small recursive-descent JSON parser over an
+// emitted trace and verifies the trace-event contract: the document is
+// one well-formed JSON object, carries a "traceEvents" array, and every
+// element has a string "name", a one-character string "ph", and a
+// numeric "ts". Used by tests (parse-back of TraceSession::writeJson)
+// and by the bench/check_trace CI gate.
+//
+// Thread safety: pure function over its input; no shared state.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace exthash::obs {
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::size_t events = 0;  // elements of "traceEvents"
+  std::string error;       // empty when ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Validate `json` as a Chrome trace-event document (see file comment).
+/// An empty traceEvents array parses but is reported with ok == true and
+/// events == 0 — callers that require non-emptiness (the CI gate) check
+/// `events` themselves.
+TraceCheckResult checkTraceJson(std::string_view json);
+
+}  // namespace exthash::obs

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace exthash::pipeline {
 
 using tables::Op;
@@ -111,6 +113,8 @@ void IngestPipeline::sealBatchLocked(util::MutexLock& lock) {
   // once, however many wakeups it takes.
   if (inflight_.size() >= config_.max_pending_batches) {
     ++stats_.submit_waits;
+    EXTHASH_OBS_COUNT("exthash_pipeline_submit_waits_total", 1);
+    EXTHASH_OBS_SPAN(obs_wait_span, "submit-wait", "pipeline");
     do {
       room_cv_.wait(lock);
     } while (inflight_.size() >= config_.max_pending_batches);
@@ -119,6 +123,7 @@ void IngestPipeline::sealBatchLocked(util::MutexLock& lock) {
   // staging window already.
   if (staging_.empty()) return;
 
+  EXTHASH_OBS_SPAN(obs_seal_span, "seal", "pipeline");
   auto window = std::make_shared<BatchWindow>();
   window->ops = std::move(staging_);
   window->index = std::move(staging_index_);
@@ -127,10 +132,19 @@ void IngestPipeline::sealBatchLocked(util::MutexLock& lock) {
   staging_index_ = {};
   staging_index_.reserve(config_.batch_capacity);
   inflight_.push_back(window);
+  EXTHASH_OBS_GAUGE("exthash_pipeline_inflight_windows", inflight_.size());
+  EXTHASH_OBS_COUNTER_SAMPLE("pipeline inflight",
+                             static_cast<double>(inflight_.size()));
 
-  worker_.submit([this, window] {
+  const bool record_latency = config_.record_apply_latency;
+  worker_.submit([this, window, record_latency] {
     std::exception_ptr err;
     try {
+      EXTHASH_OBS_SPAN(obs_apply_span, "worker-apply", "pipeline");
+      EXTHASH_OBS_SPAN_ARG(obs_apply_span, "ops",
+                           static_cast<double>(window->ops.size()));
+      obs::ScopedLatencyTimer apply_timer(
+          record_latency ? &apply_hist_ : nullptr);
       table_.applyBatch(window->ops);
     } catch (...) {
       err = std::current_exception();
@@ -142,6 +156,11 @@ void IngestPipeline::sealBatchLocked(util::MutexLock& lock) {
       inflight_.pop_front();
       ++stats_.batches_applied;
       stats_.ops_applied += window->ops.size();
+      EXTHASH_OBS_COUNT("exthash_pipeline_batches_applied_total", 1);
+      EXTHASH_OBS_COUNT("exthash_pipeline_ops_applied_total",
+                        window->ops.size());
+      EXTHASH_OBS_GAUGE("exthash_pipeline_inflight_windows",
+                        inflight_.size());
       if (err && !error_) error_ = err;
       // A retired oversized window may let the staging charge drop to
       // the (possibly shrunk) configured capacity.
@@ -272,6 +291,7 @@ void IngestPipeline::flush() {
 }
 
 void IngestPipeline::drain() {
+  EXTHASH_OBS_SPAN(obs_drain_span, "drain", "pipeline");
   {
     util::MutexLock lock(mutex_);
     // Seal and wait even when a background error is pending: every queued
@@ -290,7 +310,10 @@ void IngestPipeline::drain() {
     // any dirty cached frames to the device now. Callers rely on drain()
     // leaving the device authoritative (direct table use, inspect-based
     // checks) and on ioStats() including the deferred writes.
-    table_.flushCache();
+    {
+      EXTHASH_OBS_SPAN(obs_flush_span, "flush-cache", "pipeline");
+      table_.flushCache();
+    }
     throwIfFailedLocked();
   }
   // Barrier audit: everything is quiescent and flushed, so both the

@@ -56,6 +56,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tables/hash_table.h"
 #include "util/audit.h"
 #include "util/thread_annotations.h"
@@ -87,6 +88,11 @@ struct PipelineConfig {
   /// MemoryBudget — the paper's "memory as buffer vs memory as cache"
   /// split made explicit. The budget must outlive the pipeline.
   extmem::MemoryBudget* budget = nullptr;
+  /// Record per-window applyBatch wall latency into applyLatency(). A
+  /// runtime flag (not tied to EXTHASH_TELEMETRY_MODE) because the
+  /// measurement runner reports p99 apply latency in every build; costs
+  /// two steady_clock reads per applied window when on.
+  bool record_apply_latency = false;
 };
 
 struct PipelineStats {
@@ -181,6 +187,13 @@ class IngestPipeline {
   /// The wrapped table. Only meaningful to touch after drain().
   tables::ExternalHashTable& table() noexcept { return table_; }
 
+  /// Per-window applyBatch wall-latency distribution (nanoseconds);
+  /// populated only when PipelineConfig::record_apply_latency is set.
+  /// Lock-free reads are safe any time; exact once the worker is idle.
+  const obs::LatencyHistogram& applyLatency() const noexcept {
+    return apply_hist_;
+  }
+
  private:
   struct PendingLookup {
     std::uint64_t key = 0;
@@ -245,6 +258,11 @@ class IngestPipeline {
   extmem::MemoryCharge staging_charge_ EXTHASH_GUARDED_BY(mutex_);
 
   PipelineStats stats_ EXTHASH_GUARDED_BY(mutex_);
+
+  // Apply-latency distribution (see applyLatency()). Internally atomic —
+  // the single worker records, any thread may read — so it needs no
+  // mutex_ guard.
+  obs::LatencyHistogram apply_hist_;
 
   // Single-thread FIFO executor; declared last so it stops (and finishes
   // queued tasks referencing the state above) before anything else is

@@ -383,6 +383,129 @@ bool BTreeTable::insert(std::uint64_t key, std::uint64_t value) {
   return inserted_new;
 }
 
+void BTreeTable::applyBatch(std::span<const Op> ops) {
+  if (ops.size() < 2) {
+    for (const Op& op : ops) {
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+    }
+    return;
+  }
+  // Sort by (key, arrival): keys are independent here (no cross-key state
+  // like overflow flags), so only per-key order must survive, and the sort
+  // tie-breaks on the original index to keep it.
+  std::vector<std::size_t> idx(ops.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (ops[a].key != ops[b].key) return ops[a].key < ops[b].key;
+    return a < b;
+  });
+
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    if (root_.is_leaf) {
+      // Memory-resident root: ops are free (no I/O until it splits, which
+      // may happen mid-batch — hence one op at a time, re-checking).
+      const Op& op = ops[idx[i]];
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+      ++i;
+      continue;
+    }
+    // Descend once for the run's first key, tracking the least separator
+    // above it: child c of an internal node covers [sep(c-1), sep(c)), so
+    // every later sorted key below that bound lands in the same leaf.
+    const std::uint64_t first_key = ops[idx[i]].key;
+    bool hi_open = true;
+    std::uint64_t hi = 0;
+    const std::size_t ridx = rootChildIndex(first_key);
+    if (ridx < root_.keys.size()) {
+      hi = root_.keys[ridx];
+      hi_open = false;
+    }
+    BlockId current = root_.children[ridx];
+    while (true) {
+      struct Step {
+        bool internal = false;
+        BlockId next = kInvalidBlock;
+        std::uint64_t sep = 0;
+        bool has_sep = false;
+      };
+      const Step s =
+          ctx_.device->withRead(current, [&](std::span<const Word> data) {
+            ConstNodeView v{data, internal_cap_};
+            if (!v.isInternal()) return Step{};
+            const std::size_t c = v.childIndexFor(first_key);
+            Step st{true, v.child(c), 0, false};
+            if (c < v.count()) {
+              st.sep = v.sepKey(c);
+              st.has_sep = true;
+            }
+            return st;
+          });
+      if (!s.internal) break;
+      if (s.has_sep && (hi_open || s.sep < hi)) {
+        hi = s.sep;
+        hi_open = false;
+      }
+      current = s.next;
+    }
+    std::size_t j = i;
+    while (j < idx.size() && (hi_open || ops[idx[j]].key < hi)) ++j;
+
+    // Replay the group against the leaf in one rmw — unless the result
+    // would split, in which case nothing is written and the group goes
+    // through the serial insert path (splits propagate there).
+    struct Outcome {
+      bool fits = false;
+      std::ptrdiff_t delta = 0;
+    };
+    const Outcome oc =
+        ctx_.device->withWrite(current, [&](std::span<Word> data) {
+          NodeView v{data, internal_cap_};
+          const std::size_t n = v.count();
+          std::vector<Record> recs;
+          recs.reserve(n + (j - i));
+          for (std::size_t k = 0; k < n; ++k)
+            recs.push_back(Record{v.leafKey(k), v.leafValue(k)});
+          std::ptrdiff_t delta = 0;
+          for (std::size_t k = i; k < j; ++k) {
+            const Op& op = ops[idx[k]];
+            const auto it = std::lower_bound(
+                recs.begin(), recs.end(), op.key,
+                [](const Record& r, std::uint64_t key) { return r.key < key; });
+            if (op.kind == OpKind::kInsert) {
+              if (it != recs.end() && it->key == op.key) {
+                it->value = op.value;
+              } else {
+                recs.insert(it, Record{op.key, op.value});
+                ++delta;
+              }
+            } else if (it != recs.end() && it->key == op.key) {
+              recs.erase(it);
+              --delta;
+            }
+          }
+          if (recs.size() > leaf_cap_) return Outcome{};
+          for (std::size_t k = 0; k < recs.size(); ++k)
+            v.setLeafRecord(k, recs[k]);
+          v.setCount(recs.size());
+          return Outcome{true, delta};
+        });
+    if (oc.fits) {
+      size_ = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(size_) +
+                                       oc.delta);
+    } else {
+      for (std::size_t k = i; k < j; ++k) {
+        const Op& op = ops[idx[k]];
+        if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+        else erase(op.key);
+      }
+    }
+    i = j;
+  }
+}
+
 bool BTreeTable::erase(std::uint64_t key) {
   if (root_.is_leaf) {
     auto it = std::lower_bound(

@@ -34,6 +34,12 @@ class BTreeTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Leaf-grouped batch apply: ops are sorted by key (arrival order kept
+  /// per key), each run destined for one leaf shares a single root-to-leaf
+  /// descent and one rmw — Θ(log_b n) I/Os per LEAF touched instead of per
+  /// op. A group that would split its leaf falls back to the serial insert
+  /// path for that group only.
+  void applyBatch(std::span<const Op> ops) override;
   std::size_t size() const override { return size_; }
   std::string_view name() const override { return "btree"; }
   void visitLayout(LayoutVisitor& visitor) const override;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "extmem/block_device.h"
+#include "tables/batch_util.h"
+
 namespace exthash::tables {
 
 using extmem::BlockId;
@@ -147,7 +150,129 @@ bool JensenPaghTable::erase(std::uint64_t key) {
   return false;
 }
 
+void JensenPaghTable::applyBatch(std::span<const Op> ops) {
+  if (ops.size() < 2) {
+    for (const Op& op : ops) {
+      if (op.kind == OpKind::kInsert) insert(op.key, op.value);
+      else erase(op.key);
+    }
+    return;
+  }
+  // Group by primary bucket and replay each group's ops in arrival order
+  // inside ONE rmw (the serial loop pays one rmw per op). Ops the page
+  // cannot resolve — key absent with the overflow flag set, or the page
+  // filling up — are forwarded, still in order, to the overflow table's
+  // own grouped applyBatch. Buckets partition keys, so cross-group order
+  // is irrelevant and the result matches the serial replay exactly.
+  const auto order = batch::orderByBucket(
+      ops.size(), [&](std::size_t i) { return bucketOf(ops[i].key); });
+  std::vector<Op> overflow_ops;
+  std::size_t g = 0;
+  while (g < order.size()) {
+    std::size_t e = g;
+    while (e < order.size() && order[e].first == order[g].first) ++e;
+    overflow_ops.clear();
+    const std::ptrdiff_t primary_delta = ctx_.device->withWrite(
+        extent_ + order[g].first, [&](std::span<Word> data) {
+          BucketPage page(data);
+          std::ptrdiff_t delta = 0;
+          for (std::size_t k = g; k < e; ++k) {
+            const Op& op = ops[order[k].second];
+            if (op.kind == OpKind::kInsert) {
+              if (auto idx = page.indexOf(op.key)) {
+                page.setValueAt(*idx, op.value);
+              } else if ((page.flags() & kHasOverflowFlag) != 0) {
+                overflow_ops.push_back(op);
+              } else if (page.append(Record{op.key, op.value})) {
+                ++delta;
+              } else {
+                page.setFlags(page.flags() | kHasOverflowFlag);
+                overflow_ops.push_back(op);
+              }
+            } else if (auto idx = page.indexOf(op.key)) {
+              page.removeAt(*idx);
+              --delta;
+            } else if ((page.flags() & kHasOverflowFlag) != 0) {
+              overflow_ops.push_back(op);
+            }
+          }
+          return delta;
+        });
+    size_ = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(size_) +
+                                     primary_delta);
+    if (!overflow_ops.empty()) {
+      const std::size_t before = overflow_->size();
+      overflow_->applyBatch(overflow_ops);
+      size_ += overflow_->size() - before;
+    }
+    g = e;
+    if (size_ > capacity_target_) {
+      // Same growth rule as the serial path, at group granularity: double
+      // until the target covers the current size, rebuild once, then
+      // re-dispatch the remaining ops — the bucket mapping changed, so
+      // their grouping is stale. Arrival order within a key survives
+      // (orderByBucket is stable, and indices are restored ascending).
+      std::size_t target = capacity_target_;
+      while (size_ > target) target *= 2;
+      rebuild(target);
+      if (g < order.size()) {
+        std::vector<std::size_t> remaining;
+        remaining.reserve(order.size() - g);
+        for (std::size_t k = g; k < order.size(); ++k)
+          remaining.push_back(order[k].second);
+        std::sort(remaining.begin(), remaining.end());
+        std::vector<Op> rest;
+        rest.reserve(remaining.size());
+        for (const std::size_t idx : remaining) rest.push_back(ops[idx]);
+        applyBatch(rest);
+      }
+      return;
+    }
+  }
+}
+
+void JensenPaghTable::lookupBatch(std::span<const std::uint64_t> keys,
+                                  std::span<std::optional<std::uint64_t>> out) {
+  EXTHASH_CHECK(keys.size() == out.size());
+  if (keys.size() < 2) {
+    for (std::size_t i = 0; i < keys.size(); ++i) out[i] = lookup(keys[i]);
+    return;
+  }
+  // One read per distinct primary bucket; only keys that miss a FLAGGED
+  // bucket consult the overflow table (a miss in an un-overflowed bucket
+  // ends the query at one I/O, same as the serial probe).
+  const auto order = batch::orderByBucket(
+      keys.size(), [&](std::size_t i) { return bucketOf(keys[i]); });
+  std::vector<std::size_t> to_overflow;
+  batch::forEachGroup(order, [&](std::uint64_t bucket, std::size_t begin,
+                                 std::size_t end) {
+    ctx_.device->withRead(extent_ + bucket, [&](std::span<const Word> data) {
+      ConstBucketPage page(data);
+      const bool flagged = (page.flags() & kHasOverflowFlag) != 0;
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t i = order[k].second;
+        out[i] = page.find(keys[i]);
+        if (!out[i] && flagged) to_overflow.push_back(i);
+      }
+    });
+  });
+  if (to_overflow.empty()) return;
+  std::vector<std::uint64_t> sub_keys;
+  sub_keys.reserve(to_overflow.size());
+  for (const std::size_t idx : to_overflow) sub_keys.push_back(keys[idx]);
+  std::vector<std::optional<std::uint64_t>> sub_out(sub_keys.size());
+  overflow_->lookupBatch(sub_keys, sub_out);
+  for (std::size_t s = 0; s < to_overflow.size(); ++s)
+    out[to_overflow[s]] = sub_out[s];
+}
+
 void JensenPaghTable::rebuild(std::size_t new_capacity) {
+  // UNCACHED BY DESIGN: the rebuild is a one-pass stream over the old
+  // layout into the new one — no block is touched twice, so there is no
+  // reuse for a cache to capture, and admitting the scan would only evict
+  // hot frames. The scope attributes these device reads as deliberate
+  // bypasses (IoStats::cache_bypass_reads) rather than cache misses.
+  extmem::CacheBypassScope rebuild_bypass(*ctx_.device);
   // Stream every record in hash order (primary buckets are range-indexed,
   // so ascending buckets = ascending hash; the overflow table scans in
   // hash order natively) and redistribute into the doubled layout.

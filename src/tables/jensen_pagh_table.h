@@ -36,6 +36,16 @@ class JensenPaghTable final : public ExternalHashTable {
   bool insert(std::uint64_t key, std::uint64_t value) override;
   std::optional<std::uint64_t> lookup(std::uint64_t key) override;
   bool erase(std::uint64_t key) override;
+  /// Bucket-grouped batch apply: one rmw replays every op targeting a
+  /// primary bucket (serial cost: one rmw per op), overflow-bound ops are
+  /// forwarded per group to the overflow table's own grouped applyBatch.
+  /// Semantically identical to the serial loop, including mid-batch
+  /// rebuild-and-continue when the capacity target is crossed.
+  void applyBatch(std::span<const Op> ops) override;
+  /// Bucket-grouped lookups: one read per distinct primary bucket; only
+  /// unresolved keys in overflowed buckets touch the overflow table.
+  void lookupBatch(std::span<const std::uint64_t> keys,
+                   std::span<std::optional<std::uint64_t>> out) override;
   std::size_t size() const override { return size_; }
   std::string_view name() const override { return "jensen-pagh"; }
   void visitLayout(LayoutVisitor& visitor) const override;

@@ -77,6 +77,10 @@ void LogMethodTable::mergeDown(std::vector<Record> newest) {
   // Find the shallowest level k whose capacity can absorb the incoming
   // records plus every shallower level; merge them all into k with one
   // streaming pass.
+  // UNCACHED BY DESIGN: the consumed levels are each read exactly once
+  // and then destroyed — zero reuse, so these reads are tallied as
+  // deliberate bypasses (IoStats::cache_bypass_reads), not cache misses.
+  extmem::CacheBypassScope merge_bypass(*ctx_.device);
   std::size_t carried = newest.size();
   std::size_t k = 1;
   std::size_t incoming = carried;

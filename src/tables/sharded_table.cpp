@@ -4,6 +4,7 @@
 #include <string>
 
 #include "extmem/memory_arbiter.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 
 namespace exthash::tables {
@@ -16,6 +17,32 @@ namespace {
 inline std::uint64_t shardScramble(std::uint64_t key) noexcept {
   return splitmix64(key ^ 0x5111A9DE55555555ULL);
 }
+
+#ifdef EXTHASH_TELEMETRY_MODE
+// Per-shard labeled series (exthash_<name>{shard="s"}). These go through
+// the registry's find-or-create per call rather than a hoisted static —
+// the label varies — which is fine at once-per-dispatched-batch rate.
+void obsRecordShardBatch(const char* counter_family, std::size_t shard,
+                         std::size_t ops, std::size_t size_now) {
+  if (!obs::enabled() || ops == 0) return;
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string label = "{shard=\"" + std::to_string(shard) + "\"}";
+  registry.counter(std::string(counter_family) + label).inc(ops);
+  registry.gauge("exthash_shard_size" + label)
+      .set(static_cast<double>(size_now));
+}
+#endif
+
+// Compiles away entirely in default builds (the arguments have no side
+// effects at every call site below).
+#ifdef EXTHASH_TELEMETRY_MODE
+#define EXTHASH_SHARD_OBS(family, shard, ops, size_now) \
+  obsRecordShardBatch(family, shard, ops, size_now)
+#else
+#define EXTHASH_SHARD_OBS(family, shard, ops, size_now) \
+  do {                                                  \
+  } while (0)
+#endif
 
 }  // namespace
 
@@ -97,6 +124,8 @@ bool ShardedTable::erase(std::uint64_t key) {
 void ShardedTable::applyBatch(std::span<const Op> ops) {
   if (shards_.size() == 1) {
     shards_[0].table->applyBatch(ops);
+    EXTHASH_SHARD_OBS("exthash_shard_ops_total", 0, ops.size(),
+                      shards_[0].table->size());
     return;
   }
   // Partition preserving arrival order: every op for one key routes to one
@@ -105,6 +134,8 @@ void ShardedTable::applyBatch(std::span<const Op> ops) {
   for (const Op& op : ops) per_shard[shardOf(op.key)].push_back(op);
   pool_.parallelFor(0, shards_.size(), [&](std::size_t s) {
     if (!per_shard[s].empty()) shards_[s].table->applyBatch(per_shard[s]);
+    EXTHASH_SHARD_OBS("exthash_shard_ops_total", s, per_shard[s].size(),
+                      shards_[s].table->size());
   });
 }
 
@@ -113,6 +144,8 @@ void ShardedTable::lookupBatch(std::span<const std::uint64_t> keys,
   EXTHASH_CHECK(keys.size() == out.size());
   if (shards_.size() == 1) {
     shards_[0].table->lookupBatch(keys, out);
+    EXTHASH_SHARD_OBS("exthash_shard_lookups_total", 0, keys.size(),
+                      shards_[0].table->size());
     return;
   }
   std::vector<std::vector<std::size_t>> per_shard(shards_.size());
@@ -130,6 +163,8 @@ void ShardedTable::lookupBatch(std::span<const std::uint64_t> keys,
     for (std::size_t k = 0; k < indices.size(); ++k) {
       out[indices[k]] = sub_out[k];
     }
+    EXTHASH_SHARD_OBS("exthash_shard_lookups_total", s, indices.size(),
+                      shards_[s].table->size());
   });
 }
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <optional>
 
 #include "extmem/memory_arbiter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/ingest_pipeline.h"
 #include "tables/sharded_table.h"
 #include "util/assert.h"
@@ -130,6 +133,22 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
     detach_guard.table = &table;
   }
 
+  // Optional trace session wrapping the whole measurement. The runner's
+  // own phase spans (below) are plain TraceSpan uses, so the trace is
+  // non-empty in every build; telemetry builds add the library's
+  // macro-gated instrumentation spans. Buffers are charged to the table's
+  // budget when it is limited — tracing competes for `m` like everything
+  // else.
+  std::optional<obs::TraceSession> trace;
+  if (!config.trace_file.empty()) {
+    obs::TraceSession::Options topt;
+    if (!table.context().memory->unlimited()) {
+      topt.budget = table.context().memory;
+    }
+    trace.emplace(topt);
+    trace->start();
+  }
+
   TradeoffMeasurement out;
   out.n = config.n;
   const auto t0 = std::chrono::steady_clock::now();
@@ -149,6 +168,7 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
     pipeline::PipelineConfig pc;
     pc.batch_capacity = batch_size;
     pc.max_pending_batches = std::max<std::size_t>(1, config.pipeline_depth);
+    pc.record_apply_latency = config.record_apply_latency;
     if (config.arbiter) {
       // Under arbitration the staging windows are charged to the table's
       // budget, so frames and slots trade inside one accounted memory.
@@ -194,6 +214,21 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
   extmem::IoStats query_io;  // accumulated sampling I/O (quiescent points)
   std::size_t next_checkpoint = 0;
   RunningStat miss_costs;
+  // Non-macro span: present in the trace in every build (see trace.h).
+  std::optional<obs::TraceSpan> ingest_span;
+  if (trace) {
+    ingest_span.emplace("ingest", "runner");
+    ingest_span->arg("n", static_cast<double>(config.n));
+  }
+
+  // Synchronous-mode apply histogram (the pipeline keeps its own).
+  obs::LatencyHistogram sync_apply_hist;
+  const bool record_latency = config.record_apply_latency;
+  auto applyTimed = [&](std::span<const tables::Op> ops) {
+    obs::ScopedLatencyTimer timer(record_latency ? &sync_apply_hist
+                                                 : nullptr);
+    table.applyBatch(ops);
+  };
 
   std::vector<tables::Op> batch;
   batch.reserve(batch_size);
@@ -207,7 +242,7 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
       pipe->drain();  // drains, then flushes the table's caches
     } else {
       if (!batch.empty()) {
-        table.applyBatch(batch);
+        applyTimed(batch);
         batch.clear();
       }
       table.flushCache();
@@ -224,7 +259,7 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
     } else {
       batch.push_back(tables::Op::insertOp(key, value));
       if (batch.size() >= batch_size) {
-        table.applyBatch(batch);
+        applyTimed(batch);
         batch.clear();
       }
     }
@@ -245,6 +280,8 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
                                i + 1 == checkpoints[next_checkpoint];
     if (at_checkpoint || i + 1 == config.n) settle();
     if (at_checkpoint) {
+      obs::TraceSpan sample_span("checkpoint-sample", "runner");
+      sample_span.arg("prefix", static_cast<double>(i + 1));
       const extmem::IoStats before_q = table.ioStats();
       const double cost =
           sampleQueryCost(table, inserted, config.queries_per_checkpoint,
@@ -259,6 +296,7 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
     }
   }
   settle();
+  ingest_span.reset();  // closes the span before the session stops below
 
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -285,6 +323,25 @@ TradeoffMeasurement runMeasurement(tables::ExternalHashTable& table,
     out.insert_io.cache_frames_current = out.cache_frames_final;
     out.insert_io.staging_slots_current = out.staging_slots_final;
     out.insert_io.arbiter_moves = out.arbiter_moves;
+  }
+  if (config.record_apply_latency) {
+    const obs::LatencyHistogram& hist =
+        pipe ? pipe->applyLatency() : sync_apply_hist;
+    out.apply_batches = hist.count();
+    if (out.apply_batches > 0) {
+      out.apply_p50_us =
+          static_cast<double>(hist.valueAtQuantile(0.5)) / 1000.0;
+      out.apply_p99_us =
+          static_cast<double>(hist.valueAtQuantile(0.99)) / 1000.0;
+      out.apply_max_us = static_cast<double>(hist.max()) / 1000.0;
+    }
+  }
+  if (trace) {
+    // All workers are quiescent (settle() above; the pipeline, if any,
+    // stays alive but idle), so stopping + serializing here is safe.
+    trace->stop();
+    std::ofstream os(config.trace_file, std::ios::trunc);
+    if (os) trace->writeJson(os);
   }
   return out;
 }

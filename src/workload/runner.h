@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "extmem/block_device.h"
@@ -65,6 +66,16 @@ struct MeasurementConfig {
   bool arbiter = false;
   /// Submitted inserts between rebalances.
   std::size_t arbiter_interval = 4096;
+  /// Record per-applyBatch wall latency into the measurement's apply
+  /// histogram (two steady_clock reads per applied batch/window). Works in
+  /// every build — the histogram is always compiled; only the macro-gated
+  /// instrumentation sites need EXTHASH_TELEMETRY.
+  bool record_apply_latency = false;
+  /// When non-empty, run under an obs::TraceSession and write the Chrome
+  /// trace_event JSON here at the end. The runner's own phase spans
+  /// (ingest / checkpoint sampling) are emitted in every build; telemetry
+  /// builds add the library's instrumentation spans on top.
+  std::string trace_file;
 };
 
 struct TradeoffMeasurement {
@@ -86,6 +97,14 @@ struct TradeoffMeasurement {
   std::uint64_t arbiter_moves = 0;
   std::uint64_t cache_frames_final = 0;
   std::uint64_t staging_slots_final = 0;
+  // Apply-latency tail (record_apply_latency only): wall time per
+  // applyBatch call / pipeline window, in microseconds. Quantiles come
+  // from a log-bucketed histogram (upper bucket edges, <= 25% relative
+  // overestimate); apply_batches is the number of recordings.
+  double apply_p50_us = 0.0;
+  double apply_p99_us = 0.0;
+  double apply_max_us = 0.0;
+  std::uint64_t apply_batches = 0;
 };
 
 /// Insert `n` keys from `keys` into `table`, sampling query costs at

@@ -329,6 +329,30 @@ TEST(BatchBeatsSerial, LinearProbingAtBatchSizeB) {
                              << " batched=" << batched;
 }
 
+TEST(BatchBeatsSerial, JensenPaghAtBatchSizeB) {
+  // One rmw per primary-bucket group instead of one per op; overflow-bound
+  // ops ride the chaining table's own grouped batch.
+  constexpr std::size_t kB = 16, kN = 4096;
+  GeneralConfig cfg;
+  cfg.expected_n = kN;
+  const std::uint64_t serial = costOf(TableKind::kJensenPagh, kB, kN, 1, cfg);
+  const std::uint64_t batched =
+      costOf(TableKind::kJensenPagh, kB, kN, 1024, cfg);
+  EXPECT_LT(batched, serial) << "serial=" << serial
+                             << " batched=" << batched;
+}
+
+TEST(BatchBeatsSerial, BTreeAtBatchSizeB) {
+  // One descent + one rmw per leaf touched instead of per op.
+  constexpr std::size_t kB = 16, kN = 4096;
+  GeneralConfig cfg;
+  cfg.expected_n = kN;
+  const std::uint64_t serial = costOf(TableKind::kBTree, kB, kN, 1, cfg);
+  const std::uint64_t batched = costOf(TableKind::kBTree, kB, kN, 1024, cfg);
+  EXPECT_LT(batched, serial) << "serial=" << serial
+                             << " batched=" << batched;
+}
+
 TEST(ShardedTableTest, VisitLayoutNamespacesBlockIdsByShard) {
   TestRig rig(8);
   GeneralConfig cfg;
