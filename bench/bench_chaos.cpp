@@ -1,0 +1,260 @@
+// CHAOS — end-to-end fault-injection lane with a hard PASS gate.
+//
+// Runs every table kind (plus the sharded façade) through the full
+// pipelined + cached + arbitrated stack twice per seed: once fault-free,
+// once under a seeded transient-fault schedule (FaultPolicy p per access,
+// absorbed by the device's bounded-retry gate — see extmem/fault.h and
+// extmem/retry.h). Because the device consults the policy BEFORE an
+// access takes effect, an absorbed fault must be invisible to contents:
+// the two arms have to agree bit-exactly.
+//
+// PASS gate (exit 1 on any miss — CI fails the build):
+//   - the faulted arm's content digest equals the fault-free arm's;
+//   - the faulted arm's visible contents match an in-memory reference
+//     model of the op stream exactly — zero lost, zero duplicated ops;
+//   - the schedule actually fired: faults injected > 0, retries > 0,
+//     and nothing escaped the retry budget (gave-up == 0).
+//
+// The informational columns report the price of resilience: counted I/O
+// is identical by construction (faulted attempts never count), so the
+// interesting numbers are the fault/retry volumes the gate rode through.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "extmem/block_cache.h"
+#include "extmem/fault.h"
+#include "extmem/memory_arbiter.h"
+#include "extmem/retry.h"
+#include "pipeline/ingest_pipeline.h"
+#include "tables/sharded_table.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace exthash;
+using extmem::BlockCache;
+using extmem::BlockDevice;
+using extmem::FaultPolicy;
+using extmem::MemoryArbiter;
+using extmem::RetryPolicy;
+using pipeline::IngestPipeline;
+using tables::ShardedTable;
+using tables::TableKind;
+
+std::vector<std::uint64_t> distinctUniverse(std::size_t n,
+                                            std::uint64_t seed) {
+  FeistelPermutation perm(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(perm(i));
+  return keys;
+}
+
+struct ChaosResult {
+  std::uint64_t digest = 0;
+  bool model_exact = false;  // visible contents == reference model
+  std::uint64_t faults = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t gave_up = 0;
+  std::uint64_t io_cost = 0;
+};
+
+ChaosResult chaosArm(TableKind kind, std::size_t ops_count,
+                     std::size_t universe_size, std::uint64_t seed,
+                     bool faulted) {
+  bench::Rig rig(/*b=*/8, /*memory_words=*/0, deriveSeed(seed, 1));
+  // Policies and cache outlive the table: destructors flush and free
+  // through the devices and must still find them alive.
+  std::vector<std::unique_ptr<FaultPolicy>> policies;
+  std::optional<BlockCache> cache;
+
+  tables::GeneralConfig cfg;
+  cfg.expected_n = universe_size;
+  cfg.target_load = 0.5;
+  cfg.buffer_items = 32;
+  cfg.beta = 4;
+  cfg.gamma = 2;
+  cfg.shards = 4;
+  cfg.sharded_inner = TableKind::kChaining;
+  cfg.shard_threads = 2;
+  cfg.shard_cache_frames = 8;
+  cfg.shard_cache_write_back = true;
+  auto table = makeTable(kind, rig.context(), cfg);
+
+  auto* sharded = dynamic_cast<ShardedTable*>(table.get());
+  if (sharded == nullptr) {
+    cache.emplace(*rig.device, *rig.memory, 4,
+                  BlockCache::WritePolicy::kWriteBack,
+                  extmem::ReplacementKind::kLru);
+    table->attachCache(&*cache);
+  }
+
+  const auto arm = [&](BlockDevice& dev, std::uint64_t stream) {
+    auto policy = std::make_unique<FaultPolicy>(deriveSeed(seed, stream));
+    policy->setFailureProbability(0.02);
+    policy->setLatencySpike(0.01, 1);
+    RetryPolicy rp;
+    rp.max_attempts = 8;
+    dev.setRetryPolicy(rp);
+    dev.setFaultPolicy(policy.get());
+    policies.push_back(std::move(policy));
+  };
+  if (faulted) {
+    if (sharded != nullptr) {
+      for (std::size_t s = 0; s < sharded->shardCount(); ++s) {
+        arm(sharded->shardDevice(s), 100 + s);
+      }
+    } else {
+      arm(*rig.device, 100);
+    }
+  }
+
+  // kBuffered is insert-only over distinct keys (old versions of a
+  // re-inserted key stay shadow-visible, so only a distinct stream is
+  // batch-boundary-invariant); everyone else gets mixed churn.
+  const bool distinct_only = kind == TableKind::kBuffered;
+  const auto universe =
+      distinctUniverse(distinct_only ? ops_count : universe_size, seed);
+
+  // Reference model of the submitted stream: last op per key wins, which
+  // is exactly the pipeline's coalescing contract and every table's
+  // per-key ordering guarantee.
+  std::unordered_map<std::uint64_t, std::optional<std::uint64_t>> model;
+  {
+    pipeline::PipelineConfig pc;
+    pc.batch_capacity = 64;
+    pc.max_pending_batches = 2;
+    pc.budget = rig.memory.get();
+    IngestPipeline pipe(*table, pc);
+
+    extmem::ArbiterConfig ac;
+    ac.slots_per_frame = 4;
+    MemoryArbiter arbiter(ac);
+    if (sharded != nullptr) {
+      sharded->registerCaches(arbiter);
+    } else {
+      arbiter.addCache(&*cache);
+    }
+    IngestPipeline* p = &pipe;
+    arbiter.setStaging(
+        [p](std::size_t slots) { p->setWindowCapacity(slots); },
+        [p] {
+          const auto s = p->stats();
+          return extmem::StagingSignals{s.ops_coalesced, s.submit_waits};
+        },
+        pc.batch_capacity);
+
+    Xoshiro256StarStar rng(deriveSeed(seed, 5));
+    for (std::size_t i = 0; i < ops_count; ++i) {
+      const std::uint64_t key =
+          distinct_only ? universe[i] : universe[rng.below(universe.size())];
+      if (!distinct_only && i % 9 == 7) {
+        pipe.erase(key);
+        model[key] = std::nullopt;
+      } else {
+        pipe.insert(key, i + 1);
+        model[key] = i + 1;
+      }
+      if (i % 512 == 511) {
+        pipe.submitMaintenance([a = &arbiter] { a->rebalance(); });
+      }
+    }
+    pipe.drain();
+  }
+  table->flushCache();
+
+  ChaosResult out;
+  out.digest = bench::contentChecksum(*table, universe);
+  out.model_exact = true;
+  for (const std::uint64_t key : universe) {
+    const auto it = model.find(key);
+    const std::optional<std::uint64_t> want =
+        it == model.end() ? std::nullopt : it->second;
+    if (table->lookup(key) != want) {
+      out.model_exact = false;
+      break;
+    }
+  }
+  const auto io = table->ioStats();
+  out.faults = io.faults_injected;
+  out.retries = io.io_retries;
+  out.gave_up = io.io_gave_up;
+  out.io_cost = io.cost();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_chaos",
+                 "Chaos lane: transient-fault equivalence gate over every "
+                 "table kind in pipelined+cached+arbitrated mode");
+  args.addUintFlag("ops", 4000, "operations per arm");
+  args.addUintFlag("universe", 512, "key-universe size (mixed-churn kinds)");
+  args.addStringFlag("seeds", "1,7,42", "comma-separated chaos seeds");
+  if (!args.parse(argc, argv)) return 0;
+
+  const std::size_t ops_count = args.getUint("ops");
+  const std::size_t universe_size = args.getUint("universe");
+  std::vector<std::uint64_t> seeds;
+  {
+    const std::string& s = args.getString("seeds");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t comma = s.find(',', pos);
+      const std::string tok =
+          s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (!tok.empty()) seeds.push_back(std::stoull(tok));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  bench::printHeader(
+      "CHAOS: transient-fault equivalence under pipelined ingest",
+      "Absorbed faults must be invisible: fault-before-effect + bounded "
+      "retry keep contents bit-exact (SPAA'09 buffering model unchanged).");
+
+  TablePrinter printer({"kind", "seed", "digest", "model", "faults",
+                        "retries", "gave_up", "verdict"});
+  bool pass = true;
+  for (const TableKind kind : tables::kAllTableKindsWithSharded) {
+    for (const std::uint64_t seed : seeds) {
+      const ChaosResult clean =
+          chaosArm(kind, ops_count, universe_size, seed, /*faulted=*/false);
+      const ChaosResult chaos =
+          chaosArm(kind, ops_count, universe_size, seed, /*faulted=*/true);
+      const bool digest_ok = chaos.digest == clean.digest;
+      const bool model_ok = clean.model_exact && chaos.model_exact;
+      const bool fired_ok =
+          chaos.faults > 0 && chaos.retries > 0 && chaos.gave_up == 0 &&
+          clean.faults == 0;
+      const bool row_ok = digest_ok && model_ok && fired_ok;
+      pass = pass && row_ok;
+      printer.addRow({std::string(tableKindName(kind)), std::to_string(seed),
+                      digest_ok ? "match" : "DIVERGED",
+                      model_ok ? "exact" : "LOST/DUP",
+                      std::to_string(chaos.faults),
+                      std::to_string(chaos.retries),
+                      std::to_string(chaos.gave_up),
+                      row_ok ? "ok" : "FAIL"});
+    }
+  }
+  printer.print(std::cout);
+  bench::saveCsv(printer, "chaos");
+
+  if (!pass) {
+    std::cout << "\nCHAOS: FAIL — a faulted run diverged, dropped ops, or "
+                 "the schedule never fired\n";
+    return 1;
+  }
+  std::cout << "\nCHAOS: PASS — all kinds bit-exact under transient faults "
+               "(retries > 0, nothing escaped)\n";
+  return 0;
+}

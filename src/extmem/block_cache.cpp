@@ -44,7 +44,14 @@ BlockCache::BlockCache(BlockDevice& device, MemoryBudget& budget,
   EXTHASH_CHECK(capacity_blocks >= 1);
 }
 
-BlockCache::~BlockCache() { flush(); }
+BlockCache::~BlockCache() {
+  try {
+    flush();
+  } catch (...) {
+    // A write-back faulting during teardown has nowhere to report; the
+    // explicit flush barriers are where callers observe it.
+  }
+}
 
 void BlockCache::markDirty(Frame& frame) {
   if (!frame.dirty) {
@@ -123,16 +130,37 @@ BlockCache::Frame& BlockCache::installZeroed(BlockId id) {
   return insertFrame(id, std::move(frame));
 }
 
+void BlockCache::quarantine(BlockId id, Frame& frame) {
+  ++writeback_failures_;
+  EXTHASH_OBS_COUNT("exthash_cache_writeback_failures_total", 1);
+  if (!frame.quarantined) {
+    frame.quarantined = true;
+    ++quarantined_frames_;
+    EXTHASH_OBS_GAUGE("exthash_cache_quarantined_frames",
+                      quarantined_frames_);
+  }
+  (void)id;
+}
+
 void BlockCache::writeBack(BlockId id, Frame& frame) {
   if (!frame.dirty) return;
-  frame.dirty = false;
-  --dirty_blocks_;
   if (!device_.isAllocated(id)) {
-    return;  // owner freed the block; drop silently
+    // Owner freed the block; drop silently.
+    frame.dirty = false;
+    --dirty_blocks_;
+    return;
   }
+  // Device write FIRST, bookkeeping after: if the write faults, the frame
+  // must still read as dirty (the cached copy is the only surviving one).
   device_.withOverwrite(id, [&](std::span<Word> data) {
     std::copy(frame.data.begin(), frame.data.end(), data.begin());
   });
+  frame.dirty = false;
+  --dirty_blocks_;
+  if (frame.quarantined) {
+    frame.quarantined = false;
+    --quarantined_frames_;
+  }
   ++writebacks_;
   EXTHASH_OBS_COUNT("exthash_cache_writebacks_total", 1);
 }
@@ -141,18 +169,32 @@ bool BlockCache::evictOne() {
   // Per-eviction policy-contract checks are debug-only: a policy that
   // proposes a non-resident victim is caught by the partition audit at
   // the next barrier, and Release eviction stays two map probes.
-  const auto unpinned = [this](BlockId id) {
+  const auto evictable = [this](BlockId id) {
     auto it = frames_.find(id);
     EXTHASH_DCHECK_MSG(it != frames_.end(),
                        "policy proposed a non-resident victim " << id);
-    return it != frames_.end() && it->second.pins == 0;
+    return it != frames_.end() && it->second.pins == 0 &&
+           !it->second.quarantined;
   };
-  const std::optional<BlockId> victim = replacement_->chooseEvict(unpinned);
+  const std::optional<BlockId> victim = replacement_->chooseEvict(evictable);
   if (!victim) return false;
   auto it = frames_.find(*victim);
   EXTHASH_CHECK(it != frames_.end());
   EXTHASH_DCHECK(it->second.pins == 0);
-  writeBack(*victim, it->second);
+  try {
+    writeBack(*victim, it->second);
+  } catch (const IoError&) {
+    // Degraded mode: the dirty data survives in the frame. chooseEvict
+    // already retired the victim (possibly into a ghost list), so
+    // re-enter it as resident — onRemove scrubs any ghost entry first,
+    // keeping the policy/cache partition audit-exact — and quarantine it
+    // so the next chooseEvict cannot propose it again. That makes a
+    // faulted eviction still count as progress for the caller's loop.
+    replacement_->onRemove(*victim);
+    replacement_->onInsert(*victim);
+    quarantine(*victim, it->second);
+    return true;
+  }
   frames_.erase(it);
   rechargeForResidency();
   EXTHASH_OBS_COUNT("exthash_cache_evictions_total", 1);
@@ -160,7 +202,19 @@ bool BlockCache::evictOne() {
 }
 
 void BlockCache::flush() {
-  for (auto& [id, frame] : frames_) writeBack(id, frame);
+  // Attempt EVERY dirty frame before reporting, so one bad sector cannot
+  // stop the rest of the barrier from landing; quarantined frames are
+  // re-attempted here (this is their road back after the fault clears).
+  std::exception_ptr first_error;
+  for (auto& [id, frame] : frames_) {
+    try {
+      writeBack(id, frame);
+    } catch (const IoError&) {
+      quarantine(id, frame);
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void BlockCache::resize(std::size_t capacity_blocks) {
@@ -204,6 +258,7 @@ void BlockCache::invalidate(BlockId id) {
   replacement_->onRemove(id);
   if (it == frames_.end()) return;
   if (it->second.dirty) --dirty_blocks_;
+  if (it->second.quarantined) --quarantined_frames_;
   frames_.erase(it);
   rechargeForResidency();
 }
@@ -279,8 +334,16 @@ void BlockCache::audit(AuditReport& report) const {
   // no frame is pinned, and every resident id is still allocated (frees
   // go through invalidate()).
   std::size_t dirty = 0;
+  std::size_t quarantined = 0;
   for (const auto& [id, frame] : frames_) {
     if (frame.dirty) ++dirty;
+    if (frame.quarantined) {
+      ++quarantined;
+      EXTHASH_AUDIT_EXPECT(report, kComponent, frame.dirty,
+                           "quarantined frame " << id
+                               << " is clean — quarantine exists only to "
+                                  "protect unlanded dirty data");
+    }
     EXTHASH_AUDIT_EXPECT(report, kComponent, frame.pins == 0,
                          "frame " << id << " pinned (" << frame.pins
                                   << ") at a quiescent audit");
@@ -296,6 +359,9 @@ void BlockCache::audit(AuditReport& report) const {
   EXTHASH_AUDIT_EXPECT(report, kComponent, dirty == dirty_blocks_,
                        dirty << " dirty frames, counter says "
                              << dirty_blocks_);
+  EXTHASH_AUDIT_EXPECT(report, kComponent, quarantined == quarantined_frames_,
+                       quarantined << " quarantined frames, counter says "
+                                   << quarantined_frames_);
   EXTHASH_AUDIT_EXPECT(report, kComponent,
                        policy_ == WritePolicy::kWriteBack || dirty == 0,
                        "write-through cache holds " << dirty

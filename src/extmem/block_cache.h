@@ -21,6 +21,17 @@
 //                   anything that reads the device directly (inspect(),
 //                   visitLayout, destroy walks) must flush() first.
 //
+// Degraded mode under I/O faults (see extmem/fault.h): a write-back that
+// fails — the device's retry budget exhausted, or a permanent fault —
+// never drops the dirty data. The frame stays dirty and resident and is
+// QUARANTINED: excluded from eviction (like a pinned frame, so the
+// replacement policy's bookkeeping stays exact) while the cache runs over
+// capacity if it must. flush() re-attempts every dirty frame, quarantined
+// ones included, un-quarantining those that finally reach the device; if
+// any still fail, flush() throws the first IoError after attempting all,
+// so the flush barrier reports the fault while the data stays safe for
+// the next barrier after the fault clears.
+//
 // Telemetry contract: hits() and misses() count block USES through the
 // cache, not device reads. A hit found (or, on the write-through refresh
 // path, updated) a resident frame; a miss found none. In particular
@@ -151,8 +162,11 @@ class BlockCache {
         std::span<Word>(frame.data.data(), frame.data.size()));
   }
 
-  /// Flush all dirty frames (write-back mode) to the device. After flush
-  /// the device is authoritative for every resident block.
+  /// Flush all dirty frames (write-back mode) to the device, re-attempting
+  /// quarantined ones. After a successful flush the device is
+  /// authoritative for every resident block. If a write-back faults, the
+  /// frame is quarantined (data retained) and the first IoError is
+  /// rethrown after every frame was attempted.
   void flush();
 
   /// Re-target the cache to `capacity_blocks` frames at runtime — the
@@ -205,6 +219,15 @@ class BlockCache {
   std::uint64_t misses() const noexcept { return misses_; }
   /// Dirty frames written to the device so far (evictions + flushes).
   std::uint64_t writebacks() const noexcept { return writebacks_; }
+  /// Write-backs that faulted past the device's retry budget (each one
+  /// quarantined a frame; a later successful flush un-quarantines it).
+  std::uint64_t writebackFailures() const noexcept {
+    return writeback_failures_;
+  }
+  /// Frames currently quarantined (dirty, excluded from eviction).
+  std::size_t quarantinedFrames() const noexcept {
+    return quarantined_frames_;
+  }
   /// Misses that hit the policy's ghost directory (see
   /// replacement_policy.h; always 0 for LRU).
   std::uint64_t ghostHits() const noexcept { return replacement_->ghostHits(); }
@@ -246,6 +269,9 @@ class BlockCache {
   struct Frame {
     std::vector<Word> data;
     bool dirty = false;
+    // Write-back to the device faulted: keep the data, skip eviction
+    // until a flush barrier lands it (see the file comment).
+    bool quarantined = false;
     int pins = 0;  // > 0: a caller holds a span into `data`; not evictable
   };
 
@@ -267,10 +293,17 @@ class BlockCache {
   /// transient pin-driven over-capacity is accounted like any memory.
   void rechargeForResidency();
   void markDirty(Frame& frame);
-  /// Ask the policy for an unpinned victim and evict it; false if every
-  /// resident frame is pinned (the cache then runs over capacity until
-  /// the nesting unwinds).
+  void quarantine(BlockId id, Frame& frame);
+  /// Ask the policy for an unpinned, unquarantined victim and evict it;
+  /// false if every resident frame is rejected (the cache then runs over
+  /// capacity until pins unwind / a flush clears the quarantine). A
+  /// victim whose write-back faults is quarantined in place (re-entered
+  /// into the policy's resident set) and counts as progress: the next
+  /// call cannot choose it again.
   bool evictOne();
+  /// Write a dirty frame to the device (one counted write). Throws the
+  /// device's IoError with the frame still dirty — fault-before-effect
+  /// (fault.h) means a failed write-back loses nothing.
   void writeBack(BlockId id, Frame& frame);
 
   // Corruption-seeding hook for the audit mutation tests (defined in
@@ -287,7 +320,9 @@ class BlockCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t writebacks_ = 0;
+  std::uint64_t writeback_failures_ = 0;
   std::size_t dirty_blocks_ = 0;
+  std::size_t quarantined_frames_ = 0;
   // Telemetry sampling clock: counts fetch()-path accesses so a telemetry
   // build can snapshot occupancy/dirty gauges every kObsSamplePeriod
   // accesses instead of per event. One word; untouched in default builds.

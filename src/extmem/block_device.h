@@ -14,6 +14,15 @@
 // `inspect()` reads a block WITHOUT counting an I/O. It exists solely for
 // the analysis/introspection layer (zone accounting, tests); library code
 // on the query/update path must never use it.
+//
+// Fault injection: setFaultPolicy() installs a seeded FaultPolicy (see
+// extmem/fault.h) consulted BEFORE every counted access takes effect —
+// a faulted attempt changes neither the statistics nor the block, so the
+// built-in retry loop (setRetryPolicy, extmem/retry.h) can safely
+// re-attempt transient faults. An access that exhausts the budget (or
+// hits a permanent fault) throws Transient-/PermanentIoError without
+// invoking the caller's callback. inspect(), allocation, and free are
+// metadata paths and never fault.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +32,9 @@
 #include <thread>
 #include <vector>
 
+#include "extmem/fault.h"
 #include "extmem/io_stats.h"
+#include "extmem/retry.h"
 #include "obs/metrics.h"
 #include "util/assert.h"
 
@@ -58,6 +69,7 @@ class BlockDevice {
   decltype(auto) withRead(BlockId id, F&& fn) {
     EXTHASH_OBS_TIMED("exthash_device_read_ns");
     checkLive(id);
+    faultGate(IoOpKind::kRead, id);
     ++stats_.reads;
     if (bypass_depth_ > 0) ++stats_.cache_bypass_reads;
     simulateLatency();
@@ -71,6 +83,7 @@ class BlockDevice {
   decltype(auto) withWrite(BlockId id, F&& fn) {
     EXTHASH_OBS_TIMED("exthash_device_rmw_ns");
     checkLive(id);
+    faultGate(IoOpKind::kRmw, id);
     ++stats_.rmws;
     simulateLatency();
     return std::forward<F>(fn)(
@@ -83,6 +96,7 @@ class BlockDevice {
   decltype(auto) withOverwrite(BlockId id, F&& fn) {
     EXTHASH_OBS_TIMED("exthash_device_write_ns");
     checkLive(id);
+    faultGate(IoOpKind::kWrite, id);
     ++stats_.writes;
     simulateLatency();
     Word* p = blockPtr(id);
@@ -101,6 +115,23 @@ class BlockDevice {
     latency_spins_ = quanta;
   }
   std::uint32_t accessLatency() const noexcept { return latency_spins_; }
+
+  /// Install a fault scripter consulted before every counted access (see
+  /// the file comment; nullptr uninstalls — the default, zero-cost path).
+  /// Non-owning: the policy must outlive its installation. Thread
+  /// compatibility matches the device itself.
+  void setFaultPolicy(FaultPolicy* policy) noexcept {
+    fault_policy_ = policy;
+  }
+  FaultPolicy* faultPolicy() const noexcept { return fault_policy_; }
+
+  /// Retry budget for transient faults (meaningful only with a fault
+  /// policy installed; a real backend would route its EIO/timeout path
+  /// through the same gate).
+  void setRetryPolicy(const RetryPolicy& policy) noexcept {
+    retry_policy_ = policy;
+  }
+  const RetryPolicy& retryPolicy() const noexcept { return retry_policy_; }
 
   /// Copying variants (convenience for tests).
   std::vector<Word> readCopy(BlockId id);
@@ -127,6 +158,14 @@ class BlockDevice {
     }
   }
 
+  /// One branch on the no-policy fast path; with a policy installed,
+  /// defers to runFaultGate (retry loop + fault accounting, retry.h).
+  void faultGate(IoOpKind op, BlockId id) {
+    if (fault_policy_ != nullptr) {
+      runFaultGate(*fault_policy_, retry_policy_, op, id, stats_);
+    }
+  }
+
   Word* blockPtr(BlockId id);
   const Word* blockPtr(BlockId id) const;
   void checkLive(BlockId id) const;
@@ -142,6 +181,8 @@ class BlockDevice {
   std::size_t blocks_in_use_ = 0;
   std::uint32_t latency_spins_ = 0;
   std::uint32_t bypass_depth_ = 0;  // see CacheBypassScope
+  FaultPolicy* fault_policy_ = nullptr;  // non-owning, see setFaultPolicy
+  RetryPolicy retry_policy_;
   IoStats stats_;
 
   friend class CacheBypassScope;

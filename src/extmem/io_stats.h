@@ -54,6 +54,17 @@ struct IoStats {
   // a cache. Each is also counted in `reads`; this counter attributes
   // them so telemetry can separate deliberate bypasses from cache misses.
   std::uint64_t cache_bypass_reads = 0;
+  // Fault-injection / resilience telemetry (see extmem/fault.h and
+  // extmem/retry.h). faults_injected counts every fault the installed
+  // FaultPolicy threw (attempts included); io_retries counts the
+  // transient faults the device's retry loop absorbed; io_gave_up counts
+  // the accesses that escaped as an IoError (retry budget exhausted or
+  // permanent). Faulted attempts never count in reads/writes/rmws — the
+  // device consults the policy before the op takes effect, so cost()
+  // keeps the paper's convention under fault schedules.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_gave_up = 0;
 
   /// Paper-convention I/O cost (footnote 2 of the paper). Cache hits are
   /// free by definition and never enter the cost.
@@ -85,6 +96,9 @@ struct IoStats {
     staging_slots_current += rhs.staging_slots_current;
     arbiter_moves += rhs.arbiter_moves;
     cache_bypass_reads += rhs.cache_bypass_reads;
+    faults_injected += rhs.faults_injected;
+    io_retries += rhs.io_retries;
+    io_gave_up += rhs.io_gave_up;
     return *this;
   }
 
@@ -116,6 +130,9 @@ struct IoStats {
             : 0;
     d.arbiter_moves = arbiter_moves - rhs.arbiter_moves;
     d.cache_bypass_reads = cache_bypass_reads - rhs.cache_bypass_reads;
+    d.faults_injected = faults_injected - rhs.faults_injected;
+    d.io_retries = io_retries - rhs.io_retries;
+    d.io_gave_up = io_gave_up - rhs.io_gave_up;
     return d;
   }
 };

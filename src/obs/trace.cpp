@@ -124,6 +124,13 @@ void TraceSession::emit(const TraceEvent& event) noexcept {
     return;
   }
   if (buffer->events.size() >= options_.buffer_events_per_thread) {
+    if (options_.ring && options_.buffer_events_per_thread > 0) {
+      // Flight-recorder mode: keep the newest events, overwrite the
+      // oldest slot (counted in dropped(), like the events it displaces).
+      buffer->events[buffer->next_slot] = event;
+      buffer->next_slot =
+          (buffer->next_slot + 1) % options_.buffer_events_per_thread;
+    }
     buffer->dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }

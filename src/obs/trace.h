@@ -60,6 +60,13 @@ class TraceSession {
     std::size_t buffer_events_per_thread = 8192;
     /// When set, each thread buffer is charged here (in words).
     extmem::MemoryBudget* budget = nullptr;
+    /// Ring mode (the flight recorder's setting): a full buffer wraps and
+    /// overwrites its oldest event instead of dropping the newest, so the
+    /// buffer always holds the MOST RECENT buffer_events_per_thread spans
+    /// per thread. Overwritten events still count in dropped(). writeJson
+    /// emits ring buffers in slot order — consumers sort by "ts" (Perfetto
+    /// does).
+    bool ring = false;
   };
 
   TraceSession();
@@ -97,6 +104,7 @@ class TraceSession {
   struct ThreadBuffer {
     std::uint32_t tid = 0;
     std::vector<TraceEvent> events;  // reserved once, never reallocated
+    std::size_t next_slot = 0;       // ring mode: next slot to overwrite
     std::atomic<std::uint64_t> dropped{0};
     extmem::MemoryCharge charge;
   };

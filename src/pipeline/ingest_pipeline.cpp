@@ -75,15 +75,23 @@ void IngestPipeline::sealLookupsLocked() {
   pending_lookups_.clear();
   ++pending_lookup_tasks_;
   worker_.submit([this, batch] {
-    std::vector<std::uint64_t> keys;
-    keys.reserve(batch->size());
-    for (const PendingLookup& p : *batch) keys.push_back(p.key);
-    std::vector<std::optional<std::uint64_t>> out(keys.size());
+    // Fail-stop: once a background error latched, the table must not be
+    // driven further — but every future still resolves, with the error.
     std::exception_ptr err;
-    try {
-      table_.lookupBatch(keys, out);
-    } catch (...) {
-      err = std::current_exception();
+    {
+      util::MutexLock lock(mutex_);
+      err = error_;
+    }
+    std::vector<std::optional<std::uint64_t>> out(batch->size());
+    if (!err) {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(batch->size());
+      for (const PendingLookup& p : *batch) keys.push_back(p.key);
+      try {
+        table_.lookupBatch(keys, out);
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
     for (std::size_t i = 0; i < batch->size(); ++i) {
       if (err) (*batch)[i].promise.set_exception(err);
@@ -93,7 +101,8 @@ void IngestPipeline::sealLookupsLocked() {
       util::MutexLock lock(mutex_);
       if (err && !error_) error_ = err;
       --pending_lookup_tasks_;
-      stats_.lookups_from_table += batch->size();
+      if (err) stats_.lookups_failed += batch->size();
+      else stats_.lookups_from_table += batch->size();
       // Progress guarantee: dispatch lookups that accumulated meanwhile.
       sealLookupsLocked();
     }
@@ -138,27 +147,42 @@ void IngestPipeline::sealBatchLocked(util::MutexLock& lock) {
 
   const bool record_latency = config_.record_apply_latency;
   worker_.submit([this, window, record_latency] {
+    // Fail-stop: after a prior background error the table may hold a
+    // partially applied window — driving more batches into it could
+    // compound the damage, so queued windows complete WITHOUT touching
+    // the table and their ops are accounted as discarded.
+    bool skip;
+    {
+      util::MutexLock guard(mutex_);
+      skip = error_ != nullptr;
+    }
     std::exception_ptr err;
-    try {
-      EXTHASH_OBS_SPAN(obs_apply_span, "worker-apply", "pipeline");
-      EXTHASH_OBS_SPAN_ARG(obs_apply_span, "ops",
-                           static_cast<double>(window->ops.size()));
-      obs::ScopedLatencyTimer apply_timer(
-          record_latency ? &apply_hist_ : nullptr);
-      table_.applyBatch(window->ops);
-    } catch (...) {
-      err = std::current_exception();
+    if (!skip) {
+      try {
+        EXTHASH_OBS_SPAN(obs_apply_span, "worker-apply", "pipeline");
+        EXTHASH_OBS_SPAN_ARG(obs_apply_span, "ops",
+                             static_cast<double>(window->ops.size()));
+        obs::ScopedLatencyTimer apply_timer(
+            record_latency ? &apply_hist_ : nullptr);
+        table_.applyBatch(window->ops);
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
     {
       util::MutexLock inner(mutex_);
       // The worker is FIFO, so the window completing is the oldest one.
       EXTHASH_CHECK(!inflight_.empty() && inflight_.front() == window);
       inflight_.pop_front();
-      ++stats_.batches_applied;
-      stats_.ops_applied += window->ops.size();
-      EXTHASH_OBS_COUNT("exthash_pipeline_batches_applied_total", 1);
-      EXTHASH_OBS_COUNT("exthash_pipeline_ops_applied_total",
-                        window->ops.size());
+      if (skip) {
+        stats_.ops_discarded += window->ops.size();
+      } else {
+        ++stats_.batches_applied;
+        stats_.ops_applied += window->ops.size();
+        EXTHASH_OBS_COUNT("exthash_pipeline_batches_applied_total", 1);
+        EXTHASH_OBS_COUNT("exthash_pipeline_ops_applied_total",
+                          window->ops.size());
+      }
       EXTHASH_OBS_GAUGE("exthash_pipeline_inflight_windows",
                         inflight_.size());
       if (err && !error_) error_ = err;
@@ -309,10 +333,17 @@ void IngestPipeline::drain() {
     // Flush barrier: the worker is idle, so the table is quiescent — write
     // any dirty cached frames to the device now. Callers rely on drain()
     // leaving the device authoritative (direct table use, inspect-based
-    // checks) and on ioStats() including the deferred writes.
-    {
+    // checks) and on ioStats() including the deferred writes. Fail-stop
+    // skips the flush (the stored error wins; quarantined frames wait for
+    // the fault to clear), and a flush fault latches fail-stop itself —
+    // the barrier's promise of an authoritative device was not kept.
+    if (!error_) {
       EXTHASH_OBS_SPAN(obs_flush_span, "flush-cache", "pipeline");
-      table_.flushCache();
+      try {
+        table_.flushCache();
+      } catch (...) {
+        error_ = std::current_exception();
+      }
     }
     throwIfFailedLocked();
   }
@@ -325,6 +356,44 @@ void IngestPipeline::drain() {
     table_.validateLayout(report);
     report.throwIfFailed();
   }
+}
+
+std::size_t IngestPipeline::reset() {
+  std::vector<PendingLookup> orphaned;
+  std::exception_ptr cause;
+  std::size_t discarded = 0;
+  {
+    util::MutexLock lock(mutex_);
+    // Let queued work finish first: every sealed window has a worker task
+    // (fail-stopped ones complete quickly without touching the table) and
+    // every sealed lookup batch resolves its futures. Only then is it
+    // safe to drop the structures those tasks reference.
+    while (!(inflight_.empty() && pending_lookup_tasks_ == 0 &&
+             pending_maintenance_ == 0)) {
+      done_cv_.wait(lock);
+    }
+    discarded = staging_.size();
+    stats_.ops_discarded += discarded;
+    staging_.clear();
+    staging_index_.clear();
+    // Unsealed lookups were promised an answer; fail-stop semantics give
+    // them the error rather than an answer reflecting discarded ops.
+    cause = error_ != nullptr
+                ? error_
+                : std::make_exception_ptr(
+                      CheckFailure("pipeline reset discarded this lookup"));
+    orphaned = std::move(pending_lookups_);
+    pending_lookups_.clear();
+    stats_.lookups_failed += orphaned.size();
+    error_ = nullptr;
+    rechargeStagingLocked();
+  }
+  // Resolve outside the lock: future continuations must not re-enter.
+  for (PendingLookup& lookup : orphaned) {
+    lookup.promise.set_exception(cause);
+  }
+  room_cv_.notify_all();
+  return discarded;
 }
 
 PipelineStats IngestPipeline::stats() const {
@@ -371,16 +440,18 @@ void IngestPipeline::audit(AuditReport& report) const {
     }
   }
 
-  // Operation ledger: every submitted op was coalesced away, applied, or
-  // is still physically buffered. Holds at any instant under the lock.
+  // Operation ledger: every submitted op was coalesced away, applied,
+  // discarded (fail-stop skip / reset), or is still physically buffered.
+  // Holds at any instant under the lock.
   EXTHASH_AUDIT_EXPECT(
       report, kComponent,
       stats_.ops_submitted == stats_.ops_coalesced + stats_.ops_applied +
-                                  staging_.size() + inflight_ops,
+                                  stats_.ops_discarded + staging_.size() +
+                                  inflight_ops,
       stats_.ops_submitted << " submitted != " << stats_.ops_coalesced
           << " coalesced + " << stats_.ops_applied << " applied + "
-          << staging_.size() << " staging + " << inflight_ops
-          << " in flight");
+          << stats_.ops_discarded << " discarded + " << staging_.size()
+          << " staging + " << inflight_ops << " in flight");
 
   // Lookup ledger: exact only once no lookup task is on the worker.
   if (pending_lookup_tasks_ == 0) {
@@ -388,10 +459,12 @@ void IngestPipeline::audit(AuditReport& report) const {
         report, kComponent,
         stats_.lookups_submitted == stats_.lookups_from_memory +
                                         stats_.lookups_from_table +
+                                        stats_.lookups_failed +
                                         pending_lookups_.size(),
         stats_.lookups_submitted << " lookups submitted != "
             << stats_.lookups_from_memory << " from memory + "
             << stats_.lookups_from_table << " from table + "
+            << stats_.lookups_failed << " failed + "
             << pending_lookups_.size() << " pending");
   }
 

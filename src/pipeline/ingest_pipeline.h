@@ -36,6 +36,21 @@
 // measurement runner's key log); their size is bounded by batch_capacity ·
 // (max_pending_batches + 1) operations.
 //
+// Fail-stop under errors: the first background error (a worker-side
+// CheckFailure, or an IoError that escaped the device's retry budget —
+// see extmem/fault.h) latches the pipeline into an explicit fail-stop
+// state. From then on submit()/submitLookup()/flush()/drain() rethrow the
+// stored error instead of queueing work; window tasks still queued skip
+// the table entirely (their ops count as ops_discarded — the table may
+// hold a partially applied window and must not be driven further); queued
+// lookup tasks resolve EVERY pending future with the error, so no future
+// ever hangs or breaks its promise. drain() still waits for the worker to
+// go idle before rethrowing — the table is quiescent afterwards either
+// way. Once the underlying fault clears (e.g. FaultPolicy::clear()),
+// reset() returns the pipeline to service on the surviving table
+// contents: it discards still-staged ops (counted, returned), fails any
+// unsealed lookups with the stored error, and clears the latch.
+//
 // Threading: all public methods are safe to call from one producer thread
 // (the common case) or several (the internal mutex serializes them). The
 // wrapped table is touched ONLY by the single background worker between
@@ -99,10 +114,12 @@ struct PipelineStats {
   std::uint64_t ops_submitted = 0;
   std::uint64_t ops_applied = 0;       // ops reaching applyBatch post-coalesce
   std::uint64_t ops_coalesced = 0;     // overwritten in the staging window
+  std::uint64_t ops_discarded = 0;     // dropped by fail-stop skip / reset()
   std::uint64_t batches_applied = 0;
   std::uint64_t lookups_submitted = 0;
   std::uint64_t lookups_from_memory = 0;  // staging / in-flight answers
   std::uint64_t lookups_from_table = 0;
+  std::uint64_t lookups_failed = 0;    // resolved with an error (fail-stop)
   std::uint64_t submit_waits = 0;      // backpressure blocks
 };
 
@@ -157,6 +174,16 @@ class IngestPipeline {
   /// old capacity in place).
   void setWindowCapacity(std::size_t ops) EXTHASH_EXCLUDES(mutex_);
   std::size_t windowCapacity() const EXTHASH_EXCLUDES(mutex_);
+
+  /// Recover from fail-stop after the underlying fault cleared: waits for
+  /// the worker to go idle, discards the ops still staged (returning how
+  /// many — they were accepted but never applied, the price of no WAL
+  /// yet), resolves any unsealed lookups with the stored error, and
+  /// clears the error latch so submissions flow again against the
+  /// surviving table contents. Harmless on a healthy pipeline (nothing
+  /// discarded, 0 returned). Producer-side call: do not invoke from a
+  /// worker task.
+  std::size_t reset() EXTHASH_EXCLUDES(mutex_);
 
   /// Run `fn` on the background worker, FIFO-ordered after every window
   /// sealed so far and before any sealed later. This is the quiescent

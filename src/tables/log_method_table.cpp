@@ -157,9 +157,14 @@ bool LogMethodTable::erase(std::uint64_t key) {
 void LogMethodTable::applyBatch(std::span<const Op> ops) {
   for (const Op& op : ops) {
     if (op.kind == OpKind::kErase) {
-      // Erase needs a per-key presence probe to keep live_size_ exact;
-      // the serial path already pays exactly that.
-      ExternalHashTable::applyBatch(ops);
+      // A singleton batch IS the serial protocol; anything larger gets
+      // its presence probes grouped instead of paying one full query
+      // cascade per erased key.
+      if (ops.size() < 2) {
+        ExternalHashTable::applyBatch(ops);
+      } else {
+        applyBatchWithErases(ops);
+      }
       return;
     }
   }
@@ -241,6 +246,98 @@ void LogMethodTable::applyBatch(std::span<const Op> ops) {
               return a.key < b.key;
             });
   mergeDown(std::move(newest));
+}
+
+std::vector<bool> LogMethodTable::levelsLiveBatch(
+    const std::vector<std::uint64_t>& keys) {
+  std::vector<bool> live(keys.size(), false);
+  std::vector<std::size_t> pending(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) pending[i] = i;
+
+  std::vector<std::uint64_t> sub_keys;
+  std::vector<std::optional<std::uint64_t>> sub_out;
+  for (const auto& level : levels_) {
+    if (!level || pending.empty()) continue;
+    sub_keys.clear();
+    for (const std::size_t idx : pending) sub_keys.push_back(keys[idx]);
+    sub_out.assign(sub_keys.size(), std::nullopt);
+    level->lookupBatch(sub_keys, sub_out);
+    std::vector<std::size_t> still;
+    for (std::size_t s = 0; s < pending.size(); ++s) {
+      if (sub_out[s].has_value()) {
+        live[pending[s]] = *sub_out[s] != kTombstoneValue;
+      } else {
+        still.push_back(pending[s]);
+      }
+    }
+    pending = std::move(still);
+  }
+  return live;  // keys resolved nowhere are absent: false already
+}
+
+void LogMethodTable::applyBatchWithErases(std::span<const Op> ops) {
+  // Pass 1 — resolve every erase's presence WITHOUT touching the
+  // structure. The presence an erase observes in the serial loop is
+  // "newest-wins over (initial state + the batch prefix before it)", and
+  // flushes only move versions down without reordering them, so the
+  // initial-state part is flush-invariant: earlier batch ops answer from
+  // an overlay, the initial H0 answers in memory, and only first-touch
+  // erases of keys H0 has never seen need disk — those probe the levels
+  // bucket-grouped, one pass per level, instead of one query per key.
+  extmem::MemoryCharge scratch(*ctx_.memory, 4 * ops.size());
+  enum class State : std::uint8_t { kLive, kDead };
+  struct EraseSource {
+    bool from_probe = false;
+    bool live = false;       // valid when !from_probe
+    std::size_t probe = 0;   // valid when from_probe
+  };
+  std::unordered_map<std::uint64_t, State> overlay;  // state after prefix
+  std::unordered_map<std::uint64_t, std::size_t> probe_index;
+  std::vector<std::uint64_t> probe_keys;
+  std::vector<EraseSource> sources;  // one per erase op, in batch order
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kInsert) {
+      EXTHASH_CHECK_MSG(op.value != kTombstoneValue,
+                        "value collides with the tombstone sentinel");
+      overlay[op.key] = State::kLive;
+      continue;
+    }
+    EraseSource src;
+    if (const auto it = overlay.find(op.key); it != overlay.end()) {
+      src.live = it->second == State::kLive;
+    } else if (auto v = h0_.find(op.key)) {
+      src.live = *v != kTombstoneValue;
+    } else {
+      src.from_probe = true;
+      const auto [pit, fresh] =
+          probe_index.try_emplace(op.key, probe_keys.size());
+      if (fresh) probe_keys.push_back(op.key);
+      src.probe = pit->second;
+    }
+    sources.push_back(src);
+    // Whether or not the key was present, it is absent afterwards.
+    overlay[op.key] = State::kDead;
+  }
+  const std::vector<bool> probe_live = levelsLiveBatch(probe_keys);
+
+  // Pass 2 — replay with serial semantics (same flush points, same
+  // live_size_ accounting), the disk probes replaced by the resolutions.
+  std::size_t e = 0;
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kInsert) {
+      if (h0_.full()) flush();
+      const bool new_in_h0 = !h0_.contains(op.key);
+      EXTHASH_CHECK(h0_.insertOrAssign(op.key, op.value));
+      if (new_in_h0) ++live_size_;
+      continue;
+    }
+    const EraseSource src = sources[e++];
+    const bool present = src.from_probe ? probe_live[src.probe] : src.live;
+    if (!present) continue;  // serial erase writes no tombstone either
+    if (h0_.full()) flush();
+    EXTHASH_CHECK(h0_.insertOrAssign(op.key, kTombstoneValue));
+    --live_size_;
+  }
 }
 
 void LogMethodTable::lookupBatch(std::span<const std::uint64_t> keys,

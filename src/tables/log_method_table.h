@@ -40,8 +40,11 @@ class LogMethodTable final : public ExternalHashTable {
   bool erase(std::uint64_t key) override;
   /// Batch fast path for insert-only batches: H0 and the batch are merged
   /// once and pushed down in a single streaming pass, instead of cascading
-  /// one H0-flush per h0_capacity items. Batches containing erases use the
-  /// serial path (erase needs a per-key presence probe).
+  /// one H0-flush per h0_capacity items. Batches containing erases resolve
+  /// every erase's presence probe up front — earlier batch ops and H0
+  /// answer in memory, the rest go down the levels bucket-grouped (one
+  /// pass per level) — then replay the ops with serial semantics and zero
+  /// per-key disk probes.
   void applyBatch(std::span<const Op> ops) override;
   /// Batched lookups: H0 is free; each disk level answers its whole
   /// subgroup with one bucket-grouped pass (newest level wins).
@@ -83,6 +86,13 @@ class LogMethodTable final : public ExternalHashTable {
 
   /// Migrate H0 (and any levels that must cascade) downward.
   void flush();
+  /// Mixed insert/erase batch: grouped presence probes + serial replay
+  /// (see applyBatch). Requires ops.size() >= 2.
+  void applyBatchWithErases(std::span<const Op> ops);
+  /// Liveness below H0 for each key: true iff the newest version in the
+  /// disk levels exists and is not a tombstone. One bucket-grouped pass
+  /// per level, exactly like lookupBatch's disk phase.
+  std::vector<bool> levelsLiveBatch(const std::vector<std::uint64_t>& keys);
   /// Merge `newest` (hash-ordered, deduplicated, newer than every level)
   /// plus any levels that must cascade into the shallowest level that
   /// fits. The single streaming pass behind both flush() and applyBatch().

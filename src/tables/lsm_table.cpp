@@ -250,9 +250,14 @@ bool LsmTable::erase(std::uint64_t key) {
 void LsmTable::applyBatch(std::span<const Op> ops) {
   for (const Op& op : ops) {
     if (op.kind == OpKind::kErase) {
-      // Erase needs a per-key presence probe to keep live_size_ exact;
-      // the serial path already pays exactly that.
-      ExternalHashTable::applyBatch(ops);
+      // A singleton batch IS the serial protocol; anything larger gets
+      // its presence probes grouped instead of paying one full probe
+      // cascade per erased key.
+      if (ops.size() < 2) {
+        ExternalHashTable::applyBatch(ops);
+      } else {
+        applyBatchWithErases(ops);
+      }
       return;
     }
   }
@@ -336,6 +341,91 @@ void LsmTable::applyBatch(std::span<const Op> ops) {
   if (levels_.empty()) levels_.emplace_back();
   if (run.blocks > 0) levels_[0].insert(levels_[0].begin(), std::move(run));
   if (levels_[0].size() > config_.fanout) compactLevel(0);
+}
+
+std::vector<bool> LsmTable::runsLiveBatch(
+    const std::vector<std::uint64_t>& keys) {
+  std::vector<bool> live(keys.size(), false);
+  std::vector<std::optional<std::uint64_t>> out(keys.size());
+  std::vector<std::size_t> pending(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) pending[i] = i;
+  for (auto& level : levels_) {
+    for (auto& run : level) {  // newest first
+      if (pending.empty()) break;
+      probeRunBatch(run, keys, pending, out);
+    }
+  }
+  // probeRunBatch already maps tombstones to nullopt, so a resolved slot
+  // holds a value iff the key is live; unresolved keys are absent.
+  for (std::size_t i = 0; i < keys.size(); ++i) live[i] = out[i].has_value();
+  return live;
+}
+
+void LsmTable::applyBatchWithErases(std::span<const Op> ops) {
+  // Pass 1 — resolve every erase's presence WITHOUT touching the
+  // structure. The presence an erase observes in the serial loop is
+  // "newest-wins over (initial state + the batch prefix before it)", and
+  // memtable flushes only move versions down without reordering them, so
+  // the initial-state part is flush-invariant: earlier batch ops answer
+  // from an overlay, the initial memtable answers in memory, and only
+  // first-touch erases of keys the memtable has never seen need disk —
+  // those probe the runs grouped (each touched block read once) instead
+  // of one probe cascade per key. (This parallels
+  // LogMethodTable::applyBatchWithErases; keep the two in step.)
+  extmem::MemoryCharge scratch(*ctx_.memory, 4 * ops.size());
+  enum class State : std::uint8_t { kLive, kDead };
+  struct EraseSource {
+    bool from_probe = false;
+    bool live = false;       // valid when !from_probe
+    std::size_t probe = 0;   // valid when from_probe
+  };
+  std::unordered_map<std::uint64_t, State> overlay;  // state after prefix
+  std::unordered_map<std::uint64_t, std::size_t> probe_index;
+  std::vector<std::uint64_t> probe_keys;
+  std::vector<EraseSource> sources;  // one per erase op, in batch order
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kInsert) {
+      EXTHASH_CHECK_MSG(op.value != kTombstoneValue,
+                        "value collides with the tombstone sentinel");
+      overlay[op.key] = State::kLive;
+      continue;
+    }
+    EraseSource src;
+    if (const auto it = overlay.find(op.key); it != overlay.end()) {
+      src.live = it->second == State::kLive;
+    } else if (auto v = memtable_.find(op.key)) {
+      src.live = *v != kTombstoneValue;
+    } else {
+      src.from_probe = true;
+      const auto [pit, fresh] =
+          probe_index.try_emplace(op.key, probe_keys.size());
+      if (fresh) probe_keys.push_back(op.key);
+      src.probe = pit->second;
+    }
+    sources.push_back(src);
+    // Whether or not the key was present, it is absent afterwards.
+    overlay[op.key] = State::kDead;
+  }
+  const std::vector<bool> probe_live = runsLiveBatch(probe_keys);
+
+  // Pass 2 — replay with serial semantics (same flush points, same
+  // live_size_ accounting), the disk probes replaced by the resolutions.
+  std::size_t e = 0;
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kInsert) {
+      if (memtable_.full()) flushMemtable();
+      const bool new_in_memtable = !memtable_.contains(op.key);
+      EXTHASH_CHECK(memtable_.insertOrAssign(op.key, op.value));
+      if (new_in_memtable) ++live_size_;
+      continue;
+    }
+    const EraseSource src = sources[e++];
+    const bool present = src.from_probe ? probe_live[src.probe] : src.live;
+    if (!present) continue;  // serial erase writes no tombstone either
+    if (memtable_.full()) flushMemtable();
+    EXTHASH_CHECK(memtable_.insertOrAssign(op.key, kTombstoneValue));
+    --live_size_;
+  }
 }
 
 void LsmTable::probeRunBatch(Run& run, std::span<const std::uint64_t> keys,

@@ -56,8 +56,11 @@ class LsmTable final : public ExternalHashTable {
   bool erase(std::uint64_t key) override;
   /// Batch fast path for insert-only batches: memtable + batch become ONE
   /// sorted run (one write per block) instead of ceil(k/memtable) runs
-  /// with their compaction cascades. Batches containing erases use the
-  /// serial path (erase needs a per-key presence probe).
+  /// with their compaction cascades. Batches containing erases resolve
+  /// every erase's presence probe up front — earlier batch ops and the
+  /// memtable answer in memory, the rest probe the runs grouped (each
+  /// touched block read once) — then replay the ops with serial semantics
+  /// and zero per-key disk probes.
   void applyBatch(std::span<const Op> ops) override;
   /// Batched lookups: memtable is free; each run answers its whole
   /// subgroup with one read per touched block (newest run wins).
@@ -96,6 +99,13 @@ class LsmTable final : public ExternalHashTable {
   class RunCursor;
 
   void flushMemtable();
+  /// Mixed insert/erase batch: grouped presence probes + serial replay
+  /// (see applyBatch). Requires ops.size() >= 2.
+  void applyBatchWithErases(std::span<const Op> ops);
+  /// Liveness below the memtable for each key: true iff the newest
+  /// version in the runs exists and is not a tombstone. Runs probed
+  /// newest-first via probeRunBatch, each touched block read once.
+  std::vector<bool> runsLiveBatch(const std::vector<std::uint64_t>& keys);
   void compactLevel(std::size_t level);
   Run writeRun(RecordCursor& records, std::size_t record_estimate);
   void freeRun(Run& run);

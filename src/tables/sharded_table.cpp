@@ -109,63 +109,164 @@ std::size_t ShardedTable::shardOf(std::uint64_t key) const noexcept {
       hashfn::rangeBucket(shardScramble(key), shards_.size()));
 }
 
+std::exception_ptr ShardedTable::runGuarded(
+    std::size_t s, const std::function<void()>& fn) {
+  Shard& shard = shards_[s];
+  // Fail fast on a latched shard WITHOUT touching it: its device faulted
+  // past the retry budget, and driving more traffic into a half-written
+  // structure only compounds the damage.
+  if (shard.error) return shard.error;
+  try {
+    fn();
+    return nullptr;
+  } catch (const extmem::IoError&) {
+    // The broken part is the shard's private device — latch, so the
+    // façade degrades to (n-1)/n service instead of failing whole.
+    shard.error = std::current_exception();
+    EXTHASH_OBS_COUNT("exthash_shard_failures_total", 1);
+    return shard.error;
+  } catch (...) {
+    // Logic errors stay batch-scoped (the caller rethrows; the shard
+    // keeps serving later batches — the pre-isolation behavior).
+    return std::current_exception();
+  }
+}
+
+namespace {
+
+/// Rethrow the lowest-indexed captured error after a fan-out completed.
+void rethrowFirst(const std::vector<std::exception_ptr>& errors) {
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
 bool ShardedTable::insert(std::uint64_t key, std::uint64_t value) {
-  return shards_[shardOf(key)].table->insert(key, value);
+  const std::size_t s = shardOf(key);
+  bool result = false;
+  if (const auto err = runGuarded(
+          s, [&] { result = shards_[s].table->insert(key, value); })) {
+    std::rethrow_exception(err);
+  }
+  return result;
 }
 
 std::optional<std::uint64_t> ShardedTable::lookup(std::uint64_t key) {
-  return shards_[shardOf(key)].table->lookup(key);
+  const std::size_t s = shardOf(key);
+  std::optional<std::uint64_t> result;
+  if (const auto err = runGuarded(
+          s, [&] { result = shards_[s].table->lookup(key); })) {
+    std::rethrow_exception(err);
+  }
+  return result;
 }
 
 bool ShardedTable::erase(std::uint64_t key) {
-  return shards_[shardOf(key)].table->erase(key);
+  const std::size_t s = shardOf(key);
+  bool result = false;
+  if (const auto err = runGuarded(
+          s, [&] { result = shards_[s].table->erase(key); })) {
+    std::rethrow_exception(err);
+  }
+  return result;
 }
 
 void ShardedTable::applyBatch(std::span<const Op> ops) {
   if (shards_.size() == 1) {
-    shards_[0].table->applyBatch(ops);
+    const auto err =
+        runGuarded(0, [&] { shards_[0].table->applyBatch(ops); });
     EXTHASH_SHARD_OBS("exthash_shard_ops_total", 0, ops.size(),
                       shards_[0].table->size());
+    if (err) std::rethrow_exception(err);
     return;
   }
   // Partition preserving arrival order: every op for one key routes to one
   // shard, so per-key order survives the shard-parallel dispatch.
   std::vector<std::vector<Op>> per_shard(shards_.size());
   for (const Op& op : ops) per_shard[shardOf(op.key)].push_back(op);
+  // Distinct slots per shard task — no shared mutable state in the
+  // fan-out (the threading contract above).
+  std::vector<std::exception_ptr> batch_errors(shards_.size());
   pool_.parallelFor(0, shards_.size(), [&](std::size_t s) {
-    if (!per_shard[s].empty()) shards_[s].table->applyBatch(per_shard[s]);
+    if (!per_shard[s].empty()) {
+      batch_errors[s] = runGuarded(
+          s, [&] { shards_[s].table->applyBatch(per_shard[s]); });
+    }
     EXTHASH_SHARD_OBS("exthash_shard_ops_total", s, per_shard[s].size(),
                       shards_[s].table->size());
   });
+  // Every healthy shard has applied its slice by now; the error still
+  // surfaces to the caller (who may catch it and keep routing traffic —
+  // ops for the faulted shard fail fast, the rest keep serving).
+  rethrowFirst(batch_errors);
 }
 
 void ShardedTable::lookupBatch(std::span<const std::uint64_t> keys,
                                std::span<std::optional<std::uint64_t>> out) {
   EXTHASH_CHECK(keys.size() == out.size());
   if (shards_.size() == 1) {
-    shards_[0].table->lookupBatch(keys, out);
+    const auto err =
+        runGuarded(0, [&] { shards_[0].table->lookupBatch(keys, out); });
     EXTHASH_SHARD_OBS("exthash_shard_lookups_total", 0, keys.size(),
                       shards_[0].table->size());
+    if (err) std::rethrow_exception(err);
     return;
   }
   std::vector<std::vector<std::size_t>> per_shard(shards_.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
     per_shard[shardOf(keys[i])].push_back(i);
   }
+  std::vector<std::exception_ptr> batch_errors(shards_.size());
   pool_.parallelFor(0, shards_.size(), [&](std::size_t s) {
     const auto& indices = per_shard[s];
     if (indices.empty()) return;
-    std::vector<std::uint64_t> sub_keys;
-    sub_keys.reserve(indices.size());
-    for (const std::size_t idx : indices) sub_keys.push_back(keys[idx]);
-    std::vector<std::optional<std::uint64_t>> sub_out(sub_keys.size());
-    shards_[s].table->lookupBatch(sub_keys, sub_out);
-    for (std::size_t k = 0; k < indices.size(); ++k) {
-      out[indices[k]] = sub_out[k];
-    }
+    batch_errors[s] = runGuarded(s, [&] {
+      std::vector<std::uint64_t> sub_keys;
+      sub_keys.reserve(indices.size());
+      for (const std::size_t idx : indices) sub_keys.push_back(keys[idx]);
+      std::vector<std::optional<std::uint64_t>> sub_out(sub_keys.size());
+      shards_[s].table->lookupBatch(sub_keys, sub_out);
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        out[indices[k]] = sub_out[k];
+      }
+    });
     EXTHASH_SHARD_OBS("exthash_shard_lookups_total", s, indices.size(),
                       shards_[s].table->size());
   });
+  // Healthy shards' results are filled in even when a shard faulted; the
+  // faulted shard's slots keep their input value (nullopt for a fresh
+  // output span) and the error is rethrown for the caller to handle.
+  rethrowFirst(batch_errors);
+}
+
+std::vector<ShardedTable::ShardError> ShardedTable::shardErrors() const {
+  std::vector<ShardError> report;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s].error) continue;
+    ShardError entry;
+    entry.shard = s;
+    try {
+      std::rethrow_exception(shards_[s].error);
+    } catch (const std::exception& e) {
+      entry.message = e.what();
+    } catch (...) {
+      entry.message = "unknown error";
+    }
+    report.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::size_t ShardedTable::failedShardCount() const noexcept {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.error != nullptr;
+  return n;
+}
+
+void ShardedTable::clearShardErrors() noexcept {
+  for (const Shard& shard : shards_) shard.error = nullptr;
 }
 
 std::size_t ShardedTable::size() const {
@@ -228,16 +329,32 @@ extmem::IoStats ShardedTable::ioStats() const {
 }
 
 void ShardedTable::flushCache() const {
+  // Failed shards are skipped (their quarantined frames stay pinned until
+  // clearShardErrors()); a flush fault on a healthy shard latches it, and
+  // the remaining shards still get their barrier before the first error
+  // surfaces.
+  std::exception_ptr first_error;
   for (const Shard& shard : shards_) {
-    if (shard.cache) shard.cache->flush();
+    if (!shard.cache || shard.error) continue;
+    try {
+      shard.cache->flush();
+    } catch (const extmem::IoError&) {
+      shard.error = std::current_exception();
+      EXTHASH_OBS_COUNT("exthash_shard_failures_total", 1);
+      if (!first_error) first_error = shard.error;
+    }
   }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ShardedTable::validateLayout(AuditReport& report) const {
   // No façade-level cache (attachCache is unusable over private shard
   // devices), so skip the base audit and recurse instead: each shard's
-  // table audit inherits its own auto-attached cache's audit.
+  // table audit inherits its own auto-attached cache's audit. Failed
+  // shards are skipped — a batch that faulted mid-apply may have left the
+  // structure mid-rewrite, which is exactly what the latch records.
   for (const Shard& shard : shards_) {
+    if (shard.error) continue;
     shard.table->validateLayout(report);
   }
 }

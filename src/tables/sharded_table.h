@@ -35,10 +35,26 @@
 // no façade-level mutex exists to annotate; the only lock in the fan-out
 // path is the pool's own annotated mutex (see util/thread_annotations.h).
 // Mutating shared façade state from inside a shard task would be a data
-// race — keep per-shard work confined to that shard's Shard struct.
+// race — keep per-shard work confined to that shard's Shard struct
+// (the per-shard error latch below lives there for exactly this reason).
+//
+// Fault isolation: a shard task that throws no longer poisons the whole
+// batch silently — every HEALTHY shard's sub-batch still applies (and
+// lookupBatch still fills the healthy shards' results) before the first
+// captured error is rethrown, so callers observe the failure without the
+// other shards losing work. An extmem::IoError additionally LATCHES the
+// faulted shard (the broken part is its private device, which outlives
+// the batch): further operations routed to it fail fast with the stored
+// error, without touching the shard, while healthy shards keep serving.
+// shardErrors() aggregates the latched errors for operators;
+// clearShardErrors() re-admits traffic once the fault cleared (e.g.
+// FaultPolicy::clear() on the shard device). Logic errors (CheckFailure)
+// stay batch-scoped: they are rethrown but do not latch the shard.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "extmem/block_cache.h"
@@ -139,6 +155,22 @@ class ShardedTable final : public ExternalHashTable {
   /// flushCache().
   void validateLayout(AuditReport& report) const override;
 
+  /// One latched shard fault (see the file comment on fault isolation).
+  struct ShardError {
+    std::size_t shard = 0;
+    std::string message;
+  };
+
+  /// Aggregated report of every latched shard fault, shard-ordered.
+  std::vector<ShardError> shardErrors() const;
+  std::size_t failedShardCount() const noexcept;
+  bool shardFailed(std::size_t i) const noexcept {
+    return shards_[i].error != nullptr;
+  }
+  /// Drop every latched shard error — call after the underlying fault
+  /// cleared; the next flush barrier lands any quarantined frames.
+  void clearShardErrors() noexcept;
+
   std::size_t shardCount() const noexcept { return shards_.size(); }
   ExternalHashTable& shard(std::size_t i) { return *shards_[i].table; }
   extmem::BlockDevice& shardDevice(std::size_t i) {
@@ -169,10 +201,20 @@ class ShardedTable final : public ExternalHashTable {
     std::unique_ptr<extmem::BlockDevice> device;
     std::unique_ptr<extmem::MemoryBudget> memory;
     std::unique_ptr<extmem::BlockCache> cache;
+    // Latched IoError (fail-fast gate for this shard). Written only by
+    // this shard's own task inside a fan-out, or by the externally
+    // serialized façade — shard-confined, so no lock (see the threading
+    // comment). mutable: the const flush barrier can latch a fault too.
+    mutable std::exception_ptr error;
     std::unique_ptr<ExternalHashTable> table;
   };
 
   std::size_t shardOf(std::uint64_t key) const noexcept;
+  /// Run one shard's slice of work with the fault-isolation contract:
+  /// fail fast on a latched shard (without touching it), latch IoErrors,
+  /// pass every error back for the caller to rethrow after the fan-out.
+  std::exception_ptr runGuarded(std::size_t s,
+                                const std::function<void()>& fn);
 
   ShardedTableConfig config_;
   std::vector<Shard> shards_;

@@ -5,6 +5,7 @@
 // instead of silently corrupting I/O accounting.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,13 +19,32 @@ class CheckFailure : public std::logic_error {
 };
 
 namespace detail {
+
+/// Observer invoked (on the failing thread, before the throw) for every
+/// check failure while installed. util/ cannot depend on obs/, so this is
+/// a bare function pointer: the flight recorder (obs/flight_recorder.h)
+/// installs its dump trampoline here when armed. The hook must not throw
+/// and must tolerate any thread. Default: none (zero-cost atomic load).
+using CheckFailureHook = void (*)(const char* what) noexcept;
+
+inline std::atomic<CheckFailureHook>& checkFailureHook() noexcept {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+
 [[noreturn]] inline void checkFailed(const char* cond, const char* file,
                                      int line, const std::string& msg) {
   std::ostringstream os;
   os << "EXTHASH_CHECK failed: (" << cond << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw CheckFailure(os.str());
+  const std::string what = os.str();
+  if (const CheckFailureHook hook =
+          checkFailureHook().load(std::memory_order_acquire)) {
+    hook(what.c_str());
+  }
+  throw CheckFailure(what);
 }
+
 }  // namespace detail
 
 }  // namespace exthash

@@ -353,6 +353,55 @@ TEST(BatchBeatsSerial, BTreeAtBatchSizeB) {
                              << " batched=" << batched;
 }
 
+// Erase-heavy batches on the deferred tables: the presence probes must be
+// grouped (one bucket/block-grouped pass per level or run), not one full
+// probe cascade per erased key.
+std::uint64_t eraseCostOf(TableKind kind, std::size_t b, std::size_t n,
+                          std::size_t batch, const GeneralConfig& cfg) {
+  TestRig rig(b);
+  auto table = makeTable(kind, rig.context(), cfg);
+  // Identical population in both arms (batched, so the pre-erase layout
+  // matches exactly); only the erase phase is measured.
+  table->applyBatch(insertOps(n));
+  const auto keys = distinctKeys(n, /*seed=*/99);
+  const auto missing = distinctKeys(n / 4, /*seed=*/4243);
+  std::vector<Op> erases;
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    erases.push_back(Op::eraseOp(keys[i]));
+    if (i / 2 < missing.size()) erases.push_back(Op::eraseOp(missing[i / 2]));
+  }
+  const extmem::IoStats before = table->ioStats();
+  for (std::size_t i = 0; i < erases.size(); i += batch) {
+    const std::size_t len = std::min(batch, erases.size() - i);
+    table->applyBatch(std::span<const Op>(erases.data() + i, len));
+  }
+  return (table->ioStats() - before).cost();
+}
+
+TEST(BatchBeatsSerial, LogMethodEraseBatchGroupsPresenceProbes) {
+  constexpr std::size_t kB = 16, kN = 4096;
+  GeneralConfig cfg;
+  cfg.expected_n = kN;
+  cfg.buffer_items = 64;
+  cfg.gamma = 2;
+  const std::uint64_t serial = eraseCostOf(TableKind::kLogMethod, kB, kN, 1, cfg);
+  const std::uint64_t batched =
+      eraseCostOf(TableKind::kLogMethod, kB, kN, 1024, cfg);
+  EXPECT_LT(batched, serial) << "serial=" << serial
+                             << " batched=" << batched;
+}
+
+TEST(BatchBeatsSerial, LsmEraseBatchGroupsPresenceProbes) {
+  constexpr std::size_t kB = 16, kN = 4096;
+  GeneralConfig cfg;
+  cfg.expected_n = kN;
+  cfg.buffer_items = 64;
+  const std::uint64_t serial = eraseCostOf(TableKind::kLsm, kB, kN, 1, cfg);
+  const std::uint64_t batched = eraseCostOf(TableKind::kLsm, kB, kN, 1024, cfg);
+  EXPECT_LT(batched, serial) << "serial=" << serial
+                             << " batched=" << batched;
+}
+
 TEST(ShardedTableTest, VisitLayoutNamespacesBlockIdsByShard) {
   TestRig rig(8);
   GeneralConfig cfg;

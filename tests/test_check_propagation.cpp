@@ -9,6 +9,9 @@
 // contract violation those tables CHECK against).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -66,6 +69,49 @@ TEST(CheckPropagation, PipelineMaintenanceErrorReachesDrain) {
   IngestPipeline pipeline(table, {.batch_capacity = 8});
   pipeline.submitMaintenance([] { throw std::runtime_error("maintenance"); });
   EXPECT_THROW(pipeline.drain(), std::runtime_error);
+}
+
+TEST(CheckPropagation, WorkerFaultResolvesEveryPendingLookupFuture) {
+  TestRig rig(8);
+  BufferBTreeTable table(rig.context());
+  // Small windows with one pending slot: the poisoned window fails on the
+  // worker while the producer is still racing in lookups behind it. The
+  // fail-stop contract says every future obtained before the latch must
+  // resolve — with a value or with the stored error — never hang on a
+  // broken promise.
+  IngestPipeline pipeline(table, {.batch_capacity = 4});
+  pipeline.insert(99, kTombstoneValue);
+
+  std::vector<std::future<std::optional<std::uint64_t>>> futures;
+  try {
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      pipeline.insert(k, k + 1);
+      // Keys with no staged op, so the lookups queue on the worker rather
+      // than being answered from the staging window.
+      futures.push_back(pipeline.submitLookup(k + 1'000'000));
+    }
+  } catch (const CheckFailure&) {
+    // Fail-stop may reject late submissions at the submit barrier.
+  }
+  EXPECT_THROW(pipeline.drain(), CheckFailure);
+
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "a submitLookup future was left unresolved (broken promise)";
+    try {
+      (void)f.get();
+    } catch (const CheckFailure&) {
+    }
+  }
+
+  // reset() clears the latch; the pipeline serves again on the surviving
+  // table contents.
+  pipeline.reset();
+  EXPECT_NO_THROW({
+    pipeline.insert(7777, 8);
+    pipeline.drain();
+  });
+  EXPECT_EQ(table.lookup(7777), std::optional<std::uint64_t>(8));
 }
 
 TEST(CheckPropagation, ShardedParallelForRethrowsWorkerCheckFailure) {
