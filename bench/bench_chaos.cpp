@@ -18,15 +18,26 @@
 // The informational columns report the price of resilience: counted I/O
 // is identical by construction (faulted attempts never count), so the
 // interesting numbers are the fault/retry volumes the gate rode through.
+//
+// A third arm extends the schedule from absorbed faults to CRASHES: the
+// same op stream runs WAL-attached with periodic checkpoints while a
+// deterministic crash point freezes the table device mid-apply, and
+// recovery on a fresh table must reproduce the acknowledged prefix
+// exactly. Both the transient arms' reference model and the crash arm's
+// oracle are the ONE AckLedger implementation (durability/ledger.h):
+// folded over every window it is the last-op-wins model of the whole
+// stream; folded through a recovered LSN it is the acknowledged prefix.
 #include <cstdint>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "bench_common.h"
+#include "durability/ledger.h"
+#include "durability/recovery.h"
 #include "extmem/block_cache.h"
 #include "extmem/fault.h"
 #include "extmem/memory_arbiter.h"
@@ -38,12 +49,17 @@
 namespace {
 
 using namespace exthash;
+using durability::AckLedger;
+using durability::DurabilityManager;
+using durability::RecoveryResult;
 using extmem::BlockCache;
 using extmem::BlockDevice;
 using extmem::FaultPolicy;
+using extmem::IoOpKind;
 using extmem::MemoryArbiter;
 using extmem::RetryPolicy;
 using pipeline::IngestPipeline;
+using tables::Op;
 using tables::ShardedTable;
 using tables::TableKind;
 
@@ -122,10 +138,13 @@ ChaosResult chaosArm(TableKind kind, std::size_t ops_count,
   const auto universe =
       distinctUniverse(distinct_only ? ops_count : universe_size, seed);
 
-  // Reference model of the submitted stream: last op per key wins, which
-  // is exactly the pipeline's coalescing contract and every table's
-  // per-key ordering guarantee.
-  std::unordered_map<std::uint64_t, std::optional<std::uint64_t>> model;
+  // Reference model of the submitted stream: the durability layer's
+  // AckLedger, folded over every window — last op per key wins, which is
+  // exactly the pipeline's coalescing contract and every table's per-key
+  // ordering guarantee. (The arbiter resizes the pipeline's windows
+  // mid-run, so ledger and pipeline seal at different boundaries; the
+  // full fold is boundary-independent, which is all this arm needs.)
+  AckLedger ledger(64);
   {
     pipeline::PipelineConfig pc;
     pc.batch_capacity = 64;
@@ -154,13 +173,10 @@ ChaosResult chaosArm(TableKind kind, std::size_t ops_count,
     for (std::size_t i = 0; i < ops_count; ++i) {
       const std::uint64_t key =
           distinct_only ? universe[i] : universe[rng.below(universe.size())];
-      if (!distinct_only && i % 9 == 7) {
-        pipe.erase(key);
-        model[key] = std::nullopt;
-      } else {
-        pipe.insert(key, i + 1);
-        model[key] = i + 1;
-      }
+      const Op op = !distinct_only && i % 9 == 7 ? Op::eraseOp(key)
+                                                 : Op::insertOp(key, i + 1);
+      pipe.submit(op);
+      ledger.submit(op);
       if (i % 512 == 511) {
         pipe.submitMaintenance([a = &arbiter] { a->rebalance(); });
       }
@@ -169,13 +185,18 @@ ChaosResult chaosArm(TableKind kind, std::size_t ops_count,
   }
   table->flushCache();
 
+  ledger.seal();
+
   ChaosResult out;
   out.digest = bench::contentChecksum(*table, universe);
   out.model_exact = true;
+  const auto model =
+      ledger.stateThroughLsn(std::numeric_limits<std::uint64_t>::max());
   for (const std::uint64_t key : universe) {
     const auto it = model.find(key);
     const std::optional<std::uint64_t> want =
-        it == model.end() ? std::nullopt : it->second;
+        it == model.end() || !it->second.has_value() ? std::nullopt
+                                                     : it->second;
     if (table->lookup(key) != want) {
       out.model_exact = false;
       break;
@@ -186,6 +207,122 @@ ChaosResult chaosArm(TableKind kind, std::size_t ops_count,
   out.retries = io.io_retries;
   out.gave_up = io.io_gave_up;
   out.io_cost = io.cost();
+  return out;
+}
+
+struct CrashArmResult {
+  bool fired = false;
+  bool prefix_ok = false;
+  bool contents_ok = false;
+  std::uint64_t acked_lsn = 0;
+  std::uint64_t recovered_lsn = 0;
+  std::uint64_t replayed = 0;
+
+  bool pass() const { return fired && prefix_ok && contents_ok; }
+};
+
+// The crash-schedule arm: same stream, WAL-attached, deterministic crash
+// mid-apply, recovery on a fresh table, AckLedger oracle on the
+// acknowledged prefix. Fixed window capacity (no arbiter) so ledger
+// window k IS WAL LSN k — the prefix fold depends on seal boundaries,
+// unlike the full fold above.
+CrashArmResult chaosCrashArm(TableKind kind, std::size_t ops_count,
+                             std::size_t universe_size, std::uint64_t seed) {
+  bench::Rig rig(/*b=*/8, /*memory_words=*/0, deriveSeed(seed, 1));
+  tables::GeneralConfig cfg;
+  cfg.expected_n = universe_size;
+  cfg.target_load = 0.5;
+  cfg.buffer_items = 32;
+  cfg.beta = 4;
+  cfg.gamma = 2;
+  cfg.shards = 4;
+  cfg.sharded_inner = TableKind::kChaining;
+  cfg.shard_threads = 1;
+  cfg.shard_cache_frames = 0;  // no dirty frames to strand on a frozen device
+  auto table = makeTable(kind, rig.context(), cfg);
+
+  DurabilityManager dm(rig.device->wordsPerBlock());
+  dm.begin(*table);
+
+  // Deep enough that at least one checkpoint has landed (every 128 ops),
+  // so recovery exercises manifest + WAL-tail replay, not just replay.
+  FaultPolicy policy(deriveSeed(seed, 9));
+  const std::size_t torn = rig.device->wordsPerBlock() / 2;
+  policy.crashOpNumber(IoOpKind::kWrite, 96, torn);
+  policy.crashOpNumber(IoOpKind::kRmw, 96, torn);
+  table->durableDevice(0).setFaultPolicy(&policy);
+
+  const bool distinct_only = kind == TableKind::kBuffered;
+  const auto universe =
+      distinctUniverse(distinct_only ? ops_count : universe_size, seed);
+
+  constexpr std::size_t kWindow = 64;
+  AckLedger ledger(kWindow);
+  CrashArmResult out;
+  {
+    pipeline::PipelineConfig pc;
+    pc.batch_capacity = kWindow;
+    pc.max_pending_batches = 2;
+    pc.wal = &dm.wal();
+    IngestPipeline pipe(*table, pc);
+    Xoshiro256StarStar rng(deriveSeed(seed, 5));
+    for (std::size_t i = 0; i < ops_count; ++i) {
+      const std::uint64_t key =
+          distinct_only ? universe[i] : universe[rng.below(universe.size())];
+      const Op op = !distinct_only && i % 9 == 7 ? Op::eraseOp(key)
+                                                 : Op::insertOp(key, i + 1);
+      try {
+        pipe.submit(op);
+      } catch (...) {
+        out.fired = true;
+        break;
+      }
+      ledger.submit(op);
+      if (i % 128 == 127 && i + 1 < ops_count) {
+        try {
+          pipe.submitMaintenance([&dm, &table] { dm.checkpoint(*table); });
+        } catch (...) {
+          out.fired = true;
+          break;
+        }
+      }
+    }
+    if (!out.fired) {
+      try {
+        pipe.drain();
+      } catch (...) {
+        out.fired = true;
+      }
+    }
+  }
+  ledger.seal();
+  out.fired = out.fired && policy.crashesFired() > 0;
+  out.acked_lsn = dm.wal().durableLsn();
+
+  dm.freezeAll(*table);
+  table->durableDevice(0).setFaultPolicy(nullptr);
+  policy.clear();
+  table.reset();
+  rig.device->thaw();
+
+  auto fresh = makeTable(kind, rig.context(), cfg);
+  const RecoveryResult rr = dm.recover(*fresh);
+  out.recovered_lsn = rr.recovered_lsn;
+  out.replayed = rr.replayed_records;
+  out.prefix_ok = rr.recovered_lsn >= out.acked_lsn;
+
+  out.contents_ok = true;
+  const auto expected = ledger.stateThroughLsn(rr.recovered_lsn);
+  for (const std::uint64_t key : universe) {
+    const auto it = expected.find(key);
+    const std::optional<std::uint64_t> want =
+        it == expected.end() || !it->second.has_value() ? std::nullopt
+                                                        : it->second;
+    if (fresh->lookup(key) != want) {
+      out.contents_ok = false;
+      break;
+    }
+  }
   return out;
 }
 
@@ -249,12 +386,33 @@ int main(int argc, char** argv) {
   printer.print(std::cout);
   bench::saveCsv(printer, "chaos");
 
+  std::cout << "\n";
+  TablePrinter crash({"kind", "seed", "crash", "acked", "recovered",
+                      "replayed", "contents", "verdict"});
+  for (const TableKind kind : tables::kAllTableKindsWithSharded) {
+    // One crash episode per kind bounds the lane's cost; the exhaustive
+    // kind x seed x crash-point sweep lives in tests/test_crash_recovery.
+    const std::uint64_t seed = seeds.empty() ? 1 : seeds.front();
+    const CrashArmResult r =
+        chaosCrashArm(kind, ops_count, universe_size, seed);
+    pass = pass && r.pass();
+    crash.addRow({std::string(tableKindName(kind)), std::to_string(seed),
+                  r.fired ? "fired" : "NEVER-FIRED",
+                  std::to_string(r.acked_lsn),
+                  std::to_string(r.recovered_lsn), std::to_string(r.replayed),
+                  r.contents_ok ? "exact" : "LOST/DUP",
+                  r.pass() ? "ok" : "FAIL"});
+  }
+  crash.print(std::cout);
+  bench::saveCsv(crash, "chaos_crash");
+
   if (!pass) {
-    std::cout << "\nCHAOS: FAIL — a faulted run diverged, dropped ops, or "
-                 "the schedule never fired\n";
+    std::cout << "\nCHAOS: FAIL — a faulted run diverged, dropped ops, a "
+                 "schedule never fired, or recovery lost an acknowledged "
+                 "op\n";
     return 1;
   }
   std::cout << "\nCHAOS: PASS — all kinds bit-exact under transient faults "
-               "(retries > 0, nothing escaped)\n";
+               "and prefix-exact after crashes\n";
   return 0;
 }

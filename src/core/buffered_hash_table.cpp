@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "tables/meta_words.h"
+
 namespace exthash::core {
 
 using tables::ChainingConfig;
@@ -241,6 +243,46 @@ std::string BufferedHashTable::debugString() const {
          ", Ĥ=" + std::to_string(hhatSize()) +
          ", buffer=" + std::to_string(bufferSize()) +
          ", merges=" + std::to_string(merges_) + "}";
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint metadata
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kBufferedMetaMagic = 0x425546464D455441ULL;  // BUFFMETA
+}  // namespace
+
+std::vector<std::uint64_t> BufferedHashTable::serializeMeta() const {
+  tables::MetaWriter w;
+  w.tag(kBufferedMetaMagic);
+  w.u64(config_.beta);
+  w.u64(config_.gamma);
+  w.u64(config_.h0_capacity_items);
+  w.u64(records_per_block_);
+  w.u64(merges_);
+  // The buffer's section is length-prefixed so its format can evolve
+  // independently of this wrapper.
+  w.vec(buffer_.serializeMeta());
+  w.b(hhat_ != nullptr);
+  if (hhat_) hhat_->serializeMetaInto(w);
+  return w.take();
+}
+
+void BufferedHashTable::restoreMeta(std::span<const std::uint64_t> words) {
+  tables::MetaReader r(words);
+  r.expectTag(kBufferedMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == config_.beta && r.u64() == config_.gamma &&
+                        r.u64() == config_.h0_capacity_items &&
+                        r.u64() == records_per_block_,
+                    "buffered checkpoint geometry mismatch");
+  merges_ = r.u64();
+  const std::vector<std::uint64_t> buffer_meta = r.vec();
+  buffer_.restoreMeta(buffer_meta);
+  if (hhat_) hhat_->abandon();  // blocks belong to the restored image
+  hhat_.reset();
+  if (r.b()) hhat_ = tables::ChainingHashTable::restoreFromMeta(ctx_, r);
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in buffered checkpoint meta");
 }
 
 }  // namespace exthash::core

@@ -88,6 +88,9 @@ class BufferedHashTable final : public tables::ExternalHashTable {
     return hhat_.get();
   }
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   void mergeIntoHhat();
   /// The merge pass behind mergeIntoHhat(), with an optional batch of

@@ -1,0 +1,82 @@
+// Versioned, checksummed checkpoint manifest over a dedicated device.
+//
+// The classic superblock-pair discipline: blocks 0 and 1 are the two
+// header slots, written ALTERNATELY by version parity (version v lands
+// in slot v % 2), so the newest committed manifest is never the block
+// being overwritten. A manifest write is:
+//
+//   1. allocate a fresh payload extent and write the serialized table
+//      metadata into it (torn here → the header still points at the old
+//      payload; nothing committed);
+//   2. overwrite the slot's header block — THE commit point: magic,
+//      version, durable LSN, payload pointer/length, payload checksum,
+//      and a header checksum over all of it (torn here → the header
+//      fails its checksum and the OTHER slot's older manifest wins);
+//   3. only after the commit, free the payload extent the previous
+//      manifest in this slot owned.
+//
+// readNewest() validates both slots end-to-end (magic, header checksum,
+// payload bounds, payload checksum) and returns the higher valid
+// version; both invalid is the unrecoverable-state signal recovery turns
+// into a flight-recorder dump + error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "extmem/block_device.h"
+
+namespace exthash::durability {
+
+inline constexpr extmem::Word kManifestMagic = 0x4D414E4946455354ULL;
+
+struct ManifestData {
+  std::uint64_t version = 0;
+  /// Every WAL record with lsn <= durable_lsn is already reflected in
+  /// the checkpoint images; replay starts after it.
+  std::uint64_t durable_lsn = 0;
+  std::vector<extmem::Word> meta;
+};
+
+class ManifestPair {
+ public:
+  /// Owns the layout of `device` (must be dedicated). A fresh device gets
+  /// its two header blocks allocated (zeroed = both slots invalid).
+  explicit ManifestPair(extmem::BlockDevice& device);
+
+  ManifestPair(const ManifestPair&) = delete;
+  ManifestPair& operator=(const ManifestPair&) = delete;
+
+  /// Commit a new manifest (see the file comment for the write protocol);
+  /// returns its version. Not thread-safe — checkpoints run at quiescent
+  /// points.
+  std::uint64_t write(std::uint64_t durable_lsn,
+                      std::span<const extmem::Word> meta);
+
+  /// Validate both slots, return the newest valid manifest (nullopt when
+  /// both are invalid). Also resynchronizes the writer's version counter
+  /// and payload-extent bookkeeping from what is actually on the device —
+  /// the recovery re-open path.
+  std::optional<ManifestData> readNewest();
+
+  /// Version the next write() will commit.
+  std::uint64_t nextVersion() const noexcept { return last_version_ + 1; }
+  std::uint64_t checkpointsWritten() const noexcept { return writes_; }
+
+ private:
+  struct SlotExtent {
+    extmem::BlockId first = extmem::kInvalidBlock;
+    std::size_t blocks = 0;
+  };
+
+  std::optional<ManifestData> readSlot(std::size_t slot, SlotExtent& extent);
+
+  extmem::BlockDevice& device_;
+  std::uint64_t last_version_ = 0;
+  std::uint64_t writes_ = 0;
+  SlotExtent payload_[2];
+};
+
+}  // namespace exthash::durability

@@ -1,0 +1,130 @@
+#include "durability/recovery.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "util/assert.h"
+
+namespace exthash::durability {
+
+DurabilityManager::DurabilityManager(std::size_t words_per_block)
+    : wal_device_(words_per_block),
+      manifest_device_(words_per_block),
+      wal_(wal_device_),
+      manifest_(manifest_device_) {}
+
+std::uint64_t DurabilityManager::checkpointAt(
+    tables::ExternalHashTable& table, std::uint64_t durable_lsn) {
+  table.flushCache();
+  const std::vector<std::uint64_t> meta = table.serializeMeta();
+
+  // Capture images BEFORE the manifest write and into the slot this
+  // version will commit under: a crash anywhere inside manifest_.write
+  // leaves the other slot's (still newest-valid) manifest paired with its
+  // own untouched images.
+  const std::uint64_t version = manifest_.nextVersion();
+  ImageSlot& slot = images_[version % 2];
+  slot.valid = false;
+  slot.images.clear();
+  const std::size_t devices = table.durableDeviceCount();
+  slot.images.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    slot.images.push_back(table.durableDevice(i).captureImage());
+  }
+  slot.version = version;
+  slot.valid = true;
+
+  const std::uint64_t committed = manifest_.write(durable_lsn, meta);
+  EXTHASH_CHECK(committed == version);
+  ++checkpoints_;
+  EXTHASH_OBS_COUNT("exthash_checkpoints_total", 1);
+  return version;
+}
+
+std::uint64_t DurabilityManager::checkpoint(
+    tables::ExternalHashTable& table) {
+  return checkpointAt(table, wal_.durableLsn());
+}
+
+void DurabilityManager::thawAll(tables::ExternalHashTable& table) {
+  wal_device_.thaw();
+  manifest_device_.thaw();
+  for (std::size_t i = 0; i < table.durableDeviceCount(); ++i) {
+    table.durableDevice(i).thaw();
+  }
+}
+
+void DurabilityManager::freezeAll(tables::ExternalHashTable& table) {
+  wal_device_.freeze();
+  manifest_device_.freeze();
+  for (std::size_t i = 0; i < table.durableDeviceCount(); ++i) {
+    table.durableDevice(i).freeze();
+  }
+}
+
+RecoveryResult DurabilityManager::recover(tables::ExternalHashTable& fresh) {
+  thawAll(fresh);
+
+  const std::optional<ManifestData> manifest = manifest_.readNewest();
+  if (!manifest) {
+    obs::flightRecorderNoteFatal("durability: no valid manifest slot");
+    throw RecoveryError(
+        "recovery found no valid manifest (both superblock slots corrupt)");
+  }
+  const ImageSlot& slot = images_[manifest->version % 2];
+  EXTHASH_CHECK_MSG(slot.valid && slot.version == manifest->version,
+                    "checkpoint images missing for manifest version "
+                        << manifest->version);
+  EXTHASH_CHECK_MSG(slot.images.size() == fresh.durableDeviceCount(),
+                    "checkpoint covers " << slot.images.size()
+                                         << " devices, table has "
+                                         << fresh.durableDeviceCount());
+
+  RecoveryResult result;
+  result.checkpoint_lsn = manifest->durable_lsn;
+  try {
+    for (std::size_t i = 0; i < slot.images.size(); ++i) {
+      fresh.durableDevice(i).restoreImage(slot.images[i]);
+    }
+    // Every cached frame predates the image restore; drop them all.
+    fresh.invalidateCaches();
+    fresh.restoreMeta(manifest->meta);
+
+    WalReader reader(wal_device_);
+    const WalLog log = reader.readAll();
+    result.torn_tail = log.torn_tail;
+    std::uint64_t replayed_through = manifest->durable_lsn;
+    for (const WalRecord& record : log.records) {
+      // LSN fence: records at or below the checkpoint are already in the
+      // images; re-applying them is what the fence exists to prevent.
+      if (record.lsn <= manifest->durable_lsn) continue;
+      fresh.applyBatch(record.ops);
+      ++result.replayed_records;
+      result.replayed_ops += record.ops.size();
+      replayed_through = record.lsn;
+    }
+    fresh.flushCache();
+    result.recovered_lsn = replayed_through;
+
+    // Commit the recovered state FIRST, then truncate the log: a crash
+    // between the two leaves either (old manifest + intact log) or (new
+    // manifest + not-yet-truncated log whose records are all fenced).
+    checkpointAt(fresh, replayed_through);
+    wal_.reset(replayed_through + 1);
+  } catch (...) {
+    // A crash point firing mid-replay froze a device; thaw everything so
+    // the half-recovered table destructs safely and recovery can run
+    // again on another fresh table (idempotent: nothing above committed).
+    thawAll(fresh);
+    throw;
+  }
+  ++recoveries_;
+  EXTHASH_OBS_COUNT("exthash_recoveries_total", 1);
+  EXTHASH_OBS_COUNT("exthash_recovery_replayed_records_total",
+                    static_cast<std::int64_t>(result.replayed_records));
+  return result;
+}
+
+}  // namespace exthash::durability

@@ -139,6 +139,14 @@ void BlockCache::quarantine(BlockId id, Frame& frame) {
     EXTHASH_OBS_GAUGE("exthash_cache_quarantined_frames",
                       quarantined_frames_);
   }
+  // Give-up endgame: N consecutive failures escalate the NEXT flush
+  // barrier to a PermanentIoError (see the header). Counted once per
+  // streak; a successful write-back resets both (writeBack()).
+  if (++frame.consecutive_failures >= give_up_threshold_ && !frame.gave_up) {
+    frame.gave_up = true;
+    ++quarantine_gave_up_;
+    EXTHASH_OBS_COUNT("exthash_cache_quarantine_gave_up_total", 1);
+  }
   (void)id;
 }
 
@@ -161,6 +169,8 @@ void BlockCache::writeBack(BlockId id, Frame& frame) {
     frame.quarantined = false;
     --quarantined_frames_;
   }
+  frame.consecutive_failures = 0;
+  frame.gave_up = false;
   ++writebacks_;
   EXTHASH_OBS_COUNT("exthash_cache_writebacks_total", 1);
 }
@@ -206,15 +216,43 @@ void BlockCache::flush() {
   // stop the rest of the barrier from landing; quarantined frames are
   // re-attempted here (this is their road back after the fault clears).
   std::exception_ptr first_error;
+  BlockId gave_up_block = kInvalidBlock;
   for (auto& [id, frame] : frames_) {
     try {
       writeBack(id, frame);
     } catch (const IoError&) {
       quarantine(id, frame);
+      if (frame.gave_up && gave_up_block == kInvalidBlock) {
+        gave_up_block = id;
+      }
       if (!first_error) first_error = std::current_exception();
     }
   }
+  // Escalation outranks the raw fault: a frame past the give-up threshold
+  // makes the barrier permanent even if each individual fault was
+  // transient — "keep retrying forever" is not an answer the caller can
+  // act on. The data itself is still retained and re-attempted later.
+  if (gave_up_block != kInvalidBlock) {
+    throw PermanentIoError(
+        IoOpKind::kWrite, gave_up_block, give_up_threshold_,
+        "write-back quarantine gave up after repeated failures");
+  }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void BlockCache::discardAll() {
+  std::vector<BlockId> ghost_ids;
+  replacement_->visitGhosts([&](BlockId id) { ghost_ids.push_back(id); });
+  for (const BlockId id : ghost_ids) replacement_->onRemove(id);
+  for (auto& [id, frame] : frames_) {
+    EXTHASH_CHECK_MSG(frame.pins == 0,
+                      "discardAll while a callback holds block " << id);
+    replacement_->onRemove(id);
+  }
+  frames_.clear();
+  dirty_blocks_ = 0;
+  quarantined_frames_ = 0;
+  rechargeForResidency();
 }
 
 void BlockCache::resize(std::size_t capacity_blocks) {

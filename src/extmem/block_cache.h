@@ -200,6 +200,14 @@ class BlockCache {
   /// id reuse cannot fake a reuse signal to the policy.
   void invalidate(BlockId id);
 
+  /// Drop EVERY frame and every ghost without any write-back — the
+  /// recovery primitive: after a crash the device image has been rewound
+  /// underneath the cache, so every cached byte (dirty or clean) is a
+  /// stale view of a world that no longer exists. Requires a quiescent
+  /// point (no pinned frames). Counters (hits/misses/writebacks) survive;
+  /// dirty/quarantine accounting resets with the frames.
+  void discardAll();
+
   /// Refresh the cached copy of `id` from the device (uncounted). Used by
   /// write paths that hit the device directly so later cached reads
   /// observe the new contents — the write is a genuine use of the block,
@@ -227,6 +235,24 @@ class BlockCache {
   /// Frames currently quarantined (dirty, excluded from eviction).
   std::size_t quarantinedFrames() const noexcept {
     return quarantined_frames_;
+  }
+  /// Quarantined frames that crossed the consecutive-failure threshold
+  /// (see setQuarantineGiveUpThreshold): each one made a later flush()
+  /// surface a PermanentIoError instead of looping silently.
+  std::uint64_t quarantineGaveUp() const noexcept {
+    return quarantine_gave_up_;
+  }
+  /// After `n` CONSECUTIVE failed write-back attempts of the same frame,
+  /// flush() escalates: the barrier throws PermanentIoError (even when
+  /// the underlying faults were transient) and quarantine_gave_up counts
+  /// the frame. The frame's data is still retained and still re-attempted
+  /// at later barriers — give-up changes what the caller is told, not
+  /// what the cache protects. A successful write-back resets the streak.
+  void setQuarantineGiveUpThreshold(std::uint32_t n) noexcept {
+    give_up_threshold_ = n == 0 ? 1 : n;
+  }
+  std::uint32_t quarantineGiveUpThreshold() const noexcept {
+    return give_up_threshold_;
   }
   /// Misses that hit the policy's ghost directory (see
   /// replacement_policy.h; always 0 for LRU).
@@ -273,6 +299,11 @@ class BlockCache {
     // until a flush barrier lands it (see the file comment).
     bool quarantined = false;
     int pins = 0;  // > 0: a caller holds a span into `data`; not evictable
+    // Consecutive failed write-back attempts; crossing the give-up
+    // threshold sets gave_up (sticky until a write-back succeeds) and
+    // escalates the flush barrier to PermanentIoError.
+    std::uint32_t consecutive_failures = 0;
+    bool gave_up = false;
   };
 
   /// RAII pin for the duration of a callback (exception-safe).
@@ -321,6 +352,8 @@ class BlockCache {
   std::uint64_t misses_ = 0;
   std::uint64_t writebacks_ = 0;
   std::uint64_t writeback_failures_ = 0;
+  std::uint64_t quarantine_gave_up_ = 0;
+  std::uint32_t give_up_threshold_ = 8;
   std::size_t dirty_blocks_ = 0;
   std::size_t quarantined_frames_ = 0;
   // Telemetry sampling clock: counts fetch()-path accesses so a telemetry

@@ -54,6 +54,7 @@ BlockId BlockDevice::allocate() { return allocateExtent(1); }
 
 BlockId BlockDevice::allocateExtent(std::size_t count) {
   EXTHASH_CHECK(count >= 1);
+  throwIfFrozen(IoOpKind::kWrite, kInvalidBlock);
   auto it = free_pool_.find(count);
   if (it != free_pool_.end() && !it->second.empty()) {
     const BlockId first = it->second.back();
@@ -72,6 +73,10 @@ void BlockDevice::free(BlockId id) { freeExtent(id, 1); }
 
 void BlockDevice::freeExtent(BlockId first, std::size_t count) {
   EXTHASH_CHECK(count >= 1);
+  // A frozen (crashed) device ignores frees: destructors of the doomed
+  // stack unwind through here, and recovery's restoreImage rewinds the
+  // allocation map wholesale anyway.
+  if (frozen_) return;
   for (std::size_t i = 0; i < count; ++i) {
     EXTHASH_CHECK_MSG(isAllocated(first + i),
                       "double free of block " << (first + i));
@@ -100,6 +105,42 @@ void BlockDevice::writeCopy(BlockId id, std::span<const Word> contents) {
 std::span<const Word> BlockDevice::inspect(BlockId id) const {
   checkLive(id);
   return {blockPtr(id), words_per_block_};
+}
+
+BlockDevice::Image BlockDevice::captureImage() const {
+  Image image;
+  image.words_per_block = words_per_block_;
+  image.words.resize(next_id_ * words_per_block_);
+  for (BlockId id = 0; id < next_id_; ++id) {
+    const Word* p = blockPtr(id);
+    std::copy(p, p + words_per_block_,
+              image.words.begin() +
+                  static_cast<std::ptrdiff_t>(id * words_per_block_));
+  }
+  image.allocated = allocated_;
+  image.allocated.resize(next_id_);
+  image.free_pool = free_pool_;
+  image.next_id = next_id_;
+  image.blocks_in_use = blocks_in_use_;
+  return image;
+}
+
+void BlockDevice::restoreImage(const Image& image) {
+  EXTHASH_CHECK_MSG(image.words_per_block == words_per_block_,
+                    "image geometry mismatch: " << image.words_per_block
+                                                << " vs " << words_per_block_);
+  next_id_ = image.next_id;
+  if (next_id_ > 0) ensureBacking(next_id_ - 1);
+  for (BlockId id = 0; id < next_id_; ++id) {
+    const auto src =
+        image.words.begin() + static_cast<std::ptrdiff_t>(id * words_per_block_);
+    std::copy(src, src + static_cast<std::ptrdiff_t>(words_per_block_),
+              blockPtr(id));
+  }
+  allocated_ = image.allocated;
+  allocated_.resize(next_id_);
+  free_pool_ = image.free_pool;
+  blocks_in_use_ = image.blocks_in_use;
 }
 
 }  // namespace exthash::extmem

@@ -69,7 +69,12 @@ class BlockDevice {
   decltype(auto) withRead(BlockId id, F&& fn) {
     EXTHASH_OBS_TIMED("exthash_device_read_ns");
     checkLive(id);
-    faultGate(IoOpKind::kRead, id);
+    throwIfFrozen(IoOpKind::kRead, id);
+    try {
+      faultGate(IoOpKind::kRead, id);
+    } catch (const CrashRequested&) {
+      crashNow(IoOpKind::kRead, id);
+    }
     ++stats_.reads;
     if (bypass_depth_ > 0) ++stats_.cache_bypass_reads;
     simulateLatency();
@@ -83,7 +88,13 @@ class BlockDevice {
   decltype(auto) withWrite(BlockId id, F&& fn) {
     EXTHASH_OBS_TIMED("exthash_device_rmw_ns");
     checkLive(id);
-    faultGate(IoOpKind::kRmw, id);
+    throwIfFrozen(IoOpKind::kRmw, id);
+    try {
+      faultGate(IoOpKind::kRmw, id);
+    } catch (const CrashRequested& crash) {
+      crashTornWrite(IoOpKind::kRmw, id, crash.torn_words,
+                     /*zero_first=*/false, fn);
+    }
     ++stats_.rmws;
     simulateLatency();
     return std::forward<F>(fn)(
@@ -96,7 +107,13 @@ class BlockDevice {
   decltype(auto) withOverwrite(BlockId id, F&& fn) {
     EXTHASH_OBS_TIMED("exthash_device_write_ns");
     checkLive(id);
-    faultGate(IoOpKind::kWrite, id);
+    throwIfFrozen(IoOpKind::kWrite, id);
+    try {
+      faultGate(IoOpKind::kWrite, id);
+    } catch (const CrashRequested& crash) {
+      crashTornWrite(IoOpKind::kWrite, id, crash.torn_words,
+                     /*zero_first=*/true, fn);
+    }
     ++stats_.writes;
     simulateLatency();
     Word* p = blockPtr(id);
@@ -149,6 +166,43 @@ class BlockDevice {
   std::size_t idSpaceSize() const noexcept { return next_id_; }
   bool isAllocated(BlockId id) const noexcept;
 
+  // ---- Crash simulation seam (durability/ + crash tests) ----------------
+  //
+  // A crash trigger (FaultPolicy::crashOpNumber) freezes the device at a
+  // deterministic access: for write kinds the first `torn_words` words of
+  // the in-flight write persist and the rest keep their old contents (a
+  // torn sector), then every further counted access throws DeviceCrashed
+  // until thaw() — the "machine rebooted" seam recovery runs behind.
+  // Metadata paths stay teardown-safe: free()/freeExtent() on a frozen
+  // device are silent no-ops (destructors of the doomed stack unwind
+  // through them), while allocation throws.
+
+  /// Freeze the device by hand (the crash harness freezes every durable
+  /// device the moment any one of them crashes).
+  void freeze() noexcept { frozen_ = true; }
+  /// Lift a crash freeze — the reboot. Contents stay exactly as the crash
+  /// left them (torn sector included).
+  void thaw() noexcept { frozen_ = false; }
+  bool frozen() const noexcept { return frozen_; }
+
+  /// Full value snapshot of the device's durable state: block contents,
+  /// allocation map, free pool, id-space watermark. Statistics, latency
+  /// and fault policies are deliberately excluded. Uncounted — this is
+  /// the checkpoint primitive, the in-memory stand-in for "the bytes that
+  /// were on the platter when the checkpoint completed".
+  struct Image {
+    std::size_t words_per_block = 0;
+    std::vector<Word> words;  // next_id blocks, words_per_block each
+    std::vector<std::uint8_t> allocated;
+    std::map<std::size_t, std::vector<BlockId>> free_pool;
+    BlockId next_id = 0;
+    std::size_t blocks_in_use = 0;
+  };
+  Image captureImage() const;
+  /// Overwrite the device's entire durable state with `image` (geometry
+  /// must match). Does not touch the frozen flag, statistics or policies.
+  void restoreImage(const Image& image);
+
  private:
   static constexpr std::size_t kBlocksPerChunk = 1024;
 
@@ -166,6 +220,37 @@ class BlockDevice {
     }
   }
 
+  void throwIfFrozen(IoOpKind op, BlockId id) const {
+    if (frozen_) {
+      throw DeviceCrashed(op, id, "device frozen by simulated crash");
+    }
+  }
+
+  [[noreturn]] void crashNow(IoOpKind op, BlockId id) {
+    frozen_ = true;
+    throw DeviceCrashed(op, id, "crash point fired");
+  }
+
+  /// Torn-write protocol: run the caller's fill on a scratch copy (so we
+  /// know what the write WOULD have produced), persist only the first
+  /// `torn_words` words of it, freeze, throw. torn_words = 0 models a
+  /// write lost whole; anything between 0 and wordsPerBlock() models a
+  /// sector torn mid-transfer.
+  template <class F>
+  [[noreturn]] void crashTornWrite(IoOpKind op, BlockId id,
+                                   std::size_t torn_words, bool zero_first,
+                                   F& fn) {
+    Word* live = blockPtr(id);
+    std::vector<Word> scratch(words_per_block_, Word{0});
+    if (!zero_first) std::copy(live, live + words_per_block_, scratch.begin());
+    fn(std::span<Word>(scratch.data(), words_per_block_));
+    const std::size_t keep = std::min(torn_words, words_per_block_);
+    std::copy(scratch.begin(),
+              scratch.begin() + static_cast<std::ptrdiff_t>(keep), live);
+    frozen_ = true;
+    throw DeviceCrashed(op, id, "crash point fired (torn write)");
+  }
+
   Word* blockPtr(BlockId id);
   const Word* blockPtr(BlockId id) const;
   void checkLive(BlockId id) const;
@@ -181,6 +266,7 @@ class BlockDevice {
   std::size_t blocks_in_use_ = 0;
   std::uint32_t latency_spins_ = 0;
   std::uint32_t bypass_depth_ = 0;  // see CacheBypassScope
+  bool frozen_ = false;             // crash freeze, see freeze()/thaw()
   FaultPolicy* fault_policy_ = nullptr;  // non-owning, see setFaultPolicy
   RetryPolicy retry_policy_;
   IoStats stats_;

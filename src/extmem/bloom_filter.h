@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "extmem/memory_budget.h"
@@ -22,6 +23,13 @@ class BloomFilter {
   BloomFilter(MemoryBudget& budget, std::size_t expected_items,
               std::size_t bits_per_key, std::uint64_t seed);
 
+  /// Rebuilds a checkpointed filter bit-exactly (durability/). The probe
+  /// sequence is a pure function of (seed, bit_count), so restoring the
+  /// geometry plus the bit words reproduces every future answer.
+  BloomFilter(MemoryBudget& budget, std::size_t bit_count,
+              std::size_t hash_count, std::uint64_t seed,
+              std::vector<std::uint64_t> words);
+
   void add(std::uint64_t key) noexcept;
 
   /// False means definitely absent; true means probably present.
@@ -29,6 +37,8 @@ class BloomFilter {
 
   std::size_t bits() const noexcept { return bit_count_; }
   std::size_t hashCount() const noexcept { return hash_count_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::span<const std::uint64_t> wordSpan() const noexcept { return words_; }
   std::size_t memoryWords() const noexcept { return words_.size() + 4; }
 
  private:
@@ -56,6 +66,16 @@ inline BloomFilter::BloomFilter(MemoryBudget& budget,
   hash_count_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(0.693 * static_cast<double>(bits_per_key)));
   words_.assign((bits + 63) / 64, 0);
+  charge_ = MemoryCharge(budget, words_.size() + 4);
+}
+
+inline BloomFilter::BloomFilter(MemoryBudget& budget, std::size_t bit_count,
+                                std::size_t hash_count, std::uint64_t seed,
+                                std::vector<std::uint64_t> words)
+    : words_(std::move(words)),
+      bit_count_(bit_count),
+      hash_count_(hash_count),
+      seed_(seed) {
   charge_ = MemoryCharge(budget, words_.size() + 4);
 }
 

@@ -66,11 +66,17 @@ void FaultPolicy::failBlock(BlockId block, Severity severity,
   block_triggers_[block] = Trigger{severity, durability};
 }
 
+void FaultPolicy::crashOpNumber(IoOpKind op, std::uint64_t nth,
+                                std::size_t torn_words) {
+  crash_triggers_.push_back(CrashTrigger{op, nth, torn_words});
+}
+
 void FaultPolicy::clear() {
   for (double& slot : probability_) slot = 0.0;
   spike_probability_ = 0.0;
   spike_quanta_ = 0;
   op_triggers_.clear();
+  crash_triggers_.clear();
   block_triggers_.clear();
 }
 
@@ -93,6 +99,19 @@ void FaultPolicy::inject(const Trigger& trigger, IoOpKind op, BlockId block,
 std::uint32_t FaultPolicy::onAccess(IoOpKind op, BlockId block,
                                     std::uint32_t attempt) {
   const std::uint64_t n = ++op_count_[index(op)];
+
+  // Crash points outrank every fault: the machine dies before the access
+  // gets to fail politely. One-shot; `n >= nth` so a trigger armed below
+  // the already-seen count still fires on the very next matching access.
+  for (std::size_t i = 0; i < crash_triggers_.size(); ++i) {
+    const CrashTrigger& t = crash_triggers_[i];
+    if (t.op != op || n < t.nth) continue;
+    const std::size_t torn = t.torn_words;
+    crash_triggers_.erase(crash_triggers_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    ++crashes_fired_;
+    throw CrashRequested{torn};
+  }
 
   // Scripted op-count triggers fire first (exact schedules beat dice).
   for (std::size_t i = 0; i < op_triggers_.size(); ++i) {

@@ -92,6 +92,27 @@ class PermanentIoError : public IoError {
       : IoError(op, block, /*transient=*/false, attempts, detail) {}
 };
 
+/// The access hit a simulated machine crash: the device froze (every
+/// further counted access throws this) until thaw(). Permanent on purpose
+/// — nothing above the device can retry its way out of a crash; only the
+/// recovery path (durability/recovery.h) brings the stack back.
+class DeviceCrashed : public PermanentIoError {
+ public:
+  DeviceCrashed(IoOpKind op, BlockId block, const std::string& detail)
+      : PermanentIoError(op, block, /*attempts=*/1, detail) {}
+};
+
+/// Crash-point signal thrown by FaultPolicy::onAccess when an armed crash
+/// trigger fires. Deliberately NOT an IoError (not even an exception
+/// type): the retry gate catches `const IoError&` only, so this sails
+/// through it untouched and is caught by the device guard itself, which
+/// applies the torn-write protocol and freezes the device. `torn_words`
+/// is how many words of the in-flight write persist (0 = the write is
+/// lost whole; meaningless for reads).
+struct CrashRequested {
+  std::size_t torn_words = 0;
+};
+
 /// Deterministic, seeded fault scripter (see the file comment).
 class FaultPolicy {
  public:
@@ -125,12 +146,23 @@ class FaultPolicy {
                  Severity severity = Severity::kTransient,
                  Durability durability = Durability::kSticky);
 
+  /// Crash the machine at the `nth` access of kind `op` (1-based, counted
+  /// over this policy's lifetime, attempts included): onAccess throws
+  /// CrashRequested, the device applies the torn-write protocol (for
+  /// write kinds, the first `torn_words` words of the in-flight write
+  /// persist) and freezes. One-shot by construction — a machine only
+  /// crashes once per schedule.
+  void crashOpNumber(IoOpKind op, std::uint64_t nth,
+                     std::size_t torn_words = 0);
+
   /// Drop every armed fault and probability — "the fault clears". The
   /// op counters and the injected-fault tally survive.
   void clear();
 
   /// Faults this policy has injected (thrown) so far.
   std::uint64_t faultsInjected() const noexcept { return faults_injected_; }
+  /// Crash triggers that have fired so far (0 or 1 per armed crash).
+  std::uint64_t crashesFired() const noexcept { return crashes_fired_; }
   /// Accesses of kind `op` seen so far (attempts included).
   std::uint64_t opCount(IoOpKind op) const noexcept {
     return op_count_[index(op)];
@@ -151,6 +183,11 @@ class FaultPolicy {
     std::uint64_t nth;
     Trigger trigger;
   };
+  struct CrashTrigger {
+    IoOpKind op;
+    std::uint64_t nth;
+    std::size_t torn_words;
+  };
 
   static constexpr std::size_t index(IoOpKind op) noexcept {
     return static_cast<std::size_t>(op);
@@ -165,8 +202,10 @@ class FaultPolicy {
   std::uint32_t spike_quanta_ = 0;
   std::uint64_t op_count_[3] = {0, 0, 0};
   std::vector<OpTrigger> op_triggers_;
+  std::vector<CrashTrigger> crash_triggers_;
   std::unordered_map<BlockId, Trigger> block_triggers_;
   std::uint64_t faults_injected_ = 0;
+  std::uint64_t crashes_fired_ = 0;
 };
 
 }  // namespace exthash::extmem

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "durability/wal.h"
 #include "obs/trace.h"
 
 namespace exthash::pipeline {
@@ -42,7 +43,7 @@ void IngestPipeline::rechargeStagingLocked() {
 
 IngestPipeline::IngestPipeline(tables::ExternalHashTable& table,
                                PipelineConfig config)
-    : table_(table), config_(config), worker_(1) {
+    : table_(table), wal_(config.wal), config_(config), worker_(1) {
   EXTHASH_CHECK_MSG(config_.batch_capacity >= 1,
                     "pipeline needs batch_capacity >= 1");
   EXTHASH_CHECK_MSG(config_.max_pending_batches >= 1,
@@ -164,6 +165,11 @@ void IngestPipeline::sealBatchLocked(util::MutexLock& lock) {
                              static_cast<double>(window->ops.size()));
         obs::ScopedLatencyTimer apply_timer(
             record_latency ? &apply_hist_ : nullptr);
+        // Ack-after-durable: the window is logged (and durable) before the
+        // table sees it. A crash here loses no acknowledged op — recovery
+        // replays the record; a crash inside the append means the record
+        // never became durable and fail-stop keeps it unacknowledged.
+        if (wal_ != nullptr) wal_->append(window->ops);
         table_.applyBatch(window->ops);
       } catch (...) {
         err = std::current_exception();
@@ -292,11 +298,22 @@ void IngestPipeline::submitMaintenance(std::function<void()> fn) {
   throwIfFailedLocked();
   ++pending_maintenance_;
   worker_.submit([this, fn = std::move(fn)] {
+    // Fail-stop covers maintenance too: after a background error the
+    // table may hold a partially applied window, and a queued maintenance
+    // task (a checkpoint, say) running against it would commit that torn
+    // state as if it were healthy. Same skip rule as queued windows.
+    bool skip;
+    {
+      util::MutexLock guard(mutex_);
+      skip = error_ != nullptr;
+    }
     std::exception_ptr err;
-    try {
-      fn();
-    } catch (...) {
-      err = std::current_exception();
+    if (!skip) {
+      try {
+        fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
     {
       util::MutexLock inner(mutex_);

@@ -77,6 +77,10 @@
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
+namespace exthash::durability {
+class WalWriter;
+}  // namespace exthash::durability
+
 namespace exthash::pipeline {
 
 /// Model cost of one staging slot in words: the Op (kind, key, value) plus
@@ -108,6 +112,15 @@ struct PipelineConfig {
   /// measurement runner reports p99 apply latency in every build; costs
   /// two steady_clock reads per applied window when on.
   bool record_apply_latency = false;
+  /// Ack-after-durable mode (see durability/): when set, every sealed
+  /// window is appended to this write-ahead log — blocking until the
+  /// record is durable — immediately before applyBatch drives it into the
+  /// table, so the WAL's LSN sequence IS the window seal sequence and a
+  /// crash between log-append and apply loses nothing that recovery
+  /// cannot replay. nullptr (the default) is the pay-for-what-you-use
+  /// path: zero overhead, pre-durability semantics. The writer must
+  /// outlive the pipeline. Non-owning.
+  durability::WalWriter* wal = nullptr;
 };
 
 struct PipelineStats {
@@ -190,7 +203,10 @@ class IngestPipeline {
   /// hook for memory arbitration: between worker tasks nothing else
   /// touches the wrapped table or its caches, so `fn` may resize caches
   /// and flush safely while producers keep submitting. Errors from `fn`
-  /// surface at the next drain()/submit like any background error.
+  /// surface at the next drain()/submit like any background error. Once
+  /// a background error has latched, queued maintenance is SKIPPED like
+  /// queued windows — the table may hold a partially applied window, and
+  /// running a checkpoint against it would commit torn state as healthy.
   void submitMaintenance(std::function<void()> fn) EXTHASH_EXCLUDES(mutex_);
 
   PipelineStats stats() const EXTHASH_EXCLUDES(mutex_);
@@ -257,6 +273,9 @@ class IngestPipeline {
   friend struct AuditPeer;
 
   tables::ExternalHashTable& table_;
+  // Immutable after construction (unlike config_.batch_capacity), so the
+  // worker reads it without the lock.
+  durability::WalWriter* const wal_;
   PipelineConfig config_ EXTHASH_GUARDED_BY(mutex_);
 
   mutable util::Mutex mutex_;

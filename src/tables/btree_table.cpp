@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "tables/meta_words.h"
+
 namespace exthash::tables {
 
 using extmem::BlockId;
@@ -624,6 +626,52 @@ std::string BTreeTable::debugString() const {
          ", size=" + std::to_string(size_) +
          ", nodes=" + std::to_string(node_blocks_) +
          ", leaf_cap=" + std::to_string(leaf_cap_) + "}";
+}
+
+namespace {
+constexpr std::uint64_t kBTreeMetaMagic = 0x42545245454D4554ULL;
+}  // namespace
+
+std::vector<std::uint64_t> BTreeTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kBTreeMetaMagic);
+  w.u64(leaf_cap_);
+  w.u64(internal_cap_);
+  w.u64(size_);
+  w.u64(height_);
+  w.u64(node_blocks_);
+  // The pinned memory root is table contents, not derivable from disk.
+  w.b(root_.is_leaf);
+  w.vec(root_.keys);
+  w.vec(root_.children);
+  std::vector<std::uint64_t> recs;
+  recs.reserve(root_.records.size() * 2);
+  for (const Record& r : root_.records) {
+    recs.push_back(r.key);
+    recs.push_back(r.value);
+  }
+  w.vec(recs);
+  return w.take();
+}
+
+void BTreeTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kBTreeMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == leaf_cap_ && r.u64() == internal_cap_,
+                    "btree checkpoint geometry mismatch");
+  size_ = r.u64();
+  height_ = r.u64();
+  node_blocks_ = r.u64();
+  root_.is_leaf = r.b();
+  root_.keys = r.vec();
+  root_.children = r.vec();
+  const std::vector<std::uint64_t> recs = r.vec();
+  EXTHASH_CHECK(recs.size() % 2 == 0);
+  root_.records.clear();
+  for (std::size_t i = 0; i < recs.size(); i += 2) {
+    root_.records.push_back(Record{recs[i], recs[i + 1]});
+  }
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in btree meta");
 }
 
 }  // namespace exthash::tables

@@ -53,6 +53,9 @@ class BTreeTable final : public ExternalHashTable {
   std::size_t leafCapacity() const noexcept { return leaf_cap_; }
   std::size_t internalCapacity() const noexcept { return internal_cap_; }
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   // In-memory root (charged to the budget; the classic pinned root).
   struct MemRoot {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tables/meta_words.h"
+
 namespace exthash::tables {
 
 using extmem::BlockId;
@@ -662,6 +664,73 @@ std::string BufferBTreeTable::debugString() const {
          ", size=" + std::to_string(live_size_) +
          ", flushes=" + std::to_string(flushes_) +
          ", nodes=" + std::to_string(node_blocks_) + "}";
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint metadata
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kBufferBTreeMetaMagic =
+    0x4242545245454D54ULL;  // BBTREEMT
+
+std::vector<std::uint64_t> flattenRecords(
+    const std::vector<Record>& records) {
+  std::vector<std::uint64_t> flat;
+  flat.reserve(2 * records.size());
+  for (const auto& r : records) {
+    flat.push_back(r.key);
+    flat.push_back(r.value);
+  }
+  return flat;
+}
+
+std::vector<Record> unflattenRecords(
+    const std::vector<std::uint64_t>& flat) {
+  EXTHASH_CHECK(flat.size() % 2 == 0);
+  std::vector<Record> records;
+  records.reserve(flat.size() / 2);
+  for (std::size_t i = 0; i < flat.size(); i += 2)
+    records.push_back({flat[i], flat[i + 1]});
+  return records;
+}
+}  // namespace
+
+std::vector<std::uint64_t> BufferBTreeTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kBufferBTreeMetaMagic);
+  w.u64(fanout_);
+  w.u64(buffer_cap_);
+  w.u64(leaf_cap_);
+  w.u64(live_size_);
+  w.u64(height_);
+  w.u64(flushes_);
+  w.u64(node_blocks_);
+  w.b(root_is_leaf_);
+  w.vec(root_keys_);
+  w.vec(root_children_);
+  w.vec(flattenRecords(root_records_));
+  // Message order is semantic (oldest first); the flat vector preserves it.
+  w.vec(flattenRecords(root_buffer_));
+  return w.take();
+}
+
+void BufferBTreeTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kBufferBTreeMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == fanout_ && r.u64() == buffer_cap_ &&
+                        r.u64() == leaf_cap_,
+                    "buffer-btree checkpoint geometry mismatch");
+  live_size_ = r.u64();
+  height_ = r.u64();
+  flushes_ = r.u64();
+  node_blocks_ = r.u64();
+  root_is_leaf_ = r.b();
+  root_keys_ = r.vec();
+  root_children_ = r.vec();
+  root_records_ = unflattenRecords(r.vec());
+  root_buffer_ = unflattenRecords(r.vec());
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in buffer-btree checkpoint meta");
 }
 
 void BufferBTreeTable::auditSubtree(BlockId node, std::size_t depth,

@@ -61,6 +61,9 @@ class BufferBTreeTable final : public ExternalHashTable {
   std::size_t bufferCapacity() const noexcept { return buffer_cap_; }
   std::uint64_t flushes() const noexcept { return flushes_; }
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   // Test-only corruption hook for the invariant auditor.
   friend struct AuditPeer;

@@ -30,6 +30,17 @@ ChainingHashTable::ChainingHashTable(TableContext ctx, ChainingConfig config)
   extent_ = ctx_.device->allocateExtent(config_.bucket_count);
 }
 
+ChainingHashTable::ChainingHashTable(RestoreTag, TableContext ctx,
+                                     ChainingConfig config)
+    : ExternalHashTable(std::move(ctx)),
+      config_(config),
+      records_per_block_(
+          extmem::recordCapacityForWords(ctx_.device->wordsPerBlock())),
+      meta_charge_(*ctx_.memory, kMetaWords) {
+  EXTHASH_CHECK_MSG(config_.bucket_count >= 1, "need at least one bucket");
+  // No extent allocation: restoreMetaFrom adopts the image-restored one.
+}
+
 ChainingHashTable::~ChainingHashTable() {
   if (!destroyed_) destroy();
 }
@@ -374,6 +385,71 @@ void ChainingHashTable::validateLayout(AuditReport& report) const {
                        "chains link " << overflow_seen
                            << " overflow blocks, counter says "
                            << overflow_blocks_);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint metadata
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kChainingMetaMagic = 0x4348414E4D455441ULL;  // CHANMETA
+}  // namespace
+
+void ChainingHashTable::serializeMetaInto(MetaWriter& w) const {
+  EXTHASH_CHECK_MSG(!destroyed_, "cannot checkpoint a destroyed table");
+  w.tag(kChainingMetaMagic);
+  w.u64(config_.bucket_count);
+  w.u64(static_cast<std::uint64_t>(config_.indexer.kind));
+  w.dbl(config_.indexer.power);
+  w.u64(records_per_block_);
+  w.u64(extent_);
+  w.u64(size_);
+  w.u64(overflow_blocks_);
+}
+
+void ChainingHashTable::restoreMetaFrom(MetaReader& r) {
+  r.expectTag(kChainingMetaMagic);
+  const std::uint64_t buckets = r.u64();
+  const auto kind = static_cast<IndexKind>(r.u64());
+  const double power = r.dbl();
+  const std::uint64_t rpb = r.u64();
+  EXTHASH_CHECK_MSG(buckets == config_.bucket_count &&
+                        kind == config_.indexer.kind &&
+                        rpb == records_per_block_,
+                    "chaining checkpoint geometry mismatch");
+  config_.indexer.power = power;
+  extent_ = r.u64();
+  size_ = r.u64();
+  overflow_blocks_ = r.u64();
+  destroyed_ = false;
+}
+
+std::vector<std::uint64_t> ChainingHashTable::serializeMeta() const {
+  MetaWriter w;
+  serializeMetaInto(w);
+  return w.take();
+}
+
+void ChainingHashTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  restoreMetaFrom(r);
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in chaining checkpoint meta");
+}
+
+std::unique_ptr<ChainingHashTable> ChainingHashTable::restoreFromMeta(
+    TableContext ctx, MetaReader& r) {
+  // Peek the geometry out of the stream to build a matching config, then
+  // let restoreMetaFrom consume the section normally.
+  MetaReader peek = r;
+  peek.expectTag(kChainingMetaMagic);
+  ChainingConfig config;
+  config.bucket_count = peek.u64();
+  config.indexer.kind = static_cast<IndexKind>(peek.u64());
+  config.indexer.power = peek.dbl();
+  auto table = std::unique_ptr<ChainingHashTable>(
+      new ChainingHashTable(RestoreTag{}, std::move(ctx), config));
+  table->restoreMetaFrom(r);
+  return table;
 }
 
 // ---------------------------------------------------------------------------

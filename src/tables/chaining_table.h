@@ -24,6 +24,7 @@
 #include "tables/bucket_indexer.h"
 #include "tables/cursor.h"
 #include "tables/hash_table.h"
+#include "tables/meta_words.h"
 
 namespace exthash::tables {
 
@@ -86,7 +87,36 @@ class ChainingHashTable final : public ExternalHashTable {
   /// (and by the destructor).
   void destroy();
 
+  // ---- Checkpoint metadata (durability/) --------------------------------
+  //
+  // Chaining is both a standalone kind and the component table of the
+  // composites (log method, Theorem 2), so its meta round-trips in two
+  // forms: the ExternalHashTable overrides for standalone use, and the
+  // *Into/*From pair composites embed in their own streams.
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+  void serializeMetaInto(MetaWriter& w) const;
+  /// Overwrite this table's in-memory state from a stream positioned at
+  /// its section (devices already image-restored). Construction geometry
+  /// (bucket count, indexer kind, records/block) must match — checked.
+  void restoreMetaFrom(MetaReader& r);
+  /// Rebuild a component table from a stream section WITHOUT touching the
+  /// device: the restore-tagged constructor allocates nothing (the blocks
+  /// it adopts were re-allocated wholesale by the image restore).
+  static std::unique_ptr<ChainingHashTable> restoreFromMeta(TableContext ctx,
+                                                            MetaReader& r);
+  /// Disown every block: the destructor becomes a no-op. Used on a fresh
+  /// constructor's component tables before restoreMeta replaces them —
+  /// their extents predate the image restore and may no longer be
+  /// allocated, so destroy()'s chain walk must never run.
+  void abandon() noexcept { destroyed_ = true; }
+
  private:
+  /// Restore-path constructor: adopts geometry without allocating the
+  /// primary extent (restoreMetaFrom supplies it).
+  struct RestoreTag {};
+  ChainingHashTable(RestoreTag, TableContext ctx, ChainingConfig config);
+
   class ScanCursor;
   // Test-only corruption hook for the invariant auditor.
   friend struct AuditPeer;

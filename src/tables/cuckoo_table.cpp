@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tables/batch_util.h"
+#include "tables/meta_words.h"
 #include "util/random.h"
 
 namespace exthash::tables {
@@ -344,6 +345,50 @@ std::string CuckooHashTable::debugString() const {
          ", load=" + std::to_string(loadFactor()) +
          ", kicks=" + std::to_string(kicks_) +
          ", stash=" + std::to_string(stash_.size()) + "}";
+}
+
+namespace {
+constexpr std::uint64_t kCuckooMetaMagic = 0x43554B4F4D455441ULL;
+}  // namespace
+
+std::vector<std::uint64_t> CuckooHashTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kCuckooMetaMagic);
+  w.u64(config_.bucket_count);
+  w.u64(records_per_block_);
+  w.u64(extent_);
+  w.u64(size_);
+  w.u64(kicks_);
+  w.u64(kick_rng_state_);
+  // The memory-resident stash is part of the table's contents, not a
+  // cache: it must ride in the checkpoint (flattened key,value pairs).
+  std::vector<std::uint64_t> stash_words;
+  stash_words.reserve(stash_.size() * 2);
+  stash_.forEach([&](const Record& r) {
+    stash_words.push_back(r.key);
+    stash_words.push_back(r.value);
+  });
+  w.vec(stash_words);
+  return w.take();
+}
+
+void CuckooHashTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kCuckooMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == config_.bucket_count &&
+                        r.u64() == records_per_block_,
+                    "cuckoo checkpoint geometry mismatch");
+  extent_ = r.u64();
+  size_ = r.u64();
+  kicks_ = r.u64();
+  kick_rng_state_ = r.u64();
+  const std::vector<std::uint64_t> stash_words = r.vec();
+  EXTHASH_CHECK(stash_words.size() % 2 == 0);
+  stash_.clear();
+  for (std::size_t i = 0; i < stash_words.size(); i += 2) {
+    EXTHASH_CHECK(stash_.insertOrAssign(stash_words[i], stash_words[i + 1]));
+  }
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in cuckoo meta");
 }
 
 }  // namespace exthash::tables

@@ -53,6 +53,9 @@ class CuckooHashTable final : public ExternalHashTable {
   std::size_t stashSize() const noexcept { return stash_.size(); }
   std::uint64_t kicks() const noexcept { return kicks_; }
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   std::uint64_t bucket1(std::uint64_t key) const;
   std::uint64_t bucket2(std::uint64_t key) const;

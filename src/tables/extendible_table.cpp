@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tables/batch_util.h"
+#include "tables/meta_words.h"
 
 namespace exthash::tables {
 
@@ -356,6 +357,35 @@ void ExtendibleHashTable::validateLayout(AuditReport& report) const {
   EXTHASH_AUDIT_EXPECT(report, kComponent, records_seen == size_,
                        "buckets hold " << records_seen
                            << " records, size() reports " << size_);
+}
+
+namespace {
+constexpr std::uint64_t kExtendibleMetaMagic = 0x455854444D455441ULL;
+}  // namespace
+
+std::vector<std::uint64_t> ExtendibleHashTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kExtendibleMetaMagic);
+  w.u64(records_per_block_);
+  w.u64(global_depth_);
+  w.vec(directory_);
+  w.u64(bucket_blocks_);
+  w.u64(size_);
+  return w.take();
+}
+
+void ExtendibleHashTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kExtendibleMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == records_per_block_,
+                    "extendible checkpoint geometry mismatch");
+  global_depth_ = static_cast<std::uint32_t>(r.u64());
+  directory_ = r.vec();
+  EXTHASH_CHECK(directory_.size() == (std::size_t{1} << global_depth_));
+  bucket_blocks_ = r.u64();
+  size_ = r.u64();
+  dir_charge_.resize(directory_.size() + 8);
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in extendible meta");
 }
 
 }  // namespace exthash::tables

@@ -57,6 +57,9 @@ class ExtendibleHashTable final : public ExternalHashTable {
   std::size_t bucketBlocks() const noexcept { return bucket_blocks_; }
   double loadFactor() const noexcept;
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   // Test-only corruption hook for the invariant auditor.
   friend struct AuditPeer;

@@ -17,6 +17,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "extmem/block_device.h"
 #include "extmem/cached_io.h"
@@ -168,6 +169,46 @@ class ExternalHashTable {
   /// overrides do it themselves, mirroring visitLayout).
   virtual void validateLayout(AuditReport& report) const {
     if (read_cache_ != nullptr) read_cache_->audit(report);
+  }
+
+  // ---- Durability hooks (src/durability/) ------------------------------
+  //
+  // A checkpoint = serializeMeta() (the table's in-memory metadata as a
+  // word vector) + an image of every durable device; recovery constructs
+  // a FRESH table with the same factory config, restores the device
+  // images underneath it, then restoreMeta() overwrites the fresh
+  // object's in-memory state so it describes the restored blocks. The
+  // restore path NEVER frees the fresh constructor's allocations — the
+  // image restore already rewound the allocation map wholesale.
+
+  /// Serialize all in-memory metadata needed to re-adopt this table's
+  /// on-device state (extents, directories, split pointers, level/run
+  /// tables, memory-resident buffers). Default: unsupported.
+  virtual std::vector<std::uint64_t> serializeMeta() const {
+    throw UnsupportedOperation(std::string(name()) +
+                               " does not support serializeMeta");
+  }
+  /// Inverse of serializeMeta, on a freshly constructed table whose
+  /// devices have just been image-restored. Geometry derived from the
+  /// construction config must match the serialized geometry (checked).
+  virtual void restoreMeta(std::span<const std::uint64_t> words) {
+    (void)words;
+    throw UnsupportedOperation(std::string(name()) +
+                               " does not support restoreMeta");
+  }
+  /// The devices whose contents checkpoint/restore must cover. Ordinary
+  /// tables expose their context device; the sharded façade exposes one
+  /// per shard.
+  virtual std::size_t durableDeviceCount() const { return 1; }
+  virtual extmem::BlockDevice& durableDevice(std::size_t i) {
+    EXTHASH_CHECK(i == 0);
+    return *ctx_.device;
+  }
+  /// Drop every cached frame WITHOUT write-back — called by recovery
+  /// after the device image was rewound underneath the cache(s), when
+  /// every cached byte is a stale view.
+  virtual void invalidateCaches() {
+    if (read_cache_ != nullptr) read_cache_->discardAll();
   }
 
   /// Counted I/O this table has caused. For ordinary tables this is the

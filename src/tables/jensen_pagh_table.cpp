@@ -5,6 +5,7 @@
 
 #include "extmem/block_device.h"
 #include "tables/batch_util.h"
+#include "tables/meta_words.h"
 
 namespace exthash::tables {
 
@@ -384,6 +385,40 @@ std::string JensenPaghTable::debugString() const {
          ", overflow=" + std::to_string(overflowItems()) +
          ", load=" + std::to_string(loadFactor()) +
          ", rebuilds=" + std::to_string(rebuilds_) + "}";
+}
+
+namespace {
+constexpr std::uint64_t kJensenPaghMetaMagic = 0x4A504D4554414442ULL;
+}  // namespace
+
+std::vector<std::uint64_t> JensenPaghTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kJensenPaghMetaMagic);
+  w.u64(records_per_block_);
+  w.u64(capacity_target_);
+  w.u64(bucket_count_);
+  w.u64(extent_);
+  w.u64(size_);
+  w.u64(rebuilds_);
+  overflow_->serializeMetaInto(w);
+  return w.take();
+}
+
+void JensenPaghTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kJensenPaghMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == records_per_block_,
+                    "jensen-pagh checkpoint geometry mismatch");
+  capacity_target_ = r.u64();
+  bucket_count_ = r.u64();
+  extent_ = r.u64();
+  size_ = r.u64();
+  rebuilds_ = r.u64();
+  // The fresh constructor's overflow table owns blocks that predate the
+  // image restore; disown it before the checkpointed one takes its place.
+  if (overflow_) overflow_->abandon();
+  overflow_ = ChainingHashTable::restoreFromMeta(ctx_, r);
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in jensen-pagh meta");
 }
 
 }  // namespace exthash::tables

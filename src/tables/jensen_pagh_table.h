@@ -61,6 +61,9 @@ class JensenPaghTable final : public ExternalHashTable {
   std::uint64_t rebuilds() const noexcept { return rebuilds_; }
   std::uint64_t primaryBuckets() const noexcept { return bucket_count_; }
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   static constexpr std::uint32_t kHasOverflowFlag = 1;
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tables/batch_util.h"
+#include "tables/meta_words.h"
 
 namespace exthash::tables {
 
@@ -482,6 +483,42 @@ void LinearHashTable::validateLayout(AuditReport& report) const {
                        "chains link " << overflow_seen
                            << " overflow blocks, counter says "
                            << overflow_blocks_);
+}
+
+namespace {
+constexpr std::uint64_t kLinearHashMetaMagic = 0x4C494E484D455441ULL;
+}  // namespace
+
+std::vector<std::uint64_t> LinearHashTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kLinearHashMetaMagic);
+  w.u64(config_.initial_buckets);
+  w.dbl(config_.max_load);
+  w.u64(records_per_block_);
+  w.u64(level_);
+  w.u64(split_pointer_);
+  w.u64(size_);
+  w.u64(overflow_blocks_);
+  w.u64(splits_);
+  w.vec(segments_);
+  return w.take();
+}
+
+void LinearHashTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kLinearHashMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == config_.initial_buckets,
+                    "linear-hashing checkpoint geometry mismatch");
+  config_.max_load = r.dbl();
+  EXTHASH_CHECK(r.u64() == records_per_block_);
+  level_ = static_cast<std::uint32_t>(r.u64());
+  split_pointer_ = r.u64();
+  size_ = r.u64();
+  overflow_blocks_ = r.u64();
+  splits_ = r.u64();
+  segments_ = r.vec();
+  meta_charge_.resize(40 + segments_.size());
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in linear-hashing meta");
 }
 
 }  // namespace exthash::tables

@@ -58,6 +58,9 @@ class LinearHashTable final : public ExternalHashTable {
   double loadFactor() const noexcept;
   std::uint64_t splits() const noexcept { return splits_; }
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   // Test-only corruption hook for the invariant auditor.
   friend struct AuditPeer;

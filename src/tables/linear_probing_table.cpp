@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tables/batch_util.h"
+#include "tables/meta_words.h"
 
 namespace exthash::tables {
 
@@ -316,6 +317,37 @@ std::string LinearProbingHashTable::debugString() const {
   return "linear-probing{buckets=" + std::to_string(config_.bucket_count) +
          ", size=" + std::to_string(size_) +
          ", load=" + std::to_string(loadFactor()) + "}";
+}
+
+namespace {
+constexpr std::uint64_t kLinearProbingMetaMagic = 0x4C50524F4D455441ULL;
+}  // namespace
+
+std::vector<std::uint64_t> LinearProbingHashTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kLinearProbingMetaMagic);
+  w.u64(config_.bucket_count);
+  w.u64(static_cast<std::uint64_t>(config_.indexer.kind));
+  w.dbl(config_.indexer.power);
+  w.u64(records_per_block_);
+  w.u64(extent_);
+  w.u64(size_);
+  return w.take();
+}
+
+void LinearProbingHashTable::restoreMeta(
+    std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kLinearProbingMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == config_.bucket_count &&
+                        static_cast<IndexKind>(r.u64()) ==
+                            config_.indexer.kind,
+                    "linear-probing checkpoint geometry mismatch");
+  config_.indexer.power = r.dbl();
+  EXTHASH_CHECK(r.u64() == records_per_block_);
+  extent_ = r.u64();
+  size_ = r.u64();
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in linear-probing meta");
 }
 
 }  // namespace exthash::tables

@@ -54,6 +54,9 @@ class LinearProbingHashTable final : public ExternalHashTable {
   double loadFactor() const noexcept;
   std::size_t recordsPerBlock() const noexcept { return records_per_block_; }
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   static constexpr std::uint32_t kOverflowedFlag = 1;
 

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tables/meta_words.h"
+
 namespace exthash::tables {
 
 LogMethodTable::LogMethodTable(TableContext ctx, LogMethodConfig config)
@@ -409,6 +411,67 @@ std::string LogMethodTable::debugString() const {
   }
   s += "], merges=" + std::to_string(merges_) + "}";
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint metadata
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kLogMethodMetaMagic = 0x4C4F474D4D455441ULL;  // LOGMMETA
+}  // namespace
+
+std::vector<std::uint64_t> LogMethodTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kLogMethodMetaMagic);
+  w.u64(config_.gamma);
+  w.u64(config_.h0_capacity_items);
+  w.u64(records_per_block_);
+  w.u64(live_size_);
+  w.u64(merges_);
+  // H0 contents (tombstones included) live only in memory, so they travel
+  // in the manifest alongside the structural state.
+  std::vector<std::uint64_t> mem;
+  h0_.forEach([&](const Record& r) {
+    mem.push_back(r.key);
+    mem.push_back(r.value);
+  });
+  w.vec(mem);
+  // Each nonempty level embeds its own tagged chaining section, complete
+  // with the level's ACTUAL bucket geometry (levels are rebuilt sized for
+  // their contents, so it cannot be derived from levelCapacity alone).
+  w.u64(levels_.size());
+  for (const auto& level : levels_) {
+    w.b(level != nullptr);
+    if (level) level->serializeMetaInto(w);
+  }
+  return w.take();
+}
+
+void LogMethodTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kLogMethodMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == config_.gamma &&
+                        r.u64() == config_.h0_capacity_items &&
+                        r.u64() == records_per_block_,
+                    "log-method checkpoint geometry mismatch");
+  live_size_ = r.u64();
+  merges_ = r.u64();
+  const std::vector<std::uint64_t> mem = r.vec();
+  EXTHASH_CHECK(mem.size() % 2 == 0);
+  h0_.clear();
+  for (std::size_t i = 0; i < mem.size(); i += 2)
+    EXTHASH_CHECK(h0_.insertOrAssign(mem[i], mem[i + 1]));
+  // The restored levels' extents were rewound into existence by
+  // restoreImage; a fresh table owns no levels, so nothing is freed here.
+  EXTHASH_CHECK_MSG(levels_.empty(),
+                    "log-method restoreMeta expects a freshly constructed "
+                    "table");
+  levels_.resize(r.u64());
+  for (auto& level : levels_) {
+    if (r.b()) level = ChainingHashTable::restoreFromMeta(ctx_, r);
+  }
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in log-method checkpoint meta");
 }
 
 void LogMethodTable::validateLayout(AuditReport& report) const {

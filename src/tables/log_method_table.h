@@ -74,6 +74,9 @@ class LogMethodTable final : public ExternalHashTable {
   /// Records currently buffered (H0 + all levels), including tombstones.
   std::size_t bufferedRecords() const noexcept;
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
   /// Drain every record (newest-first deduplicated, tombstones INCLUDED)
   /// as one hash-ordered cursor, leaving the structure empty. Used by the
   /// Theorem-2 table when merging the buffer into Ĥ. The returned cursor

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tables/meta_words.h"
+
 namespace exthash::tables {
 
 using extmem::BlockId;
@@ -550,6 +552,99 @@ std::string LsmTable::debugString() const {
   }
   s += "], compactions=" + std::to_string(compactions_) + "}";
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint metadata
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kLsmMetaMagic = 0x4C534D544D455441ULL;  // LSMTMETA
+}  // namespace
+
+std::vector<std::uint64_t> LsmTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kLsmMetaMagic);
+  w.u64(config_.memtable_capacity_items);
+  w.u64(config_.fanout);
+  w.u64(config_.fence_stride);
+  w.u64(config_.bloom_bits_per_key);
+  w.u64(records_per_block_);
+  w.u64(live_size_);
+  w.u64(compactions_);
+  // Memtable contents travel in the manifest: they are memory-resident
+  // state the device images cannot capture.
+  std::vector<std::uint64_t> mem;
+  memtable_.forEach([&](const Record& r) {
+    mem.push_back(r.key);
+    mem.push_back(r.value);
+  });
+  w.vec(mem);
+  w.u64(levels_.size());
+  for (const auto& level : levels_) {
+    w.u64(level.size());
+    for (const Run& run : level) {
+      w.u64(run.extent);
+      w.u64(run.blocks);
+      w.u64(run.records);
+      w.u64(run.min_key);
+      w.u64(run.max_key);
+      w.vec(run.fences);
+      w.b(run.bloom != nullptr);
+      if (run.bloom) {
+        w.u64(run.bloom->bits());
+        w.u64(run.bloom->hashCount());
+        w.u64(run.bloom->seed());
+        const auto bloom_words = run.bloom->wordSpan();
+        w.vec(bloom_words);
+      }
+    }
+  }
+  return w.take();
+}
+
+void LsmTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kLsmMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == config_.memtable_capacity_items &&
+                        r.u64() == config_.fanout &&
+                        r.u64() == config_.fence_stride &&
+                        r.u64() == config_.bloom_bits_per_key &&
+                        r.u64() == records_per_block_,
+                    "lsm checkpoint geometry mismatch");
+  live_size_ = r.u64();
+  compactions_ = r.u64();
+  const std::vector<std::uint64_t> mem = r.vec();
+  EXTHASH_CHECK(mem.size() % 2 == 0);
+  memtable_.clear();
+  for (std::size_t i = 0; i < mem.size(); i += 2)
+    EXTHASH_CHECK(memtable_.insertOrAssign(mem[i], mem[i + 1]));
+  // A freshly constructed table owns no runs; the run extents below were
+  // rewound into existence by restoreImage, so no frees are due here.
+  EXTHASH_CHECK_MSG(levels_.empty(),
+                    "lsm restoreMeta expects a freshly constructed table");
+  levels_.resize(r.u64());
+  for (auto& level : levels_) {
+    level.resize(r.u64());
+    for (Run& run : level) {
+      run.extent = r.u64();
+      run.blocks = r.u64();
+      run.records = r.u64();
+      run.min_key = r.u64();
+      run.max_key = r.u64();
+      run.fences = r.vec();
+      run.fence_charge =
+          extmem::MemoryCharge(*ctx_.memory, run.fences.size() + 6);
+      if (r.b()) {
+        const std::size_t bit_count = r.u64();
+        const std::size_t hash_count = r.u64();
+        const std::uint64_t seed = r.u64();
+        run.bloom = std::make_unique<extmem::BloomFilter>(
+            *ctx_.memory, bit_count, hash_count, seed, r.vec());
+      }
+    }
+  }
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in lsm checkpoint meta");
 }
 
 void LsmTable::validateLayout(AuditReport& report) const {

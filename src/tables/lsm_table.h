@@ -81,6 +81,9 @@ class LsmTable final : public ExternalHashTable {
   std::size_t levelCount() const noexcept { return levels_.size(); }
   std::uint64_t compactions() const noexcept { return compactions_; }
 
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+
  private:
   // Test-only corruption hook for the invariant auditor.
   friend struct AuditPeer;

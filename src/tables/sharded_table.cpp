@@ -7,6 +7,8 @@
 #include "obs/metrics.h"
 #include "util/random.h"
 
+#include "tables/meta_words.h"
+
 namespace exthash::tables {
 
 namespace {
@@ -67,13 +69,7 @@ ShardedTable::ShardedTable(TableContext ctx, ShardedTableConfig config)
           ? 0
           : std::max<std::size_t>(1, ctx_.memory->limit() / n);
 
-  GeneralConfig inner = config_.inner_config;
-  inner.expected_n =
-      std::max<std::size_t>(1, (inner.expected_n + n - 1) / n);
-  if (inner.buffer_items > 0) {
-    inner.buffer_items =
-        std::max<std::size_t>(1, (inner.buffer_items + n - 1) / n);
-  }
+  const GeneralConfig inner = innerShardConfig();
 
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
@@ -102,6 +98,18 @@ ShardedTable::ShardedTable(TableContext ctx, ShardedTableConfig config)
     if (shard.cache) shard.table->attachCache(shard.cache.get());
     shards_.push_back(std::move(shard));
   }
+}
+
+GeneralConfig ShardedTable::innerShardConfig() const {
+  const std::size_t n = config_.shards;
+  GeneralConfig inner = config_.inner_config;
+  inner.expected_n =
+      std::max<std::size_t>(1, (inner.expected_n + n - 1) / n);
+  if (inner.buffer_items > 0) {
+    inner.buffer_items =
+        std::max<std::size_t>(1, (inner.buffer_items + n - 1) / n);
+  }
+  return inner;
 }
 
 std::size_t ShardedTable::shardOf(std::uint64_t key) const noexcept {
@@ -267,6 +275,63 @@ std::size_t ShardedTable::failedShardCount() const noexcept {
 
 void ShardedTable::clearShardErrors() noexcept {
   for (const Shard& shard : shards_) shard.error = nullptr;
+}
+
+void ShardedTable::resetShard(std::size_t i) {
+  EXTHASH_CHECK(i < shards_.size());
+  Shard& shard = shards_[i];
+  shard.error = nullptr;
+  // Discard before destroying: the old table's destructor flushes through
+  // the cache, and a quarantined dirty frame from the fault that killed
+  // the shard must not be written into the rebuilt structure.
+  if (shard.cache) shard.cache->discardAll();
+  shard.table.reset();  // frees the old structure's blocks on the device
+  shard.table = makeTable(
+      config_.inner,
+      TableContext{shard.device.get(), shard.memory.get(), ctx_.hash},
+      innerShardConfig());
+  if (shard.cache) shard.table->attachCache(shard.cache.get());
+  EXTHASH_OBS_COUNT("exthash_shard_resets_total", 1);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint metadata
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kShardedMetaMagic = 0x53484152444D4554ULL;  // SHARDMET
+}  // namespace
+
+std::vector<std::uint64_t> ShardedTable::serializeMeta() const {
+  MetaWriter w;
+  w.tag(kShardedMetaMagic);
+  w.u64(shards_.size());
+  w.u64(static_cast<std::uint64_t>(config_.inner));
+  // Length-prefixed per-shard sections keep the inner formats opaque to
+  // the façade.
+  for (const Shard& shard : shards_) w.vec(shard.table->serializeMeta());
+  return w.take();
+}
+
+void ShardedTable::restoreMeta(std::span<const std::uint64_t> words) {
+  MetaReader r(words);
+  r.expectTag(kShardedMetaMagic);
+  EXTHASH_CHECK_MSG(r.u64() == shards_.size() &&
+                        static_cast<TableKind>(r.u64()) == config_.inner,
+                    "sharded checkpoint geometry mismatch");
+  // The checkpointed state predates whatever fault latched a shard; the
+  // restored structure is consistent, so the shard re-admits traffic.
+  clearShardErrors();
+  for (const Shard& shard : shards_) {
+    const std::vector<std::uint64_t> inner_meta = r.vec();
+    shard.table->restoreMeta(inner_meta);
+  }
+  EXTHASH_CHECK_MSG(r.done(), "trailing words in sharded checkpoint meta");
+}
+
+void ShardedTable::invalidateCaches() {
+  // Each inner table's attached cache IS the shard's private cache.
+  for (const Shard& shard : shards_) shard.table->invalidateCaches();
 }
 
 std::size_t ShardedTable::size() const {

@@ -171,6 +171,25 @@ class ShardedTable final : public ExternalHashTable {
   /// cleared; the next flush barrier lands any quarantined frames.
   void clearShardErrors() noexcept;
 
+  /// Tear shard i down to an empty inner table on the SAME private device
+  /// and rebuild it from scratch: the latch clears, every cached frame is
+  /// discarded (quarantined ones included), the old structure's blocks are
+  /// freed, and a fresh inner table is constructed exactly as at startup.
+  /// The façade must be quiescent; the other shards are untouched and keep
+  /// serving. This is the per-shard recovery primitive — callers repopulate
+  /// the shard (e.g. by replaying its slice of a WAL) afterwards.
+  void resetShard(std::size_t i);
+
+  // Durability hooks: one durable device per shard; metadata is the
+  // per-shard inner metadata, length-prefixed per shard.
+  std::vector<std::uint64_t> serializeMeta() const override;
+  void restoreMeta(std::span<const std::uint64_t> words) override;
+  std::size_t durableDeviceCount() const override { return shards_.size(); }
+  extmem::BlockDevice& durableDevice(std::size_t i) override {
+    return *shards_[i].device;
+  }
+  void invalidateCaches() override;
+
   std::size_t shardCount() const noexcept { return shards_.size(); }
   ExternalHashTable& shard(std::size_t i) { return *shards_[i].table; }
   extmem::BlockDevice& shardDevice(std::size_t i) {
@@ -210,6 +229,9 @@ class ShardedTable final : public ExternalHashTable {
   };
 
   std::size_t shardOf(std::uint64_t key) const noexcept;
+  /// The per-shard inner config the constructor derives (1/N sizing) —
+  /// shared with resetShard so a rebuilt shard matches its siblings.
+  GeneralConfig innerShardConfig() const;
   /// Run one shard's slice of work with the fault-isolation contract:
   /// fail fast on a latched shard (without touching it), latch IoErrors,
   /// pass every error back for the caller to rethrow after the fan-out.

@@ -1,0 +1,434 @@
+// End-to-end crash-recovery sweep: every table kind runs an acknowledged
+// ingest through the WAL-attached pipeline while a deterministic crash
+// point (seal, torn log append, mid-checkpoint, mid-apply, mid-replay)
+// freezes one of the devices, and recovery on a fresh table must
+// reproduce EXACTLY the acknowledged prefix — the AckLedger replays the
+// same submit stream through the same coalescing/seal rules as the
+// pipeline, so ledger window k IS WAL LSN k and stateThroughLsn(L) is the
+// ground truth for any recovered LSN L. Distinct per-op values make the
+// oracle exactly-once: a lost acknowledged op or a resurrected
+// unacknowledged one both surface as a value mismatch on the full
+// universe sweep. Satellite coverage for per-shard recovery
+// (ShardedTable::resetShard) lives at the bottom.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "durability/ledger.h"
+#include "durability/recovery.h"
+#include "extmem/block_device.h"
+#include "extmem/fault.h"
+#include "pipeline/ingest_pipeline.h"
+#include "table_test_util.h"
+#include "tables/factory.h"
+#include "tables/sharded_table.h"
+
+namespace exthash {
+namespace {
+
+using durability::AckLedger;
+using durability::DurabilityManager;
+using durability::RecoveryResult;
+using extmem::BlockDevice;
+using extmem::FaultPolicy;
+using extmem::IoOpKind;
+using pipeline::IngestPipeline;
+using pipeline::PipelineConfig;
+using tables::GeneralConfig;
+using tables::Op;
+using tables::TableKind;
+
+constexpr std::size_t kWindow = 32;        // pipeline + ledger seal size
+constexpr std::size_t kCheckpointEvery = 128;  // ops between checkpoints
+
+// The buffered table (and the sharded façade over it, its default inner)
+// is the paper's insert-only distinct-key model; every other kind takes
+// the mixed insert/erase stream.
+bool insertOnlyKind(TableKind kind) {
+  return kind == TableKind::kBuffered || kind == TableKind::kSharded;
+}
+
+struct Workload {
+  std::vector<std::uint64_t> universe;
+  std::vector<Op> ops;
+};
+
+Workload makeWorkload(TableKind kind, std::uint64_t seed) {
+  Workload w;
+  if (insertOnlyKind(kind)) {
+    // Distinct keys, insert-only; seed shuffles the order.
+    w.universe = testing::distinctKeys(512, /*seed=*/99);
+    std::vector<std::uint64_t> order = w.universe;
+    std::mt19937_64 rng(seed);
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      w.ops.push_back(Op::insertOp(order[i], 2 * i + 1));
+    }
+    return w;
+  }
+  w.universe = testing::distinctKeys(256, /*seed=*/99);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < 384; ++i) {
+    const std::uint64_t key = w.universe[rng() % w.universe.size()];
+    if (rng() % 8 == 0) {
+      w.ops.push_back(Op::eraseOp(key));
+    } else {
+      // Distinct values (and != the tombstone sentinel) per op, so the
+      // oracle detects stale/duplicated replay, not just presence.
+      w.ops.push_back(Op::insertOp(key, 2 * i + 1));
+    }
+  }
+  return w;
+}
+
+enum class CrashTarget { kNone, kWal, kManifest, kTable };
+
+struct CrashPoint {
+  const char* name;
+  CrashTarget target;
+  std::uint64_t nth_write;   // crash at the nth kWrite (0 = disarmed)
+  std::uint64_t nth_rmw;     // additionally arm the nth kRmw (0 = none)
+  bool torn;                 // tear the crashing write mid-block
+};
+
+GeneralConfig sweepConfig() {
+  GeneralConfig cfg;
+  cfg.expected_n = 512;
+  cfg.buffer_items = 32;
+  cfg.shards = 2;
+  cfg.shard_threads = 1;
+  cfg.shard_cache_frames = 0;  // no write-back frames to flush at teardown
+  return cfg;
+}
+
+// Run one ingest-crash-recover episode and check the oracle. Returns the
+// recovery result for point-specific assertions.
+RecoveryResult runEpisode(TableKind kind, std::uint64_t seed,
+                          const CrashPoint& point) {
+  testing::TestRig rig(8);
+  const GeneralConfig cfg = sweepConfig();
+  const Workload w = makeWorkload(kind, seed);
+
+  auto table = makeTable(kind, rig.context(), cfg);
+  DurabilityManager dm(rig.device->wordsPerBlock());
+  dm.begin(*table);
+
+  // Arm the crash AFTER the initial checkpoint so op counts are relative
+  // to the ingest phase. The policy must outlive the pipeline.
+  FaultPolicy policy(/*seed=*/seed);
+  BlockDevice* target = nullptr;
+  switch (point.target) {
+    case CrashTarget::kNone:
+      break;
+    case CrashTarget::kWal:
+      target = &dm.walDevice();
+      break;
+    case CrashTarget::kManifest:
+      target = &dm.manifestDevice();
+      break;
+    case CrashTarget::kTable:
+      target = &table->durableDevice(0);
+      break;
+  }
+  const std::size_t torn_words = point.torn ? rig.device->wordsPerBlock() / 2 : 0;
+  if (target != nullptr) {
+    policy.crashOpNumber(IoOpKind::kWrite, point.nth_write, torn_words);
+    if (point.nth_rmw != 0) {
+      policy.crashOpNumber(IoOpKind::kRmw, point.nth_rmw, torn_words);
+    }
+    target->setFaultPolicy(&policy);
+  }
+
+  AckLedger ledger(kWindow);
+  bool crashed = false;
+  {
+    PipelineConfig pcfg;
+    pcfg.batch_capacity = kWindow;
+    pcfg.max_pending_batches = 2;
+    pcfg.wal = &dm.wal();
+    IngestPipeline pipe(*table, pcfg);
+    for (std::size_t i = 0; i < w.ops.size(); ++i) {
+      try {
+        pipe.submit(w.ops[i]);
+      } catch (...) {
+        crashed = true;
+        break;
+      }
+      // Mirror ONLY accepted ops — the fail-stop latch rejects at entry,
+      // so a throwing submit never reached the staging window.
+      ledger.submit(w.ops[i]);
+      if ((i + 1) % kCheckpointEvery == 0 && i + 1 < w.ops.size()) {
+        try {
+          pipe.submitMaintenance([&dm, &table] { dm.checkpoint(*table); });
+        } catch (...) {
+          crashed = true;
+          break;
+        }
+      }
+    }
+    if (!crashed) {
+      try {
+        pipe.drain();
+      } catch (...) {
+        crashed = true;
+      }
+    }
+    // Pipeline teardown swallows background errors from the crash.
+  }
+  ledger.seal();  // mirror drain()'s final partial-window seal
+
+  if (target != nullptr) {
+    EXPECT_TRUE(crashed) << "armed crash point never fired";
+    EXPECT_GE(policy.crashesFired(), 1u);
+  } else {
+    EXPECT_FALSE(crashed);
+  }
+
+  // Snapshot the acknowledgement horizon, then stop the machine.
+  const std::uint64_t acked_lsn = dm.wal().durableLsn();
+  dm.freezeAll(*table);
+  if (target != nullptr) {
+    target->setFaultPolicy(nullptr);  // before the shard devices die
+    policy.clear();
+  }
+  table.reset();         // frozen devices free as a no-op
+  rig.device->thaw();    // the fresh table's constructor must allocate
+
+  auto fresh = makeTable(kind, rig.context(), cfg);
+  const RecoveryResult result = dm.recover(*fresh);
+
+  // Prefix consistency: everything acknowledged before the crash is in.
+  EXPECT_GE(result.recovered_lsn, acked_lsn);
+
+  // Bit-exact contents vs the reference model of acknowledged operations:
+  // sweep the full key universe so lost AND resurrected ops both show.
+  const auto expected = ledger.stateThroughLsn(result.recovered_lsn);
+  for (const std::uint64_t key : w.universe) {
+    const auto got = fresh->lookup(key);
+    const auto it = expected.find(key);
+    if (it == expected.end() || !it->second.has_value()) {
+      EXPECT_EQ(got, std::nullopt) << "key " << key << " resurrected";
+    } else {
+      EXPECT_EQ(got, it->second) << "key " << key << " lost or stale";
+    }
+  }
+
+  // The recovered table must SERVE, not just read back: ingest a few
+  // never-seen keys directly. (Same Feistel permutation as the universe,
+  // indices past it — distinct by construction, which matters for the
+  // insert-only kinds where re-inserting shadows instead of updating.)
+  const auto extra = testing::distinctKeys(520, /*seed=*/99);
+  for (std::size_t i = 512; i < extra.size(); ++i) {
+    const std::uint64_t key = extra[i];
+    fresh->applyBatch(std::vector<Op>{Op::insertOp(key, 0x5EED0000 + i)});
+    EXPECT_EQ(fresh->lookup(key), std::optional<std::uint64_t>(0x5EED0000 + i));
+  }
+  return result;
+}
+
+void sweep(const CrashPoint& point) {
+  for (const TableKind kind : tables::kAllTableKindsWithSharded) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      SCOPED_TRACE(::testing::Message()
+                   << tableKindName(kind) << " seed=" << seed
+                   << " point=" << point.name);
+      runEpisode(kind, seed, point);
+    }
+  }
+}
+
+// A window seal's WAL append vanishes whole: the record was never
+// acknowledged, so recovery must land exactly on the previous window.
+TEST(CrashRecovery, CrashAtWindowSeal) {
+  sweep({"seal", CrashTarget::kWal, /*nth_write=*/5, /*nth_rmw=*/0,
+         /*torn=*/false});
+}
+
+// The same append tears mid-block: the reader must truncate the torn
+// tail and recovery replays only the durable prefix.
+TEST(CrashRecovery, TornWriteDuringLogAppend) {
+  sweep({"log-append-torn", CrashTarget::kWal, /*nth_write=*/9,
+         /*nth_rmw=*/0, /*torn=*/true});
+}
+
+// Crash inside the periodic checkpoint (manifest payload or header
+// write): the superblock pair guarantees the OTHER slot's checkpoint +
+// the full log still recover everything acknowledged.
+TEST(CrashRecovery, CrashDuringCheckpoint) {
+  sweep({"checkpoint", CrashTarget::kManifest, /*nth_write=*/3,
+         /*nth_rmw=*/0, /*torn=*/true});
+}
+
+// Crash while applyBatch writes table blocks — the window's WAL record
+// is already durable (log-before-apply), so replay reconstructs it; the
+// torn table write itself is immaterial because table devices rewind to
+// the checkpoint images.
+TEST(CrashRecovery, TornWriteDuringApply) {
+  sweep({"apply", CrashTarget::kTable, /*nth_write=*/4, /*nth_rmw=*/6,
+         /*torn=*/true});
+}
+
+// Crash in the middle of recovery's own replay, then recover AGAIN: the
+// LSN fence makes replay idempotent across attempts.
+TEST(CrashRecovery, CrashMidReplayThenRecoverAgain) {
+  for (const TableKind kind : tables::kAllTableKindsWithSharded) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      SCOPED_TRACE(::testing::Message()
+                   << tableKindName(kind) << " seed=" << seed
+                   << " point=mid-replay");
+      testing::TestRig rig(8);
+      const GeneralConfig cfg = sweepConfig();
+      const Workload w = makeWorkload(kind, seed);
+
+      auto table = makeTable(kind, rig.context(), cfg);
+      DurabilityManager dm(rig.device->wordsPerBlock());
+      dm.begin(*table);
+
+      AckLedger ledger(kWindow);
+      {
+        PipelineConfig pcfg;
+        pcfg.batch_capacity = kWindow;
+        pcfg.max_pending_batches = 2;
+        pcfg.wal = &dm.wal();
+        IngestPipeline pipe(*table, pcfg);
+        for (std::size_t i = 0; i < w.ops.size(); ++i) {
+          pipe.submit(w.ops[i]);
+          ledger.submit(w.ops[i]);
+          // Checkpoint mid-stream only: the tail past the last checkpoint
+          // is what recovery will replay.
+          if ((i + 1) % kCheckpointEvery == 0 && i + 1 < w.ops.size()) {
+            pipe.submitMaintenance([&dm, &table] { dm.checkpoint(*table); });
+          }
+        }
+        pipe.drain();
+      }
+      ledger.seal();
+      const std::uint64_t acked_lsn = dm.wal().durableLsn();
+      ASSERT_GT(acked_lsn, 0u);
+
+      dm.freezeAll(*table);  // clean power loss after a full drain
+      table.reset();
+      rig.device->thaw();
+
+      // Recovery attempt #1 crashes while replay writes into the fresh
+      // table.
+      FaultPolicy policy(seed);
+      auto fresh1 = makeTable(kind, rig.context(), cfg);
+      policy.crashOpNumber(IoOpKind::kWrite, 2, /*torn_words=*/2);
+      policy.crashOpNumber(IoOpKind::kRmw, 2, /*torn_words=*/2);
+      fresh1->durableDevice(0).setFaultPolicy(&policy);
+      EXPECT_THROW(dm.recover(*fresh1), extmem::DeviceCrashed);
+      EXPECT_GE(policy.crashesFired(), 1u);
+
+      fresh1->durableDevice(0).setFaultPolicy(nullptr);
+      policy.clear();
+      fresh1.reset();  // recover() re-thawed everything on the way out
+
+      // Attempt #2 on another fresh table succeeds and lands on the same
+      // state — replay is idempotent behind the LSN fence.
+      auto fresh2 = makeTable(kind, rig.context(), cfg);
+      const RecoveryResult result = dm.recover(*fresh2);
+      EXPECT_GE(result.recovered_lsn, acked_lsn);
+      EXPECT_GT(result.replayed_records, 0u);
+
+      const auto expected = ledger.stateThroughLsn(result.recovered_lsn);
+      for (const std::uint64_t key : w.universe) {
+        const auto got = fresh2->lookup(key);
+        const auto it = expected.find(key);
+        if (it == expected.end() || !it->second.has_value()) {
+          EXPECT_EQ(got, std::nullopt) << "key " << key << " resurrected";
+        } else {
+          EXPECT_EQ(got, it->second) << "key " << key << " lost or stale";
+        }
+      }
+    }
+  }
+}
+
+// No crash at all: the full sweep doubles as a clean-shutdown recovery
+// check (freeze after drain, recover, everything acknowledged present).
+TEST(CrashRecovery, CleanShutdownRecoversEverything) {
+  for (const TableKind kind : tables::kAllTableKindsWithSharded) {
+    SCOPED_TRACE(tableKindName(kind));
+    const RecoveryResult result = runEpisode(
+        kind, /*seed=*/7, {"none", CrashTarget::kNone, 0, 0, false});
+    EXPECT_FALSE(result.torn_tail);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: per-shard recovery primitive — a reset shard rejoins while
+// the healthy shards never stop serving.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecovery, ResetShardServesWhileOthersKeepServing) {
+  testing::TestRig rig(8);
+  tables::ShardedTableConfig scfg;
+  scfg.shards = 3;
+  scfg.inner = TableKind::kChaining;
+  scfg.inner_config.expected_n = 256;
+  scfg.threads = 1;
+  tables::ShardedTable table(rig.context(), scfg);
+
+  const auto keys = testing::distinctKeys(96);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    table.insert(keys[i], i + 1);
+  }
+
+  // Classify keys by owning shard BEFORE faulting anything.
+  std::vector<std::size_t> shard_of(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto block = table.primaryBlockOf(keys[i]);
+    ASSERT_TRUE(block.has_value());
+    shard_of[i] = tables::ShardedTable::shardOfBlockId(*block);
+  }
+
+  // Shard 0's device goes bad: every access faults until the policy
+  // clears, so its first lookup exhausts retries and latches the shard.
+  FaultPolicy policy(/*seed=*/3);
+  policy.setFailureProbability(1.0);
+  table.shardDevice(0).setFaultPolicy(&policy);
+
+  std::size_t failed_lookups = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (shard_of[i] == 0) {
+      EXPECT_THROW(table.lookup(keys[i]), extmem::IoError);
+      ++failed_lookups;
+    } else {
+      // Healthy shards keep serving while shard 0 is down.
+      EXPECT_EQ(table.lookup(keys[i]), std::optional<std::uint64_t>(i + 1));
+    }
+  }
+  ASSERT_GT(failed_lookups, 0u);
+  EXPECT_TRUE(table.shardFailed(0));
+  EXPECT_EQ(table.failedShardCount(), 1u);
+
+  // The fault clears; reset rebuilds shard 0 empty on the same device.
+  table.shardDevice(0).setFaultPolicy(nullptr);
+  table.resetShard(0);
+  EXPECT_FALSE(table.shardFailed(0));
+  EXPECT_EQ(table.failedShardCount(), 0u);
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (shard_of[i] == 0) {
+      // Reset shard is empty (this test attaches no WAL) but SERVES.
+      EXPECT_EQ(table.lookup(keys[i]), std::nullopt);
+    } else {
+      // The others never lost their contents.
+      EXPECT_EQ(table.lookup(keys[i]), std::optional<std::uint64_t>(i + 1));
+    }
+  }
+
+  // Repopulating the reset shard works like day one.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (shard_of[i] == 0) {
+      EXPECT_TRUE(table.insert(keys[i], 1000 + i));
+      EXPECT_EQ(table.lookup(keys[i]), std::optional<std::uint64_t>(1000 + i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exthash

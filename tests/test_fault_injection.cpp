@@ -317,6 +317,47 @@ TEST(CacheQuarantine, EvictionMakesProgressPastQuarantinedFrames) {
   EXPECT_EQ(cache.quarantinedFrames(), 0u);
 }
 
+TEST(CacheQuarantine, GiveUpEscalatesToPermanentAndCounts) {
+  BlockDevice dev(8);
+  FaultPolicy policy(13);
+  extmem::MemoryBudget budget(0);
+  BlockCache cache(dev, budget, 2, BlockCache::WritePolicy::kWriteBack,
+                   extmem::ReplacementKind::kLru);
+  cache.setQuarantineGiveUpThreshold(3);
+  RetryPolicy rp;
+  rp.max_attempts = 2;
+  dev.setRetryPolicy(rp);
+
+  const BlockId a = dev.allocate();
+  cache.withOverwrite(a, [](std::span<Word> data) { data[0] = 111; });
+  policy.failBlock(a);  // sticky transient: every write-back attempt fails
+  dev.setFaultPolicy(&policy);
+
+  // Failures 1 and 2: the barrier reports the (transient-rooted) fault
+  // but has not given up yet.
+  EXPECT_THROW(cache.flush(), IoError);
+  EXPECT_THROW(cache.flush(), IoError);
+  EXPECT_EQ(cache.quarantineGaveUp(), 0u);
+
+  // Failure 3 crosses the threshold: the NEXT barrier escalates to
+  // PermanentIoError even though every underlying fault was transient,
+  // and the give-up counter records the frame exactly once per streak.
+  EXPECT_THROW(cache.flush(), IoError);
+  EXPECT_EQ(cache.quarantineGaveUp(), 1u);
+  EXPECT_THROW(cache.flush(), PermanentIoError);
+  EXPECT_EQ(cache.quarantineGaveUp(), 1u);  // once per streak, not per flush
+
+  // Give-up changes what the caller is told, not what the cache protects:
+  // the data is retained and a cleared fault still lands it.
+  policy.clear();
+  EXPECT_NO_THROW(cache.flush());
+  EXPECT_EQ(cache.quarantinedFrames(), 0u);
+  cache.invalidate(a);
+  std::uint64_t on_disk = 0;
+  dev.withRead(a, [&](std::span<const Word> data) { on_disk = data[0]; });
+  EXPECT_EQ(on_disk, 111u);
+}
+
 // ---------------------------------------------------------------------------
 // Pipeline fail-stop and reset()
 // ---------------------------------------------------------------------------
