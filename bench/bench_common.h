@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "extmem/block_device.h"
@@ -27,9 +28,10 @@ struct Rig {
   std::unique_ptr<extmem::MemoryBudget> memory;
   hashfn::HashPtr hash;
 
-  Rig(std::size_t b, std::size_t memory_words, std::uint64_t seed)
+  Rig(std::size_t b, std::size_t memory_words, std::uint64_t seed,
+      const extmem::StorageOptions& storage = {})
       : device(std::make_unique<extmem::BlockDevice>(
-            extmem::wordsForRecordCapacity(b))),
+            extmem::wordsForRecordCapacity(b), storage)),
         memory(std::make_unique<extmem::MemoryBudget>(memory_words)),
         hash(hashfn::makeHash(hashfn::HashKind::kMix, seed)) {}
 
@@ -37,6 +39,27 @@ struct Rig {
     return tables::TableContext{device.get(), memory.get(), hash};
   }
 };
+
+/// Parse a --device spec into StorageOptions: "mem" (the default
+/// in-memory backend), "file" (backing files under the system temp
+/// directory), or "file:<dir>". `direct` requests O_DIRECT on file
+/// backends (best effort — tmpfs falls back to buffered I/O).
+inline extmem::StorageOptions parseDeviceSpec(const std::string& spec,
+                                              bool direct = false) {
+  extmem::StorageOptions options;
+  if (spec.empty() || spec == "mem") return options;
+  options.backend = extmem::StorageOptions::Backend::kFile;
+  options.direct_io = direct;
+  constexpr std::string_view kFilePrefix = "file:";
+  if (spec.rfind(kFilePrefix, 0) == 0) {
+    options.directory = spec.substr(kFilePrefix.size());
+  } else if (spec != "file") {
+    std::cerr << "unknown --device spec '" << spec
+              << "' (want mem | file | file:<dir>); using mem\n";
+    options.backend = extmem::StorageOptions::Backend::kMemory;
+  }
+  return options;
+}
 
 /// Run the standard protocol for one (kind, b, n) point.
 inline workload::TradeoffMeasurement measurePoint(

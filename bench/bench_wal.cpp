@@ -59,18 +59,21 @@ GeneralConfig benchConfig(std::size_t universe) {
 struct ThroughputPoint {
   double ops_per_s = 0;
   std::uint64_t durable_lsn = 0;
+  std::uint64_t fsyncs = 0;  // barriers the WAL device issued (fsync tax)
 };
 
 ThroughputPoint ingestArm(TableKind kind, std::size_t ops_count,
                           std::size_t universe, double theta,
                           std::size_t depth, std::uint64_t seed,
-                          bool durable) {
-  bench::Rig rig(/*b=*/8, /*memory_words=*/0, deriveSeed(seed, 1));
-  auto table = makeTable(kind, rig.context(), benchConfig(universe));
+                          bool durable, const extmem::StorageOptions& storage) {
+  bench::Rig rig(/*b=*/8, /*memory_words=*/0, deriveSeed(seed, 1), storage);
+  GeneralConfig cfg = benchConfig(universe);
+  cfg.shard_storage = storage;
+  auto table = makeTable(kind, rig.context(), cfg);
 
   std::optional<DurabilityManager> dm;
   if (durable) {
-    dm.emplace(rig.device->wordsPerBlock());
+    dm.emplace(rig.device->wordsPerBlock(), storage);
     dm->begin(*table);
   }
 
@@ -92,7 +95,10 @@ ThroughputPoint ingestArm(TableKind kind, std::size_t ops_count,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   point.ops_per_s = elapsed > 0 ? static_cast<double>(ops_count) / elapsed : 0;
-  if (durable) point.durable_lsn = dm->wal().durableLsn();
+  if (durable) {
+    point.durable_lsn = dm->wal().durableLsn();
+    point.fsyncs = dm->walDevice().stats().fsyncs;
+  }
   return point;
 }
 
@@ -109,11 +115,13 @@ struct OracleResult {
 
 OracleResult recoveryOracle(TableKind kind, std::size_t ops_count,
                             std::size_t universe, double theta,
-                            std::uint64_t seed) {
-  bench::Rig rig(/*b=*/8, /*memory_words=*/0, deriveSeed(seed, 1));
-  const GeneralConfig cfg = benchConfig(universe);
+                            std::uint64_t seed,
+                            const extmem::StorageOptions& storage) {
+  bench::Rig rig(/*b=*/8, /*memory_words=*/0, deriveSeed(seed, 1), storage);
+  GeneralConfig cfg = benchConfig(universe);
+  cfg.shard_storage = storage;
   auto table = makeTable(kind, rig.context(), cfg);
-  DurabilityManager dm(rig.device->wordsPerBlock());
+  DurabilityManager dm(rig.device->wordsPerBlock(), storage);
   dm.begin(*table);
 
   // Crash mid-apply, well into the run: the window being applied is
@@ -209,12 +217,22 @@ int main(int argc, char** argv) {
   args.addDoubleFlag("theta", 0.8, "zipf skew");
   args.addStringFlag("kind", "chaining", "table kind for both parts");
   args.addStringFlag("seeds", "1,7,42", "comma-separated oracle seeds");
+  args.addStringFlag("device", "mem",
+                     "storage backend for every device (table, WAL, "
+                     "manifests): mem | file | file:<dir>");
+  args.addBoolFlag("direct", false,
+                   "request O_DIRECT on file backends (best effort)");
   if (!args.parse(argc, argv)) return 0;
 
   const std::size_t ops_count = args.getUint("ops");
   const std::size_t universe = args.getUint("universe");
   const double theta = args.getDouble("theta");
   const TableKind kind = tables::parseTableKind(args.getString("kind"));
+  const extmem::StorageOptions storage =
+      bench::parseDeviceSpec(args.getString("device"), args.getBool("direct"));
+  const char* device_name =
+      storage.backend == extmem::StorageOptions::Backend::kFile ? "file"
+                                                                : "mem";
   std::vector<std::uint64_t> seeds;
   {
     const std::string& s = args.getString("seeds");
@@ -235,17 +253,21 @@ int main(int argc, char** argv) {
       "detached (the default) the pipeline is byte-identical to the "
       "pre-durability hot path.");
 
-  TablePrinter tput({"kind", "depth", "wal", "ops_per_s", "durable_lsn"});
+  TablePrinter tput({"kind", "device", "depth", "wal", "ops_per_s",
+                     "durable_lsn", "fsyncs"});
   for (const std::size_t depth : {1u, 2u, 4u}) {
     const ThroughputPoint off =
-        ingestArm(kind, ops_count, universe, theta, depth, 1, false);
+        ingestArm(kind, ops_count, universe, theta, depth, 1, false, storage);
     const ThroughputPoint on =
-        ingestArm(kind, ops_count, universe, theta, depth, 1, true);
-    tput.addRow({std::string(tableKindName(kind)), std::to_string(depth),
-                 "off", TablePrinter::num(off.ops_per_s, 0), "-"});
-    tput.addRow({std::string(tableKindName(kind)), std::to_string(depth),
-                 "on", TablePrinter::num(on.ops_per_s, 0),
-                 std::to_string(on.durable_lsn)});
+        ingestArm(kind, ops_count, universe, theta, depth, 1, true, storage);
+    tput.addRow({std::string(tableKindName(kind)), device_name,
+                 std::to_string(depth), "off",
+                 TablePrinter::num(off.ops_per_s, 0), "-", "-"});
+    tput.addRow({std::string(tableKindName(kind)), device_name,
+                 std::to_string(depth), "on",
+                 TablePrinter::num(on.ops_per_s, 0),
+                 std::to_string(on.durable_lsn),
+                 std::to_string(on.fsyncs)});
   }
   tput.print(std::cout);
   bench::saveCsv(tput, "wal_throughput");
@@ -256,7 +278,7 @@ int main(int argc, char** argv) {
   bool pass = true;
   for (const std::uint64_t seed : seeds) {
     const OracleResult r =
-        recoveryOracle(kind, ops_count / 2, universe, theta, seed);
+        recoveryOracle(kind, ops_count / 2, universe, theta, seed, storage);
     pass = pass && r.pass();
     oracle.addRow({std::string(tableKindName(kind)), std::to_string(seed),
                    r.crash_fired ? "fired" : "NEVER-FIRED",

@@ -59,6 +59,12 @@ std::uint64_t ManifestPair::write(std::uint64_t durable_lsn,
     });
   }
 
+  // Barrier: the payload must be on the platter BEFORE any header points
+  // at it, or a power cut could commit a header whose payload pages were
+  // still in the page cache (checksums would catch it, but the version
+  // would be lost when the older slot should have survived intact).
+  device_.sync();
+
   // 2. Header overwrite = the commit point.
   std::vector<Word> header(kHeaderWords, Word{0});
   header[kMagicWord] = kManifestMagic;
@@ -71,6 +77,10 @@ std::uint64_t ManifestPair::write(std::uint64_t durable_lsn,
   device_.withOverwrite(static_cast<BlockId>(slot), [&](std::span<Word> data) {
     std::copy(header.begin(), header.end(), data.begin());
   });
+  // Barrier: the version is committed only once the header itself is
+  // durable — a cut before this sync leaves the OLD slot newest, which
+  // is a clean abort, never a half-commit.
+  device_.sync();
 
   // 3. Only now is the previous manifest in this slot garbage.
   if (payload_[slot].first != extmem::kInvalidBlock &&

@@ -9,9 +9,13 @@
 
 namespace exthash::durability {
 
-DurabilityManager::DurabilityManager(std::size_t words_per_block)
-    : wal_device_(words_per_block),
-      manifest_device_(words_per_block),
+DurabilityManager::DurabilityManager(std::size_t words_per_block,
+                                     const extmem::StorageOptions& storage)
+    : wal_device_(words_per_block,
+                  extmem::makeStorage(words_per_block, storage, "wal")),
+      manifest_device_(
+          words_per_block,
+          extmem::makeStorage(words_per_block, storage, "manifest")),
       wal_(wal_device_),
       manifest_(manifest_device_) {}
 

@@ -61,7 +61,12 @@ class DurabilityManager {
  public:
   /// Creates the WAL and manifest devices (same block geometry as the
   /// table's devices, purely by convention — nothing couples them).
-  explicit DurabilityManager(std::size_t words_per_block);
+  /// `storage` selects where their blocks live (default: in memory; a
+  /// file-backed choice puts the log and manifests on real files named
+  /// "wal" / "manifest", with every group-commit ack and manifest commit
+  /// gated on a real fdatasync).
+  explicit DurabilityManager(std::size_t words_per_block,
+                             const extmem::StorageOptions& storage = {});
 
   DurabilityManager(const DurabilityManager&) = delete;
   DurabilityManager& operator=(const DurabilityManager&) = delete;

@@ -124,6 +124,12 @@ std::uint64_t WalWriter::append(std::span<const tables::Op> ops) {
       for (const Pending& p : batch) {
         appendWordsLocked(std::span<const Word>(p.words));
       }
+      // The barrier is what turns "written" into "durable": no LSN in
+      // this batch is acknowledged until the device certifies the bytes
+      // reached the platter (fdatasync on file backends). A failed or
+      // power-cut barrier lands in the poison path below, exactly like a
+      // failed block write — the batch stays unacknowledged.
+      device_.sync();
     } catch (...) {
       err = std::current_exception();
     }

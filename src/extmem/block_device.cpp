@@ -1,25 +1,114 @@
 #include "extmem/block_device.h"
 
 #include <algorithm>
+#include <thread>
+
+#include "obs/flight_recorder.h"
 
 namespace exthash::extmem {
 
-BlockDevice::BlockDevice(std::size_t words_per_block)
-    : words_per_block_(words_per_block) {
+BlockDevice::BlockDevice(std::size_t words_per_block,
+                         const StorageOptions& storage)
+    : BlockDevice(words_per_block, makeStorage(words_per_block, storage)) {}
+
+BlockDevice::BlockDevice(std::size_t words_per_block,
+                         std::unique_ptr<StorageBackend> storage)
+    : words_per_block_(words_per_block), storage_(std::move(storage)) {
   EXTHASH_CHECK_MSG(words_per_block >= 4,
                     "block too small: " << words_per_block << " words");
+  EXTHASH_CHECK_MSG(storage_ != nullptr, "null storage backend");
+  EXTHASH_CHECK_MSG(storage_->wordsPerBlock() == words_per_block_,
+                    "backend geometry mismatch: " << storage_->wordsPerBlock()
+                                                  << " vs "
+                                                  << words_per_block_);
+  storage_persistent_ = storage_->persistent();
 }
 
-Word* BlockDevice::blockPtr(BlockId id) {
-  const std::size_t chunk = id / kBlocksPerChunk;
-  const std::size_t offset = id % kBlocksPerChunk;
-  return chunks_[chunk].get() + offset * words_per_block_;
+// ---- Backend access with the transient-retry ladder -----------------------
+//
+// Mirrors runFaultGate's accounting (retry.cpp) for REAL faults surfacing
+// from a persistent backend: transient outcomes (EINTR storms, EAGAIN) are
+// re-attempted within the same RetryPolicy budget — safe because store()
+// is an idempotent full-block pwrite — and escapes are re-attributed with
+// the device-level op kind and final attempt count while preserving the
+// backend's errno detail. Backend faults are NOT tallied in
+// stats_.faults_injected: that counter belongs to the injectors
+// (FaultPolicy / FaultyFileOps keep their own).
+template <class Fn>
+auto BlockDevice::retryBackend(IoOpKind op, BlockId id, Fn&& fn)
+    -> decltype(fn()) {
+  const std::uint32_t budget =
+      std::max<std::uint32_t>(1, retry_policy_.max_attempts);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const DeviceCrashed&) {
+      // Power cut at the syscall layer: freeze, so every later access
+      // throws — exactly like a FaultPolicy crash trigger.
+      frozen_ = true;
+      throw;
+    } catch (const TransientIoError& error) {
+      if (attempt < budget) {
+        ++stats_.io_retries;
+        EXTHASH_OBS_COUNT("exthash_io_retries_total", 1);
+        for (std::uint32_t q = retry_policy_.backoffQuantaFor(attempt, id);
+             q > 0; --q) {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      ++stats_.io_gave_up;
+      EXTHASH_OBS_COUNT("exthash_io_gave_up_total", 1);
+      obs::flightRecorderNoteFatal(error.what());
+      throw TransientIoError(op, id, attempt, error.detail(),
+                             error.posixErrno());
+    } catch (const PermanentIoError& error) {
+      ++stats_.io_gave_up;
+      EXTHASH_OBS_COUNT("exthash_io_gave_up_total", 1);
+      obs::flightRecorderNoteFatal(error.what());
+      throw PermanentIoError(op, id, attempt, error.detail(),
+                             error.posixErrno());
+    }
+  }
 }
 
-const Word* BlockDevice::blockPtr(BlockId id) const {
-  const std::size_t chunk = id / kBlocksPerChunk;
-  const std::size_t offset = id % kBlocksPerChunk;
-  return chunks_[chunk].get() + offset * words_per_block_;
+const Word* BlockDevice::backendLoad(IoOpKind op, BlockId id) {
+  if (!storage_persistent_) return storage_->load(id);
+  return retryBackend(op, id,
+                      [&]() -> const Word* { return storage_->load(id); });
+}
+
+Word* BlockDevice::backendLoadMutable(IoOpKind op, BlockId id) {
+  if (!storage_persistent_) return storage_->loadMutable(id);
+  return retryBackend(
+      op, id, [&]() -> Word* { return storage_->loadMutable(id); });
+}
+
+Word* BlockDevice::backendFrame(BlockId id) {
+  // Frames live in memory on every backend — no syscall, no ladder.
+  return storage_->frame(id);
+}
+
+void BlockDevice::backendStore(IoOpKind op, BlockId id) {
+  if (!storage_persistent_) return;
+  retryBackend(op, id, [&] { storage_->store(id); });
+}
+
+void BlockDevice::sync() {
+  throwIfFrozen(IoOpKind::kWrite, kInvalidBlock);
+  try {
+    storage_->sync();
+  } catch (const DeviceCrashed&) {
+    frozen_ = true;
+    throw;
+  } catch (const IoError& error) {
+    // No retry: a failed fsync may already have dropped dirty pages, so
+    // re-running it cannot certify the data (backends throw permanent).
+    obs::flightRecorderNoteFatal(error.what());
+    throw;
+  }
+  ++stats_.fsyncs;
+  EXTHASH_OBS_COUNT("exthash_device_fsyncs_total", 1);
 }
 
 void BlockDevice::checkLive(BlockId id) const {
@@ -32,19 +121,22 @@ bool BlockDevice::isAllocated(BlockId id) const noexcept {
 }
 
 void BlockDevice::ensureBacking(BlockId last_id) {
-  const std::size_t chunks_needed = last_id / kBlocksPerChunk + 1;
-  while (chunks_.size() < chunks_needed) {
-    chunks_.push_back(
-        std::make_unique<Word[]>(kBlocksPerChunk * words_per_block_));
-  }
+  storage_->ensureCapacity(last_id + 1);
   if (allocated_.size() < (last_id + 1)) allocated_.resize(last_id + 1, 0);
 }
 
-void BlockDevice::markAllocated(BlockId first, std::size_t count) {
+void BlockDevice::markAllocated(BlockId first, std::size_t count,
+                                bool reused) {
   for (std::size_t i = 0; i < count; ++i) {
     allocated_[first + i] = 1;
-    Word* p = blockPtr(first + i);
+    Word* p = storage_->frame(first + i);
     std::fill(p, p + words_per_block_, Word{0});
+    // Fresh ids are zero on every backend (value-initialized arena;
+    // fallocate'd file regions read back as zeros). Reused ids may carry
+    // stale bytes on a persistent medium — scrub them there.
+    if (reused && storage_persistent_) {
+      backendStore(IoOpKind::kWrite, first + i);
+    }
   }
   blocks_in_use_ += count;
   stats_.allocated_blocks += count;
@@ -59,13 +151,13 @@ BlockId BlockDevice::allocateExtent(std::size_t count) {
   if (it != free_pool_.end() && !it->second.empty()) {
     const BlockId first = it->second.back();
     it->second.pop_back();
-    markAllocated(first, count);
+    markAllocated(first, count, /*reused=*/true);
     return first;
   }
   const BlockId first = next_id_;
   next_id_ += count;
   ensureBacking(next_id_ - 1);
-  markAllocated(first, count);
+  markAllocated(first, count, /*reused=*/false);
   return first;
 }
 
@@ -104,7 +196,14 @@ void BlockDevice::writeCopy(BlockId id, std::span<const Word> contents) {
 
 std::span<const Word> BlockDevice::inspect(BlockId id) const {
   checkLive(id);
-  return {blockPtr(id), words_per_block_};
+  // A frozen device performs no I/O at all — teardown walks (destructors
+  // of the doomed stack inspect chains to free them) must see the
+  // last-known frame contents instead of re-raising from a dead backend
+  // mid-unwind, which would terminate the process.
+  if (frozen_) return {storage_->peek(id), words_per_block_};
+  // Uncounted analysis path: no retry ladder, no statistics — a real
+  // syscall failure propagates as the backend threw it (attempt 1).
+  return {storage_->load(id), words_per_block_};
 }
 
 BlockDevice::Image BlockDevice::captureImage() const {
@@ -112,7 +211,7 @@ BlockDevice::Image BlockDevice::captureImage() const {
   image.words_per_block = words_per_block_;
   image.words.resize(next_id_ * words_per_block_);
   for (BlockId id = 0; id < next_id_; ++id) {
-    const Word* p = blockPtr(id);
+    const Word* p = storage_->load(id);
     std::copy(p, p + words_per_block_,
               image.words.begin() +
                   static_cast<std::ptrdiff_t>(id * words_per_block_));
@@ -134,8 +233,9 @@ void BlockDevice::restoreImage(const Image& image) {
   for (BlockId id = 0; id < next_id_; ++id) {
     const auto src =
         image.words.begin() + static_cast<std::ptrdiff_t>(id * words_per_block_);
-    std::copy(src, src + static_cast<std::ptrdiff_t>(words_per_block_),
-              blockPtr(id));
+    Word* p = storage_->frame(id);
+    std::copy(src, src + static_cast<std::ptrdiff_t>(words_per_block_), p);
+    backendStore(IoOpKind::kWrite, id);
   }
   allocated_ = image.allocated;
   allocated_.resize(next_id_);

@@ -6,6 +6,14 @@
 // into chunk-stable storage (blocks never move once allocated, so spans
 // stay valid even if the callback allocates more blocks).
 //
+// Where the bytes live is a construction-time choice (the StorageBackend
+// seam, extmem/storage_backend.h): the default MemStorage keeps the
+// original in-memory chunk array; FileStorage puts every block in a
+// preallocated file driven by pread/pwrite/fdatasync, with real errno
+// outcomes mapped onto the same IoError taxonomy the FaultPolicy uses.
+// Everything above the device — counted I/O, caching, retry, crash
+// freezing — is backend-agnostic.
+//
 // Extent allocation (`allocateExtent`) returns *contiguous block ids*, so
 // hash tables can place bucket j at `base + j` — a computed address that
 // needs O(1) words of memory, which is what makes the paper's address
@@ -22,19 +30,31 @@
 // re-attempt transient faults. An access that exhausts the budget (or
 // hits a permanent fault) throws Transient-/PermanentIoError without
 // invoking the caller's callback. inspect(), allocation, and free are
-// metadata paths and never fault.
+// metadata paths and never fault under an installed policy (a file
+// backend can still surface real syscall errors there).
+//
+// On persistent backends the SAME retry ladder wraps the backend calls
+// themselves: a TransientIoError from a real syscall (EINTR storm,
+// EAGAIN) is re-attempted within RetryPolicy's budget — safe because
+// store() is an idempotent full-block pwrite — while PermanentIoError
+// (EIO, ENOSPC) escapes immediately and a DeviceCrashed (injected power
+// cut) freezes the device, exactly like a FaultPolicy crash trigger.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "extmem/fault.h"
 #include "extmem/io_stats.h"
 #include "extmem/retry.h"
+#include "extmem/storage_backend.h"
 #include "obs/metrics.h"
 #include "util/assert.h"
 
@@ -47,7 +67,14 @@ inline constexpr BlockId kInvalidBlock = ~static_cast<BlockId>(0);
 class BlockDevice {
  public:
   /// A block holds `words_per_block` 64-bit words (header + payload).
-  explicit BlockDevice(std::size_t words_per_block);
+  /// Default-constructed StorageOptions select the in-memory backend —
+  /// byte-identical to the pre-seam device.
+  explicit BlockDevice(std::size_t words_per_block,
+                       const StorageOptions& storage = {});
+
+  /// Adopt a ready-made backend (named WAL/manifest files, test doubles).
+  BlockDevice(std::size_t words_per_block,
+              std::unique_ptr<StorageBackend> storage);
 
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
@@ -75,11 +102,11 @@ class BlockDevice {
     } catch (const CrashRequested&) {
       crashNow(IoOpKind::kRead, id);
     }
+    const Word* p = backendLoad(IoOpKind::kRead, id);
     ++stats_.reads;
     if (bypass_depth_ > 0) ++stats_.cache_bypass_reads;
     simulateLatency();
-    return std::forward<F>(fn)(
-        std::span<const Word>(blockPtr(id), words_per_block_));
+    return std::forward<F>(fn)(std::span<const Word>(p, words_per_block_));
   }
 
   /// Counted read-modify-write (cost 1 per the paper's footnote 2):
@@ -95,10 +122,18 @@ class BlockDevice {
       crashTornWrite(IoOpKind::kRmw, id, crash.torn_words,
                      /*zero_first=*/false, fn);
     }
+    Word* p = backendLoadMutable(IoOpKind::kRmw, id);
     ++stats_.rmws;
     simulateLatency();
-    return std::forward<F>(fn)(
-        std::span<Word>(blockPtr(id), words_per_block_));
+    const std::span<Word> block(p, words_per_block_);
+    if constexpr (std::is_void_v<std::invoke_result_t<F&, std::span<Word>>>) {
+      std::forward<F>(fn)(block);
+      backendStore(IoOpKind::kRmw, id);
+    } else {
+      decltype(auto) result = std::forward<F>(fn)(block);
+      backendStore(IoOpKind::kRmw, id);
+      return result;
+    }
   }
 
   /// Counted blind write: zeroes the block, then invokes fn(span<Word>) to
@@ -114,12 +149,30 @@ class BlockDevice {
       crashTornWrite(IoOpKind::kWrite, id, crash.torn_words,
                      /*zero_first=*/true, fn);
     }
+    Word* p = backendFrame(id);
     ++stats_.writes;
     simulateLatency();
-    Word* p = blockPtr(id);
     std::fill(p, p + words_per_block_, Word{0});
-    return std::forward<F>(fn)(std::span<Word>(p, words_per_block_));
+    const std::span<Word> block(p, words_per_block_);
+    if constexpr (std::is_void_v<std::invoke_result_t<F&, std::span<Word>>>) {
+      std::forward<F>(fn)(block);
+      backendStore(IoOpKind::kWrite, id);
+    } else {
+      decltype(auto) result = std::forward<F>(fn)(block);
+      backendStore(IoOpKind::kWrite, id);
+      return result;
+    }
   }
+
+  /// Durability barrier: everything stored so far reaches the platter
+  /// before sync() returns (fdatasync on file backends; free but still
+  /// counted on memory backends, so the WAL's barrier cadence is always
+  /// measurable). Counted in IoStats::fsyncs, NOT in cost(). A failed
+  /// barrier throws PermanentIoError — dirty pages may have been dropped,
+  /// so re-running it cannot certify the data (fsyncgate semantics); an
+  /// injected power cut lands here as DeviceCrashed and freezes the
+  /// device like any other crash point.
+  void sync();
 
   /// Emulate per-access device latency: every counted access yields the
   /// CPU `quanta` times (~0.1–1 µs each when nothing else is runnable).
@@ -142,13 +195,20 @@ class BlockDevice {
   }
   FaultPolicy* faultPolicy() const noexcept { return fault_policy_; }
 
-  /// Retry budget for transient faults (meaningful only with a fault
-  /// policy installed; a real backend would route its EIO/timeout path
-  /// through the same gate).
+  /// Retry budget for transient faults — injected ones (FaultPolicy) and,
+  /// on persistent backends, real transient syscall outcomes (EINTR,
+  /// EAGAIN) alike.
   void setRetryPolicy(const RetryPolicy& policy) noexcept {
     retry_policy_ = policy;
   }
   const RetryPolicy& retryPolicy() const noexcept { return retry_policy_; }
+
+  /// The backend holding this device's bytes (diagnostics/tests; e.g.
+  /// dynamic_cast to FileStorage for path() and directActive()).
+  const StorageBackend& storage() const noexcept { return *storage_; }
+  std::string_view storageName() const noexcept { return storage_->name(); }
+  /// True when the backend hits a medium that can actually fail (files).
+  bool storagePersistent() const noexcept { return storage_persistent_; }
 
   /// Copying variants (convenience for tests).
   std::vector<Word> readCopy(BlockId id);
@@ -204,8 +264,6 @@ class BlockDevice {
   void restoreImage(const Image& image);
 
  private:
-  static constexpr std::size_t kBlocksPerChunk = 1024;
-
   void simulateLatency() const noexcept {
     for (std::uint32_t i = 0; i < latency_spins_; ++i) {
       std::this_thread::yield();
@@ -235,31 +293,48 @@ class BlockDevice {
   /// know what the write WOULD have produced), persist only the first
   /// `torn_words` words of it, freeze, throw. torn_words = 0 models a
   /// write lost whole; anything between 0 and wordsPerBlock() models a
-  /// sector torn mid-transfer.
+  /// sector torn mid-transfer. Backend calls here are deliberately bare —
+  /// the machine is dying; a failure of the tear itself just loses more.
   template <class F>
   [[noreturn]] void crashTornWrite(IoOpKind op, BlockId id,
                                    std::size_t torn_words, bool zero_first,
                                    F& fn) {
-    Word* live = blockPtr(id);
     std::vector<Word> scratch(words_per_block_, Word{0});
-    if (!zero_first) std::copy(live, live + words_per_block_, scratch.begin());
+    if (!zero_first) {
+      const Word* live = storage_->load(id);
+      std::copy(live, live + words_per_block_, scratch.begin());
+    }
     fn(std::span<Word>(scratch.data(), words_per_block_));
     const std::size_t keep = std::min(torn_words, words_per_block_);
-    std::copy(scratch.begin(),
-              scratch.begin() + static_cast<std::ptrdiff_t>(keep), live);
+    if (keep > 0) {
+      Word* live = storage_->loadMutable(id);
+      std::copy(scratch.begin(),
+                scratch.begin() + static_cast<std::ptrdiff_t>(keep), live);
+      storage_->store(id);
+    }
     frozen_ = true;
     throw DeviceCrashed(op, id, "crash point fired (torn write)");
   }
 
-  Word* blockPtr(BlockId id);
-  const Word* blockPtr(BlockId id) const;
+  // Backend access, wrapped in the transient-retry ladder on persistent
+  // backends (no-overhead pass-through for MemStorage). Declared here,
+  // defined in the .cpp — the templates above are their only callers'
+  // public face, and they are not templates themselves.
+  const Word* backendLoad(IoOpKind op, BlockId id);
+  Word* backendLoadMutable(IoOpKind op, BlockId id);
+  Word* backendFrame(BlockId id);
+  void backendStore(IoOpKind op, BlockId id);
+  template <class Fn>
+  auto retryBackend(IoOpKind op, BlockId id, Fn&& fn) -> decltype(fn());
+
   void checkLive(BlockId id) const;
   void ensureBacking(BlockId last_id);
-  void markAllocated(BlockId first, std::size_t count);
+  void markAllocated(BlockId first, std::size_t count, bool reused);
 
   std::size_t words_per_block_;
-  std::vector<std::unique_ptr<Word[]>> chunks_;  // chunk-stable storage
-  std::vector<std::uint8_t> allocated_;          // per-block liveness
+  std::unique_ptr<StorageBackend> storage_;  // chunk-stable frames inside
+  bool storage_persistent_ = false;
+  std::vector<std::uint8_t> allocated_;  // per-block liveness
   // Freed extents pooled by exact size for reuse; singles use size 1.
   std::map<std::size_t, std::vector<BlockId>> free_pool_;
   BlockId next_id_ = 0;

@@ -32,12 +32,15 @@ std::string describe(IoOpKind op, BlockId block, bool transient,
 }  // namespace
 
 IoError::IoError(IoOpKind op, BlockId block, bool transient,
-                 std::uint32_t attempts, const std::string& detail)
+                 std::uint32_t attempts, const std::string& detail,
+                 int posix_errno)
     : std::runtime_error(describe(op, block, transient, attempts, detail)),
       op_(op),
       block_(block),
       transient_(transient),
-      attempts_(attempts) {}
+      attempts_(attempts),
+      posix_errno_(posix_errno),
+      detail_(detail) {}
 
 FaultPolicy::FaultPolicy(std::uint64_t seed)
     : rng_state_(splitmix64(seed ^ 0xFA017FA017FA017FULL)) {}

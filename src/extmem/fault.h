@@ -56,23 +56,34 @@ const char* ioOpKindName(IoOpKind op) noexcept;
 
 /// Base of the I/O failure taxonomy. `attempts()` is the number of access
 /// attempts made when the error escaped (1 for an unretried fault; the
-/// retry budget for an exhausted one).
+/// retry budget for an exhausted one). `posixErrno()` is the real errno a
+/// file-backed access failed with (0 for injected/simulated faults);
+/// file-backed errors put its symbolic name + strerror text into the
+/// message ("permanent write fault on block 7 (attempt 4): EIO —
+/// Input/output error (pwrite)").
 class IoError : public std::runtime_error {
  public:
   IoError(IoOpKind op, BlockId block, bool transient, std::uint32_t attempts,
-          const std::string& detail);
+          const std::string& detail, int posix_errno = 0);
 
   IoOpKind op() const noexcept { return op_; }
   BlockId block() const noexcept { return block_; }
   /// True when a retry may clear the condition; false for hard faults.
   bool transient() const noexcept { return transient_; }
   std::uint32_t attempts() const noexcept { return attempts_; }
+  /// The underlying errno (0 when the fault was not a real syscall).
+  int posixErrno() const noexcept { return posix_errno_; }
+  /// The raw detail string (without the "… fault on block N" framing),
+  /// so re-throws at retry boundaries can preserve the original cause.
+  const std::string& detail() const noexcept { return detail_; }
 
  private:
   IoOpKind op_;
   BlockId block_;
   bool transient_;
   std::uint32_t attempts_;
+  int posix_errno_;
+  std::string detail_;
 };
 
 /// A fault a retry may clear (timeout, bus glitch). The device's retry
@@ -80,16 +91,18 @@ class IoError : public std::runtime_error {
 class TransientIoError : public IoError {
  public:
   TransientIoError(IoOpKind op, BlockId block, std::uint32_t attempts,
-                   const std::string& detail)
-      : IoError(op, block, /*transient=*/true, attempts, detail) {}
+                   const std::string& detail, int posix_errno = 0)
+      : IoError(op, block, /*transient=*/true, attempts, detail,
+                posix_errno) {}
 };
 
 /// A fault no retry clears (bad sector, device gone). Escapes immediately.
 class PermanentIoError : public IoError {
  public:
   PermanentIoError(IoOpKind op, BlockId block, std::uint32_t attempts,
-                   const std::string& detail)
-      : IoError(op, block, /*transient=*/false, attempts, detail) {}
+                   const std::string& detail, int posix_errno = 0)
+      : IoError(op, block, /*transient=*/false, attempts, detail,
+                posix_errno) {}
 };
 
 /// The access hit a simulated machine crash: the device froze (every

@@ -65,6 +65,12 @@ struct IoStats {
   std::uint64_t faults_injected = 0;
   std::uint64_t io_retries = 0;
   std::uint64_t io_gave_up = 0;
+  // Durability barriers (BlockDevice::sync → fdatasync on file backends;
+  // counted even for memory backends where the barrier is a no-op, so the
+  // WAL's fsync tax is measurable regardless of backend). Deliberately
+  // NOT part of cost(): the paper's model counts block transfers, and a
+  // barrier transfers nothing — it orders.
+  std::uint64_t fsyncs = 0;
 
   /// Paper-convention I/O cost (footnote 2 of the paper). Cache hits are
   /// free by definition and never enter the cost.
@@ -99,6 +105,7 @@ struct IoStats {
     faults_injected += rhs.faults_injected;
     io_retries += rhs.io_retries;
     io_gave_up += rhs.io_gave_up;
+    fsyncs += rhs.fsyncs;
     return *this;
   }
 
@@ -133,6 +140,7 @@ struct IoStats {
     d.faults_injected = faults_injected - rhs.faults_injected;
     d.io_retries = io_retries - rhs.io_retries;
     d.io_gave_up = io_gave_up - rhs.io_gave_up;
+    d.fsyncs = fsyncs - rhs.fsyncs;
     return d;
   }
 };

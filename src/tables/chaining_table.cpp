@@ -47,22 +47,31 @@ ChainingHashTable::~ChainingHashTable() {
 
 void ChainingHashTable::destroy() {
   if (destroyed_) return;
-  // Flush barrier: the inspect() walk below reads the device directly,
-  // and under a write-back cache the dirty frames hold the live chain
-  // pointers — without the flush we would free along stale chains.
-  flushCache();
-  // Uncounted traversal: deallocation is metadata bookkeeping, not data
-  // transfer (the owner of a real disk would drop the whole file).
-  for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
-    BlockId id = primaryBlock(j);
-    ConstBucketPage page(ctx_.device->inspect(id));
-    BlockId overflow = page.hasNext() ? page.next() : kInvalidBlock;
-    while (overflow != kInvalidBlock) {
-      ConstBucketPage opage(ctx_.device->inspect(overflow));
-      const BlockId next = opage.hasNext() ? opage.next() : kInvalidBlock;
-      io().free(overflow);
-      overflow = next;
+  // Runs from the destructor, possibly mid-unwind on a dying device
+  // (frozen devices serve inspect() from the last-known frames; a live
+  // file backend can still fail a real read here). An I/O error only
+  // cuts the chain walk short — freeing is in-process bookkeeping, so
+  // leaking ids on a failing device beats terminating the process.
+  try {
+    // Flush barrier: the inspect() walk below reads the device directly,
+    // and under a write-back cache the dirty frames hold the live chain
+    // pointers — without the flush we would free along stale chains.
+    flushCache();
+    // Uncounted traversal: deallocation is metadata bookkeeping, not data
+    // transfer (the owner of a real disk would drop the whole file).
+    for (std::uint64_t j = 0; j < config_.bucket_count; ++j) {
+      BlockId id = primaryBlock(j);
+      ConstBucketPage page(ctx_.device->inspect(id));
+      BlockId overflow = page.hasNext() ? page.next() : kInvalidBlock;
+      while (overflow != kInvalidBlock) {
+        ConstBucketPage opage(ctx_.device->inspect(overflow));
+        const BlockId next = opage.hasNext() ? opage.next() : kInvalidBlock;
+        io().free(overflow);
+        overflow = next;
+      }
     }
+  } catch (const extmem::IoError&) {
+    // Walked as far as the device allowed.
   }
   io().freeExtent(extent_, config_.bucket_count);
   destroyed_ = true;

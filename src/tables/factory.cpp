@@ -96,6 +96,7 @@ std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,
                              ? extmem::BlockCache::WritePolicy::kWriteBack
                              : extmem::BlockCache::WritePolicy::kWriteThrough;
       cfg.cache_replacement = config.shard_cache_replacement;
+      cfg.storage = config.shard_storage;
       return std::make_unique<ShardedTable>(ctx, cfg);
     }
   }

@@ -53,6 +53,10 @@ struct GeneralConfig {
   /// (lru / 2q / arc — see extmem/replacement_policy.h).
   extmem::ReplacementKind shard_cache_replacement =
       extmem::ReplacementKind::kLru;
+  /// kSharded only: storage backend for the private per-shard devices
+  /// (see ShardedTableConfig::storage). Standalone kinds use the caller's
+  /// context device, whose backend the caller already chose.
+  extmem::StorageOptions shard_storage;
 };
 
 std::unique_ptr<ExternalHashTable> makeTable(TableKind kind, TableContext ctx,

@@ -80,7 +80,8 @@ ShardedTable::ShardedTable(TableContext ctx, ShardedTableConfig config)
     const std::size_t frames_per_shard =
         config_.cache_frames / n + (s < config_.cache_frames % n ? 1 : 0);
     Shard shard;
-    shard.device = std::make_unique<extmem::BlockDevice>(words);
+    shard.device = std::make_unique<extmem::BlockDevice>(words,
+                                                         config_.storage);
     shard.memory = std::make_unique<extmem::MemoryBudget>(mem_limit);
     if (frames_per_shard > 0) {
       // Frames are charged to the caller's shared budget (ctx_.memory):

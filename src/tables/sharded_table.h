@@ -99,6 +99,11 @@ struct ShardedTableConfig {
   /// the shards' adaptive targets (cache_adaptive_target — divide by
   /// shardCount() for a mean p).
   extmem::ReplacementKind cache_replacement = extmem::ReplacementKind::kLru;
+  /// Storage backend for the private per-shard devices (default: memory;
+  /// a file-backed choice gives every shard its own backing file, so a
+  /// real I/O error on one shard trips that shard's isolation without
+  /// touching its siblings' files).
+  extmem::StorageOptions storage;
 };
 
 class ShardedTable final : public ExternalHashTable {

@@ -2,7 +2,9 @@
 // paper-style parameters (b records per block, m words of memory).
 #pragma once
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "extmem/block_device.h"
 #include "extmem/bucket_page.h"
@@ -13,6 +15,37 @@
 
 namespace exthash::testing {
 
+/// Storage selection for every rig-built device, driven by environment:
+///   EXTHASH_TEST_STORAGE=file        — file backend in the temp directory
+///   EXTHASH_TEST_STORAGE=file:<dir>  — file backend under <dir>
+///   EXTHASH_TEST_KEEP_FILES=1       — keep backing files for postmortems
+/// Unset (the default) keeps the in-memory backend, so the whole suite
+/// can be re-run against real files without touching a single test.
+inline extmem::StorageOptions testStorageOptions() {
+  extmem::StorageOptions options;
+  const char* env = std::getenv("EXTHASH_TEST_STORAGE");
+  if (env == nullptr || *env == '\0') return options;
+  const std::string spec(env);
+  if (spec == "mem") return options;
+  options.backend = extmem::StorageOptions::Backend::kFile;
+  constexpr std::string_view kFilePrefix = "file:";
+  if (spec.rfind(kFilePrefix, 0) == 0) {
+    options.directory = spec.substr(kFilePrefix.size());
+  }
+  const char* keep = std::getenv("EXTHASH_TEST_KEEP_FILES");
+  if (keep != nullptr && *keep != '\0' && *keep != '0') {
+    options.unlink_on_close = false;
+  }
+  return options;
+}
+
+/// A device honoring the env-selected backend (see testStorageOptions).
+inline std::unique_ptr<extmem::BlockDevice> makeTestDevice(
+    std::size_t words_per_block) {
+  return std::make_unique<extmem::BlockDevice>(words_per_block,
+                                               testStorageOptions());
+}
+
 struct TestRig {
   std::unique_ptr<extmem::BlockDevice> device;
   std::unique_ptr<extmem::MemoryBudget> memory;
@@ -22,8 +55,7 @@ struct TestRig {
   TestRig(std::size_t b, std::size_t memory_words = 0,
           std::uint64_t seed = 42,
           hashfn::HashKind kind = hashfn::HashKind::kMix)
-      : device(std::make_unique<extmem::BlockDevice>(
-            extmem::wordsForRecordCapacity(b))),
+      : device(makeTestDevice(extmem::wordsForRecordCapacity(b))),
         memory(std::make_unique<extmem::MemoryBudget>(memory_words)),
         hash(hashfn::makeHash(kind, seed)) {}
 

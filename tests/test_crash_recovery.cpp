@@ -20,6 +20,7 @@
 #include "durability/recovery.h"
 #include "extmem/block_device.h"
 #include "extmem/fault.h"
+#include "extmem/faulty_file_ops.h"
 #include "pipeline/ingest_pipeline.h"
 #include "table_test_util.h"
 #include "tables/factory.h"
@@ -33,7 +34,9 @@ using durability::DurabilityManager;
 using durability::RecoveryResult;
 using extmem::BlockDevice;
 using extmem::FaultPolicy;
+using extmem::FaultyFileOps;
 using extmem::IoOpKind;
+using extmem::StorageOptions;
 using pipeline::IngestPipeline;
 using pipeline::PipelineConfig;
 using tables::GeneralConfig;
@@ -93,26 +96,41 @@ struct CrashPoint {
   bool torn;                 // tear the crashing write mid-block
 };
 
-GeneralConfig sweepConfig() {
+GeneralConfig sweepConfig(const StorageOptions& storage) {
   GeneralConfig cfg;
   cfg.expected_n = 512;
   cfg.buffer_items = 32;
   cfg.shards = 2;
   cfg.shard_threads = 1;
   cfg.shard_cache_frames = 0;  // no write-back frames to flush at teardown
+  cfg.shard_storage = storage;
   return cfg;
 }
 
+/// File-backed everything (table, WAL, manifests), regardless of the
+/// EXTHASH_TEST_STORAGE environment — the explicit real-file arm.
+StorageOptions fileStorage() {
+  StorageOptions options = testing::testStorageOptions();
+  options.backend = StorageOptions::Backend::kFile;
+  return options;
+}
+
 // Run one ingest-crash-recover episode and check the oracle. Returns the
-// recovery result for point-specific assertions.
+// recovery result for point-specific assertions. `storage` selects where
+// every device in the episode (table, shards, WAL, manifests) keeps its
+// blocks; the default follows EXTHASH_TEST_STORAGE like every other test.
 RecoveryResult runEpisode(TableKind kind, std::uint64_t seed,
-                          const CrashPoint& point) {
+                          const CrashPoint& point,
+                          const StorageOptions& storage =
+                              testing::testStorageOptions()) {
   testing::TestRig rig(8);
-  const GeneralConfig cfg = sweepConfig();
+  rig.device = std::make_unique<BlockDevice>(rig.device->wordsPerBlock(),
+                                             storage);
+  const GeneralConfig cfg = sweepConfig(storage);
   const Workload w = makeWorkload(kind, seed);
 
   auto table = makeTable(kind, rig.context(), cfg);
-  DurabilityManager dm(rig.device->wordsPerBlock());
+  DurabilityManager dm(rig.device->wordsPerBlock(), storage);
   dm.begin(*table);
 
   // Arm the crash AFTER the initial checkpoint so op counts are relative
@@ -228,13 +246,14 @@ RecoveryResult runEpisode(TableKind kind, std::uint64_t seed,
   return result;
 }
 
-void sweep(const CrashPoint& point) {
+void sweep(const CrashPoint& point,
+           const StorageOptions& storage = testing::testStorageOptions()) {
   for (const TableKind kind : tables::kAllTableKindsWithSharded) {
     for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
       SCOPED_TRACE(::testing::Message()
                    << tableKindName(kind) << " seed=" << seed
                    << " point=" << point.name);
-      runEpisode(kind, seed, point);
+      runEpisode(kind, seed, point, storage);
     }
   }
 }
@@ -279,11 +298,12 @@ TEST(CrashRecovery, CrashMidReplayThenRecoverAgain) {
                    << tableKindName(kind) << " seed=" << seed
                    << " point=mid-replay");
       testing::TestRig rig(8);
-      const GeneralConfig cfg = sweepConfig();
+      const GeneralConfig cfg = sweepConfig(testing::testStorageOptions());
       const Workload w = makeWorkload(kind, seed);
 
       auto table = makeTable(kind, rig.context(), cfg);
-      DurabilityManager dm(rig.device->wordsPerBlock());
+      DurabilityManager dm(rig.device->wordsPerBlock(),
+                           testing::testStorageOptions());
       dm.begin(*table);
 
       AckLedger ledger(kWindow);
@@ -355,6 +375,163 @@ TEST(CrashRecovery, CleanShutdownRecoversEverything) {
     const RecoveryResult result = runEpisode(
         kind, /*seed=*/7, {"none", CrashTarget::kNone, 0, 0, false});
     EXPECT_FALSE(result.torn_tail);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File-backed arm: the SAME kind × crash-point × seed sweeps, but every
+// device (table, shards, WAL, manifests) keeps its blocks in real files,
+// every group-commit ack and manifest commit is gated on a real fdatasync,
+// and the crash points fire against that stack. Nothing above the device
+// layer changes — that is the point of the StorageBackend seam.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryFileBacked, CrashAtWindowSealOnFiles) {
+  sweep({"seal", CrashTarget::kWal, /*nth_write=*/5, /*nth_rmw=*/0,
+         /*torn=*/false},
+        fileStorage());
+}
+
+TEST(CrashRecoveryFileBacked, TornWriteDuringLogAppendOnFiles) {
+  sweep({"log-append-torn", CrashTarget::kWal, /*nth_write=*/9,
+         /*nth_rmw=*/0, /*torn=*/true},
+        fileStorage());
+}
+
+TEST(CrashRecoveryFileBacked, CrashDuringCheckpointOnFiles) {
+  sweep({"checkpoint", CrashTarget::kManifest, /*nth_write=*/3,
+         /*nth_rmw=*/0, /*torn=*/true},
+        fileStorage());
+}
+
+TEST(CrashRecoveryFileBacked, TornWriteDuringApplyOnFiles) {
+  sweep({"apply", CrashTarget::kTable, /*nth_write=*/4, /*nth_rmw=*/6,
+         /*torn=*/true},
+        fileStorage());
+}
+
+TEST(CrashRecoveryFileBacked, CleanShutdownRecoversEverythingOnFiles) {
+  for (const TableKind kind : tables::kAllTableKindsWithSharded) {
+    SCOPED_TRACE(tableKindName(kind));
+    const RecoveryResult result =
+        runEpisode(kind, /*seed=*/7, {"none", CrashTarget::kNone, 0, 0, false},
+                   fileStorage());
+    EXPECT_FALSE(result.torn_tail);
+  }
+}
+
+// The power-loss arm: instead of a FaultPolicy trigger at a counted
+// access, the machine dies at the Nth SYSCALL — beneath the EINTR loops,
+// beneath the retry ladder — with the FaultyFileOps page-cache model
+// dropping every unsynced buffered write (the in-flight pwrite may keep a
+// torn byte prefix, mid-word cuts included). Because WAL acks and
+// manifest commits gate on sync(), the acknowledged prefix is exactly the
+// synced prefix, and recovery from the surviving file bytes must
+// reproduce it bit-exactly against the AckLedger oracle.
+void runPowerCutEpisode(TableKind kind, std::uint64_t seed) {
+  FaultyFileOps shim(seed);  // declared first: outlives every device
+  shim.enableWriteBuffering();
+  StorageOptions durable = fileStorage();
+  durable.file_ops = &shim;
+
+  testing::TestRig rig(8);
+  rig.device = std::make_unique<BlockDevice>(rig.device->wordsPerBlock(),
+                                             durable);
+  const GeneralConfig cfg = sweepConfig(durable);
+  const Workload w = makeWorkload(kind, seed);
+
+  auto table = makeTable(kind, rig.context(), cfg);
+  DurabilityManager dm(rig.device->wordsPerBlock(), durable);
+  dm.begin(*table);
+
+  // Kill the machine a pseudo-random number of syscalls into the ingest,
+  // tearing a random byte prefix (bytes % 8 != 0 ⇒ mid-word) of whatever
+  // pwrite is in flight.
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  const std::size_t block_bytes =
+      rig.device->wordsPerBlock() * sizeof(extmem::Word);
+  shim.powerCutAfter(shim.syscalls() + 8 + rng() % 120,
+                     /*torn_bytes=*/rng() % (block_bytes + 1));
+
+  AckLedger ledger(kWindow);
+  bool crashed = false;
+  {
+    PipelineConfig pcfg;
+    pcfg.batch_capacity = kWindow;
+    pcfg.max_pending_batches = 2;
+    pcfg.wal = &dm.wal();
+    IngestPipeline pipe(*table, pcfg);
+    for (std::size_t i = 0; i < w.ops.size(); ++i) {
+      try {
+        pipe.submit(w.ops[i]);
+      } catch (...) {
+        crashed = true;
+        break;
+      }
+      ledger.submit(w.ops[i]);
+      if ((i + 1) % kCheckpointEvery == 0 && i + 1 < w.ops.size()) {
+        try {
+          pipe.submitMaintenance([&dm, &table] { dm.checkpoint(*table); });
+        } catch (...) {
+          crashed = true;
+          break;
+        }
+      }
+    }
+    if (!crashed) {
+      try {
+        pipe.drain();
+      } catch (...) {
+        crashed = true;
+      }
+    }
+  }
+  ledger.seal();
+  ASSERT_TRUE(crashed) << "power cut never fired";
+  EXPECT_TRUE(shim.powerCutFired());
+
+  const std::uint64_t acked_lsn = dm.wal().durableLsn();
+  dm.freezeAll(*table);
+  table.reset();
+
+  // The reboot: power comes back (unsynced writes stay lost), devices
+  // thaw, and recovery reads what actually survived in the files.
+  shim.restorePower();
+  rig.device->thaw();
+
+  auto fresh = makeTable(kind, rig.context(), cfg);
+  const RecoveryResult result = dm.recover(*fresh);
+  EXPECT_GE(result.recovered_lsn, acked_lsn);
+
+  const auto expected = ledger.stateThroughLsn(result.recovered_lsn);
+  for (const std::uint64_t key : w.universe) {
+    const auto got = fresh->lookup(key);
+    const auto it = expected.find(key);
+    if (it == expected.end() || !it->second.has_value()) {
+      EXPECT_EQ(got, std::nullopt) << "key " << key << " resurrected";
+    } else {
+      EXPECT_EQ(got, it->second) << "key " << key << " lost or stale";
+    }
+  }
+
+  // Serve-after-recovery, as in the counted-access episodes.
+  const auto extra = testing::distinctKeys(520, /*seed=*/99);
+  for (std::size_t i = 512; i < extra.size(); ++i) {
+    const std::uint64_t key = extra[i];
+    fresh->applyBatch(std::vector<Op>{Op::insertOp(key, 0x5EED0000 + i)});
+    EXPECT_EQ(fresh->lookup(key), std::optional<std::uint64_t>(0x5EED0000 + i));
+  }
+}
+
+TEST(CrashRecoveryFileBacked, SyscallPowerCutAgainstAckLedgerOracle) {
+  for (const TableKind kind :
+       {TableKind::kBuffered, TableKind::kChaining, TableKind::kSharded}) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+      SCOPED_TRACE(::testing::Message()
+                   << tableKindName(kind) << " seed=" << seed
+                   << " point=syscall-power-cut");
+      runPowerCutEpisode(kind, seed);
+    }
   }
 }
 

@@ -51,7 +51,7 @@ std::vector<Op> makeOps(std::size_t n, std::uint64_t salt) {
 // ---------------------------------------------------------------------------
 
 TEST(Wal, RoundTripsRecordsWithContiguousLsns) {
-  BlockDevice device(16);
+  BlockDevice device(16, testing::testStorageOptions());
   WalWriter wal(device);
   for (std::uint64_t i = 1; i <= 5; ++i) {
     EXPECT_EQ(wal.append(makeOps(3, i)), i);
@@ -71,7 +71,7 @@ TEST(Wal, RoundTripsRecordsWithContiguousLsns) {
 }
 
 TEST(Wal, EmptyLogReadsAsCleanEnd) {
-  BlockDevice device(16);
+  BlockDevice device(16, testing::testStorageOptions());
   WalReader reader(device);
   const WalLog log = reader.readAll();
   EXPECT_TRUE(log.records.empty());
@@ -87,7 +87,7 @@ TEST(Wal, EmptyLogReadsAsCleanEnd) {
 TEST(Wal, RecordStraddlingBlocksRoundTrips) {
   // wpb = 8 leaves 7 payload words per block; a 3-op record is
   // 4 + 3*3 = 13 words, so every record straddles a block boundary.
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   WalWriter wal(device);
   wal.append(makeOps(3, 1));
   wal.append(makeOps(3, 2));
@@ -104,7 +104,7 @@ TEST(Wal, TornTailTruncatesToTheDurablePrefix) {
   // Crash the second tail-block write with only 3 of its words persisting:
   // the block keeps a valid frame header but the record inside it tears,
   // so the reader must keep record 1 and truncate the tail.
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   FaultPolicy policy(1);
   WalWriter wal(device);
   wal.append(makeOps(1, 1));  // 7 words: exactly one block's payload
@@ -132,7 +132,7 @@ TEST(Wal, TornWriteInsideAStraddlingRecordKeepsThePrefix) {
   // Record 2 spans blocks; crash the write of its SECOND block so the
   // record's head lands durable but its tail does not — the checksum must
   // reject the half-record and the scan must stop there.
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   FaultPolicy policy(2);
   WalWriter wal(device);
   wal.append(makeOps(1, 1));  // fills block 1 exactly
@@ -152,7 +152,7 @@ TEST(Wal, TornWriteInsideAStraddlingRecordKeepsThePrefix) {
 }
 
 TEST(Wal, ResetContinuesTheLsnSequenceAndRefusesRewinds) {
-  BlockDevice device(16);
+  BlockDevice device(16, testing::testStorageOptions());
   WalWriter wal(device);
   wal.append(makeOps(2, 1));
   wal.append(makeOps(2, 2));
@@ -175,7 +175,7 @@ TEST(Wal, ResetContinuesTheLsnSequenceAndRefusesRewinds) {
 }
 
 TEST(Wal, ThreadedAppendsGroupCommitWithoutLosingRecords) {
-  BlockDevice device(64);
+  BlockDevice device(64, testing::testStorageOptions());
   WalWriter wal(device);
   constexpr std::size_t kThreads = 8;
   constexpr std::size_t kPerThread = 25;
@@ -222,13 +222,13 @@ std::vector<Word> metaPayload(std::size_t n, Word salt) {
 }
 
 TEST(Manifest, FreshDeviceHasNoValidSlot) {
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   ManifestPair manifest(device);
   EXPECT_FALSE(manifest.readNewest().has_value());
 }
 
 TEST(Manifest, AlternatingWritesAlwaysReadNewest) {
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   ManifestPair manifest(device);
   for (std::uint64_t v = 1; v <= 5; ++v) {
     EXPECT_EQ(manifest.write(v * 10, metaPayload(20, v)), v);
@@ -241,7 +241,7 @@ TEST(Manifest, AlternatingWritesAlwaysReadNewest) {
 }
 
 TEST(Manifest, BothSlotsValidPicksTheHigherVersion) {
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   ManifestPair manifest(device);
   manifest.write(1, metaPayload(5, 1));  // slot 1
   manifest.write(2, metaPayload(5, 2));  // slot 0; both slots now valid
@@ -258,7 +258,7 @@ TEST(Manifest, BothSlotsValidPicksTheHigherVersion) {
 }
 
 TEST(Manifest, TornHeaderFallsBackToTheOlderSlot) {
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   ManifestPair manifest(device);
   manifest.write(10, metaPayload(12, 1));  // v1 → slot 1
   manifest.write(20, metaPayload(12, 2));  // v2 → slot 0
@@ -279,7 +279,7 @@ TEST(Manifest, TornHeaderFallsBackToTheOlderSlot) {
 }
 
 TEST(Manifest, CorruptPayloadFallsBackToTheOlderSlot) {
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   ManifestPair manifest(device);
   manifest.write(10, metaPayload(12, 1));
   manifest.write(20, metaPayload(12, 2));
@@ -305,7 +305,7 @@ TEST(Manifest, CorruptPayloadFallsBackToTheOlderSlot) {
 }
 
 TEST(Manifest, BothSlotsCorruptIsUnrecoverable) {
-  BlockDevice device(8);
+  BlockDevice device(8, testing::testStorageOptions());
   ManifestPair manifest(device);
   manifest.write(10, metaPayload(6, 1));
   manifest.write(20, metaPayload(6, 2));
@@ -326,7 +326,7 @@ TEST(Durability, CheckpointFencesReplayToZeroRecords) {
   tables::GeneralConfig cfg;
   cfg.expected_n = 64;
   auto table = makeTable(tables::TableKind::kChaining, rig.context(), cfg);
-  DurabilityManager dm(rig.device->wordsPerBlock());
+  DurabilityManager dm(rig.device->wordsPerBlock(), testing::testStorageOptions());
   dm.begin(*table);
 
   for (std::uint64_t i = 0; i < 40; ++i) {
@@ -355,7 +355,7 @@ TEST(Durability, BothManifestsCorruptRaisesAndDumpsFlightRecorder) {
   tables::GeneralConfig cfg;
   cfg.expected_n = 64;
   auto table = makeTable(tables::TableKind::kChaining, rig.context(), cfg);
-  DurabilityManager dm(rig.device->wordsPerBlock());
+  DurabilityManager dm(rig.device->wordsPerBlock(), testing::testStorageOptions());
   dm.begin(*table);
   dm.checkpoint(*table);
 
